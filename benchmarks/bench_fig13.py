@@ -1,0 +1,75 @@
+"""Fig. 13: element-imbalance histogram after adaptation w/o load balancing.
+
+Paper reference: a 1024-part ONERA M6 mesh adapted from 46M to 160M elements
+with a shock-front size field and *no* prior load balancing shows a peak
+imbalance over 400%, ~80 parts above 20% imbalance, and over 120 parts
+holding fewer than 50% of the average element count.
+
+The benchmark partitions the wing flow box, stamps every element with its
+part, adapts to the oblique shock band (elements inherit the ancestor's
+part), and histograms the per-part descendant counts.  Shape expectations:
+a long right tail (peak imbalance far above any diffusion tolerance) and a
+large population of starved parts.
+"""
+
+import numpy as np
+
+from common import params, write_result
+
+from repro.adapt import adapt, ancestry_counts
+from repro.partitioners import partition
+from repro.workloads import wing_case
+
+
+def test_fig13_histogram(benchmark):
+    p = params()
+    mesh, size = wing_case(n=p["wing_n"], refinement=4.0)
+    nparts = p["wing_parts"]
+    assignment = partition(mesh, nparts, method="rcb")
+    tag = mesh.tag("part")
+    for element, part in zip(mesh.entities(3), assignment):
+        tag.set(element, int(part))
+
+    def run():
+        return adapt(
+            mesh, size, max_passes=6, do_coarsen=False, ancestry_tag="part"
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    counts = ancestry_counts(mesh, "part")
+    loads = np.array([counts.get(q, 0) for q in range(nparts)], dtype=float)
+    mean = loads.mean()
+    ratios = loads / mean
+
+    edges = np.linspace(0.0, max(ratios.max() * 1.01, 2.0), 12)
+    hist, _ = np.histogram(ratios, bins=edges)
+    lines = [
+        f"wing flow box, {stats.initial_elements} -> {stats.final_elements} "
+        f"tets, {nparts} parts, ancestry-inherited partition",
+        "imbalance_ratio_bin,frequency",
+    ]
+    for i, n in enumerate(hist):
+        lines.append(f"{edges[i]:.2f}-{edges[i + 1]:.2f},{n}")
+    peak = ratios.max()
+    starved = int((ratios < 0.5).sum())
+    over20 = int((ratios > 1.2).sum())
+    lines.append("")
+    lines.append(
+        f"peak imbalance {100 * (peak - 1):.0f}%, {over20} parts over 20%, "
+        f"{starved} parts under 50% of average"
+    )
+    lines.append(
+        "paper: peak >400%, ~80 of 1024 parts over 20%, >120 parts under 50%"
+    )
+    write_result("fig13", lines)
+    benchmark.extra_info["peak_pct"] = round(100 * (peak - 1), 1)
+    benchmark.extra_info["parts_over_20pct"] = over20
+    benchmark.extra_info["parts_under_half"] = starved
+
+    # Shape assertions: the adaptation grew the mesh substantially, the
+    # shock-crossed parts spike far beyond any diffusion tolerance, and a
+    # sizable population of parts starves.
+    assert stats.final_elements > 1.5 * stats.initial_elements
+    assert peak > 1.5
+    assert starved >= nparts // 12
+    assert over20 >= nparts // 12

@@ -1,0 +1,88 @@
+"""Section III-B: heavy part splitting vs diffusion on adaptation spikes.
+
+Paper reference: "the greedy iterative diffusive procedure ... is observed
+to not meet a target imbalance tolerance when the input partition is large
+and has multiple parts with the imbalance spikes neighboring each other";
+heavy part splitting (knapsack merges + MIS + splits) is the directed,
+aggressive alternative, "followed by iterative partition improvement" as
+needed.
+
+The benchmark builds the Fig.-13 post-adaptation partition (neighboring
+spikes along the shock) and compares diffusion alone against splitting
+followed by diffusion.  Shape expectations: diffusion alone leaves the peak
+far above tolerance; the composed recipe lands near it.
+"""
+
+import numpy as np
+
+from common import fmt_pct, params, write_result
+
+from repro.adapt import adapt, ancestry_counts
+from repro.core import ParMA, heavy_part_splitting, imbalance_of
+from repro.partition import distribute
+from repro.partitioners import partition
+from repro.workloads import wing_case
+
+
+def spiked_distribution(p):
+    """Adapt the wing mesh with inherited parts: the Fig.-13 partition."""
+    mesh, size = wing_case(n=max(p["wing_n"] - 4, 4), refinement=3.0)
+    nparts = max(p["wing_parts"] // 2, 4)
+    assignment = partition(mesh, nparts, method="rcb")
+    tag = mesh.tag("part")
+    for element, part in zip(mesh.entities(3), assignment):
+        tag.set(element, int(part))
+    adapt(mesh, size, max_passes=5, do_coarsen=False, ancestry_tag="part")
+    inherited = {e: int(tag.get(e)) for e in mesh.entities(3)}
+    return distribute(mesh, inherited, nparts=nparts)
+
+
+def test_split_beats_diffusion_on_spikes(benchmark):
+    p = params()
+
+    dm_diffusion = spiked_distribution(p)
+    initial = imbalance_of(dm_diffusion.entity_counts(), 3)
+    diff_stats = ParMA(dm_diffusion).improve("Rgn", tol=0.05)
+    diffusion_final = imbalance_of(dm_diffusion.entity_counts(), 3)
+    dm_diffusion.verify()
+
+    dm_composed = spiked_distribution(p)
+
+    def run():
+        split = heavy_part_splitting(dm_composed, tol=0.05)
+        improve = ParMA(dm_composed).improve("Rgn", tol=0.05)
+        return split, improve
+
+    split_stats, improve_stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    composed_final = imbalance_of(dm_composed.entity_counts(), 3)
+    dm_composed.verify()
+
+    lines = [
+        f"wing post-adaptation partition, {dm_composed.nparts} base parts, "
+        f"initial peak Rgn imbalance {fmt_pct(initial)}%",
+        f"diffusion only:        {fmt_pct(diffusion_final)}% "
+        f"({diff_stats.total_migrated} elements, {diff_stats.seconds:.2f}s)",
+        f"split + diffusion:     {fmt_pct(composed_final)}% "
+        f"({split_stats.merges_executed} merges, "
+        f"{split_stats.splits_executed} splits, then "
+        f"{improve_stats.total_migrated} elements diffused)",
+        "",
+        "paper: diffusion alone cannot meet tolerance on neighboring "
+        "spikes; merge+MIS+split removes them directly",
+    ]
+    write_result("heavy_split", lines)
+    benchmark.extra_info["initial_pct"] = fmt_pct(initial)
+    benchmark.extra_info["diffusion_pct"] = fmt_pct(diffusion_final)
+    benchmark.extra_info["composed_pct"] = fmt_pct(composed_final)
+
+    assert initial > 1.5  # the spikes are real
+    assert split_stats.splits_executed >= 1
+    # The composed recipe reaches (near) tolerance like diffusion does at
+    # this scale, but far more directly: the targeted merge+split removes
+    # the spikes up front, leaving the diffusive phase a fraction of the
+    # element movement.  (At the paper's scale diffusion alone cannot even
+    # reach tolerance; at laptop scale its cost is where the gap shows.)
+    assert composed_final <= max(diffusion_final, 1.10) + 1e-9
+    assert improve_stats.total_migrated < diff_stats.total_migrated

@@ -1,0 +1,66 @@
+"""Scaling behavior of ParMA's diffusion versus the global partitioner.
+
+Paper context: ParMA "provides fast partitioning procedures" whose cost is
+dominated by local neighborhood work, which is why it can run "on a regular
+basis" inside a workflow while a global (hyper)graph partitioning cannot.
+The benchmark fixes the mesh and sweeps the part count, timing both the
+hypergraph baseline and a ParMA improvement of its output.  Shape
+expectations: the baseline's cost grows with the part count (more recursion
+levels, more refinement passes), while ParMA's cost stays a fraction of it
+at every point — the economics that justify per-step rebalancing.
+"""
+
+import time
+
+import numpy as np
+
+from common import params, write_result
+
+from repro.core import ParMA
+from repro.partition import distribute
+from repro.partitioners import partition
+from repro.workloads import aaa_mesh
+
+
+def test_scaling_with_part_count(benchmark):
+    p = params()
+    mesh = aaa_mesh(n=p["aaa_n"])
+    sweep = sorted({max(p["aaa_parts"] // 4, 2), p["aaa_parts"] // 2,
+                    p["aaa_parts"]})
+    rows = ["parts,phg_seconds,parma_seconds,ratio"]
+    results = {}
+
+    def run():
+        for parts in sweep:
+            start = time.perf_counter()
+            assignment = partition(
+                mesh, parts, method="hypergraph", seed=1, eps=0.05
+            )
+            phg_seconds = time.perf_counter() - start
+            dmesh = distribute(mesh, assignment, nparts=parts)
+            start = time.perf_counter()
+            ParMA(dmesh).improve("Vtx > Rgn", tol=0.05)
+            parma_seconds = time.perf_counter() - start
+            results[parts] = (phg_seconds, parma_seconds)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for parts in sweep:
+        phg_seconds, parma_seconds = results[parts]
+        rows.append(
+            f"{parts},{phg_seconds:.2f},{parma_seconds:.2f},"
+            f"{phg_seconds / max(parma_seconds, 1e-9):.1f}"
+        )
+    rows.append("")
+    rows.append("paper: ParMA cheap enough to rerun every workflow step; "
+                "global partitioning is not")
+    write_result("scaling", rows)
+    benchmark.extra_info["results"] = {
+        k: (round(a, 2), round(b, 2)) for k, (a, b) in results.items()
+    }
+
+    # ParMA stays cheaper than the baseline at every part count.
+    for parts in sweep:
+        phg_seconds, parma_seconds = results[parts]
+        assert parma_seconds < phg_seconds

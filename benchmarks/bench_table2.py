@@ -1,0 +1,114 @@
+"""Tables I & II: ParMA multi-criteria partition improvement on the AAA mesh.
+
+Paper reference (133M-tet AAA mesh, 16,384 parts, tolerance 5%, imbalances
+normalized by the T0 means):
+
+    Test  Method                   Rgn%   Face%  Edge%  Vtx%
+    T0    Zoltan Hypergraph        4.30   5.39   9.07   19.41
+    T1    ParMA Vtx > Rgn          4.99   -      -      4.99
+    T2    ParMA Vtx = Edge > Rgn   5.99   -      4.91   4.99
+    T3    ParMA Edge > Rgn         5.98   -      4.99   -
+    T4    ParMA Edge = Face > Rgn  5.93   4.97   4.99   -
+
+Shape expectations reproduced here: the baseline balances regions tightly
+but leaves a vertex imbalance several times larger; every ParMA test drives
+its targeted entity types down toward the 5% tolerance with only a modest
+region-imbalance increase; total part-boundary entities do not blow up.
+"""
+
+import numpy as np
+import pytest
+
+from common import fmt_pct, params, write_result
+
+from repro.core import ParMA, imbalances
+
+#: Table I: the test matrix.
+TABLE1 = [
+    ("T1", "Vtx > Rgn", (0, 3)),
+    ("T2", "Vtx = Edge > Rgn", (0, 1, 3)),
+    ("T3", "Edge > Rgn", (1, 3)),
+    ("T4", "Edge = Face > Rgn", (1, 2, 3)),
+]
+
+TOL = 0.05
+_rows = {}
+
+
+def _row(label, counts, means, seconds):
+    imb = imbalances(counts, means)
+    return (
+        f"{label:<26} Rgn {fmt_pct(imb[3]):>6}%  Face {fmt_pct(imb[2]):>6}%  "
+        f"Edge {fmt_pct(imb[1]):>6}%  Vtx {fmt_pct(imb[0]):>6}%  "
+        f"[{seconds:.2f}s]"
+    )
+
+
+def test_t0_baseline_signature(benchmark, aaa_case, t0_counts):
+    """T0: hypergraph baseline — regions tight, vertices the worst."""
+    means = t0_counts.astype(float).mean(axis=0)
+    imb = imbalances(t0_counts, means)
+    _rows["T0"] = _row(
+        "T0 Zoltan-style hypergraph", t0_counts, means, aaa_case.t0_seconds
+    )
+    benchmark.extra_info["imbalances_pct"] = [fmt_pct(v) for v in imb]
+    # Region balance within the partitioner's 5% epsilon (plus FM slack).
+    assert imb[3] <= 1.10
+    # The baseline's untargeted vertex imbalance exceeds the region one —
+    # the spike ParMA exists to remove.
+    assert imb[0] > imb[3]
+    # Time one re-distribution as the benchmark body (cheap, repeatable).
+    benchmark.pedantic(aaa_case.distribute, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("label,priorities,targets", TABLE1)
+def test_parma_improvement(benchmark, aaa_case, t0_counts, label, priorities,
+                           targets):
+    means = t0_counts.astype(float).mean(axis=0)
+    dmesh = aaa_case.distribute()
+    balancer = ParMA(dmesh)
+
+    def run():
+        return balancer.improve(priorities, tol=TOL)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    counts = dmesh.entity_counts()
+    imb = imbalances(counts, means)
+    _rows[label] = _row(f"{label} ParMA {priorities}", counts, means,
+                        stats.seconds)
+    benchmark.extra_info["imbalances_pct"] = [fmt_pct(v) for v in imb]
+    benchmark.extra_info["elements_migrated"] = stats.total_migrated
+    dmesh.verify()
+
+    initial = imbalances(t0_counts, means)
+    for dim in targets:
+        # Each targeted type improves (or was already within tolerance),
+        # measured with the current counts against current means the way
+        # the driver's convergence check does.
+        current = imbalances(counts)[dim]
+        assert current <= 1.0 + TOL + 0.02 or imb[dim] < initial[dim], (
+            f"{label}: dim {dim} did not improve "
+            f"({fmt_pct(initial[dim])}% -> {fmt_pct(imb[dim])}%)"
+        )
+    # No-harm rule: untargeted region imbalance stays controlled.
+    assert imb[3] <= max(initial[3] + 0.06, 1.0 + TOL + 0.06)
+
+    if label == "T4":
+        p = params()
+        write_result(
+            "table1_table2",
+            [
+                f"AAA-surrogate, {aaa_case.mesh.count(3)} tets, "
+                f"{aaa_case.nparts} parts, tol {TOL:.0%} "
+                f"(imbalances vs T0 means)",
+                _rows.get("T0", ""),
+                *(
+                    _rows.get(lbl, f"{lbl}: (not run)")
+                    for lbl, _p, _t in TABLE1
+                ),
+                "",
+                "paper (133M tets, 16384 parts): T0 Rgn 4.3 / Vtx 19.41; "
+                "T1 Vtx 4.99; T2 Edge 4.91 Vtx 4.99; T3 Edge 4.99; "
+                "T4 Face 4.97 Edge 4.99",
+            ],
+        )

@@ -1,0 +1,63 @@
+"""Table III: ParMA runs in a small fraction of the hypergraph method's time.
+
+Paper reference (Jaguar, 512 cores, 32 parts/process):
+
+    T0 (Zoltan hypergraph)  249 s
+    T1 (ParMA Vtx>Rgn)      6.6 s
+    T2                      8.8 s
+    T3                      5.5 s
+    T4                      5.5 s
+
+Shape expectation: every ParMA configuration completes in well under half
+the baseline partitioning time (the paper's ratio is ~30-45x; a pure-Python
+diffusion loop gives up some of that, the ordering must hold regardless).
+"""
+
+import time
+
+import pytest
+
+from common import write_result
+
+from repro.core import ParMA
+
+CONFIGS = [
+    ("T1", "Vtx > Rgn"),
+    ("T2", "Vtx = Edge > Rgn"),
+    ("T3", "Edge > Rgn"),
+    ("T4", "Edge = Face > Rgn"),
+]
+
+
+def test_parma_faster_than_hypergraph(benchmark, aaa_case):
+    timings = {"T0": aaa_case.t0_seconds}
+
+    def run_all():
+        for label, priorities in CONFIGS:
+            dmesh = aaa_case.distribute()
+            start = time.perf_counter()
+            ParMA(dmesh).improve(priorities, tol=0.05)
+            timings[label] = time.perf_counter() - start
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"{'Test':<6} {'Time (sec.)':>12}"]
+    for label in ("T0", "T1", "T2", "T3", "T4"):
+        lines.append(f"{label:<6} {timings[label]:>12.2f}")
+    lines.append("")
+    lines.append("paper: T0 249s, T1 6.6s, T2 8.8s, T3 5.5s, T4 5.5s")
+    write_result("table3", lines)
+    benchmark.extra_info["timings"] = {
+        k: round(v, 3) for k, v in timings.items()
+    }
+
+    # The paper's ordering: every ParMA configuration is cheaper than the
+    # baseline partitioner.  (The paper's 30-45x factor needs its scale —
+    # PHG's cost grows much faster with parts/elements than diffusion's, so
+    # the margin widens at REPRO_BENCH_SCALE=medium/large.)
+    for label, _priorities in CONFIGS:
+        assert timings[label] < timings["T0"] * 0.9, (
+            f"{label} took {timings[label]:.2f}s vs baseline "
+            f"{timings['T0']:.2f}s — the paper's ordering is violated"
+        )

@@ -1,0 +1,56 @@
+"""Shared utilities for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Scale is
+controlled by ``REPRO_BENCH_SCALE`` (``small`` default, ``medium``,
+``large``); the paper's absolute sizes (133M elements, 16K parts, Blue
+Gene/Q) are far beyond a laptop Python run, so each scale keeps the paper's
+*ratios* (elements per part, tolerance, priority lists) while shrinking the
+totals.  Results are written to ``benchmarks/results/`` so the EXPERIMENTS
+log can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Per-scale parameters: AAA mesh resolution, part count, wing resolution,
+#: wing part count, hybrid thread sweep maximum.
+SCALES: Dict[str, Dict[str, int]] = {
+    "small": {"aaa_n": 6, "aaa_parts": 16, "wing_n": 10, "wing_parts": 24,
+              "hybrid_cores": 16, "local_factor": 8},
+    "medium": {"aaa_n": 10, "aaa_parts": 32, "wing_n": 14, "wing_parts": 48,
+               "hybrid_cores": 32, "local_factor": 6},
+    "large": {"aaa_n": 14, "aaa_parts": 64, "wing_n": 18, "wing_parts": 96,
+              "hybrid_cores": 32, "local_factor": 8},
+}
+
+
+def scale_name() -> str:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if name not in SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {name!r}"
+        )
+    return name
+
+
+def params() -> Dict[str, int]:
+    return dict(SCALES[scale_name()])
+
+
+def write_result(name: str, lines: List[str]) -> Path:
+    """Write one experiment's output block to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    header = f"# scale={scale_name()}\n"
+    path.write_text(header + "\n".join(lines) + "\n")
+    return path
+
+
+def fmt_pct(ratio: float) -> str:
+    """Format a max/mean ratio as the paper's Imb.% convention."""
+    return f"{100.0 * (ratio - 1.0):.2f}"

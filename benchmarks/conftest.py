@@ -1,0 +1,58 @@
+"""Session fixtures shared by the benchmark suite.
+
+The AAA workload (mesh + T0 hypergraph partition) is expensive, so it is
+built once per session and shared; each benchmark re-distributes from the
+cached assignment, which is cheap and gives every test an identical, fresh
+T0 partition to start from.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import params  # noqa: E402
+
+from repro.partitioners import partition  # noqa: E402
+from repro.workloads import aaa_mesh  # noqa: E402
+
+
+class AAACase:
+    """The Table I/II/III workload: mesh, T0 assignment, and T0 timing."""
+
+    def __init__(self) -> None:
+        p = params()
+        self.nparts = p["aaa_parts"]
+        self.mesh = aaa_mesh(n=p["aaa_n"])
+        start = time.perf_counter()
+        self.assignment = partition(
+            self.mesh, self.nparts, method="hypergraph", seed=1, eps=0.05
+        )
+        self.t0_seconds = time.perf_counter() - start
+
+    def distribute(self):
+        from repro.partition import distribute
+
+        return distribute(self.mesh, self.assignment, nparts=self.nparts)
+
+
+@pytest.fixture(scope="session")
+def aaa_case() -> AAACase:
+    return AAACase()
+
+
+@pytest.fixture(scope="session")
+def t0_counts(aaa_case):
+    """Entity counts of the T0 partition (and its fixed means)."""
+    from repro.partitioners import entity_counts_from_assignment
+
+    counts = entity_counts_from_assignment(
+        aaa_case.mesh, aaa_case.assignment, aaa_case.nparts
+    )
+    return counts

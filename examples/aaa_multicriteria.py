@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Multi-criteria balancing of the AAA-surrogate vessel mesh (Table II flow).
+
+Reproduces the structure of the paper's Section III-A experiment at laptop
+scale: partition the vessel mesh with the hypergraph baseline (test T0),
+then run the four ParMA configurations of Table I and report each entity
+type's mean and imbalance, normalized by the T0 means exactly as the paper
+does.
+
+Run:  python examples/aaa_multicriteria.py  [--n 6] [--parts 16]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import ParMA, balance_report, imbalances
+from repro.partition import distribute
+from repro.partitioners import partition
+from repro.workloads import aaa_mesh
+
+TESTS = [
+    ("T1", "Vtx > Rgn"),
+    ("T2", "Vtx = Edge > Rgn"),
+    ("T3", "Edge > Rgn"),
+    ("T4", "Edge = Face > Rgn"),
+]
+
+
+def row(label, counts, means):
+    imb = imbalances(counts, means)
+    cells = " ".join(
+        f"{name}:{100 * (imb[d] - 1):6.2f}%"
+        for d, name in [(3, "Rgn"), (2, "Face"), (1, "Edge"), (0, "Vtx")]
+    )
+    return f"  {label:<22} {cells}"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=6, help="mesh resolution")
+    parser.add_argument("--parts", type=int, default=16)
+    parser.add_argument("--tol", type=float, default=0.05)
+    args = parser.parse_args()
+
+    print(f"building AAA-surrogate mesh (n={args.n})...")
+    mesh = aaa_mesh(n=args.n)
+    print(f"  {mesh}")
+
+    print(f"T0: hypergraph baseline to {args.parts} parts...")
+    t0 = time.perf_counter()
+    assignment = partition(mesh, args.parts, method="hypergraph", seed=1)
+    t0_seconds = time.perf_counter() - t0
+    dm0 = distribute(mesh, assignment)
+    t0_counts = dm0.entity_counts()
+    t0_means = t0_counts.astype(float).mean(axis=0)
+    print(f"  done in {t0_seconds:.1f}s")
+    print("imbalances (normalized by T0 means, as in Table II):")
+    print(row("T0 (hypergraph)", t0_counts, t0_means))
+
+    for label, priorities in TESTS:
+        dm = distribute(mesh, assignment)  # fresh copy of the T0 partition
+        balancer = ParMA(dm)
+        start = time.perf_counter()
+        stats = balancer.improve(priorities, tol=args.tol)
+        seconds = time.perf_counter() - start
+        counts = dm.entity_counts()
+        print(row(f"{label} ({priorities})", counts, t0_means)
+              + f"   [{seconds:.2f}s vs T0's {t0_seconds:.1f}s]")
+        dm.verify()
+
+    print("\nNote how each test drives its targeted entity types to the "
+          "tolerance while region imbalance stays controlled — and in a "
+          "fraction of the baseline's partitioning time (Table III).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""End-to-end PDE workflow: adaptive distributed Poisson solve.
+
+The infrastructure exists "to support the full set of operations needed in
+a simulation workflow" (paper, Section I).  This example runs one: a
+distributed P1 finite-element Poisson solve whose assembly, shared-dof
+accumulation, and conjugate-gradient reductions all go through the
+partition layer — then adapts the mesh toward the solution's steep region,
+rebalances with ParMA, and solves again on the refined distribution.
+
+Problem: -Δu = 0 on the unit square, u = sin(πx)·sinh(πy)/sinh(π) on the
+boundary (the classic Laplace benchmark with a sharp feature at y = 1).
+
+Run:  python examples/poisson_solve.py  [--n 8] [--parts 4]
+"""
+
+import argparse
+import math
+
+import numpy as np
+
+from repro.core import ParMA
+from repro.field import AnalyticSize
+from repro.field.fem import PoissonProblem, solution_error
+from repro.mesh import rect_tri
+from repro.partition import adapt_distributed, distribute
+from repro.partitioners import partition
+
+
+def exact(x):
+    return math.sin(math.pi * x[0]) * math.sinh(math.pi * x[1]) / math.sinh(
+        math.pi
+    )
+
+
+def solve_and_report(dm, label):
+    problem = PoissonProblem(dm, dirichlet=exact)
+    u, stats = problem.solve(tol=1e-10)
+    err = solution_error(dm, u, exact)
+    total = dm.entity_counts()[:, 0].sum()
+    print(f"  {label}: {total} vertex dofs, CG {stats.iterations} its, "
+          f"max nodal error {err:.2e}")
+    return err
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=8)
+    parser.add_argument("--parts", type=int, default=4)
+    args = parser.parse_args()
+
+    mesh = rect_tri(args.n)
+    dm = distribute(mesh, partition(mesh, args.parts, method="rcb"))
+    print(f"distributed Laplace solve on {dm.nparts} parts:")
+    coarse_err = solve_and_report(dm, "initial mesh ")
+
+    # The solution varies fastest near y=1: request resolution ~ gradient.
+    h0 = 1.0 / args.n
+    size = AnalyticSize(
+        lambda x: h0 * (1.0 - 0.65 * math.exp(2.0 * (x[1] - 1.0)))
+    )
+    stats = adapt_distributed(dm, size, max_passes=5)
+    print(f"  {stats.summary()}")
+    ParMA(dm).rebalance_spikes("Vtx > Face", tol=0.10)
+    dm.verify()
+
+    fine_err = solve_and_report(dm, "adapted mesh ")
+    print(f"\nadaptive refinement near the sharp layer cut the error "
+          f"{coarse_err / fine_err:.1f}x "
+          f"(element counts per part: {dm.entity_counts()[:, 2].tolist()})")
+
+
+if __name__ == "__main__":
+    main()

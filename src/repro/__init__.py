@@ -1,0 +1,68 @@
+"""repro — a Python reproduction of PUMI + ParMA.
+
+Reimplements the systems of Seol, Smith, Ibanez & Shephard, *A Parallel
+Unstructured Mesh Infrastructure* (SC 2012): PUMI's complete unstructured
+mesh representation, geometric model interface, fields, partition model and
+distributed-mesh services, plus ParMA's mesh-adjacency-driven dynamic load
+balancing — all on a simulated message-passing substrate suitable for a
+single machine.
+
+Quick start::
+
+    from repro import mesh, partitioners, partition, core
+
+    m = mesh.box_tet(10)                                  # generate
+    assignment = partitioners.partition(m, 16)            # PHG baseline
+    dm = partition.distribute(m, assignment)              # distributed mesh
+    core.ParMA(dm).improve("Vtx > Rgn", tol=0.05)         # ParMA balances
+
+Subpackages
+-----------
+``repro.parallel``
+    Simulated MPI (thread SPMD + collectives), BSP network, machine
+    topology, routing, performance counters.
+``repro.gmodel``
+    Non-manifold b-rep geometric model, shapes, classification, snapping.
+``repro.mesh``
+    The complete mesh representation, generators, quality, verification, IO.
+``repro.field``
+    Fields, shape functions, size fields, mesh-to-mesh transfer.
+``repro.partition``
+    Parts, partition model, migration, ghosting, distributed fields.
+``repro.partitioners``
+    Baseline partitioners (RCB, RIB, multilevel graph, PHG-style hypergraph,
+    local partitioning).
+``repro.adapt``
+    Size-field-driven refinement/coarsening/swapping.
+``repro.core``
+    ParMA: multi-criteria partition improvement and heavy part splitting.
+``repro.workloads``
+    Synthetic stand-ins for the paper's evaluation meshes.
+"""
+
+from . import (
+    adapt,
+    core,
+    field,
+    gmodel,
+    mesh,
+    parallel,
+    partition,
+    partitioners,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "adapt",
+    "core",
+    "field",
+    "gmodel",
+    "mesh",
+    "parallel",
+    "partition",
+    "partitioners",
+    "workloads",
+    "__version__",
+]

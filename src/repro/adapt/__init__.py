@@ -1,0 +1,50 @@
+"""Mesh adaptation: size-field-driven refinement, coarsening, and swapping.
+
+The mesh-modification services the paper's adaptive workflows rely on
+(scramjet shock tracking in Fig. 7, accelerator particle tracking in Fig. 8,
+and the post-adaptation imbalance study of Fig. 13).
+"""
+
+from .adapt import AdaptStats, adapt, ancestry_counts, conformity, seed_ancestry
+from .coarsen import (
+    can_collapse_classification,
+    coarsen_pass,
+    collapse_edge,
+)
+from .estimate import (
+    estimate_counts_by_label,
+    estimate_element_count,
+    estimation_error,
+)
+from .refine import refine_pass, split_edge
+from .smooth import (
+    OptimizeStats,
+    optimize_quality,
+    smooth_distributed,
+    smooth_pass,
+    smooth_vertex,
+)
+from .swap import swap_edge, swap_pass
+
+__all__ = [
+    "AdaptStats",
+    "OptimizeStats",
+    "adapt",
+    "ancestry_counts",
+    "can_collapse_classification",
+    "coarsen_pass",
+    "collapse_edge",
+    "conformity",
+    "estimate_counts_by_label",
+    "estimate_element_count",
+    "estimation_error",
+    "optimize_quality",
+    "refine_pass",
+    "seed_ancestry",
+    "smooth_distributed",
+    "smooth_pass",
+    "smooth_vertex",
+    "split_edge",
+    "swap_edge",
+    "swap_pass",
+]

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small operational surface over the library, the kind an open-source
+release ships for quick experiments without writing a driver script:
+
+``info``
+    Generate (or load) a mesh and print its structural statistics.
+``partition``
+    Partition a generated mesh with any method and report the balance
+    signature (the Table-II columns).
+``balance``
+    Run the full ParMA pipeline on a generated mesh: baseline partition,
+    multi-criteria improvement, before/after report.
+``bench``
+    Point at the benchmark suite (delegates to pytest).
+
+All meshes are generated on the fly (``--kind box|rect|aaa|wing``) since
+the native mesh format is a library-level feature; ``--save`` writes the
+result as VTK for visualization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+import numpy as np
+
+
+def _build_mesh(args):
+    from repro.mesh import box_tet, rect_tri
+    from repro.workloads import aaa_mesh, wing_mesh
+
+    if args.kind == "rect":
+        return rect_tri(args.n)
+    if args.kind == "box":
+        return box_tet(args.n)
+    if args.kind == "aaa":
+        return aaa_mesh(n=max(args.n // 2, 2))
+    if args.kind == "wing":
+        return wing_mesh(n=args.n)
+    raise SystemExit(f"unknown mesh kind {args.kind!r}")
+
+
+def _maybe_save(mesh, args, cell_data=None):
+    if args.save:
+        from repro.mesh import write_vtk
+
+        path = write_vtk(mesh, args.save, cell_data)
+        print(f"wrote {path}")
+
+
+def cmd_info(args) -> int:
+    from repro.mesh import mesh_stats
+    from repro.mesh.verify import verify
+
+    mesh = _build_mesh(args)
+    stats = mesh_stats(mesh)
+    print(stats.summary())
+    verify(mesh)
+    print("mesh verified")
+    _maybe_save(mesh, args)
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from repro.partitioners import (
+        dual_graph,
+        entity_counts_from_assignment,
+        imbalance,
+        partition,
+    )
+
+    mesh = _build_mesh(args)
+    start = time.perf_counter()
+    assignment = partition(
+        mesh, args.parts, method=args.method, seed=args.seed, eps=args.eps
+    )
+    elapsed = time.perf_counter() - start
+    counts = entity_counts_from_assignment(mesh, assignment, args.parts)
+    imb = imbalance(counts) * 100
+    cut = dual_graph(mesh).edge_cut(assignment)
+    print(
+        f"{args.method} to {args.parts} parts in {elapsed:.2f}s: "
+        f"edge cut {cut}"
+    )
+    print(
+        f"imbalance%  Vtx {imb[0]:.2f}  Edge {imb[1]:.2f}  "
+        f"Face {imb[2]:.2f}  Rgn {imb[3]:.2f}"
+    )
+    if args.save:
+        elements = list(mesh.entities(mesh.dim()))
+        cell_data = {
+            "part": {e: float(p) for e, p in zip(elements, assignment)}
+        }
+        _maybe_save(mesh, args, cell_data)
+    return 0
+
+
+def cmd_balance(args) -> int:
+    from repro.core import ParMA, imbalances
+    from repro.partition import distribute
+    from repro.partitioners import partition
+
+    mesh = _build_mesh(args)
+    assignment = partition(
+        mesh, args.parts, method=args.method, seed=args.seed, eps=args.eps
+    )
+    dmesh = distribute(mesh, assignment, nparts=args.parts)
+    balancer = ParMA(dmesh)
+    before = (imbalances(dmesh.entity_counts()) - 1) * 100
+    print(
+        f"before ParMA: Vtx {before[0]:.2f}%  Edge {before[1]:.2f}%  "
+        f"Face {before[2]:.2f}%  Rgn {before[3]:.2f}%"
+    )
+    stats = balancer.improve(args.priorities, tol=args.tol)
+    print(stats.summary())
+    after = (imbalances(dmesh.entity_counts()) - 1) * 100
+    print(
+        f"after ParMA:  Vtx {after[0]:.2f}%  Edge {after[1]:.2f}%  "
+        f"Face {after[2]:.2f}%  Rgn {after[3]:.2f}%"
+    )
+    dmesh.verify()
+    return 0
+
+
+def cmd_bench(_args) -> int:
+    print("run:  pytest benchmarks/ --benchmark-only")
+    print("scale with:  REPRO_BENCH_SCALE=medium|large")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PUMI + ParMA reproduction — command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_mesh_args(p):
+        p.add_argument(
+            "--kind", default="box", choices=("rect", "box", "aaa", "wing")
+        )
+        p.add_argument("--n", type=int, default=8, help="mesh resolution")
+        p.add_argument("--save", default=None, help="write VTK to this path")
+
+    p_info = sub.add_parser("info", help="mesh statistics")
+    add_mesh_args(p_info)
+    p_info.set_defaults(fn=cmd_info)
+
+    def add_partition_args(p):
+        add_mesh_args(p)
+        p.add_argument("--parts", type=int, default=8)
+        p.add_argument(
+            "--method",
+            default="hypergraph",
+            choices=("hypergraph", "graph", "rcb", "rib"),
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--eps", type=float, default=0.05)
+
+    p_part = sub.add_parser("partition", help="partition and score a mesh")
+    add_partition_args(p_part)
+    p_part.set_defaults(fn=cmd_partition)
+
+    p_bal = sub.add_parser("balance", help="baseline + ParMA improvement")
+    add_partition_args(p_bal)
+    p_bal.add_argument("--priorities", default="Vtx > Rgn")
+    p_bal.add_argument("--tol", type=float, default=0.05)
+    p_bal.set_defaults(fn=cmd_balance)
+
+    p_bench = sub.add_parser("bench", help="how to run the benchmarks")
+    p_bench.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""ParMA: dynamic load balancing through direct use of mesh adjacencies.
+
+The paper's core contribution (Section III): multi-criteria greedy diffusive
+partition improvement and heavy part splitting, built on the distributed
+mesh's constant-time adjacency and partition-model information instead of a
+separate graph data structure.
+"""
+
+from .balancer import ParMA
+from .candidates import candidate_parts, is_lightly_loaded
+from .imbalance import (
+    ENTITY_DIMS,
+    ENTITY_NAMES,
+    balance_report,
+    heavy_parts,
+    imbalance_of,
+    imbalance_percent,
+    imbalances,
+    light_parts,
+)
+from .improve import DimensionStats, ImproveStats, improve_partition
+from .knapsack import knapsack
+from .merge_split import (
+    SplitStats,
+    heavy_part_splitting,
+    propose_merges,
+    split_off_piece,
+)
+from .mis import independent_merges, maximal_independent_set
+from .predictive import (
+    predicted_element_weight,
+    predicted_weights,
+    predictive_balance,
+)
+from .priorities import PriorityList, parse_priorities
+from .schedule import migration_schedule
+from .weighted import WeightedStats, part_weights, weighted_diffusion
+from .selection import (
+    select_edge_cavities,
+    select_elements_by_boundary_rule,
+    select_for_dimension,
+    select_vertex_cavities,
+)
+
+__all__ = [
+    "ENTITY_DIMS",
+    "ENTITY_NAMES",
+    "DimensionStats",
+    "ImproveStats",
+    "ParMA",
+    "PriorityList",
+    "SplitStats",
+    "balance_report",
+    "candidate_parts",
+    "heavy_part_splitting",
+    "heavy_parts",
+    "imbalance_of",
+    "imbalance_percent",
+    "imbalances",
+    "independent_merges",
+    "improve_partition",
+    "is_lightly_loaded",
+    "knapsack",
+    "light_parts",
+    "maximal_independent_set",
+    "migration_schedule",
+    "parse_priorities",
+    "predicted_element_weight",
+    "predicted_weights",
+    "predictive_balance",
+    "propose_merges",
+    "select_edge_cavities",
+    "select_elements_by_boundary_rule",
+    "select_for_dimension",
+    "select_vertex_cavities",
+    "split_off_piece",
+    "WeightedStats",
+    "part_weights",
+    "weighted_diffusion",
+]

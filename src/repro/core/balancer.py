@@ -1,0 +1,75 @@
+"""ParMA facade: the public entry point for dynamic load balancing.
+
+Bundles the Section III procedures behind one object so applications write
+
+    balancer = ParMA(dmesh)
+    balancer.improve("Vtx = Edge > Rgn", tol=0.05)
+
+mirroring how ParMA slots into a PUMI-based simulation workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..field.sizefield import SizeField
+from ..partition.dmesh import DistributedMesh
+from .imbalance import balance_report, imbalances
+from .improve import ImproveStats, improve_partition
+from .merge_split import SplitStats, heavy_part_splitting
+from .predictive import predictive_balance
+from .priorities import PriorityList
+
+
+class ParMA:
+    """Partitioning using Mesh Adjacencies, bound to one distributed mesh."""
+
+    def __init__(self, dmesh: DistributedMesh) -> None:
+        self.dmesh = dmesh
+
+    # -- measurements -----------------------------------------------------
+
+    def imbalances(self) -> np.ndarray:
+        """Current peak imbalance (max/mean) per entity dimension."""
+        return imbalances(self.dmesh.entity_counts())
+
+    def report(self, means=None):
+        """Table-II-shaped balance report (optionally with fixed means)."""
+        return balance_report(self.dmesh.entity_counts(), means)
+
+    # -- procedures ----------------------------------------------------------
+
+    def improve(
+        self,
+        priorities: Union[str, PriorityList],
+        tol: float = 0.05,
+        max_iterations: int = 24,
+        **kwargs,
+    ) -> ImproveStats:
+        """Multi-criteria diffusive partition improvement (Section III-A)."""
+        return improve_partition(
+            self.dmesh, priorities, tol=tol, max_iterations=max_iterations,
+            **kwargs,
+        )
+
+    def split_heavy_parts(
+        self, tol: float = 0.05, max_rounds: int = 4
+    ) -> SplitStats:
+        """Heavy part splitting (Section III-B)."""
+        return heavy_part_splitting(self.dmesh, tol=tol, max_rounds=max_rounds)
+
+    def rebalance_spikes(
+        self,
+        priorities: Union[str, PriorityList] = "Rgn",
+        tol: float = 0.05,
+    ) -> tuple:
+        """Splitting followed by diffusion, the paper's composed recipe."""
+        split_stats = self.split_heavy_parts(tol=tol)
+        improve_stats = self.improve(priorities, tol=tol)
+        return split_stats, improve_stats
+
+    def predictive_balance(self, size: SizeField, **kwargs) -> int:
+        """Pre-adaptation balancing under predicted element weights."""
+        return predictive_balance(self.dmesh, size, **kwargs)

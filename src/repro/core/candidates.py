@@ -1,0 +1,101 @@
+"""Candidate-part selection for diffusive improvement.
+
+"The ParMA algorithm reduces entity imbalance by migrating a small number of
+mesh elements from heavily loaded parts to the lightly loaded neighboring
+parts, which are called candidate parts.  There are two categories for
+candidate parts: absolutely lightly loaded, and relatively lightly loaded."
+(paper, Section III-A-1).
+
+A neighbor is **absolutely** light when its count is below the global mean
+(or the application threshold), **relatively** light when its count is below
+the heavy part's.  "A candidate part must be lightly loaded, either
+absolutely or relatively, for all lesser priority mesh entity types then the
+mesh entity type being balanced."  To honour the no-harm rule for higher
+priority types, a candidate additionally must not itself be heavy in any
+higher-priority dimension.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..partition.dmesh import DistributedMesh
+
+
+def is_lightly_loaded(
+    counts: np.ndarray,
+    pid: int,
+    dim: int,
+    heavy_pid: int,
+    mean: float,
+    mode: str = "both",
+) -> bool:
+    """Whether ``pid`` is lightly loaded in ``dim`` relative to ``heavy_pid``.
+
+    ``mode`` selects the category: ``"absolute"``, ``"relative"``, or
+    ``"both"`` (either suffices — the paper's full rule).
+    """
+    load = float(counts[pid, dim])
+    absolute = load < mean
+    relative = load < float(counts[heavy_pid, dim])
+    if mode == "absolute":
+        return absolute
+    if mode == "relative":
+        return relative
+    if mode == "both":
+        return absolute or relative
+    raise ValueError(f"unknown candidate mode {mode!r}")
+
+
+def candidate_parts(
+    dmesh: DistributedMesh,
+    counts: np.ndarray,
+    heavy_pid: int,
+    dim: int,
+    lower_priority_dims: Sequence[int] = (),
+    higher_priority_dims: Sequence[int] = (),
+    tol: float = 0.05,
+    means: Sequence[float] = None,
+    mode: str = "both",
+) -> List[int]:
+    """Candidate parts for unloading ``heavy_pid``'s ``dim`` entities.
+
+    Returns neighboring parts, lightest in ``dim`` first, that are
+
+    * lightly loaded in ``dim`` (per ``mode``),
+    * lightly loaded in every lower-priority dimension, and
+    * not heavy (above ``mean * (1 + tol)``) in any higher-priority one.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if means is None:
+        means = counts.mean(axis=0)
+    result: List[int] = []
+    for nb in sorted(dmesh.part(heavy_pid).neighbors()):
+        if not is_lightly_loaded(
+            counts, nb, dim, heavy_pid, float(means[dim]), mode
+        ):
+            continue
+        # Lesser-priority gate: the candidate must not become (or be) a
+        # spike in any lower-priority type — below the application spike
+        # threshold mean*(1+tol), or at least below the heavy part.  (A
+        # strictly-below-mean reading deadlocks whenever every neighbor
+        # sits at the mean, which is the normal balanced state.)
+        if not all(
+            counts[nb, d] < float(means[d]) * (1.0 + tol)
+            or counts[nb, d] < counts[heavy_pid, d]
+            for d in lower_priority_dims
+        ):
+            continue
+        # Higher-priority gate (the no-harm rule): receiving load must not
+        # turn the candidate into a spike in an already-balanced type, so
+        # only candidates strictly below the mean there may receive.
+        if any(
+            counts[nb, d] >= float(means[d])
+            for d in higher_priority_dims
+        ):
+            continue
+        result.append(nb)
+    result.sort(key=lambda p: (counts[p, dim], p))
+    return result

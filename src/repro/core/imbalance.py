@@ -1,0 +1,96 @@
+"""Entity imbalance metrics — the quantities ParMA controls.
+
+The paper measures partition quality as, per entity type, the ratio of the
+peak per-part entity count to the mean ("Imb.%" columns of Table II);
+"peaks determine performance; valleys may leave a process idle ... while
+peaks will leave the majority of processes idle or exhaust available
+memory" (Section III).  Part-boundary entities are counted on every part
+holding them, matching the dof-duplication cost of the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Entity-type names used in priority strings and reports (paper notation).
+ENTITY_NAMES = {0: "Vtx", 1: "Edge", 2: "Face", 3: "Rgn"}
+ENTITY_DIMS = {name: dim for dim, name in ENTITY_NAMES.items()}
+
+
+def imbalance_of(counts: np.ndarray, dim: int, mean: Optional[float] = None) -> float:
+    """Peak imbalance of one entity dimension: ``max / mean``.
+
+    1.0 means perfect balance; the paper's "Imb.%" is ``100 * (value - 1)``.
+    ``mean`` optionally fixes the normalization (Table II normalizes every
+    test by the T0 partition's means).
+    """
+    column = np.asarray(counts, dtype=float)[:, dim]
+    if mean is None:
+        mean = float(column.mean())
+    if mean <= 0:
+        return 1.0
+    return float(column.max()) / mean
+
+
+def imbalances(
+    counts: np.ndarray, means: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """Peak imbalance for all four entity dimensions."""
+    return np.asarray(
+        [
+            imbalance_of(counts, d, None if means is None else float(means[d]))
+            for d in range(4)
+        ]
+    )
+
+
+def imbalance_percent(value: float) -> float:
+    """Convert a max/mean ratio to the paper's percentage convention."""
+    return 100.0 * (value - 1.0)
+
+
+def heavy_parts(
+    counts: np.ndarray, dim: int, tol: float, mean: Optional[float] = None
+) -> List[int]:
+    """Parts whose ``dim`` count exceeds ``mean * (1 + tol)``, heaviest first."""
+    column = np.asarray(counts, dtype=float)[:, dim]
+    if mean is None:
+        mean = float(column.mean())
+    over = [
+        (float(column[p]), p)
+        for p in range(len(column))
+        if column[p] > mean * (1.0 + tol)
+    ]
+    over.sort(key=lambda item: (-item[0], item[1]))
+    return [p for _load, p in over]
+
+
+def light_parts(
+    counts: np.ndarray, dim: int, mean: Optional[float] = None
+) -> List[int]:
+    """Parts whose ``dim`` count is below the mean (absolutely light)."""
+    column = np.asarray(counts, dtype=float)[:, dim]
+    if mean is None:
+        mean = float(column.mean())
+    return [p for p in range(len(column)) if column[p] < mean]
+
+
+def balance_report(
+    counts: np.ndarray, means: Optional[Sequence[float]] = None
+) -> Dict[str, Dict[str, float]]:
+    """Table-II-shaped report: per entity type, mean and imbalance percent."""
+    counts = np.asarray(counts, dtype=float)
+    report: Dict[str, Dict[str, float]] = {}
+    for dim, name in ENTITY_NAMES.items():
+        mean = (
+            float(counts[:, dim].mean()) if means is None else float(means[dim])
+        )
+        report[name] = {
+            "mean": mean,
+            "imbalance_percent": imbalance_percent(
+                imbalance_of(counts, dim, mean)
+            ),
+        }
+    return report

@@ -1,0 +1,69 @@
+"""0-1 knapsack solver (exact dynamic program).
+
+Heavy part splitting "begins by independently solving the 0-1 knapsack
+problem on each part to determine the largest set of neighboring parts which
+can be merged while keeping the total number of elements less than the
+average" (paper, Section III-B, citing Kellerer/Pferschy/Pisinger).
+
+Weights here are element counts (thousands), so the classic O(n * capacity)
+table is exact and fast at the part counts involved.  A capacity-scaling
+fallback keeps pathological capacities bounded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def knapsack(
+    weights: Sequence[int],
+    values: Sequence[float],
+    capacity: int,
+    max_table: int = 2_000_000,
+) -> Tuple[float, List[int]]:
+    """Maximize total value with total weight <= capacity.
+
+    Returns ``(best value, chosen item indices)``.  When the exact DP table
+    would exceed ``max_table`` cells, weights and capacity are scaled down
+    (making the solution conservative: never overweight, possibly slightly
+    sub-optimal).
+    """
+    n = len(weights)
+    if n != len(values):
+        raise ValueError("weights and values must have equal length")
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    weights = [int(w) for w in weights]
+    if any(w < 0 for w in weights):
+        raise ValueError("negative item weight")
+    if n == 0 or capacity == 0:
+        return 0.0, []
+
+    scale = 1
+    while n * (capacity // scale + 1) > max_table:
+        scale *= 2
+    if scale > 1:
+        # Round weights UP so the scaled solution never exceeds capacity.
+        weights = [-(-w // scale) for w in weights]
+        capacity = capacity // scale
+
+    table = np.zeros((n + 1, capacity + 1))
+    for i in range(1, n + 1):
+        w = weights[i - 1]
+        v = values[i - 1]
+        table[i] = table[i - 1]
+        if w <= capacity:
+            candidate = table[i - 1, : capacity - w + 1] + v
+            improved = candidate > table[i, w:]
+            table[i, w:][improved] = candidate[improved]
+
+    chosen: List[int] = []
+    remaining = capacity
+    for i in range(n, 0, -1):
+        if table[i, remaining] != table[i - 1, remaining]:
+            chosen.append(i - 1)
+            remaining -= weights[i - 1]
+    chosen.reverse()
+    return float(table[n, capacity]), chosen

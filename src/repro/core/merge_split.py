@@ -1,0 +1,194 @@
+"""ParMA heavy part splitting (Section III-B).
+
+Iterative diffusion cannot remove large imbalance spikes — e.g. the
+post-adaptation partitions of Fig. 13 with peaks over 400% — because a spike
+surrounded by other loaded parts has nowhere to diffuse.  Heavy part
+splitting is the "more directed, and aggressive" approach the paper
+describes:
+
+1. every light part independently solves a **0-1 knapsack** over its
+   neighbors to find the largest donor set it could absorb while staying
+   below the average element count;
+2. a **maximal independent set** of these merge proposals (each part merged
+   at most once) is executed, emptying the donor parts;
+3. the **heavy parts are split** into the emptied parts, one average-sized
+   piece at a time (each piece carved out by a graph bisection of the heavy
+   part's dual graph), "until there are either no heavy parts or empty
+   parts remaining".
+
+"As needed, heavy part splitting is followed by iterative partition
+improvement" — the caller composes :func:`heavy_part_splitting` with
+:func:`repro.core.improve.improve_partition`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..mesh.entity import Ent
+from ..partition.dmesh import DistributedMesh
+from ..partition.migration import migrate
+from ..partition.multipart import merge_parts
+from ..partitioners.graph import dual_graph
+from ..partitioners.multilevel import multilevel_bisect
+from .knapsack import knapsack
+from .mis import independent_merges
+
+
+@dataclass
+class SplitStats:
+    """Outcome of one heavy-part-splitting run."""
+
+    rounds: int = 0
+    merges_executed: int = 0
+    splits_executed: int = 0
+    initial_peak: float = 1.0
+    final_peak: float = 1.0
+    seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"heavy part splitting: peak {100 * (self.initial_peak - 1):.1f}% "
+            f"-> {100 * (self.final_peak - 1):.1f}% in {self.rounds} round(s) "
+            f"({self.merges_executed} merges, {self.splits_executed} splits, "
+            f"{self.seconds:.2f}s)"
+        )
+
+
+def _element_counts(dmesh: DistributedMesh) -> np.ndarray:
+    dim = dmesh.element_dim()
+    return dmesh.entity_counts()[:, dim].astype(float)
+
+
+def propose_merges(
+    dmesh: DistributedMesh, counts: np.ndarray, average: float
+) -> Dict[int, Tuple[List[int], float]]:
+    """Per-part knapsack merge proposals: ``{receiver: (donors, total)}``."""
+    proposals: Dict[int, Tuple[List[int], float]] = {}
+    for part in dmesh:
+        pid = part.pid
+        capacity = int(average - counts[pid])
+        if capacity <= 0:
+            continue
+        neighbors = sorted(
+            nb for nb in part.neighbors() if counts[nb] > 0
+        )
+        if not neighbors:
+            continue
+        weights = [int(counts[nb]) for nb in neighbors]
+        values = [float(counts[nb]) for nb in neighbors]
+        total, chosen = knapsack(weights, values, capacity)
+        if chosen:
+            donors = [neighbors[i] for i in chosen]
+            proposals[pid] = (donors, total)
+    return proposals
+
+
+def split_off_piece(
+    dmesh: DistributedMesh, heavy_pid: int, target_pid: int, piece: int
+) -> int:
+    """Bisect ``heavy_pid``'s elements and migrate ~``piece`` to ``target_pid``.
+
+    The piece is carved with a multilevel bisection of the part's dual
+    graph, so it leaves as one connected, boundary-friendly chunk.  Returns
+    elements moved.
+    """
+    part = dmesh.part(heavy_pid)
+    dim = dmesh.element_dim()
+    if piece <= 0 or part.mesh.count(dim) <= 1:
+        return 0
+    graph = dual_graph(part.mesh)
+    ratio = min(max(piece / graph.n, 1.0 / graph.n), 1.0 - 1.0 / graph.n)
+    side = multilevel_bisect(
+        graph.xadj,
+        graph.adjncy,
+        graph.weights.astype(float),
+        ratio=1.0 - ratio,  # side 1 is the piece that leaves
+        seed=heavy_pid,
+    )
+    moves = {
+        element: target_pid
+        for element, s in zip(graph.elements, side)
+        if s == 1
+    }
+    if not moves or len(moves) == graph.n:
+        return 0
+    return migrate(dmesh, {heavy_pid: moves})
+
+
+def heavy_part_splitting(
+    dmesh: DistributedMesh,
+    tol: float = 0.05,
+    max_rounds: int = 4,
+) -> SplitStats:
+    """Run merge + split rounds until no heavy parts (or no progress)."""
+    start = time.perf_counter()
+    stats = SplitStats()
+    counts = _element_counts(dmesh)
+    average = counts.mean()
+    stats.initial_peak = counts.max() / average if average > 0 else 1.0
+
+    for _round in range(max_rounds):
+        counts = _element_counts(dmesh)
+        average = counts.mean()
+        heavies = [
+            p for p in np.argsort(-counts)
+            if counts[p] > average * (1.0 + tol)
+        ]
+        if not heavies:
+            break
+        stats.rounds += 1
+
+        # Phase 1+2: knapsack proposals, conflict-free subset, execution.
+        proposals = propose_merges(dmesh, counts, average)
+        # Parts that must split cannot also act as donors or receivers.
+        busy = set(int(h) for h in heavies)
+        proposals = {
+            r: (donors, w)
+            for r, (donors, w) in proposals.items()
+            if r not in busy and not busy.intersection(donors)
+        }
+        merges = independent_merges(proposals)
+        # Parts already empty (donors of earlier rounds, or empty from the
+        # start) are split targets too.
+        empties: List[int] = [
+            int(p) for p in np.flatnonzero(counts == 0)
+        ]
+        for receiver in sorted(merges):
+            for donor in merges[receiver]:
+                merge_parts(dmesh, donor, receiver)
+                if donor not in empties:
+                    empties.append(donor)
+                stats.merges_executed += 1
+
+        if not empties:
+            break  # nothing to split into: diffusion must take over
+
+        # Phase 3: split heavy parts into the emptied parts.
+        for heavy in map(int, heavies):
+            while empties:
+                counts = _element_counts(dmesh)
+                if counts[heavy] <= average * (1.0 + tol):
+                    break
+                piece = int(min(average, counts[heavy] - average))
+                if piece < 1:
+                    break
+                target = empties.pop(0)
+                moved = split_off_piece(dmesh, heavy, target, piece)
+                if moved == 0:
+                    empties.insert(0, target)
+                    break
+                stats.splits_executed += 1
+            if not empties:
+                break
+
+    counts = _element_counts(dmesh)
+    average = counts.mean()
+    stats.final_peak = counts.max() / average if average > 0 else 1.0
+    stats.seconds = time.perf_counter() - start
+    dmesh.counters.add("parma.split.runs")
+    return stats

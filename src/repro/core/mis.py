@@ -1,0 +1,65 @@
+"""Maximal independent set of conflicting merges (Luby-style).
+
+After each part proposes the neighbor set it would like to merge, "a set of
+these merges that can be performed without conflicts, i.e. a part is merged
+only once, are found by solving for the maximal independent set" (paper,
+Section III-B).  Two merge proposals conflict when they touch any common
+part (as receiver or donor).  The selection is a deterministic greedy MIS
+with priority = proposal weight (heavier merges first, id tie-break) —
+equivalent to one-round-per-pick Luby with those priorities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+
+def maximal_independent_set(
+    nodes: Sequence[Hashable],
+    conflicts: Dict[Hashable, Set[Hashable]],
+    priority: Dict[Hashable, float] = None,
+) -> List[Hashable]:
+    """Greedy MIS over a conflict graph, highest priority first.
+
+    ``conflicts[n]`` lists the nodes that cannot coexist with ``n``.  The
+    result is maximal: every excluded node conflicts with a chosen one.
+    """
+    if priority is None:
+        priority = {n: 0.0 for n in nodes}
+    order = sorted(nodes, key=lambda n: (-priority.get(n, 0.0), repr(n)))
+    chosen: List[Hashable] = []
+    blocked: Set[Hashable] = set()
+    for node in order:
+        if node in blocked:
+            continue
+        chosen.append(node)
+        blocked.add(node)
+        blocked.update(conflicts.get(node, ()))
+    return chosen
+
+
+def independent_merges(
+    proposals: Dict[int, Tuple[Sequence[int], float]],
+) -> Dict[int, List[int]]:
+    """Select a conflict-free subset of merge proposals.
+
+    ``proposals[receiver] = (donors, weight)``.  A part may appear in at
+    most one selected merge, in any role.  Returns
+    ``{receiver: donors}`` for the chosen proposals, preferring heavier
+    merges.
+    """
+    touched: Dict[int, List[int]] = {}
+    for receiver, (donors, _weight) in proposals.items():
+        for part in [receiver, *donors]:
+            touched.setdefault(part, []).append(receiver)
+
+    conflicts: Dict[int, Set[int]] = {r: set() for r in proposals}
+    for _part, receivers in touched.items():
+        for a in receivers:
+            for b in receivers:
+                if a != b:
+                    conflicts[a].add(b)
+
+    priority = {r: proposals[r][1] for r in proposals}
+    chosen = maximal_independent_set(list(proposals), conflicts, priority)
+    return {r: list(proposals[r][0]) for r in sorted(chosen)}

@@ -1,0 +1,91 @@
+"""Predictive load balancing for mesh adaptation.
+
+"Large imbalance spikes are also observed when predictively load balancing
+for mesh adaptation based on the estimated target mesh resolution at each
+mesh vertex" (paper, Section III-B).  Before adapting, each element's
+post-adaptation load is estimated as ``(h_current / h_target)^d`` — the
+number of target-size elements that will replace it — and the partition is
+rebalanced under those weights, so that after adaptation the element counts
+come out even (avoiding the Fig. 13 histogram).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..field.sizefield import SizeField
+from ..mesh.entity import Ent
+from ..mesh.mesh import Mesh
+from ..partition.dmesh import DistributedMesh
+from ..partition.migration import migrate
+from ..partitioners.rcb import rcb_points
+
+
+def element_size(mesh: Mesh, element: Ent) -> float:
+    """Current resolution of an element: mean edge length."""
+    edges = mesh.adjacent(element, 1)
+    total = 0.0
+    for e in edges:
+        a, b = mesh.verts_of(e)
+        total += float(np.linalg.norm(mesh.coords(a) - mesh.coords(b)))
+    return total / len(edges)
+
+
+def predicted_element_weight(
+    mesh: Mesh, element: Ent, size: SizeField, floor: float = 0.1
+) -> float:
+    """Estimated number of post-adaptation elements replacing ``element``."""
+    h_now = element_size(mesh, element)
+    h_target = size.value(mesh.centroid(element))
+    weight = (h_now / h_target) ** mesh.dim()
+    return max(weight, floor)
+
+
+def predicted_weights(mesh: Mesh, size: SizeField) -> np.ndarray:
+    """Predicted weight of every element (id order)."""
+    dim = mesh.dim()
+    return np.asarray(
+        [predicted_element_weight(mesh, e, size) for e in mesh.entities(dim)]
+    )
+
+
+def predictive_balance(
+    dmesh: DistributedMesh,
+    size: SizeField,
+    assigner: Callable[[np.ndarray, int, np.ndarray], np.ndarray] = None,
+) -> int:
+    """Rebalance the distributed mesh under predicted adaptation weights.
+
+    Gathers every element's centroid and predicted weight (the simulation's
+    stand-in for the parallel gather), computes a weighted geometric
+    repartition (RCB by default, matching predictive balancing practice —
+    geometric methods are the fast choice here), and migrates the diff.
+    Returns the number of elements moved.
+    """
+    if assigner is None:
+        def assigner(points, nparts, weights):
+            return rcb_points(points, nparts, weights)
+
+    dim = dmesh.element_dim()
+    holders: List[Tuple[int, Ent]] = []
+    points: List[np.ndarray] = []
+    weights: List[float] = []
+    for part in dmesh:
+        mesh = part.mesh
+        for element in mesh.entities(dim):
+            if part.is_ghost(element):
+                continue
+            holders.append((part.pid, element))
+            points.append(mesh.centroid(element))
+            weights.append(predicted_element_weight(mesh, element, size))
+
+    assignment = assigner(
+        np.asarray(points), dmesh.nparts, np.asarray(weights)
+    )
+    plan: Dict[int, Dict[Ent, int]] = {}
+    for (pid, element), target in zip(holders, assignment):
+        if int(target) != pid:
+            plan.setdefault(pid, {})[element] = int(target)
+    return migrate(dmesh, plan)

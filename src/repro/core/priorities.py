@@ -1,0 +1,107 @@
+"""Priority lists for multi-criteria partition improvement.
+
+"An application executing the multi-criteria partition improvement procedure
+provides a priority list of mesh entity types to be balanced such that the
+imbalance of higher priority entity types is not increased while balancing a
+lower priority type" (paper, Section III-A).  Lists are written exactly as
+in Table I — e.g. ``"Vtx = Edge > Rgn"`` — with ``>`` separating priority
+levels and ``=`` joining equal-priority types.  "If multiple mesh entity
+types share equal priority then those entities are traversed in order of
+increasing topological dimension."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .imbalance import ENTITY_DIMS, ENTITY_NAMES
+
+
+@dataclass(frozen=True)
+class PriorityList:
+    """Parsed priority list: levels of entity dimensions, highest first."""
+
+    #: Each level is a tuple of entity dimensions, sorted ascending (the
+    #: traversal order for equal priorities).
+    levels: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for level in self.levels:
+            if not level:
+                raise ValueError("empty priority level")
+            for dim in level:
+                if dim not in ENTITY_NAMES:
+                    raise ValueError(f"unknown entity dimension {dim}")
+                if dim in seen:
+                    raise ValueError(
+                        f"{ENTITY_NAMES[dim]} appears twice in the priority list"
+                    )
+                seen.add(dim)
+            if tuple(sorted(level)) != level:
+                raise ValueError(
+                    "equal-priority entities must be listed in increasing "
+                    "topological dimension"
+                )
+
+    def all_dims(self) -> List[int]:
+        """Every balanced dimension, traversal order (level, then dim asc)."""
+        return [dim for level in self.levels for dim in level]
+
+    def higher_priority_dims(self, dim: int) -> List[int]:
+        """Dimensions in strictly higher-priority levels than ``dim``'s."""
+        result: List[int] = []
+        for level in self.levels:
+            if dim in level:
+                return result
+            result.extend(level)
+        raise ValueError(f"dimension {dim} is not in the priority list")
+
+    def lower_priority_dims(self, dim: int) -> List[int]:
+        """Dimensions in strictly lower-priority levels than ``dim``'s."""
+        found = False
+        result: List[int] = []
+        for level in self.levels:
+            if found:
+                result.extend(level)
+            elif dim in level:
+                found = True
+        if not found:
+            raise ValueError(f"dimension {dim} is not in the priority list")
+        return result
+
+    def __str__(self) -> str:
+        return " > ".join(
+            " = ".join(ENTITY_NAMES[d] for d in level) for level in self.levels
+        )
+
+
+def parse_priorities(spec: str) -> PriorityList:
+    """Parse a Table-I-style priority string, e.g. ``"Vtx = Edge > Rgn"``.
+
+    Names are case-insensitive; ``Vtx``/``Vertex``, ``Edge``, ``Face``,
+    ``Rgn``/``Region`` are accepted.
+    """
+    aliases = {
+        "vtx": 0, "vertex": 0, "vertices": 0,
+        "edge": 1, "edges": 1,
+        "face": 2, "faces": 2,
+        "rgn": 3, "region": 3, "regions": 3, "elem": 3,
+    }
+    levels: List[Tuple[int, ...]] = []
+    for chunk in spec.split(">"):
+        names = [token.strip().lower() for token in chunk.split("=")]
+        dims = []
+        for name in names:
+            if not name:
+                raise ValueError(f"malformed priority list: {spec!r}")
+            if name not in aliases:
+                raise ValueError(
+                    f"unknown entity type {name!r} in priority list {spec!r}"
+                )
+            dims.append(aliases[name])
+        levels.append(tuple(sorted(dims)))
+    if not levels:
+        raise ValueError(f"empty priority list: {spec!r}")
+    return PriorityList(tuple(levels))

@@ -1,0 +1,65 @@
+"""Migration schedule: how much load each heavy part sheds to each candidate.
+
+ParMA "uses constant time mesh adjacency queries ... to determine how much
+load must be migrated, the migration schedule" (paper, Section III).  The
+schedule computed here brings every heavy part down toward the mean by
+distributing its excess over its candidate parts proportionally to each
+candidate's capacity: an absolutely light candidate can absorb up to
+``mean - load``; a merely relatively light one up to half the gap to the
+heavy part (so diffusion never overshoots into a new spike).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def migration_schedule(
+    counts: np.ndarray,
+    heavy_pid: int,
+    candidates: Sequence[int],
+    dim: int,
+    mean: float,
+    tol: float = 0.05,
+) -> Dict[int, int]:
+    """Per-candidate quota of ``dim`` entities to send from ``heavy_pid``.
+
+    The total never exceeds the heavy part's excess above the mean, and each
+    candidate's quota never exceeds its absorption capacity.  Quotas are at
+    least 1 for every candidate retained (a zero quota drops the candidate).
+    """
+    counts = np.asarray(counts, dtype=float)
+    load = float(counts[heavy_pid, dim])
+    excess = load - mean
+    if excess <= 0 or not candidates:
+        return {}
+
+    capacities: List[float] = []
+    for cand in candidates:
+        cand_load = float(counts[cand, dim])
+        if cand_load < mean:
+            capacity = mean - cand_load
+        else:
+            capacity = max((load - cand_load) / 2.0, 0.0)
+        capacities.append(capacity)
+    total_capacity = sum(capacities)
+    if total_capacity <= 0:
+        return {}
+
+    budget = min(excess, total_capacity)
+    schedule: Dict[int, int] = {}
+    for cand, capacity in zip(candidates, capacities):
+        quota = int(round(budget * capacity / total_capacity))
+        if quota >= 1:
+            schedule[cand] = quota
+    if not schedule:
+        # Excess too small to round anywhere: send one unit to the best
+        # candidate so tiny spikes still diffuse.
+        best = max(
+            range(len(candidates)), key=lambda i: (capacities[i], -candidates[i])
+        )
+        if capacities[best] > 0:
+            schedule[candidates[best]] = 1
+    return schedule

@@ -1,0 +1,170 @@
+"""Fields: tensor quantities distributed over mesh entities.
+
+"The fields are tensor quantities that define the distributions of the
+physical parameters of the PDE over domain (mesh and geometric model)
+entities" (paper, Section II).  A :class:`Field` associates a fixed-shape
+NumPy value with entities of one dimension of one mesh — most commonly
+scalars or vectors on vertices (linear Lagrange dofs), but any entity
+dimension works (e.g. per-region material ids, per-edge fluxes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..mesh.entity import Ent
+from ..mesh.mesh import Mesh
+
+Shape = Union[int, Tuple[int, ...]]
+
+
+class Field:
+    """A named tensor field over the entities of one dimension of a mesh."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        name: str,
+        entity_dim: int = 0,
+        shape: Shape = 1,
+    ) -> None:
+        if not 0 <= entity_dim <= 3:
+            raise ValueError(f"entity dimension must be 0..3, got {entity_dim}")
+        self.mesh = mesh
+        self.name = name
+        self.entity_dim = entity_dim
+        self.shape: Tuple[int, ...] = (
+            (shape,) if isinstance(shape, int) else tuple(shape)
+        )
+        self._data: Dict[Ent, np.ndarray] = {}
+
+    @property
+    def ncomp(self) -> int:
+        return int(np.prod(self.shape))
+
+    def _coerce(self, value) -> np.ndarray:
+        arr = np.asarray(value, dtype=float)
+        if arr.shape == () and self.shape == (1,):
+            arr = arr.reshape(1)
+        if arr.shape != self.shape:
+            raise ValueError(
+                f"field {self.name!r} expects shape {self.shape}, "
+                f"got {arr.shape}"
+            )
+        return arr.copy()
+
+    def _check_ent(self, ent: Ent) -> None:
+        if ent.dim != self.entity_dim:
+            raise ValueError(
+                f"field {self.name!r} lives on dim-{self.entity_dim} "
+                f"entities, got {ent}"
+            )
+        if not self.mesh.has(ent):
+            raise KeyError(f"{ent} is not a live entity of the field's mesh")
+
+    def set(self, ent: Ent, value) -> None:
+        self._check_ent(ent)
+        self._data[ent] = self._coerce(value)
+
+    def get(self, ent: Ent) -> np.ndarray:
+        self._check_ent(ent)
+        try:
+            return self._data[ent].copy()
+        except KeyError:
+            raise KeyError(
+                f"field {self.name!r} has no value on {ent}"
+            ) from None
+
+    def get_scalar(self, ent: Ent) -> float:
+        """Value of a 1-component field as a plain float."""
+        if self.shape != (1,):
+            raise ValueError(f"field {self.name!r} is not scalar")
+        return float(self.get(ent)[0])
+
+    def has(self, ent: Ent) -> bool:
+        return ent in self._data
+
+    def remove(self, ent: Ent) -> None:
+        self._data.pop(ent, None)
+
+    def zero_all(self) -> None:
+        """Set the field to zero on every live entity of its dimension."""
+        zero = np.zeros(self.shape)
+        for ent in self.mesh.entities(self.entity_dim):
+            self._data[ent] = zero.copy()
+
+    def set_all(self, fn) -> None:
+        """Assign ``fn(ent) -> value`` on every live entity."""
+        for ent in self.mesh.entities(self.entity_dim):
+            self._data[ent] = self._coerce(fn(ent))
+
+    def set_from_coords(self, fn) -> None:
+        """Assign ``fn(xyz) -> value`` on every vertex (vertex fields only)."""
+        if self.entity_dim != 0:
+            raise ValueError("set_from_coords applies to vertex fields")
+        for v in self.mesh.entities(0):
+            self._data[v] = self._coerce(fn(self.mesh.coords(v)))
+
+    def items(self) -> Iterator[Tuple[Ent, np.ndarray]]:
+        return iter(sorted(self._data.items()))
+
+    def entities(self) -> Iterator[Ent]:
+        return iter(sorted(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def norm(self, kind: str = "l2") -> float:
+        """Aggregate norm over all stored values (``l2`` or ``max``)."""
+        if not self._data:
+            return 0.0
+        stacked = np.stack(list(self._data.values()))
+        if kind == "l2":
+            return float(np.sqrt((stacked ** 2).sum()))
+        if kind == "max":
+            return float(np.abs(stacked).max())
+        raise ValueError(f"unknown norm kind {kind!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Field({self.name!r}, dim={self.entity_dim}, "
+            f"shape={self.shape}, {len(self._data)} values)"
+        )
+
+
+class FieldManager:
+    """Registry of the fields attached to one mesh."""
+
+    def __init__(self, mesh: Mesh) -> None:
+        self.mesh = mesh
+        self._fields: Dict[str, Field] = {}
+
+    def create(
+        self, name: str, entity_dim: int = 0, shape: Shape = 1
+    ) -> Field:
+        existing = self._fields.get(name)
+        if existing is not None:
+            if existing.entity_dim != entity_dim or existing.shape != (
+                (shape,) if isinstance(shape, int) else tuple(shape)
+            ):
+                raise ValueError(
+                    f"field {name!r} already exists with a different layout"
+                )
+            return existing
+        field = Field(self.mesh, name, entity_dim, shape)
+        self._fields[name] = field
+        return field
+
+    def find(self, name: str) -> Optional[Field]:
+        return self._fields.get(name)
+
+    def delete(self, name: str) -> None:
+        self._fields.pop(name, None)
+
+    def names(self) -> Iterator[str]:
+        return iter(sorted(self._fields))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields

@@ -1,0 +1,122 @@
+"""Linear Lagrange shape functions and point location for simplices.
+
+The minimum the field layer needs from a shape-function system: evaluate a
+vertex field anywhere inside an element (for solution transfer), and compute
+the barycentric coordinates of a point with respect to a triangle or
+tetrahedron (for locating points in a mesh).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..mesh.entity import Ent
+from ..mesh.mesh import Mesh
+from ..mesh.topology import TET, TRI
+
+
+def barycentric_tri(
+    pts: Sequence[np.ndarray], x: Sequence[float]
+) -> np.ndarray:
+    """Barycentric coordinates of ``x`` in triangle ``pts`` (3 points, 2D)."""
+    a, b, c = (np.asarray(p, dtype=float)[:2] for p in pts)
+    x = np.asarray(x, dtype=float)[:2]
+    mat = np.column_stack([b - a, c - a])
+    det = np.linalg.det(mat)
+    if abs(det) < 1e-300:
+        raise ValueError("degenerate triangle")
+    uv = np.linalg.solve(mat, x - a)
+    return np.array([1.0 - uv[0] - uv[1], uv[0], uv[1]])
+
+
+def barycentric_tet(
+    pts: Sequence[np.ndarray], x: Sequence[float]
+) -> np.ndarray:
+    """Barycentric coordinates of ``x`` in tetrahedron ``pts`` (4 points)."""
+    a, b, c, d = (np.asarray(p, dtype=float)[:3] for p in pts)
+    x = np.asarray(x, dtype=float)[:3]
+    mat = np.column_stack([b - a, c - a, d - a])
+    det = np.linalg.det(mat)
+    if abs(det) < 1e-300:
+        raise ValueError("degenerate tetrahedron")
+    uvw = np.linalg.solve(mat, x - a)
+    return np.array([1.0 - uvw.sum(), uvw[0], uvw[1], uvw[2]])
+
+
+def barycentric(mesh: Mesh, element: Ent, x: Sequence[float]) -> np.ndarray:
+    """Barycentric coordinates of ``x`` in a TRI or TET element."""
+    pts = [mesh.coords(v) for v in mesh.verts_of(element)]
+    etype = mesh.etype(element)
+    if etype == TRI:
+        return barycentric_tri(pts, x)
+    if etype == TET:
+        return barycentric_tet(pts, x)
+    raise ValueError(
+        f"barycentric coordinates support tri/tet, got {mesh.type_name(element)}"
+    )
+
+
+def contains_point(
+    mesh: Mesh, element: Ent, x: Sequence[float], tol: float = 1e-10
+) -> bool:
+    """Whether ``x`` lies inside (or on the boundary of) the element."""
+    try:
+        bary = barycentric(mesh, element, x)
+    except ValueError:
+        return False
+    return bool(np.all(bary >= -tol))
+
+
+def interpolate(mesh: Mesh, field, element: Ent, x: Sequence[float]) -> np.ndarray:
+    """Linear interpolation of a vertex field at point ``x`` in an element."""
+    if field.entity_dim != 0:
+        raise ValueError("interpolation requires a vertex field")
+    bary = barycentric(mesh, element, x)
+    verts = mesh.verts_of(element)
+    return sum(w * field.get(v) for w, v in zip(bary, verts))
+
+
+class ElementLocator:
+    """Point-in-mesh queries accelerated by a centroid KD-tree.
+
+    Candidate elements are taken in order of centroid distance; the first
+    containing element wins.  ``nearest`` falls back to the closest centroid
+    when the point is (numerically) outside the mesh.
+    """
+
+    def __init__(self, mesh: Mesh, candidates: int = 12) -> None:
+        from scipy.spatial import cKDTree
+
+        self.mesh = mesh
+        self.elements: List[Ent] = list(mesh.entities(mesh.dim()))
+        if not self.elements:
+            raise ValueError("cannot locate points in an empty mesh")
+        centroids = np.asarray([mesh.centroid(e) for e in self.elements])
+        self._tree = cKDTree(centroids)
+        self._candidates = min(candidates, len(self.elements))
+
+    def locate(self, x: Sequence[float], tol: float = 1e-10) -> Optional[Ent]:
+        """The element containing ``x``, or None if outside the mesh."""
+        x3 = np.zeros(3)
+        x = np.asarray(x, dtype=float)
+        x3[: x.shape[0]] = x
+        _dists, idxs = self._tree.query(x3, k=self._candidates)
+        for idx in np.atleast_1d(idxs):
+            element = self.elements[int(idx)]
+            if contains_point(self.mesh, element, x3, tol):
+                return element
+        # Widen to an exhaustive scan before giving up (rare, small meshes).
+        for element in self.elements:
+            if contains_point(self.mesh, element, x3, tol):
+                return element
+        return None
+
+    def nearest(self, x: Sequence[float]) -> Ent:
+        """The element whose centroid is closest to ``x`` (never None)."""
+        x3 = np.zeros(3)
+        x = np.asarray(x, dtype=float)
+        x3[: x.shape[0]] = x
+        _dist, idx = self._tree.query(x3, k=1)
+        return self.elements[int(idx)]

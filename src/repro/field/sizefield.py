@@ -1,0 +1,189 @@
+"""Isotropic size fields driving mesh adaptation.
+
+A size field prescribes the desired local edge length h(x) over the domain.
+Adaptation refines edges longer than their prescribed size and coarsens
+edges much shorter than it.  The fields here model the paper's adaptation
+scenarios:
+
+* :class:`UniformSize` — uniform target resolution,
+* :class:`ShockPlaneSize` — fine resolution in a band around a planar shock
+  front (the ONERA M6 scenario of Fig. 13, where the size field comes from
+  the hessian of the mach number around the shock),
+* :class:`SphereSize` — fine resolution near a moving point (the particle
+  tracking scenario of Fig. 8),
+* :class:`AnalyticSize` — any callable h(x).
+
+Also here: :func:`edge_size_ratio` (how far each edge is from its target)
+and :func:`current_vertex_sizes` (the mesh's existing resolution, the
+starting point for predictive load-balance estimates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..mesh.entity import Ent
+from ..mesh.mesh import Mesh
+
+
+class SizeField:
+    """Base class: subclasses implement ``value(x) -> float``."""
+
+    def value(self, x: Sequence[float]) -> float:
+        raise NotImplementedError
+
+    def at_vertex(self, mesh: Mesh, v: Ent) -> float:
+        return self.value(mesh.coords(v))
+
+    def edge_target(self, mesh: Mesh, edge: Ent) -> float:
+        """Prescribed size for an edge.
+
+        The minimum of the sizes at both endpoints and the midpoint —
+        sampling the midpoint keeps refinement from aliasing past bands
+        narrower than the current edge length (a shock thinner than h).
+        """
+        a, b = mesh.verts_of(edge)
+        mid = 0.5 * (mesh.coords(a) + mesh.coords(b))
+        return min(
+            self.at_vertex(mesh, a),
+            self.at_vertex(mesh, b),
+            self.value(mid),
+        )
+
+
+class UniformSize(SizeField):
+    """Constant target size everywhere."""
+
+    def __init__(self, h: float) -> None:
+        if h <= 0:
+            raise ValueError(f"size must be positive, got {h}")
+        self.h = float(h)
+
+    def value(self, x: Sequence[float]) -> float:
+        return self.h
+
+
+class AnalyticSize(SizeField):
+    """Target size from an arbitrary callable ``h(x)``."""
+
+    def __init__(self, fn: Callable[[np.ndarray], float]) -> None:
+        self.fn = fn
+
+    def value(self, x: Sequence[float]) -> float:
+        h = float(self.fn(np.asarray(x, dtype=float)))
+        if h <= 0:
+            raise ValueError(f"size field returned non-positive size {h}")
+        return h
+
+
+class ShockPlaneSize(SizeField):
+    """Fine size in a Gaussian band around the plane ``normal . x = offset``.
+
+    ``h(x) = h_fine + (h_coarse - h_fine) * (1 - exp(-(d/width)^2))`` where
+    ``d`` is the distance to the plane — the analytic stand-in for a
+    hessian-of-mach-number size field around a shock front.
+    """
+
+    def __init__(
+        self,
+        normal: Sequence[float],
+        offset: float,
+        h_fine: float,
+        h_coarse: float,
+        width: float,
+    ) -> None:
+        self.normal = np.asarray(normal, dtype=float)
+        norm = np.linalg.norm(self.normal)
+        if norm == 0:
+            raise ValueError("plane normal must be nonzero")
+        self.normal = self.normal / norm
+        self.offset = float(offset) / norm
+        if not 0 < h_fine <= h_coarse:
+            raise ValueError("need 0 < h_fine <= h_coarse")
+        if width <= 0:
+            raise ValueError("band width must be positive")
+        self.h_fine = float(h_fine)
+        self.h_coarse = float(h_coarse)
+        self.width = float(width)
+
+    def value(self, x: Sequence[float]) -> float:
+        x = np.asarray(x, dtype=float)
+        n = min(len(self.normal), x.shape[0])
+        d = float(self.normal[:n] @ x[:n]) - self.offset
+        blend = 1.0 - math.exp(-((d / self.width) ** 2))
+        return self.h_fine + (self.h_coarse - self.h_fine) * blend
+
+
+class SphereSize(SizeField):
+    """Fine size inside a sphere around ``center`` (a tracked particle)."""
+
+    def __init__(
+        self,
+        center: Sequence[float],
+        radius: float,
+        h_fine: float,
+        h_coarse: float,
+    ) -> None:
+        self.center = np.asarray(center, dtype=float)
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        if not 0 < h_fine <= h_coarse:
+            raise ValueError("need 0 < h_fine <= h_coarse")
+        self.radius = float(radius)
+        self.h_fine = float(h_fine)
+        self.h_coarse = float(h_coarse)
+
+    def value(self, x: Sequence[float]) -> float:
+        x = np.asarray(x, dtype=float)
+        n = min(len(self.center), x.shape[0])
+        d = float(np.linalg.norm(x[:n] - self.center[:n]))
+        if d <= self.radius:
+            return self.h_fine
+        # Smooth growth back to coarse over one radius.
+        t = min((d - self.radius) / self.radius, 1.0)
+        return self.h_fine + (self.h_coarse - self.h_fine) * t
+
+    def moved_to(self, center: Sequence[float]) -> "SphereSize":
+        """The same field around a new particle position."""
+        return SphereSize(center, self.radius, self.h_fine, self.h_coarse)
+
+
+class MinSize(SizeField):
+    """Pointwise minimum of several size fields (overlapping features)."""
+
+    def __init__(self, fields: Sequence[SizeField]) -> None:
+        if not fields:
+            raise ValueError("need at least one size field")
+        self.fields = list(fields)
+
+    def value(self, x: Sequence[float]) -> float:
+        return min(f.value(x) for f in self.fields)
+
+
+def edge_size_ratio(mesh: Mesh, size: SizeField, edge: Ent) -> float:
+    """Current length of ``edge`` divided by its prescribed size.
+
+    > 1 means too long (refine); << 1 means too short (coarsen candidate).
+    """
+    a, b = mesh.verts_of(edge)
+    length = float(np.linalg.norm(mesh.coords(a) - mesh.coords(b)))
+    return length / size.edge_target(mesh, edge)
+
+
+def current_vertex_sizes(mesh: Mesh) -> Dict[Ent, float]:
+    """Existing resolution at each vertex: mean adjacent edge length."""
+    sizes: Dict[Ent, float] = {}
+    for v in mesh.entities(0):
+        edges = mesh.up(v)
+        if not edges:
+            sizes[v] = 0.0
+            continue
+        total = 0.0
+        for e in edges:
+            a, b = mesh.verts_of(e)
+            total += float(np.linalg.norm(mesh.coords(a) - mesh.coords(b)))
+        sizes[v] = total / len(edges)
+    return sizes

@@ -1,0 +1,66 @@
+"""Mesh-to-mesh solution transfer.
+
+One of the FASTMath services the paper's introduction lists.  Given a vertex
+field on a source mesh and a (different) target mesh of the same domain,
+:func:`transfer_vertex_field` evaluates the source solution at every target
+vertex by point location plus linear interpolation — the standard transfer
+for linear Lagrange fields.  Points that fall (numerically) outside the
+source mesh take the value of the nearest source element's interpolant,
+clamped to that element.
+"""
+
+from __future__ import annotations
+
+from ..mesh.mesh import Mesh
+from .field import Field
+from .shape import ElementLocator, barycentric, interpolate
+
+import numpy as np
+
+
+def transfer_vertex_field(
+    source_mesh: Mesh,
+    source_field: Field,
+    target_mesh: Mesh,
+    target_name: str = None,
+) -> Field:
+    """Interpolate ``source_field`` onto the vertices of ``target_mesh``."""
+    if source_field.entity_dim != 0:
+        raise ValueError("transfer supports vertex fields")
+    locator = ElementLocator(source_mesh)
+    name = target_name if target_name is not None else source_field.name
+    out = Field(target_mesh, name, 0, source_field.shape)
+    for v in target_mesh.entities(0):
+        x = target_mesh.coords(v)
+        element = locator.locate(x)
+        if element is None:
+            element = locator.nearest(x)
+            bary = np.clip(barycentric(source_mesh, element, x), 0.0, None)
+            bary = bary / bary.sum()
+            verts = source_mesh.verts_of(element)
+            value = sum(w * source_field.get(sv) for w, sv in zip(bary, verts))
+        else:
+            value = interpolate(source_mesh, source_field, element, x)
+        out.set(v, value)
+    return out
+
+
+def transfer_error(
+    mesh: Mesh, field: Field, exact, norm: str = "max"
+) -> float:
+    """Error of a vertex field against an exact function of coordinates."""
+    worst = 0.0
+    total = 0.0
+    count = 0
+    for v in mesh.entities(0):
+        diff = float(
+            np.abs(field.get(v) - np.asarray(exact(mesh.coords(v)))).max()
+        )
+        worst = max(worst, diff)
+        total += diff * diff
+        count += 1
+    if norm == "max":
+        return worst
+    if norm == "l2":
+        return (total / max(count, 1)) ** 0.5
+    raise ValueError(f"unknown norm {norm!r}")

@@ -1,0 +1,46 @@
+"""Geometric model component: b-rep topology, analytic shapes, classification.
+
+Reproduces the "Geometric Model" box of PUMI's software structure (Fig. 1):
+a non-manifold boundary representation interrogated for model-entity
+adjacencies and shape information, the classification target for every mesh
+entity.
+"""
+
+from .classify import classify_from_closure, classify_point
+from .cylinder import (
+    DiskShape,
+    LateralShape,
+    RimShape,
+    SolidCylinderShape,
+    cylinder_model,
+)
+from .model import Model, ModelEntity
+from .shapes import (
+    BoxShape,
+    PlanarPatchShape,
+    PointShape,
+    SegmentShape,
+    box_model,
+    rect_model,
+)
+from .snap import snap_error, snap_to_entity
+
+__all__ = [
+    "BoxShape",
+    "DiskShape",
+    "LateralShape",
+    "Model",
+    "ModelEntity",
+    "RimShape",
+    "SolidCylinderShape",
+    "PlanarPatchShape",
+    "PointShape",
+    "SegmentShape",
+    "box_model",
+    "classify_from_closure",
+    "classify_point",
+    "cylinder_model",
+    "rect_model",
+    "snap_error",
+    "snap_to_entity",
+]

@@ -1,0 +1,161 @@
+"""Cylinder b-rep: the curved-geometry model for snapping tests.
+
+The box/rectangle models exercise classification on flat entities; real
+adaptive workflows (the paper cites Li et al. on curved domains) need new
+vertices snapped onto *curved* model faces.  This module provides an
+axis-aligned circular cylinder: one region, two planar end disks, one
+curved lateral face, two circular rim edges (each closed through a seam
+vertex, the standard trick for b-reps without periodic edge support).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .model import Model
+from .shapes import PointShape, _fit
+
+
+class DiskShape:
+    """A flat disk: z fixed at ``z0``, radius ``r`` about the z axis."""
+
+    def __init__(self, z0: float, radius: float) -> None:
+        if radius <= 0:
+            raise ValueError("disk radius must be positive")
+        self.z0 = float(z0)
+        self.radius = float(radius)
+
+    def project(self, x: Sequence[float]) -> np.ndarray:
+        x = _fit(x, 3).copy()
+        rho = float(np.hypot(x[0], x[1]))
+        if rho > self.radius:
+            scale = self.radius / rho
+            x[0] *= scale
+            x[1] *= scale
+        x[2] = self.z0
+        return x
+
+    def contains(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        x = _fit(x, 3)
+        return bool(np.linalg.norm(x - self.project(x)) <= tol)
+
+
+class LateralShape:
+    """The curved cylinder wall: distance ``r`` from the z axis."""
+
+    def __init__(self, radius: float, z_lo: float, z_hi: float) -> None:
+        if radius <= 0 or z_hi <= z_lo:
+            raise ValueError("need positive radius and z_hi > z_lo")
+        self.radius = float(radius)
+        self.z_lo = float(z_lo)
+        self.z_hi = float(z_hi)
+
+    def project(self, x: Sequence[float]) -> np.ndarray:
+        x = _fit(x, 3).copy()
+        rho = float(np.hypot(x[0], x[1]))
+        if rho < 1e-300:
+            x[0], x[1] = self.radius, 0.0  # axis point: pick the seam
+        else:
+            scale = self.radius / rho
+            x[0] *= scale
+            x[1] *= scale
+        x[2] = min(max(x[2], self.z_lo), self.z_hi)
+        return x
+
+    def contains(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        x = _fit(x, 3)
+        return bool(np.linalg.norm(x - self.project(x)) <= tol)
+
+
+class RimShape:
+    """A circular rim: radius ``r`` circle in the plane ``z = z0``."""
+
+    def __init__(self, z0: float, radius: float) -> None:
+        self.z0 = float(z0)
+        self.radius = float(radius)
+
+    def project(self, x: Sequence[float]) -> np.ndarray:
+        x = _fit(x, 3).copy()
+        rho = float(np.hypot(x[0], x[1]))
+        if rho < 1e-300:
+            x[0], x[1] = self.radius, 0.0
+        else:
+            scale = self.radius / rho
+            x[0] *= scale
+            x[1] *= scale
+        x[2] = self.z0
+        return x
+
+    def contains(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        x = _fit(x, 3)
+        return bool(np.linalg.norm(x - self.project(x)) <= tol)
+
+
+class SolidCylinderShape:
+    """The cylinder interior (the model region)."""
+
+    def __init__(self, radius: float, z_lo: float, z_hi: float) -> None:
+        self.radius = float(radius)
+        self.z_lo = float(z_lo)
+        self.z_hi = float(z_hi)
+
+    def project(self, x: Sequence[float]) -> np.ndarray:
+        x = _fit(x, 3).copy()
+        rho = float(np.hypot(x[0], x[1]))
+        if rho > self.radius:
+            scale = self.radius / rho
+            x[0] *= scale
+            x[1] *= scale
+        x[2] = min(max(x[2], self.z_lo), self.z_hi)
+        return x
+
+    def contains(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        x = _fit(x, 3)
+        rho = float(np.hypot(x[0], x[1]))
+        return (
+            rho <= self.radius + tol
+            and self.z_lo - tol <= x[2] <= self.z_hi + tol
+        )
+
+
+def cylinder_model(
+    radius: float = 1.0, height: float = 1.0
+) -> Model:
+    """B-rep of a solid cylinder about the z axis, base at z=0.
+
+    Tags: region 0; faces 0 (bottom disk), 1 (top disk), 2 (lateral);
+    edges 0 (bottom rim), 1 (top rim); vertices 0, 1 (the rim seams at
+    angle 0 — present so every edge has a boundary, as CAD kernels without
+    periodic edges model closed curves).
+    """
+    model = Model()
+    seam_bottom = model.add(0, 0)
+    model.set_shape(seam_bottom, PointShape([radius, 0.0, 0.0]))
+    seam_top = model.add(0, 1)
+    model.set_shape(seam_top, PointShape([radius, 0.0, height]))
+
+    rim_bottom = model.add(1, 0)
+    model.set_shape(rim_bottom, RimShape(0.0, radius))
+    model.add_adjacency(rim_bottom, seam_bottom)
+    rim_top = model.add(1, 1)
+    model.set_shape(rim_top, RimShape(height, radius))
+    model.add_adjacency(rim_top, seam_top)
+
+    bottom = model.add(2, 0)
+    model.set_shape(bottom, DiskShape(0.0, radius))
+    model.add_adjacency(bottom, rim_bottom)
+    top = model.add(2, 1)
+    model.set_shape(top, DiskShape(height, radius))
+    model.add_adjacency(top, rim_top)
+    lateral = model.add(2, 2)
+    model.set_shape(lateral, LateralShape(radius, 0.0, height))
+    model.add_adjacency(lateral, rim_bottom)
+    model.add_adjacency(lateral, rim_top)
+
+    region = model.add(3, 0)
+    model.set_shape(region, SolidCylinderShape(radius, 0.0, height))
+    for face in (bottom, top, lateral):
+        model.add_adjacency(region, face)
+    return model

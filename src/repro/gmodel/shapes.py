@@ -1,0 +1,223 @@
+"""Analytic shape evaluators and model builders for simple domains.
+
+Real PUMI queries a CAD kernel (Parasolid/ACIS) or a discrete model for the
+shape of each model entity.  This reproduction supplies analytic evaluators —
+points, line segments, axis-aligned planar patches, and boxes — sufficient to
+classify generated meshes and to snap adapted vertices back onto the domain
+boundary.  Each evaluator implements the small protocol the rest of the code
+relies on:
+
+``contains(x, tol)``
+    whether point ``x`` lies on the shape (within ``tol``),
+``project(x)``
+    the closest point of the shape to ``x``.
+
+Builders :func:`rect_model` and :func:`box_model` produce complete b-rep
+:class:`~repro.gmodel.model.Model` objects with shapes attached, used by the
+mesh generators as default classification targets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .model import Model, ModelEntity
+
+
+def _fit(x: Sequence[float], ndim: int) -> np.ndarray:
+    """Coerce a point to ``ndim`` coordinates (truncate or zero-pad).
+
+    2D models are queried with the mesh's 3-vectors (z always 0); 3D models
+    may be queried with 2-vectors in tests.  Either direction is harmless
+    for the axis-aligned shapes used here.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.shape[0] == ndim:
+        return x
+    if x.shape[0] > ndim:
+        return x[:ndim]
+    padded = np.zeros(ndim)
+    padded[: x.shape[0]] = x
+    return padded
+
+
+class PointShape:
+    """A 0-dimensional shape: one location in space."""
+
+    def __init__(self, xyz: Sequence[float]) -> None:
+        self.xyz = np.asarray(xyz, dtype=float)
+
+    def contains(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        return bool(
+            np.linalg.norm(_fit(x, len(self.xyz)) - self.xyz) <= tol
+        )
+
+    def project(self, x: Sequence[float]) -> np.ndarray:
+        return self.xyz.copy()
+
+
+class SegmentShape:
+    """A straight line segment between two endpoints."""
+
+    def __init__(self, a: Sequence[float], b: Sequence[float]) -> None:
+        self.a = np.asarray(a, dtype=float)
+        self.b = np.asarray(b, dtype=float)
+        self._d = self.b - self.a
+        self._len2 = float(self._d @ self._d)
+        if self._len2 == 0.0:
+            raise ValueError("degenerate segment: endpoints coincide")
+
+    def param(self, x: Sequence[float]) -> float:
+        """Clamped parametric coordinate of the closest point (0 at a)."""
+        x = _fit(x, len(self.a))
+        t = float((x - self.a) @ self._d) / self._len2
+        return min(1.0, max(0.0, t))
+
+    def project(self, x: Sequence[float]) -> np.ndarray:
+        return self.a + self.param(x) * self._d
+
+    def contains(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        x = _fit(x, len(self.a))
+        return bool(np.linalg.norm(x - self.project(x)) <= tol)
+
+
+class PlanarPatchShape:
+    """An axis-aligned rectangular patch: one coordinate fixed, others boxed.
+
+    ``axis`` is the fixed coordinate index, ``value`` its value; ``lo``/``hi``
+    bound the remaining coordinates.
+    """
+
+    def __init__(
+        self,
+        axis: int,
+        value: float,
+        lo: Sequence[float],
+        hi: Sequence[float],
+    ) -> None:
+        self.axis = axis
+        self.value = float(value)
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+
+    def project(self, x: Sequence[float]) -> np.ndarray:
+        x = _fit(x, len(self.lo)).copy()
+        x = np.clip(x, self.lo, self.hi)
+        x[self.axis] = self.value
+        return x
+
+    def contains(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        x = _fit(x, len(self.lo))
+        return bool(np.linalg.norm(x - self.project(x)) <= tol)
+
+
+class BoxShape:
+    """A solid axis-aligned box (a model region / 2D face interior)."""
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]) -> None:
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        if not np.all(self.hi > self.lo):
+            raise ValueError("box upper corner must exceed lower corner")
+
+    def project(self, x: Sequence[float]) -> np.ndarray:
+        return np.clip(_fit(x, len(self.lo)), self.lo, self.hi)
+
+    def contains(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        x = _fit(x, len(self.lo))
+        return bool(
+            np.all(x >= self.lo - tol) and np.all(x <= self.hi + tol)
+        )
+
+
+def rect_model(
+    lo: Tuple[float, float] = (0.0, 0.0),
+    hi: Tuple[float, float] = (1.0, 1.0),
+) -> Model:
+    """B-rep of a 2D rectangle: 4 vertices, 4 edges, 1 face, with shapes.
+
+    Tagging convention (deterministic, used by the classifiers):
+
+    * vertices 0..3 — corners in (x-,y-), (x+,y-), (x+,y+), (x-,y+) order
+    * edges 0..3 — bottom (y-), right (x+), top (y+), left (x-)
+    * face 0 — the interior
+    """
+    model = Model()
+    lo = (float(lo[0]), float(lo[1]))
+    hi = (float(hi[0]), float(hi[1]))
+    corners = [
+        (lo[0], lo[1]),
+        (hi[0], lo[1]),
+        (hi[0], hi[1]),
+        (lo[0], hi[1]),
+    ]
+    verts = []
+    for tag, corner in enumerate(corners):
+        v = model.add(0, tag)
+        model.set_shape(v, PointShape(corner))
+        verts.append(v)
+    edge_ends = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    face = model.add(2, 0)
+    model.set_shape(face, BoxShape(lo, hi))
+    for tag, (i, j) in enumerate(edge_ends):
+        e = model.add(1, tag)
+        model.set_shape(e, SegmentShape(corners[i], corners[j]))
+        model.add_adjacency(e, verts[i])
+        model.add_adjacency(e, verts[j])
+        model.add_adjacency(face, e)
+    return model
+
+
+def box_model(
+    lo: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    hi: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+) -> Model:
+    """B-rep of a 3D box: 8 vertices, 12 edges, 6 faces, 1 region.
+
+    Vertex tags follow binary corner encoding: bit k set means coordinate k
+    is at ``hi``.  Face tags are ``2*axis + side`` (side 0 = lo, 1 = hi).
+    """
+    model = Model()
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+
+    corners = {}
+    for code in range(8):
+        xyz = [hi[k] if code >> k & 1 else lo[k] for k in range(3)]
+        v = model.add(0, code)
+        model.set_shape(v, PointShape(xyz))
+        corners[code] = np.asarray(xyz)
+
+    # Edges: pairs of corner codes differing in exactly one bit.
+    edge_tag = {}
+    tag = 0
+    for a in range(8):
+        for bit in range(3):
+            b = a | (1 << bit)
+            if b != a and a < b and (a ^ b).bit_count() == 1:
+                e = model.add(1, tag)
+                model.set_shape(e, SegmentShape(corners[a], corners[b]))
+                model.add_adjacency(e, model.find(0, a))
+                model.add_adjacency(e, model.find(0, b))
+                edge_tag[(a, b)] = tag
+                tag += 1
+
+    region = model.add(3, 0)
+    model.set_shape(region, BoxShape(lo, hi))
+    for axis in range(3):
+        for side in (0, 1):
+            f = model.add(2, 2 * axis + side)
+            value = hi[axis] if side else lo[axis]
+            flo = lo.copy()
+            fhi = hi.copy()
+            flo[axis] = fhi[axis] = value
+            model.set_shape(f, PlanarPatchShape(axis, value, flo, fhi))
+            # The face's four edges: corners with this axis's bit fixed.
+            for a, b in edge_tag:
+                fixed = (a >> axis & 1) == side and (b >> axis & 1) == side
+                if fixed:
+                    model.add_adjacency(f, model.find(1, edge_tag[(a, b)]))
+            model.add_adjacency(region, f)
+    return model

@@ -1,0 +1,43 @@
+"""Mesh entity handles.
+
+"A mesh entity is uniquely identified by its handle and denoted by M^d_i,
+where d is dimension (0 <= d <= 3) and i is an id" (paper, Section II).
+:class:`Ent` is exactly that handle: a named tuple ``(dim, idx)``.  Handles
+are value objects — cheap to copy, hashable, usable as dict keys and in sets,
+and ordered first by dimension then by id, which gives every algorithm in the
+repository a deterministic iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Ent(NamedTuple):
+    """Handle of one mesh entity: dimension ``dim`` and id ``idx``."""
+
+    dim: int
+    idx: int
+
+    def __repr__(self) -> str:
+        return f"M{self.dim}_{self.idx}"
+
+
+def vert(idx: int) -> Ent:
+    """Vertex handle shortcut."""
+    return Ent(0, idx)
+
+
+def edge(idx: int) -> Ent:
+    """Edge handle shortcut."""
+    return Ent(1, idx)
+
+
+def face(idx: int) -> Ent:
+    """Face handle shortcut."""
+    return Ent(2, idx)
+
+
+def region(idx: int) -> Ent:
+    """Region handle shortcut."""
+    return Ent(3, idx)

@@ -1,0 +1,284 @@
+"""Mesh generators for structured and semi-structured test domains.
+
+Real PUMI consumes meshes from external generators (Simmetrix, Gmsh) — none
+are available offline, so these generators provide the meshes every example,
+test, and benchmark uses:
+
+* :func:`rect_tri` / :func:`rect_quad` — structured 2D grids of a rectangle,
+* :func:`box_tet` / :func:`box_hex` — structured 3D grids of a box (tets via
+  the 6-tet Kuhn subdivision of each cell),
+* :func:`delaunay_rect` — an irregular triangulation of a rectangle from a
+  jittered grid (exercises non-uniform connectivity),
+* all classified against the matching analytic b-rep model.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..gmodel.model import Model
+from ..gmodel.shapes import box_model, rect_model
+from .build import from_connectivity
+from .mesh import Mesh
+from .topology import HEX, QUAD, TET, TRI
+
+
+def _grid_points_2d(nx: int, ny: int, lo, hi) -> np.ndarray:
+    xs = np.linspace(lo[0], hi[0], nx + 1)
+    ys = np.linspace(lo[1], hi[1], ny + 1)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    return np.column_stack([gx.ravel(), gy.ravel()])
+
+
+def rect_tri(
+    nx: int,
+    ny: Optional[int] = None,
+    lo: Tuple[float, float] = (0.0, 0.0),
+    hi: Tuple[float, float] = (1.0, 1.0),
+    model: Optional[Model] = None,
+    classify: bool = True,
+) -> Mesh:
+    """Structured triangle mesh of a rectangle: ``2 * nx * ny`` triangles.
+
+    Each grid cell splits along its (+,+) diagonal; triangles are oriented
+    counter-clockwise.
+    """
+    ny = nx if ny is None else ny
+    if nx < 1 or ny < 1:
+        raise ValueError("need at least one cell per direction")
+    coords = _grid_points_2d(nx, ny, lo, hi)
+
+    def vid(i: int, j: int) -> int:
+        return i * (ny + 1) + j
+
+    cells = []
+    for i in range(nx):
+        for j in range(ny):
+            v00, v10 = vid(i, j), vid(i + 1, j)
+            v01, v11 = vid(i, j + 1), vid(i + 1, j + 1)
+            cells.append((v00, v10, v11))
+            cells.append((v00, v11, v01))
+    if model is None and classify:
+        model = rect_model(lo, hi)
+    return from_connectivity(
+        coords, np.asarray(cells), TRI, model=model, classify=classify
+    )
+
+
+def rect_quad(
+    nx: int,
+    ny: Optional[int] = None,
+    lo: Tuple[float, float] = (0.0, 0.0),
+    hi: Tuple[float, float] = (1.0, 1.0),
+    model: Optional[Model] = None,
+    classify: bool = True,
+) -> Mesh:
+    """Structured quadrilateral mesh of a rectangle: ``nx * ny`` quads."""
+    ny = nx if ny is None else ny
+    if nx < 1 or ny < 1:
+        raise ValueError("need at least one cell per direction")
+    coords = _grid_points_2d(nx, ny, lo, hi)
+
+    def vid(i: int, j: int) -> int:
+        return i * (ny + 1) + j
+
+    cells = []
+    for i in range(nx):
+        for j in range(ny):
+            cells.append((vid(i, j), vid(i + 1, j), vid(i + 1, j + 1), vid(i, j + 1)))
+    if model is None and classify:
+        model = rect_model(lo, hi)
+    return from_connectivity(
+        coords, np.asarray(cells), QUAD, model=model, classify=classify
+    )
+
+
+def _grid_points_3d(nx, ny, nz, lo, hi) -> np.ndarray:
+    xs = np.linspace(lo[0], hi[0], nx + 1)
+    ys = np.linspace(lo[1], hi[1], ny + 1)
+    zs = np.linspace(lo[2], hi[2], nz + 1)
+    gx, gy, gz = np.meshgrid(xs, ys, zs, indexing="ij")
+    return np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+
+
+def _perm_parity(p) -> int:
+    inversions = sum(
+        1 for i in range(len(p)) for j in range(i + 1, len(p)) if p[i] > p[j]
+    )
+    return inversions % 2
+
+
+#: The six tetrahedra of the Kuhn subdivision of a unit cell, as chains
+#: 0 → step → step → 7 over corner codes (bit k set = +1 in axis k).
+#: Odd-parity chains have their middle vertices swapped so every tet has
+#: positive volume.
+_KUHN_TETS = tuple(
+    (0, 1 << p[0], (1 << p[0]) | (1 << p[1]), 7)
+    if _perm_parity(p) == 0
+    else (0, (1 << p[0]) | (1 << p[1]), 1 << p[0], 7)
+    for p in permutations(range(3))
+)
+
+
+def box_tet(
+    nx: int,
+    ny: Optional[int] = None,
+    nz: Optional[int] = None,
+    lo: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    hi: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+    model: Optional[Model] = None,
+    classify: bool = True,
+) -> Mesh:
+    """Structured tetrahedral mesh of a box: ``6 * nx * ny * nz`` tets.
+
+    Every cell uses the same Kuhn subdivision, so neighbouring cells'
+    diagonals agree and the mesh is conforming.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if min(nx, ny, nz) < 1:
+        raise ValueError("need at least one cell per direction")
+    coords = _grid_points_3d(nx, ny, nz, lo, hi)
+
+    def vid(i: int, j: int, k: int) -> int:
+        return (i * (ny + 1) + j) * (nz + 1) + k
+
+    cells = []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                corner = {}
+                for code in range(8):
+                    corner[code] = vid(
+                        i + (code & 1), j + (code >> 1 & 1), k + (code >> 2 & 1)
+                    )
+                for tet in _KUHN_TETS:
+                    cells.append(tuple(corner[c] for c in tet))
+    if model is None and classify:
+        model = box_model(lo, hi)
+    return from_connectivity(
+        coords, np.asarray(cells), TET, model=model, classify=classify
+    )
+
+
+def box_hex(
+    nx: int,
+    ny: Optional[int] = None,
+    nz: Optional[int] = None,
+    lo: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    hi: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+    model: Optional[Model] = None,
+    classify: bool = True,
+) -> Mesh:
+    """Structured hexahedral mesh of a box: ``nx * ny * nz`` hexes."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if min(nx, ny, nz) < 1:
+        raise ValueError("need at least one cell per direction")
+    coords = _grid_points_3d(nx, ny, nz, lo, hi)
+
+    def vid(i, j, k):
+        return (i * (ny + 1) + j) * (nz + 1) + k
+
+    cells = []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                cells.append((
+                    vid(i, j, k), vid(i + 1, j, k),
+                    vid(i + 1, j + 1, k), vid(i, j + 1, k),
+                    vid(i, j, k + 1), vid(i + 1, j, k + 1),
+                    vid(i + 1, j + 1, k + 1), vid(i, j + 1, k + 1),
+                ))
+    if model is None and classify:
+        model = box_model(lo, hi)
+    return from_connectivity(
+        coords, np.asarray(cells), HEX, model=model, classify=classify
+    )
+
+
+def extrude_to_prisms(
+    mesh2d: Mesh,
+    layers: int = 1,
+    height: float = 1.0,
+) -> Mesh:
+    """Extrude a triangle mesh into ``layers`` layers of prisms (wedges).
+
+    Exercises the mixed-face cell path of the representation: every prism
+    has two triangular and three quadrilateral faces.  The extruded mesh is
+    left unclassified (no analytic b-rep is built for the swept solid).
+    """
+    from .topology import PRISM, TRI as TRI_CODE
+
+    if layers < 1:
+        raise ValueError("need at least one layer")
+    if mesh2d.dim() != 2:
+        raise ValueError("extrusion needs a 2D mesh")
+    for face in mesh2d.entities(2):
+        if mesh2d.etype(face) != TRI_CODE:
+            raise ValueError("extrusion supports triangle meshes")
+
+    mesh = Mesh()
+    base_verts = list(mesh2d.entities(0))
+    index = {v: i for i, v in enumerate(base_verts)}
+    dz = height / layers
+    rings = []
+    for k in range(layers + 1):
+        ring = []
+        for v in base_verts:
+            x, y, _z = mesh2d.coords(v)
+            ring.append(mesh.create_vertex([x, y, k * dz]))
+        rings.append(ring)
+    for k in range(layers):
+        lower, upper = rings[k], rings[k + 1]
+        for face in mesh2d.entities(2):
+            a, b, c = (index[v] for v in mesh2d.verts_of(face))
+            mesh.create(
+                PRISM,
+                [lower[a], lower[b], lower[c], upper[a], upper[b], upper[c]],
+            )
+    return mesh
+
+
+def delaunay_rect(
+    nx: int,
+    ny: Optional[int] = None,
+    lo: Tuple[float, float] = (0.0, 0.0),
+    hi: Tuple[float, float] = (1.0, 1.0),
+    jitter: float = 0.35,
+    seed: int = 0,
+    model: Optional[Model] = None,
+    classify: bool = True,
+) -> Mesh:
+    """Irregular Delaunay triangulation of a jittered grid.
+
+    Interior grid points are perturbed by up to ``jitter`` of the cell size;
+    boundary points stay exactly on the rectangle so classification works.
+    """
+    from scipy.spatial import Delaunay
+
+    ny = nx if ny is None else ny
+    if nx < 2 or ny < 2:
+        raise ValueError("need at least two cells per direction")
+    points = _grid_points_2d(nx, ny, lo, hi).reshape(nx + 1, ny + 1, 2)
+    rng = np.random.default_rng(seed)
+    hx = (hi[0] - lo[0]) / nx
+    hy = (hi[1] - lo[1]) / ny
+    noise = rng.uniform(-jitter, jitter, size=(nx - 1, ny - 1, 2))
+    points[1:-1, 1:-1, 0] += noise[:, :, 0] * hx
+    points[1:-1, 1:-1, 1] += noise[:, :, 1] * hy
+    flat = points.reshape(-1, 2)
+    tri = Delaunay(flat)
+    cells = tri.simplices.astype(np.int64)
+    # Delaunay output is CCW already; drop degenerate slivers if any.
+    a, b, c = flat[cells[:, 0]], flat[cells[:, 1]], flat[cells[:, 2]]
+    area2 = (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1]) - (
+        b[:, 1] - a[:, 1]
+    ) * (c[:, 0] - a[:, 0])
+    cells = cells[np.abs(area2) > 1e-14]
+    if model is None and classify:
+        model = rect_model(lo, hi)
+    return from_connectivity(flat, cells, TRI, model=model, classify=classify)

@@ -1,0 +1,130 @@
+"""Mesh input/output: VTK legacy export and a native snapshot format.
+
+VTK legacy ASCII is the exchange format for visualizing results (ParaView
+renders the figures corresponding to the paper's mesh images); the native
+format is a compact ``.npz`` snapshot preserving coordinates, connectivity,
+classification and element-dimension tags, sufficient to round-trip the
+meshes used by benchmarks without regenerating them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..gmodel.model import Model, ModelEntity
+from .build import from_connectivity
+from .entity import Ent
+from .mesh import Mesh
+from .topology import VTK_TYPES, type_info
+
+
+def write_vtk(
+    mesh: Mesh,
+    path: Union[str, Path],
+    cell_data: Optional[Dict[str, Dict[Ent, float]]] = None,
+) -> Path:
+    """Write the mesh's top-dimension elements as a VTK legacy file.
+
+    ``cell_data`` maps field name → (element → value); missing elements
+    default to 0.
+    """
+    path = Path(path)
+    dim = mesh.dim()
+    vert_map = mesh._stores[0].compact_map()
+    elements = list(mesh.entities(dim))
+
+    lines = [
+        "# vtk DataFile Version 3.0",
+        "repro mesh",
+        "ASCII",
+        "DATASET UNSTRUCTURED_GRID",
+        f"POINTS {len(vert_map)} double",
+    ]
+    coords = mesh.coords_view()
+    for idx in mesh._stores[0].indices():
+        x, y, z = coords[idx]
+        lines.append(f"{x} {y} {z}")
+
+    total_ints = sum(
+        1 + len(mesh._stores[dim].verts(e.idx)) for e in elements
+    )
+    lines.append(f"CELLS {len(elements)} {total_ints}")
+    for ent in elements:
+        verts = mesh._stores[dim].verts(ent.idx)
+        lines.append(
+            f"{len(verts)} " + " ".join(str(vert_map[v]) for v in verts)
+        )
+    lines.append(f"CELL_TYPES {len(elements)}")
+    for ent in elements:
+        lines.append(str(VTK_TYPES[mesh.etype(ent)]))
+
+    if cell_data:
+        lines.append(f"CELL_DATA {len(elements)}")
+        for name, values in cell_data.items():
+            lines.append(f"SCALARS {name} double 1")
+            lines.append("LOOKUP_TABLE default")
+            for ent in elements:
+                lines.append(str(float(values.get(ent, 0.0))))
+
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def save_native(mesh: Mesh, path: Union[str, Path]) -> Path:
+    """Snapshot the mesh (single element type) to a ``.npz`` file."""
+    path = Path(path)
+    dim = mesh.dim()
+    store = mesh._stores[dim]
+    elements = list(store.indices())
+    etypes = {store.etype(i) for i in elements}
+    if len(etypes) > 1:
+        raise ValueError("native format supports single-element-type meshes")
+    etype = etypes.pop() if etypes else None
+
+    vert_map = mesh._stores[0].compact_map()
+    coords = mesh.coords_view()[list(vert_map.keys())]
+    conn = np.asarray(
+        [[vert_map[v] for v in store.verts(i)] for i in elements],
+        dtype=np.int64,
+    )
+    gclass = [
+        (vert_map[idx], gent.dim, gent.tag)
+        for idx, gent in sorted(mesh._gclass[0].items())
+        if idx in vert_map
+    ]
+    meta = {"etype": etype, "dim": dim, "has_model": mesh.model is not None}
+    np.savez_compressed(
+        path,
+        coords=coords,
+        conn=conn,
+        vclass=np.asarray(gclass, dtype=np.int64).reshape(-1, 3),
+        meta=json.dumps(meta),
+    )
+    return path
+
+
+def load_native(path: Union[str, Path], model: Optional[Model] = None) -> Mesh:
+    """Rebuild a mesh from :func:`save_native` output.
+
+    Passing the original ``model`` restores full classification (vertices
+    from the snapshot, the rest re-derived); otherwise the mesh loads
+    unclassified.
+    """
+    data = np.load(Path(path), allow_pickle=False)
+    meta = json.loads(str(data["meta"]))
+    mesh = from_connectivity(
+        data["coords"],
+        data["conn"],
+        int(meta["etype"]),
+        model=model,
+        classify=False,
+    )
+    if model is not None:
+        from .build import classify_cheap
+
+        classify_cheap(mesh, model)
+    return mesh

@@ -1,0 +1,399 @@
+"""The mesh: a complete topological representation with O(1) adjacency.
+
+"The minimal requirement of any such mesh representation is complete
+representation with which the complexity of any mesh adjacency interrogation
+is O(1) (i.e., not a function of mesh size)" (paper, Section I).
+:class:`Mesh` satisfies this with four per-dimension entity stores holding
+one-level downward and upward adjacencies plus canonical vertex tuples;
+every adjacency query — any (d, d') pair, upward or downward, one or many
+levels — resolves by walking only the entities local to the query.
+
+The mesh also carries the other per-entity state PUMI maintains:
+
+* **geometric classification** — the association of each mesh entity to the
+  highest-level geometric model entity it partly represents,
+* **tags** and **sets** — the common utilities of Section II,
+* dynamic modification — entities can be created and destroyed at any time
+  (edge splits, collapses, migration), with upward users checked so the
+  representation can never dangle.
+
+Entity ids are never reused (see :mod:`repro.mesh.store`), so handles held
+across modification either stay valid or refer to provably-dead entities.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gmodel.classify import classify_from_closure, classify_point
+from ..gmodel.model import Model, ModelEntity
+from .entity import Ent
+from .sets import SetManager
+from .store import EntityStore
+from .tag import TagManager
+from .topology import (
+    EDGE,
+    TRI,
+    VERTEX,
+    TypeInfo,
+    type_info,
+)
+
+_INITIAL_VERTEX_CAPACITY = 16
+
+
+class Mesh:
+    """An unstructured mesh with full one-level adjacency (serial part).
+
+    A distributed mesh is a collection of these, one per part, linked by the
+    partition layer (:mod:`repro.partition`).
+    """
+
+    def __init__(self, model: Optional[Model] = None) -> None:
+        #: The geometric model this mesh discretizes (may be None).
+        self.model = model
+        self._stores = [EntityStore(d) for d in range(4)]
+        self._coords = np.zeros((_INITIAL_VERTEX_CAPACITY, 3), dtype=float)
+        #: find-by-vertices lookup for edges and faces (sorted vert tuples).
+        self._lookup: Tuple[Dict[Tuple[int, ...], int], ...] = ({}, {})
+        self._gclass: List[Dict[int, ModelEntity]] = [{}, {}, {}, {}]
+        #: Tag component (arbitrary user data per entity).
+        self.tags = TagManager()
+        #: Set component (named entity groups).
+        self.sets = SetManager()
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+
+    def create_vertex(
+        self,
+        xyz: Sequence[float],
+        classification: Optional[ModelEntity] = None,
+    ) -> Ent:
+        """Create a vertex at ``xyz`` (2D points get z=0)."""
+        store = self._stores[0]
+        idx = store.create(VERTEX, (store.capacity,), ())
+        if idx >= len(self._coords):
+            grown = np.zeros((max(2 * len(self._coords), idx + 1), 3))
+            grown[: len(self._coords)] = self._coords
+            self._coords = grown
+        point = np.asarray(xyz, dtype=float)
+        self._coords[idx, : point.shape[0]] = point
+        ent = Ent(0, idx)
+        if classification is not None:
+            self.set_classification(ent, classification)
+        return ent
+
+    def create(
+        self,
+        etype: int,
+        verts: Sequence[Ent],
+        classification: Optional[ModelEntity] = None,
+    ) -> Ent:
+        """Find or create the entity of type ``etype`` on ``verts``.
+
+        Intermediate bounding entities (edges of a face, faces of a region)
+        are found or created recursively, so callers may build a mesh from
+        element-to-vertex connectivity alone — the usual PUMI workflow.
+        ``classification``, when given, applies only to the entity itself
+        (not to auto-created intermediates; see :meth:`classify_against`).
+        """
+        info = type_info(etype)
+        if info.dim == 0:
+            raise ValueError("use create_vertex for vertices")
+        vert_ids = tuple(self._vert_id(v) for v in verts)
+        if len(vert_ids) != info.nverts:
+            raise ValueError(
+                f"{info.name} needs {info.nverts} vertices, got {len(vert_ids)}"
+            )
+        if len(set(vert_ids)) != len(vert_ids):
+            raise ValueError(f"{info.name} has repeated vertices: {vert_ids}")
+        existing = self.find(info.dim, verts)
+        if existing is not None:
+            return existing
+        down_ids = self._build_downward(info, vert_ids)
+        store = self._stores[info.dim]
+        idx = store.create(etype, vert_ids, down_ids)
+        below = self._stores[info.dim - 1]
+        for down_idx in down_ids:
+            below.add_up(down_idx, idx)
+        if info.dim <= 2:
+            self._lookup[info.dim - 1][tuple(sorted(vert_ids))] = idx
+        ent = Ent(info.dim, idx)
+        if classification is not None:
+            self.set_classification(ent, classification)
+        return ent
+
+    def _build_downward(
+        self, info: TypeInfo, vert_ids: Tuple[int, ...]
+    ) -> Tuple[int, ...]:
+        """Find-or-create the one-level boundary of a new entity."""
+        vert_ents = [Ent(0, v) for v in vert_ids]
+        if info.dim == 1:
+            return vert_ids
+        if info.dim == 2:
+            return tuple(
+                self.create(EDGE, (vert_ents[a], vert_ents[b])).idx
+                for a, b in info.edges
+            )
+        return tuple(
+            self.create(ftype, [vert_ents[i] for i in locals_]).idx
+            for ftype, locals_ in info.faces
+        )
+
+    # ------------------------------------------------------------------
+    # destruction
+    # ------------------------------------------------------------------
+
+    def destroy(self, ent: Ent, cascade: bool = False) -> None:
+        """Destroy ``ent``; with ``cascade`` also remove orphaned boundary.
+
+        Raises if higher-dimension entities still use ``ent`` — the complete
+        representation must never dangle.
+        """
+        store = self._stores[ent.dim]
+        if store.up_count(ent.idx):
+            raise ValueError(f"cannot destroy {ent}: higher entities remain")
+        down_ids = store.down(ent.idx)
+        if ent.dim in (1, 2):
+            self._lookup[ent.dim - 1].pop(
+                tuple(sorted(store.verts(ent.idx))), None
+            )
+        store.destroy(ent.idx)
+        self._gclass[ent.dim].pop(ent.idx, None)
+        self.tags.drop_entity(ent)
+        self.sets.drop_entity(ent)
+        if ent.dim > 0:
+            below = self._stores[ent.dim - 1]
+            for down_idx in down_ids:
+                below.remove_up(down_idx, ent.idx)
+            if cascade:
+                for down_idx in down_ids:
+                    lower = Ent(ent.dim - 1, down_idx)
+                    if below.alive(down_idx) and below.up_count(down_idx) == 0:
+                        self.destroy(lower, cascade=True)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def has(self, ent: Ent) -> bool:
+        """Whether ``ent`` refers to a live entity of this mesh."""
+        return 0 <= ent.dim <= 3 and self._stores[ent.dim].alive(ent.idx)
+
+    def find(self, dim: int, verts: Sequence[Ent]) -> Optional[Ent]:
+        """The live entity of ``dim`` on exactly these vertices, or None."""
+        vert_ids = tuple(sorted(self._vert_id(v) for v in verts))
+        if dim in (1, 2):
+            idx = self._lookup[dim - 1].get(vert_ids)
+            return Ent(dim, idx) if idx is not None else None
+        if dim == 3:
+            # Regions have no lookup table; search the first vertex's regions.
+            first = Ent(0, vert_ids[0])
+            for reg in self.adjacent(first, 3):
+                if tuple(sorted(self._stores[3].verts(reg.idx))) == vert_ids:
+                    return reg
+            return None
+        raise ValueError(f"find() supports dims 1..3, got {dim}")
+
+    def count(self, dim: int) -> int:
+        """Number of live entities of dimension ``dim`` — O(1)."""
+        return len(self._stores[dim])
+
+    def entities(self, dim: int) -> Iterator[Ent]:
+        """Live entities of one dimension in ascending id order."""
+        for idx in self._stores[dim].indices():
+            yield Ent(dim, idx)
+
+    def etype(self, ent: Ent) -> int:
+        return self._stores[ent.dim].etype(ent.idx)
+
+    def type_name(self, ent: Ent) -> str:
+        return type_info(self.etype(ent)).name
+
+    def dim(self) -> int:
+        """The mesh dimension: highest dimension with live entities."""
+        for dim in (3, 2, 1, 0):
+            if self.count(dim):
+                return dim
+        return 0
+
+    # -- adjacency ---------------------------------------------------------
+
+    def verts_of(self, ent: Ent) -> List[Ent]:
+        """Canonical-order bounding vertices of ``ent``."""
+        if ent.dim == 0:
+            self._stores[0]._check(ent.idx)
+            return [ent]
+        return [Ent(0, v) for v in self._stores[ent.dim].verts(ent.idx)]
+
+    def down(self, ent: Ent) -> List[Ent]:
+        """One-level downward adjacency in canonical order."""
+        if ent.dim == 0:
+            return []
+        return [Ent(ent.dim - 1, i) for i in self._stores[ent.dim].down(ent.idx)]
+
+    def up(self, ent: Ent) -> List[Ent]:
+        """One-level upward adjacency."""
+        if ent.dim == 3:
+            return []
+        return [Ent(ent.dim + 1, i) for i in self._stores[ent.dim].up(ent.idx)]
+
+    def adjacent(self, ent: Ent, dim: int) -> List[Ent]:
+        """All entities of dimension ``dim`` adjacent to ``ent``.
+
+        Complexity is proportional to the local neighbourhood only — the
+        complete-representation guarantee.  ``dim == ent.dim`` returns
+        ``[ent]`` for uniformity.
+        """
+        if dim == ent.dim:
+            return [ent]
+        if dim < ent.dim:
+            if dim == 0:
+                return self.verts_of(ent)
+            frontier = self.down(ent)
+            while frontier and frontier[0].dim != dim:
+                frontier = _ordered_unique(
+                    lower for item in frontier for lower in self.down(item)
+                )
+            return frontier
+        frontier = self.up(ent)
+        while frontier and frontier[0].dim != dim:
+            frontier = _ordered_unique(
+                upper for item in frontier for upper in self.up(item)
+            )
+        return frontier
+
+    def second_adjacent(self, ent: Ent, bridge_dim: int, target_dim: int) -> List[Ent]:
+        """Entities of ``target_dim`` sharing a ``bridge_dim`` entity with ``ent``.
+
+        The classic second-order adjacency, e.g. face-neighbour regions via
+        ``bridge_dim=2``; ``ent`` itself is excluded.
+        """
+        result: List[Ent] = []
+        seen = {ent}
+        for bridge in self.adjacent(ent, bridge_dim):
+            for other in self.adjacent(bridge, target_dim):
+                if other not in seen:
+                    seen.add(other)
+                    result.append(other)
+        return result
+
+    # -- coordinates ---------------------------------------------------------
+
+    def coords(self, ent: Ent) -> np.ndarray:
+        """Coordinates of a vertex (copy; 3-vector, z=0 for 2D meshes)."""
+        if ent.dim != 0:
+            raise ValueError(f"only vertices carry coordinates, got {ent}")
+        self._stores[0]._check(ent.idx)
+        return self._coords[ent.idx].copy()
+
+    def set_coords(self, ent: Ent, xyz: Sequence[float]) -> None:
+        if ent.dim != 0:
+            raise ValueError(f"only vertices carry coordinates, got {ent}")
+        self._stores[0]._check(ent.idx)
+        point = np.asarray(xyz, dtype=float)
+        self._coords[ent.idx, : point.shape[0]] = point
+
+    def centroid(self, ent: Ent) -> np.ndarray:
+        """Average of ``ent``'s vertex coordinates."""
+        ids = [v.idx for v in self.verts_of(ent)]
+        return self._coords[ids].mean(axis=0)
+
+    def coords_view(self) -> np.ndarray:
+        """Read-only view of the raw coordinate array (rows = vertex ids)."""
+        view = self._coords[: self._stores[0].capacity]
+        view.flags.writeable = False
+        return view
+
+    # -- classification ------------------------------------------------------
+
+    def classification(self, ent: Ent) -> Optional[ModelEntity]:
+        """Geometric classification of ``ent`` (None when unset)."""
+        return self._gclass[ent.dim].get(ent.idx)
+
+    def set_classification(self, ent: Ent, gent: ModelEntity) -> None:
+        if gent.dim < ent.dim:
+            raise ValueError(
+                f"{ent} cannot be classified on lower-dimension {gent}"
+            )
+        self._stores[ent.dim]._check(ent.idx)
+        self._gclass[ent.dim][ent.idx] = gent
+
+    def classify_against(self, model: Optional[Model] = None, tol: float = 1e-9) -> None:
+        """(Re)classify every entity against a geometric model.
+
+        Vertices classify by point location; higher entities by the closure
+        rule over their vertices' classifications.
+        """
+        model = model if model is not None else self.model
+        if model is None:
+            raise ValueError("no geometric model to classify against")
+        self.model = model
+        for vert in self.entities(0):
+            gent = classify_point(model, self.coords(vert), tol)
+            if gent is None:
+                raise ValueError(
+                    f"vertex {vert} at {self.coords(vert)} lies outside the model"
+                )
+            self.set_classification(vert, gent)
+        for dim in range(1, self.dim() + 1):
+            for ent in self.entities(dim):
+                gents = [self.classification(v) for v in self.verts_of(ent)]
+                self.set_classification(ent, classify_from_closure(model, gents))
+
+    def classify_closure_missing(self, ent: Ent) -> None:
+        """Fill missing classification on ``ent``'s closure (incl. itself).
+
+        Used by mesh modification: a newly created element's auto-created
+        boundary entities inherit classification from their vertices via the
+        closure rule.  Entities with unclassified vertices are skipped.
+        """
+        if self.model is None:
+            return
+        for d in range(1, ent.dim + 1):
+            for sub in self.adjacent(ent, d):
+                if self.classification(sub) is not None:
+                    continue
+                gents = [self.classification(v) for v in self.verts_of(sub)]
+                if any(g is None for g in gents):
+                    continue
+                self.set_classification(
+                    sub, classify_from_closure(self.model, gents)
+                )
+
+    # -- misc -----------------------------------------------------------------
+
+    def tag(self, name: str):
+        """Get or create the tag ``name`` (shortcut to the tag manager)."""
+        return self.tags.create(name)
+
+    def entity_counts(self) -> Tuple[int, int, int, int]:
+        """(vertices, edges, faces, regions) — the paper's balance metrics."""
+        return (self.count(0), self.count(1), self.count(2), self.count(3))
+
+    def __repr__(self) -> str:
+        v, e, f, r = self.entity_counts()
+        return f"Mesh(verts={v}, edges={e}, faces={f}, regions={r})"
+
+    def _vert_id(self, v: Any) -> int:
+        if isinstance(v, Ent):
+            if v.dim != 0:
+                raise ValueError(f"expected a vertex handle, got {v}")
+            if not self._stores[0].alive(v.idx):
+                raise KeyError(f"vertex {v.idx} does not exist")
+            return v.idx
+        raise TypeError(f"expected an Ent vertex handle, got {type(v).__name__}")
+
+
+def _ordered_unique(items: Iterator[Ent]) -> List[Ent]:
+    seen: set = set()
+    out: List[Ent] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out

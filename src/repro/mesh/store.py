@@ -1,0 +1,141 @@
+"""Per-dimension entity storage with one-level adjacency.
+
+Each :class:`EntityStore` owns all entities of one topological dimension of a
+mesh: their type codes, canonical vertex tuples, one-level downward adjacency
+(ids into the store one dimension below) and one-level upward adjacency (ids
+one dimension above).  Together the four stores of a mesh realize the
+*complete representation* the paper requires: every adjacency of an entity is
+reachable in time proportional to the answer's size, never to the mesh size.
+
+Ids are allocated monotonically and never reused: destroying an entity marks
+its slot dead.  Stale handles therefore can never alias a later entity — a
+deliberate safety choice for a simulator that performs heavy mesh
+modification (the cost is that id ranges are not compacted until
+:meth:`EntityStore.compact_map` is consulted by the IO layer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .topology import type_info
+
+
+class EntityStore:
+    """Container of all mesh entities of one dimension."""
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+        self._etype: List[int] = []
+        self._verts: List[Tuple[int, ...]] = []
+        self._down: List[Tuple[int, ...]] = []
+        self._up: List[List[int]] = []
+        self._alive: List[bool] = []
+        self._n_alive = 0
+
+    # -- creation / destruction -------------------------------------------
+
+    def create(
+        self,
+        etype: int,
+        verts: Tuple[int, ...],
+        down: Tuple[int, ...],
+    ) -> int:
+        """Append a live entity; returns its id."""
+        info = type_info(etype)
+        if info.dim != self.dim:
+            raise ValueError(
+                f"type {info.name} has dim {info.dim}, store holds dim {self.dim}"
+            )
+        if len(verts) != info.nverts:
+            raise ValueError(
+                f"{info.name} needs {info.nverts} vertices, got {len(verts)}"
+            )
+        idx = len(self._etype)
+        self._etype.append(etype)
+        self._verts.append(tuple(verts))
+        self._down.append(tuple(down))
+        self._up.append([])
+        self._alive.append(True)
+        self._n_alive += 1
+        return idx
+
+    def destroy(self, idx: int) -> None:
+        """Mark ``idx`` dead.  The caller must have cleared upward users."""
+        self._check(idx)
+        if self._up[idx]:
+            raise ValueError(
+                f"cannot destroy dim-{self.dim} entity {idx}: still bounds "
+                f"{len(self._up[idx])} higher entities"
+            )
+        self._alive[idx] = False
+        self._n_alive -= 1
+        # Release adjacency memory for the dead slot.
+        self._verts[idx] = ()
+        self._down[idx] = ()
+
+    # -- accessors ---------------------------------------------------------
+
+    def alive(self, idx: int) -> bool:
+        return 0 <= idx < len(self._alive) and self._alive[idx]
+
+    def etype(self, idx: int) -> int:
+        self._check(idx)
+        return self._etype[idx]
+
+    def verts(self, idx: int) -> Tuple[int, ...]:
+        """Canonical-order vertex ids of entity ``idx``."""
+        self._check(idx)
+        return self._verts[idx]
+
+    def down(self, idx: int) -> Tuple[int, ...]:
+        """One-level downward adjacency (ids of dimension ``dim - 1``)."""
+        self._check(idx)
+        return self._down[idx]
+
+    def up(self, idx: int) -> List[int]:
+        """One-level upward adjacency (ids of dimension ``dim + 1``)."""
+        self._check(idx)
+        return list(self._up[idx])
+
+    def add_up(self, idx: int, upper: int) -> None:
+        self._check(idx)
+        self._up[idx].append(upper)
+
+    def remove_up(self, idx: int, upper: int) -> None:
+        self._check(idx)
+        try:
+            self._up[idx].remove(upper)
+        except ValueError:
+            raise ValueError(
+                f"dim-{self.dim} entity {idx} does not bound {upper}"
+            ) from None
+
+    def up_count(self, idx: int) -> int:
+        self._check(idx)
+        return len(self._up[idx])
+
+    # -- iteration / size ----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of *live* entities."""
+        return self._n_alive
+
+    @property
+    def capacity(self) -> int:
+        """Total slots ever allocated (live + dead)."""
+        return len(self._etype)
+
+    def indices(self) -> Iterator[int]:
+        """Live ids in ascending order."""
+        for idx, alive in enumerate(self._alive):
+            if alive:
+                yield idx
+
+    def compact_map(self) -> Dict[int, int]:
+        """Mapping live id → dense 0-based index (for IO/export)."""
+        return {idx: pos for pos, idx in enumerate(self.indices())}
+
+    def _check(self, idx: int) -> None:
+        if not self.alive(idx):
+            raise KeyError(f"dim-{self.dim} entity {idx} does not exist")

@@ -1,0 +1,179 @@
+"""Canonical topology tables for mesh entity types.
+
+The unstructured mesh representation is "defined as a boundary representation
+using the base topological entities of vertex (0D), edge (1D), face (2D),
+region (3D)" (paper, Section II).  This module fixes the canonical ordering
+of every supported cell type's bounding entities — which vertices form its
+edges, which vertices form each of its faces — matching the conventions of
+classic mesh databases (and of VTK, which `repro.mesh.io` targets).
+
+Supported types: VERTEX, EDGE, TRI, QUAD, TET, HEX, PRISM (wedge), PYRAMID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Entity type codes.  Stable small ints; order groups types by dimension.
+VERTEX = 0
+EDGE = 1
+TRI = 2
+QUAD = 3
+TET = 4
+PYRAMID = 5
+PRISM = 6
+HEX = 7
+
+#: Human-readable names for messages and IO.
+TYPE_NAMES = {
+    VERTEX: "vertex",
+    EDGE: "edge",
+    TRI: "tri",
+    QUAD: "quad",
+    TET: "tet",
+    PYRAMID: "pyramid",
+    PRISM: "prism",
+    HEX: "hex",
+}
+
+#: VTK legacy cell-type ids (for repro.mesh.io).
+VTK_TYPES = {
+    VERTEX: 1,
+    EDGE: 3,
+    TRI: 5,
+    QUAD: 9,
+    TET: 10,
+    PYRAMID: 14,
+    PRISM: 13,
+    HEX: 12,
+}
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """Topology of one entity type in canonical vertex ordering."""
+
+    code: int
+    dim: int
+    nverts: int
+    #: Bounding edges as pairs of local vertex indices.
+    edges: Tuple[Tuple[int, int], ...]
+    #: Bounding faces as (face type, local vertex indices); empty below 3D.
+    faces: Tuple[Tuple[int, Tuple[int, ...]], ...]
+
+    @property
+    def name(self) -> str:
+        return TYPE_NAMES[self.code]
+
+    @property
+    def nedges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def nfaces(self) -> int:
+        return len(self.faces)
+
+    def downward_count(self, dim: int) -> int:
+        """Number of bounding entities of dimension ``dim``."""
+        if dim == self.dim - 1:
+            if self.dim == 1:
+                return self.nverts
+            if self.dim == 2:
+                return self.nedges
+            return self.nfaces
+        if dim == 0:
+            return self.nverts
+        if dim == 1:
+            return self.nedges
+        raise ValueError(f"no downward entities of dim {dim} for {self.name}")
+
+
+TYPES: Dict[int, TypeInfo] = {
+    VERTEX: TypeInfo(VERTEX, 0, 1, (), ()),
+    EDGE: TypeInfo(EDGE, 1, 2, (), ()),
+    TRI: TypeInfo(
+        TRI, 2, 3,
+        edges=((0, 1), (1, 2), (2, 0)),
+        faces=(),
+    ),
+    QUAD: TypeInfo(
+        QUAD, 2, 4,
+        edges=((0, 1), (1, 2), (2, 3), (3, 0)),
+        faces=(),
+    ),
+    TET: TypeInfo(
+        TET, 3, 4,
+        edges=((0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3)),
+        faces=(
+            (TRI, (0, 2, 1)),
+            (TRI, (0, 1, 3)),
+            (TRI, (1, 2, 3)),
+            (TRI, (2, 0, 3)),
+        ),
+    ),
+    PYRAMID: TypeInfo(
+        PYRAMID, 3, 5,
+        edges=((0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4), (2, 4), (3, 4)),
+        faces=(
+            (QUAD, (0, 3, 2, 1)),
+            (TRI, (0, 1, 4)),
+            (TRI, (1, 2, 4)),
+            (TRI, (2, 3, 4)),
+            (TRI, (3, 0, 4)),
+        ),
+    ),
+    PRISM: TypeInfo(
+        PRISM, 3, 6,
+        edges=(
+            (0, 1), (1, 2), (2, 0),
+            (3, 4), (4, 5), (5, 3),
+            (0, 3), (1, 4), (2, 5),
+        ),
+        faces=(
+            (TRI, (0, 2, 1)),
+            (TRI, (3, 4, 5)),
+            (QUAD, (0, 1, 4, 3)),
+            (QUAD, (1, 2, 5, 4)),
+            (QUAD, (2, 0, 3, 5)),
+        ),
+    ),
+    HEX: TypeInfo(
+        HEX, 3, 8,
+        edges=(
+            (0, 1), (1, 2), (2, 3), (3, 0),
+            (4, 5), (5, 6), (6, 7), (7, 4),
+            (0, 4), (1, 5), (2, 6), (3, 7),
+        ),
+        faces=(
+            (QUAD, (0, 3, 2, 1)),
+            (QUAD, (4, 5, 6, 7)),
+            (QUAD, (0, 1, 5, 4)),
+            (QUAD, (1, 2, 6, 5)),
+            (QUAD, (2, 3, 7, 6)),
+            (QUAD, (3, 0, 4, 7)),
+        ),
+    ),
+}
+
+
+def type_info(code: int) -> TypeInfo:
+    """Topology table of entity type ``code``; raises on unknown codes."""
+    try:
+        return TYPES[code]
+    except KeyError:
+        raise ValueError(f"unknown entity type code {code}") from None
+
+
+def types_of_dim(dim: int) -> Tuple[int, ...]:
+    """All entity type codes of topological dimension ``dim``."""
+    return tuple(code for code, info in TYPES.items() if info.dim == dim)
+
+
+def face_type_for_verts(nverts: int) -> int:
+    """Face type implied by a vertex count (3 → TRI, 4 → QUAD)."""
+    if nverts == 3:
+        return TRI
+    if nverts == 4:
+        return QUAD
+    raise ValueError(f"no face type with {nverts} vertices")

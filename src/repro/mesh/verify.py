@@ -1,0 +1,112 @@
+"""Mesh validity verification.
+
+``verify`` walks the whole representation and checks the invariants the rest
+of the code relies on; every mesh-modifying operation's tests call it.  The
+checks mirror PUMI's ``apf::verify``:
+
+* downward/upward consistency (i is in up(j) iff j is in down(i)),
+* canonical vertex tuples agree with downward entities' vertices,
+* no dangling entities (every edge/face below the mesh dimension bounds
+  something, unless ``allow_dangling``),
+* geometric classification dimension >= entity dimension, and classification
+  present when the mesh carries a model,
+* for simplex elements, strictly positive measure (no inverted elements)
+  when ``check_volumes`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .entity import Ent
+from .mesh import Mesh
+from .quality import measure
+from .topology import TET, TRI, type_info
+
+
+class MeshInvalidError(AssertionError):
+    """The mesh violates a representation invariant."""
+
+
+def verify(
+    mesh: Mesh,
+    allow_dangling: bool = False,
+    check_classification: bool = None,
+    check_volumes: bool = False,
+) -> None:
+    """Raise :class:`MeshInvalidError` on the first violated invariant."""
+    errors: List[str] = []
+    if check_classification is None:
+        check_classification = mesh.model is not None
+    mesh_dim = mesh.dim()
+
+    for dim in range(mesh_dim + 1):
+        store = mesh._stores[dim]
+        below = mesh._stores[dim - 1] if dim > 0 else None
+        above = mesh._stores[dim + 1] if dim < 3 else None
+        for idx in store.indices():
+            ent = Ent(dim, idx)
+            info = type_info(store.etype(idx))
+            if info.dim != dim:
+                errors.append(f"{ent}: type {info.name} in dim-{dim} store")
+                continue
+            verts = store.verts(idx)
+            if len(verts) != info.nverts:
+                errors.append(
+                    f"{ent}: {len(verts)} vertices, expected {info.nverts}"
+                )
+            if dim > 0:
+                down = store.down(idx)
+                expected = info.downward_count(dim - 1)
+                if len(down) != expected:
+                    errors.append(
+                        f"{ent}: {len(down)} downward entities, "
+                        f"expected {expected}"
+                    )
+                down_verts = set()
+                for j in down:
+                    if not below.alive(j):
+                        errors.append(f"{ent}: dead downward entity {j}")
+                        continue
+                    if idx not in below._up[j]:
+                        errors.append(
+                            f"{ent}: missing upward link from M{dim-1}_{j}"
+                        )
+                    down_verts.update(below.verts(j) if dim > 1 else (j,))
+                if down_verts and down_verts != set(verts):
+                    errors.append(
+                        f"{ent}: downward closure vertices {sorted(down_verts)}"
+                        f" != canonical vertices {sorted(verts)}"
+                    )
+            if above is not None and dim < mesh_dim and not allow_dangling:
+                if store.up_count(idx) == 0:
+                    errors.append(f"{ent}: dangles (bounds nothing)")
+            for upper in (store.up(idx) if dim < 3 else []):
+                if not above.alive(upper):
+                    errors.append(f"{ent}: dead upward entity {upper}")
+                elif idx not in above._down[upper]:
+                    errors.append(
+                        f"{ent}: upward link to M{dim+1}_{upper} not reciprocated"
+                    )
+            if check_classification:
+                gent = mesh.classification(ent)
+                if gent is None:
+                    errors.append(f"{ent}: unclassified")
+                elif gent.dim < dim:
+                    errors.append(
+                        f"{ent}: classified on lower-dimension {gent}"
+                    )
+            if check_volumes and info.code in (TRI, TET) and dim == mesh_dim:
+                size = measure(mesh, ent)
+                if size <= 0.0:
+                    errors.append(f"{ent}: non-positive measure {size}")
+            if errors and len(errors) >= 20:
+                break
+        if errors and len(errors) >= 20:
+            break
+
+    if errors:
+        summary = "\n  ".join(errors[:20])
+        raise MeshInvalidError(
+            f"mesh verification failed ({len(errors)}+ issue(s)):\n  {summary}"
+        )

@@ -1,0 +1,52 @@
+"""Parallel control substrate: simulated MPI, BSP network, topology, perf.
+
+This package is the reproduction's stand-in for PUMI's "Parallel Control"
+component (Fig. 1 of the paper): communicators, collectives, neighbor
+exchange, architecture topology, message routing, and performance counters.
+"""
+
+from .detect import detect, virtual
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Comm,
+    CommAbortedError,
+    CommTimeoutError,
+    CommWorld,
+    Request,
+)
+from .executor import SpmdError, spmd
+from .neighbors import dense_exchange, neighbor_exchange
+from .network import Message, Network, wire_size
+from .perf import GLOBAL, PerfCounters, TimerStat
+from .routing import BufferedRouter, NodeRouter
+from .topology import MachineTopology, flat, single_node
+from .twolevel import TwoLevelComm
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BufferedRouter",
+    "Comm",
+    "CommAbortedError",
+    "CommTimeoutError",
+    "CommWorld",
+    "GLOBAL",
+    "MachineTopology",
+    "Message",
+    "Network",
+    "NodeRouter",
+    "PerfCounters",
+    "Request",
+    "SpmdError",
+    "TimerStat",
+    "TwoLevelComm",
+    "dense_exchange",
+    "detect",
+    "flat",
+    "neighbor_exchange",
+    "single_node",
+    "spmd",
+    "virtual",
+    "wire_size",
+]

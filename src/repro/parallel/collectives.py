@@ -1,0 +1,173 @@
+"""Collective operations over :class:`repro.parallel.comm.Comm`.
+
+The collectives are implemented on top of the communicator's reserved
+point-to-point channel, each call consuming one sequence number per rank so
+that back-to-back collectives on the same communicator never cross-match
+(SPMD programs call collectives in the same order on every rank, the same
+contract MPI imposes).
+
+Algorithms:
+
+* ``barrier`` — dissemination barrier, ceil(log2 P) rounds.
+* ``bcast`` — binomial tree rooted at ``root``.
+* ``gather``/``scatter`` — direct (flat) exchange with the root.
+* ``reduce`` — gather to root then a *rank-ordered* fold, so the result is
+  deterministic even for non-commutative/non-associative operators (a
+  stronger guarantee than MPI gives, and the right one for a simulator).
+* ``allgather``/``allreduce`` — root variant followed by broadcast.
+* ``alltoall`` — direct pairwise exchange.
+* ``scan``/``exscan`` — linear chain.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, List, Optional
+
+BinOp = Callable[[Any, Any], Any]
+
+
+def _resolve_op(op: Optional[BinOp]) -> BinOp:
+    return operator.add if op is None else op
+
+
+def barrier(comm) -> None:
+    """Dissemination barrier: after return, every rank has entered."""
+    seq = comm._next_seq()
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    round_ = 0
+    distance = 1
+    while distance < size:
+        comm._csend(None, (rank + distance) % size, "barrier", seq, round_)
+        comm._crecv((rank - distance) % size, "barrier", seq, round_)
+        distance *= 2
+        round_ += 1
+
+
+def bcast(comm, obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast of ``obj`` from ``root``; returns the object."""
+    seq = comm._next_seq()
+    size = comm.size
+    if size == 1:
+        return obj
+    rank = comm.rank
+    # Work in a rotated rank space where the root is virtual rank 0.
+    vrank = (rank - root) % size
+    if vrank != 0:
+        # Receive from parent: clear the lowest set bit of vrank.
+        parent = vrank & (vrank - 1)
+        obj = comm._crecv((parent + root) % size, "bcast", seq)
+    # Forward to children: set each bit above the lowest set bit of vrank.
+    mask = 1
+    while mask < size:
+        if vrank & (mask - 1) == 0 and vrank | mask != vrank:
+            child = vrank | mask
+            if child < size:
+                comm._csend(obj, (child + root) % size, "bcast", seq)
+        if vrank & mask:
+            break
+        mask <<= 1
+    return obj
+
+
+def gather(comm, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
+    """Gather one object per rank to ``root`` (rank order); None elsewhere."""
+    seq = comm._next_seq()
+    if comm.rank == root:
+        result: List[Any] = [None] * comm.size
+        result[root] = sendobj
+        for src in range(comm.size):
+            if src != root:
+                result[src] = comm._crecv(src, "gather", seq)
+        return result
+    comm._csend(sendobj, root, "gather", seq)
+    return None
+
+
+def scatter(comm, sendobj: Optional[List[Any]], root: int = 0) -> Any:
+    """Scatter ``comm.size`` objects from ``root``; returns this rank's one."""
+    seq = comm._next_seq()
+    if comm.rank == root:
+        if sendobj is None or len(sendobj) != comm.size:
+            raise ValueError(
+                f"scatter root needs a list of exactly {comm.size} objects"
+            )
+        for dst in range(comm.size):
+            if dst != root:
+                comm._csend(sendobj[dst], dst, "scatter", seq)
+        return sendobj[root]
+    return comm._crecv(root, "scatter", seq)
+
+
+def reduce(comm, sendobj: Any, op: Optional[BinOp] = None, root: int = 0) -> Any:
+    """Reduce to ``root`` with a rank-ordered fold; None on other ranks."""
+    op = _resolve_op(op)
+    contributions = gather(comm, sendobj, root)
+    if comm.rank != root:
+        return None
+    assert contributions is not None
+    accum = contributions[0]
+    for value in contributions[1:]:
+        accum = op(accum, value)
+    return accum
+
+
+def allgather(comm, sendobj: Any) -> List[Any]:
+    """Every rank receives the rank-ordered list of all contributions."""
+    gathered = gather(comm, sendobj, root=0)
+    return bcast(comm, gathered, root=0)
+
+
+def allreduce(comm, sendobj: Any, op: Optional[BinOp] = None) -> Any:
+    """Reduction whose result is returned on every rank."""
+    reduced = reduce(comm, sendobj, op, root=0)
+    return bcast(comm, reduced, root=0)
+
+
+def alltoall(comm, sendobjs: List[Any]) -> List[Any]:
+    """Personalized all-to-all: rank i's ``sendobjs[j]`` reaches rank j."""
+    if len(sendobjs) != comm.size:
+        raise ValueError(
+            f"alltoall needs exactly {comm.size} objects, got {len(sendobjs)}"
+        )
+    seq = comm._next_seq()
+    rank = comm.rank
+    for dst in range(comm.size):
+        if dst != rank:
+            comm._csend(sendobjs[dst], dst, "alltoall", seq)
+    result: List[Any] = [None] * comm.size
+    result[rank] = sendobjs[rank]
+    for src in range(comm.size):
+        if src != rank:
+            result[src] = comm._crecv(src, "alltoall", seq)
+    return result
+
+
+def scan(comm, sendobj: Any, op: Optional[BinOp] = None) -> Any:
+    """Inclusive prefix reduction along rank order (linear chain)."""
+    op = _resolve_op(op)
+    seq = comm._next_seq()
+    rank = comm.rank
+    if rank == 0:
+        accum = sendobj
+    else:
+        prefix = comm._crecv(rank - 1, "scan", seq)
+        accum = op(prefix, sendobj)
+    if rank + 1 < comm.size:
+        comm._csend(accum, rank + 1, "scan", seq)
+    return accum
+
+
+def exscan(comm, sendobj: Any, op: Optional[BinOp] = None) -> Any:
+    """Exclusive prefix reduction; rank 0 receives None (as in MPI)."""
+    op = _resolve_op(op)
+    seq = comm._next_seq()
+    rank = comm.rank
+    prefix = None if rank == 0 else comm._crecv(rank - 1, "exscan", seq)
+    if rank + 1 < comm.size:
+        outgoing = sendobj if prefix is None else op(prefix, sendobj)
+        comm._csend(outgoing, rank + 1, "exscan", seq)
+    return prefix

@@ -1,0 +1,387 @@
+"""Simulated MPI communicator with an mpi4py-flavoured interface.
+
+PUMI's parallel control is built on MPI message passing between processes and,
+in the two-level design, message passing between threads on a node.  This
+module provides :class:`Comm`, a communicator whose interface follows
+mpi4py's ``Comm`` for generic Python objects: lowercase ``send``/``recv``/
+``bcast``/``gather``/... methods, ``isend``/``irecv`` returning
+:class:`Request` handles, ``sendrecv``, ``barrier`` and ``split``.
+
+Ranks are Python threads launched by :func:`repro.parallel.executor.spmd`.
+Delivery uses per-rank mailboxes guarded by condition variables, with MPI
+matching semantics (earliest message matching ``(source, tag)`` wins, with
+``ANY_SOURCE``/``ANY_TAG`` wildcards).  Traffic is charged to the shared
+performance counters and classified on/off-node through the machine topology,
+so the hybrid-communication experiments can compare both kinds of traffic.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from .perf import PerfCounters, GLOBAL
+from .topology import MachineTopology, flat
+
+#: Wildcard source for :meth:`Comm.recv`.
+ANY_SOURCE = -1
+#: Wildcard tag for :meth:`Comm.recv`.
+ANY_TAG = -1
+#: Internal wildcard matching any *user* tag but no collective-channel tag.
+_ANY_USER_TAG = ("any-user-tag",)
+
+_Key = Tuple[Hashable, int, Hashable]  # (context id, source, tag)
+
+
+class CommTimeoutError(RuntimeError):
+    """A blocking receive waited longer than the world's deadlock timeout."""
+
+
+class CommAbortedError(RuntimeError):
+    """The world was aborted (another rank failed) while blocked in recv."""
+
+
+class _Mailbox:
+    """One rank's incoming-message store with MPI matching semantics."""
+
+    def __init__(self, abort_flag: threading.Event) -> None:
+        self._cond = threading.Condition()
+        self._messages: List[Tuple[Hashable, int, Hashable, Any]] = []
+        self._abort = abort_flag
+
+    def deliver(self, ctx: Hashable, src: int, tag: Hashable, payload: Any) -> None:
+        with self._cond:
+            self._messages.append((ctx, src, tag, payload))
+            self._cond.notify_all()
+
+    def wake(self) -> None:
+        """Wake any blocked receiver so it can observe an abort."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def _match(self, ctx: Hashable, source: int, tag: Hashable) -> Optional[int]:
+        for i, (mctx, msrc, mtag, _payload) in enumerate(self._messages):
+            if mctx != ctx:
+                continue
+            if source != ANY_SOURCE and msrc != source:
+                continue
+            if tag == _ANY_USER_TAG:
+                # Match any user-channel tag but never a collective-channel
+                # message: a wildcard recv must not steal collective traffic.
+                if not (isinstance(mtag, tuple) and mtag and mtag[0] == 0):
+                    continue
+            elif tag != ANY_TAG and mtag != tag:
+                continue
+            return i
+        return None
+
+    def take(
+        self,
+        ctx: Hashable,
+        source: int,
+        tag: Hashable,
+        timeout: Optional[float],
+    ) -> Tuple[int, Hashable, Any]:
+        """Block until a matching message arrives; return (src, tag, payload)."""
+        with self._cond:
+            while True:
+                index = self._match(ctx, source, tag)
+                if index is not None:
+                    _ctx, msrc, mtag, payload = self._messages.pop(index)
+                    return msrc, mtag, payload
+                if self._abort.is_set():
+                    raise CommAbortedError(
+                        "communication world aborted while waiting in recv"
+                    )
+                if not self._cond.wait(timeout=timeout):
+                    raise CommTimeoutError(
+                        f"recv(source={source}, tag={tag}) timed out after "
+                        f"{timeout}s — likely deadlock in the rank program"
+                    )
+
+    def probe(self, ctx: Hashable, source: int, tag: Hashable) -> bool:
+        with self._cond:
+            return self._match(ctx, source, tag) is not None
+
+
+class CommWorld:
+    """Shared state for one SPMD execution: mailboxes, topology, counters."""
+
+    def __init__(
+        self,
+        size: int,
+        topology: Optional[MachineTopology] = None,
+        counters: Optional[PerfCounters] = None,
+        copy_off_node: bool = True,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be positive, got {size}")
+        self.size = size
+        self.topology = topology if topology is not None else flat(size)
+        if self.topology.total_cores < size:
+            raise ValueError(
+                f"topology provides {self.topology.total_cores} processing "
+                f"units but the world needs {size}"
+            )
+        self.counters = counters if counters is not None else GLOBAL
+        self.copy_off_node = copy_off_node
+        self.timeout = timeout
+        self._abort = threading.Event()
+        self.mailboxes = [_Mailbox(self._abort) for _ in range(size)]
+
+    def abort(self) -> None:
+        """Wake every blocked receiver with :class:`CommAbortedError`."""
+        self._abort.set()
+        for mailbox in self.mailboxes:
+            mailbox.wake()
+
+    def transmit(
+        self, ctx: Hashable, src: int, dst: int, tag: Hashable, payload: Any
+    ) -> None:
+        if not 0 <= dst < self.size:
+            raise ValueError(f"destination rank {dst} out of range [0, {self.size})")
+        if src == dst:
+            self.counters.add("comm.messages.self")
+        elif self.topology.same_node(src, dst):
+            self.counters.add("comm.messages.on_node")
+        else:
+            self.counters.add("comm.messages.off_node")
+            self.counters.add(
+                "comm.bytes.off_node",
+                len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)),
+            )
+            if self.copy_off_node:
+                payload = pickle.loads(
+                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+        self.mailboxes[dst].deliver(ctx, src, tag, payload)
+
+
+class Request:
+    """Handle for a non-blocking operation, in the style of ``MPI.Request``."""
+
+    def __init__(self, wait_fn: Optional[Callable[[], Any]] = None, value: Any = None):
+        self._wait_fn = wait_fn
+        self._value = value
+        self._done = wait_fn is None
+
+    def wait(self) -> Any:
+        """Block until completion; returns the received object for irecv."""
+        if not self._done:
+            assert self._wait_fn is not None
+            self._value = self._wait_fn()
+            self._done = True
+        return self._value
+
+    def test(self) -> Tuple[bool, Any]:
+        """Non-destructively report completion; completes if possible."""
+        if self._done:
+            return True, self._value
+        return False, None
+
+
+class Comm:
+    """A communicator over a group of ranks of a :class:`CommWorld`.
+
+    ``group`` maps communicator-local ranks to world ranks; the default
+    world communicator is the identity group.  Sub-communicators created by
+    :meth:`split` carry a distinct context id so their traffic never matches
+    receives posted on the parent.
+    """
+
+    def __init__(
+        self,
+        world: CommWorld,
+        rank: int,
+        group: Optional[List[int]] = None,
+        ctx: Hashable = 0,
+    ) -> None:
+        self.world = world
+        self._group = group if group is not None else list(range(world.size))
+        if rank not in self._group:
+            raise ValueError(f"world rank {rank} is not in communicator group")
+        self._world_rank = rank
+        self._ctx = ctx
+        self._collective_seq = 0
+        self._split_seq = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Communicator-local rank of the calling thread."""
+        return self._group.index(self._world_rank)
+
+    @property
+    def size(self) -> int:
+        return len(self._group)
+
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py spelling
+        return self.rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py spelling
+        return self.size
+
+    def world_rank_of(self, local_rank: int) -> int:
+        return self._group[local_rank]
+
+    @property
+    def topology(self) -> MachineTopology:
+        return self.world.topology
+
+    @property
+    def counters(self) -> PerfCounters:
+        return self.world.counters
+
+    # -- point to point --------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send of a Python object (never blocks)."""
+        self.world.transmit(
+            self._ctx, self._world_rank, self._group[dest], (0, tag), obj
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; earliest matching message wins."""
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self._group[source]
+        match_tag: Hashable = _ANY_USER_TAG if tag == ANY_TAG else (0, tag)
+        _src, _tag, payload = self.world.mailboxes[self._world_rank].take(
+            self._ctx, world_source, match_tag, self.world.timeout
+        )
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return Request(value=None)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return Request(wait_fn=lambda: self.recv(source, tag))
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking check whether a matching message is waiting."""
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self._group[source]
+        match_tag: Hashable = _ANY_USER_TAG if tag == ANY_TAG else (0, tag)
+        return self.world.mailboxes[self._world_rank].probe(
+            self._ctx, world_source, match_tag
+        )
+
+    # -- internal point-to-point on a reserved tag channel ---------------
+
+    def _csend(self, obj: Any, dest: int, kind: str, seq: int, round_: int = 0) -> None:
+        self.world.transmit(
+            self._ctx, self._world_rank, self._group[dest], (1, kind, seq, round_), obj
+        )
+
+    def _crecv(self, source: int, kind: str, seq: int, round_: int = 0) -> Any:
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self._group[source]
+        _src, _tag, payload = self.world.mailboxes[self._world_rank].take(
+            self._ctx, world_source, (1, kind, seq, round_), self.world.timeout
+        )
+        return payload
+
+    def _next_seq(self) -> int:
+        seq = self._collective_seq
+        self._collective_seq += 1
+        return seq
+
+    # -- collectives (implemented in collectives.py) ----------------------
+
+    def barrier(self) -> None:
+        from . import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        from . import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def scatter(self, sendobj: Optional[List[Any]], root: int = 0) -> Any:
+        from . import collectives
+
+        return collectives.scatter(self, sendobj, root)
+
+    def gather(self, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
+        from . import collectives
+
+        return collectives.gather(self, sendobj, root)
+
+    def allgather(self, sendobj: Any) -> List[Any]:
+        from . import collectives
+
+        return collectives.allgather(self, sendobj)
+
+    def reduce(
+        self, sendobj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0
+    ) -> Any:
+        from . import collectives
+
+        return collectives.reduce(self, sendobj, op, root)
+
+    def allreduce(self, sendobj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        from . import collectives
+
+        return collectives.allreduce(self, sendobj, op)
+
+    def alltoall(self, sendobjs: List[Any]) -> List[Any]:
+        from . import collectives
+
+        return collectives.alltoall(self, sendobjs)
+
+    def scan(self, sendobj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        from . import collectives
+
+        return collectives.scan(self, sendobj, op)
+
+    def exscan(self, sendobj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        from . import collectives
+
+        return collectives.exscan(self, sendobj, op)
+
+    # -- communicator management -----------------------------------------
+
+    def split(self, color: int, key: Optional[int] = None) -> "Comm":
+        """Collectively split into sub-communicators by ``color``.
+
+        Ranks passing the same color form one new communicator, ordered by
+        ``key`` (defaulting to current rank) with rank as tie-break, exactly
+        like ``MPI_Comm_split``.
+        """
+        if key is None:
+            key = self.rank
+        entries = self.allgather((color, key, self.rank))
+        seq = self._split_seq
+        self._split_seq += 1
+        members = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        group = [self._group[r] for (_k, r) in members]
+        new_ctx = (self._ctx, "split", seq, color)
+        return Comm(self.world, self._world_rank, group, new_ctx)
+
+    def dup(self) -> "Comm":
+        """Duplicate this communicator with a fresh context."""
+        return self.split(color=0, key=self.rank)
+
+    def node_comm(self) -> "Comm":
+        """Sub-communicator of the ranks sharing this rank's node."""
+        return self.split(color=self.topology.node_of(self._world_rank))
+
+    def leader_comm(self) -> Optional["Comm"]:
+        """Sub-communicator of node leaders; None on non-leader ranks."""
+        is_leader = self.topology.is_node_leader(self._world_rank)
+        comm = self.split(color=0 if is_leader else 1)
+        return comm if is_leader else None

@@ -1,0 +1,58 @@
+"""Architecture topology detection (the hwloc entry point).
+
+"Architecture topology detection: details of the host architecture are
+obtained using hwloc" (paper, Section II-D).  Without hwloc, this module
+inspects what the Python runtime exposes — logical CPU count, and on Linux
+the physical package/core layout from ``/sys`` — and produces the
+:class:`~repro.parallel.topology.MachineTopology` the rest of the stack
+consumes.  Callers that want a specific virtual machine (e.g. "pretend this
+laptop is 4 BG/Q nodes") use :func:`virtual` instead.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from .topology import MachineTopology
+
+
+def _physical_packages() -> Optional[int]:
+    """Number of physical CPU packages from /sys, or None off-Linux."""
+    base = Path("/sys/devices/system/cpu")
+    if not base.exists():
+        return None
+    packages = set()
+    for cpu_dir in base.glob("cpu[0-9]*"):
+        pkg_file = cpu_dir / "topology" / "physical_package_id"
+        try:
+            packages.add(int(pkg_file.read_text().strip()))
+        except (OSError, ValueError):
+            continue
+    return len(packages) or None
+
+
+def detect() -> MachineTopology:
+    """Topology of the host machine: packages as nodes, CPUs as cores.
+
+    A single-package (or undetectable) host detects as one shared-memory
+    node with ``os.cpu_count()`` processing units — the correct model for a
+    laptop, and the conservative fallback everywhere else.
+    """
+    cpus = os.cpu_count() or 1
+    packages = _physical_packages() or 1
+    cores = max(cpus // packages, 1)
+    return MachineTopology(nodes=packages, cores_per_node=cores)
+
+
+def virtual(nodes: int, cores_per_node: Optional[int] = None) -> MachineTopology:
+    """A declared machine: ``nodes`` nodes of ``cores_per_node`` cores.
+
+    With ``cores_per_node`` omitted the host's CPUs are divided evenly
+    (useful for simulating multi-node runs on one box).
+    """
+    if cores_per_node is None:
+        cpus = os.cpu_count() or nodes
+        cores_per_node = max(cpus // nodes, 1)
+    return MachineTopology(nodes=nodes, cores_per_node=cores_per_node)

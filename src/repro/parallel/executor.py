@@ -1,0 +1,102 @@
+"""SPMD executor: run one rank function per thread with a shared world.
+
+This is the simulation's stand-in for ``mpiexec -n P python prog.py``: the
+rank program is a Python callable taking a :class:`~repro.parallel.comm.Comm`
+as its first argument, and :func:`spmd` launches ``P`` copies on threads.
+Return values are collected in rank order; an exception on any rank aborts
+the job and is re-raised on the caller (with all other failures attached as
+notes), mirroring an MPI abort.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+from .comm import Comm, CommWorld, CommAbortedError
+from .perf import PerfCounters
+from .topology import MachineTopology
+
+
+class SpmdError(RuntimeError):
+    """One or more ranks raised; carries per-rank tracebacks."""
+
+    def __init__(self, failures: Sequence[tuple]) -> None:
+        self.failures = list(failures)
+        rank, exc, tb = self.failures[0]
+        detail = "".join(
+            f"\n--- rank {r} raised {type(e).__name__}: {e} ---\n{t}"
+            for r, e, t in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} rank(s) failed; first: rank {rank} "
+            f"raised {type(exc).__name__}: {exc}{detail}"
+        )
+
+
+def spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    topology: Optional[MachineTopology] = None,
+    counters: Optional[PerfCounters] = None,
+    timeout: Optional[float] = 60.0,
+    copy_off_node: bool = True,
+) -> List[Any]:
+    """Run ``fn(comm, *args)`` on ``nranks`` threads; return results by rank.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated ranks (threads).
+    fn:
+        The rank program.  Receives the world communicator then ``args``.
+    topology:
+        Machine model for on/off-node classification (default: flat).
+    counters:
+        Shared performance registry (default: the module-global one).
+    timeout:
+        Per-receive deadlock timeout in seconds; ``None`` disables it.
+    copy_off_node:
+        Whether off-node payloads are deep-copied through pickle (MPI
+        semantics).  Disable only for trusted read-only payloads.
+    """
+    world = CommWorld(
+        nranks,
+        topology=topology,
+        counters=counters,
+        copy_off_node=copy_off_node,
+        timeout=timeout,
+    )
+    results: List[Any] = [None] * nranks
+    failures: List[tuple] = []
+    failure_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Comm(world, rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            with failure_lock:
+                failures.append((rank, exc, traceback.format_exc()))
+            world.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(nranks)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    if failures:
+        failures.sort(key=lambda item: item[0])
+        # Secondary CommAbortedError failures are just ranks woken by the
+        # abort; report the root cause(s) unless nothing else failed.
+        primary = [
+            f for f in failures if not isinstance(f[1], CommAbortedError)
+        ]
+        raise SpmdError(primary or failures)
+    return results

@@ -1,0 +1,124 @@
+"""Performance measurement utilities (run-time and memory usage counters).
+
+The paper (Section II-D) lists "performance measurement: run-time and memory
+usage counter" among PUMI's parallel control functionalities.  This module
+provides a small, thread-safe counter registry used by every other subsystem:
+the simulated network counts messages and bytes here, migration counts moved
+entities, and the benchmark harness reads the totals.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-clock statistics for one named timer."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed < self.min:
+            self.min = elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class PerfCounters:
+    """Thread-safe registry of named counters and timers.
+
+    Counters are plain integers incremented with :meth:`add`; timers are
+    accumulated wall-clock intervals recorded with the :meth:`timer` context
+    manager.  A single instance may be shared by many simulated ranks.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, TimerStat] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (creates it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager recording one wall-clock interval under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                stat = self._timers.get(name)
+                if stat is None:
+                    stat = self._timers[name] = TimerStat()
+                stat.record(elapsed)
+
+    def timer_stat(self, name: str) -> Optional[TimerStat]:
+        with self._lock:
+            return self._timers.get(name)
+
+    def timers(self) -> Dict[str, TimerStat]:
+        with self._lock:
+            return dict(self._timers)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another registry's counters and timers into this one."""
+        for name, value in other.counters().items():
+            self.add(name, value)
+        with self._lock:
+            for name, stat in other.timers().items():
+                mine = self._timers.get(name)
+                if mine is None:
+                    mine = self._timers[name] = TimerStat()
+                mine.count += stat.count
+                mine.total += stat.total
+                mine.min = min(mine.min, stat.min)
+                mine.max = max(mine.max, stat.max)
+
+    def report(self) -> str:
+        """Human-readable multi-line report of counters then timers."""
+        lines = []
+        for name in sorted(self.counters()):
+            lines.append(f"{name}: {self.get(name)}")
+        for name, stat in sorted(self.timers().items()):
+            lines.append(
+                f"{name}: n={stat.count} total={stat.total:.6f}s "
+                f"mean={stat.mean:.6f}s max={stat.max:.6f}s"
+            )
+        return "\n".join(lines)
+
+
+#: Default shared registry used when callers do not supply their own.
+GLOBAL = PerfCounters()

@@ -1,0 +1,108 @@
+"""Architecture topology model (hwloc substitute).
+
+PUMI obtains "details of the host architecture using hwloc" to map each MPI
+process to a node (largest shared-memory hardware entity) and each thread to a
+processing unit (Section II-D).  No real hardware topology exists in this
+simulation, so :class:`MachineTopology` is a declarative machine model:
+``nodes`` nodes with ``cores_per_node`` processing units each.  Ranks (or
+parts) are mapped to processing units in block order, which is exactly the
+mapping PUMI uses: consecutive ranks fill a node before spilling to the next.
+
+Every communication layer consults this object to classify traffic as
+*on-node* (shared memory in the paper: implicit, cheap) versus *off-node*
+(explicit message in distributed memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """A machine of ``nodes`` shared-memory nodes, each with ``cores_per_node``
+    processing units.
+
+    The total number of processing units bounds the number of ranks that can
+    be mapped; mapping is block-wise (rank ``r`` lives on node
+    ``r // cores_per_node``).
+    """
+
+    nodes: int
+    cores_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"need at least one node, got {self.nodes}")
+        if self.cores_per_node < 1:
+            raise ValueError(
+                f"need at least one core per node, got {self.cores_per_node}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self._check(rank)
+        return rank // self.cores_per_node
+
+    def core_of(self, rank: int) -> int:
+        """Processing-unit index of ``rank`` within its node."""
+        self._check(rank)
+        return rank % self.cores_per_node
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True when both ranks share a node's memory."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def ranks_on_node(self, node: int) -> range:
+        """All ranks mapped to ``node``."""
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} out of range [0, {self.nodes})")
+        start = node * self.cores_per_node
+        return range(start, start + self.cores_per_node)
+
+    def node_leader(self, node: int) -> int:
+        """The designated leader rank of ``node`` (its first rank)."""
+        return self.ranks_on_node(node).start
+
+    def is_node_leader(self, rank: int) -> bool:
+        return self.core_of(rank) == 0
+
+    def leaders(self) -> List[int]:
+        """Leader rank of every node, in node order."""
+        return [self.node_leader(n) for n in range(self.nodes)]
+
+    def describe(self) -> str:
+        return (
+            f"machine: {self.nodes} node(s) x {self.cores_per_node} core(s) "
+            f"= {self.total_cores} processing units"
+        )
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.total_cores:
+            raise ValueError(
+                f"rank {rank} out of range [0, {self.total_cores})"
+            )
+
+    def __iter__(self) -> Iterator[Tuple[int, range]]:
+        """Iterate ``(node, ranks_on_node)`` pairs."""
+        for node in range(self.nodes):
+            yield node, self.ranks_on_node(node)
+
+
+def single_node(cores: int) -> MachineTopology:
+    """A one-node machine (pure shared memory), like one BG/Q node."""
+    return MachineTopology(nodes=1, cores_per_node=cores)
+
+
+def flat(ranks: int) -> MachineTopology:
+    """A machine with one core per node: every rank pair is off-node.
+
+    This models a classic MPI-everywhere view where no memory is shared, and
+    is the default when callers do not care about architecture awareness.
+    """
+    return MachineTopology(nodes=ranks, cores_per_node=1)

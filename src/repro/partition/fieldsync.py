@@ -1,0 +1,143 @@
+"""Distributed fields and owner→copy synchronization across part boundaries.
+
+Part-boundary entities are duplicated on every residence part, so any field
+over them has one value per copy; keeping those values consistent is the
+field layer's distributed service.  Two primitives cover the standard
+patterns:
+
+* :func:`synchronize` — the owner's value overwrites every copy (the
+  canonical owner-to-copy broadcast after the owner updates a dof);
+* :func:`accumulate` — copies' values are summed on the owner and the total
+  redistributed (finite-element assembly of shared dofs).
+
+:class:`DistributedField` bundles one :class:`~repro.field.field.Field` per
+part under one name so callers can treat the distributed field as a unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..field.field import Field, Shape
+from ..mesh.entity import Ent
+from .dmesh import DistributedMesh
+
+_TAG_SYNC = 21
+_TAG_ACCUM = 22
+
+
+class DistributedField:
+    """One field per part, sharing a name, entity dimension and shape."""
+
+    def __init__(
+        self,
+        dmesh: DistributedMesh,
+        name: str,
+        entity_dim: int = 0,
+        shape: Shape = 1,
+    ) -> None:
+        self.dmesh = dmesh
+        self.name = name
+        self.entity_dim = entity_dim
+        self.fields: Dict[int, Field] = {
+            part.pid: Field(part.mesh, name, entity_dim, shape)
+            for part in dmesh
+        }
+
+    def on(self, pid: int) -> Field:
+        return self.fields[pid]
+
+    def set_from_coords(self, fn) -> None:
+        """Assign ``fn(xyz)`` on every part's vertices (vertex fields)."""
+        for part in self.dmesh:
+            self.fields[part.pid].set_from_coords(fn)
+
+    def zero_all(self) -> None:
+        for field in self.fields.values():
+            field.zero_all()
+
+    def items(self) -> Iterator[Tuple[int, Ent, np.ndarray]]:
+        for pid in sorted(self.fields):
+            for ent, value in self.fields[pid].items():
+                yield pid, ent, value
+
+    def max_copy_disagreement(self) -> float:
+        """Largest |difference| between copies of any shared entity's value.
+
+        Zero means the field is synchronized.
+        """
+        worst = 0.0
+        for part in self.dmesh:
+            field = self.fields[part.pid]
+            for ent, copies in part.remotes.items():
+                if ent.dim != self.entity_dim or not field.has(ent):
+                    continue
+                mine = field.get(ent)
+                for other_pid, other_ent in copies.items():
+                    other_field = self.fields[other_pid]
+                    if other_field.has(other_ent):
+                        diff = float(
+                            np.abs(mine - other_field.get(other_ent)).max()
+                        )
+                        worst = max(worst, diff)
+        return worst
+
+
+def synchronize(dfield: DistributedField) -> int:
+    """Overwrite every copy with the owner's value; returns values sent."""
+    dmesh = dfield.dmesh
+    router = dmesh.router()
+    sent = 0
+    for part in dmesh:
+        field = dfield.on(part.pid)
+        for ent in sorted(part.remotes):
+            if ent.dim != dfield.entity_dim or not part.owns(ent):
+                continue
+            if not field.has(ent):
+                continue
+            value = field.get(ent)
+            for other_pid, other_ent in sorted(part.remotes[ent].items()):
+                router.post(
+                    part.pid, other_pid, _TAG_SYNC, (other_ent, value)
+                )
+                sent += 1
+    inboxes = router.exchange()
+    for pid in sorted(inboxes):
+        field = dfield.on(pid)
+        for _src, _tag, (ent, value) in inboxes[pid]:
+            field.set(ent, value)
+    dmesh.counters.add("fieldsync.values", sent)
+    return sent
+
+
+def accumulate(dfield: DistributedField) -> int:
+    """Sum all copies' values onto the owner, then synchronize back.
+
+    The finite-element assembly pattern: each part contributes its local
+    portion of a shared dof; afterwards every copy holds the global sum.
+    """
+    dmesh = dfield.dmesh
+    router = dmesh.router()
+    sent = 0
+    for part in dmesh:
+        field = dfield.on(part.pid)
+        for ent in sorted(part.remotes):
+            if ent.dim != dfield.entity_dim or part.owns(ent):
+                continue
+            if not field.has(ent):
+                continue
+            owner = part.owner(ent)
+            owner_ent = part.remotes[ent][owner]
+            router.post(
+                part.pid, owner, _TAG_ACCUM, (owner_ent, field.get(ent))
+            )
+            sent += 1
+    inboxes = router.exchange()
+    for pid in sorted(inboxes):
+        field = dfield.on(pid)
+        for _src, _tag, (ent, value) in inboxes[pid]:
+            field.set(ent, field.get(ent) + value)
+    sent += synchronize(dfield)
+    return sent

@@ -1,0 +1,173 @@
+"""Ghosting: read-only off-part element copies along the part boundary.
+
+"Ghosting: a procedure to localize off-part mesh entities to avoid off-node
+communications for computations.  A ghost is a read-only, duplicated,
+off-part internal entity copy including tag data" (paper, Section II-C).
+
+:func:`ghost_layer` gives every part a copy of the off-part elements
+adjacent (through a chosen bridge dimension) to its part-boundary entities.
+Layers are built with a pull protocol: parts request the elements adjacent
+to entities they share (first layer) or adjacent to their existing ghosts'
+home elements (subsequent layers), and the owning parts respond with
+self-contained element bundles.  Ghost elements and the boundary entities
+created for them are marked on the receiving part: they are excluded from
+load accounting, never own anything, and are stripped wholesale by
+:func:`delete_ghosts` (required before any migration).  Requested tag values
+travel with the copies.
+
+Limitation (documented): layers beyond the first pull only from each ghost's
+home part, so a ring that wraps around a third part in one step is truncated
+there — the same locality approximation typical ghosting implementations
+make between re-ghosting calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..mesh.entity import Ent
+from .dmesh import DistributedMesh
+from .migration import _pack_element, _unpack_element
+from .part import Part
+
+_TAG_REQUEST = 10
+_TAG_GHOST = 11
+
+
+def ghost_layer(
+    dmesh: DistributedMesh,
+    bridge_dim: int = 0,
+    layers: int = 1,
+    tags: Sequence[str] = (),
+) -> int:
+    """Create ``layers`` ghost layers; returns the number of ghost elements.
+
+    ``bridge_dim`` selects the adjacency that defines the layer: vertices
+    (0) give the widest layer, faces (dim-1) the narrowest.  ``tags`` lists
+    tag names whose element values are copied along.
+    """
+    dim = dmesh.element_dim()
+    if not 0 <= bridge_dim < dim:
+        raise ValueError(
+            f"bridge dimension must be below the element dimension {dim}"
+        )
+    total = 0
+    for layer in range(layers):
+        total += _one_layer(dmesh, bridge_dim, tags, first=(layer == 0))
+    return total
+
+
+def _one_layer(
+    dmesh: DistributedMesh, bridge_dim: int, tags, first: bool
+) -> int:
+    dim = dmesh.element_dim()
+    router = dmesh.router()
+
+    # Phase 1: requests.  First layer: "send me the elements adjacent to the
+    # entity we share".  Later layers: "send me the neighbors of the element
+    # my ghost mirrors".
+    for part in dmesh:
+        if first:
+            for ent in sorted(part.remotes):
+                if ent.dim != bridge_dim:
+                    continue
+                for dest, dest_ent in sorted(part.remotes[ent].items()):
+                    router.post(
+                        part.pid, dest, _TAG_REQUEST, ("bridge", dest_ent)
+                    )
+        else:
+            for ghost in sorted(part.ghosts):
+                if ghost.dim != dim:
+                    continue
+                home_pid, home_ent = part.ghost_home[ghost]
+                router.post(
+                    part.pid, home_pid, _TAG_REQUEST, ("ring", home_ent)
+                )
+
+    requests = router.exchange()
+
+    # Phase 2: responses with element bundles (deduplicated per requester).
+    router = dmesh.router()
+    for pid in sorted(requests):
+        part = dmesh.part(pid)
+        queued: Dict[int, Set[Ent]] = {}
+        for src, _tag, (kind, ent) in requests[pid]:
+            if not part.mesh.has(ent):
+                continue
+            if kind == "bridge":
+                elements = part.mesh.adjacent(ent, dim)
+            else:
+                elements = part.mesh.second_adjacent(ent, bridge_dim, dim)
+            bucket = queued.setdefault(src, set())
+            for element in elements:
+                if part.is_ghost(element) or element in bucket:
+                    continue
+                bucket.add(element)
+                bundle = _pack_element(part, element)
+                bundle["tags"] = {
+                    name: part.mesh.tag(name).get(element)
+                    for name in tags
+                    if part.mesh.tags.find(name) is not None
+                }
+                bundle["home"] = (part.pid, element)
+                router.post(part.pid, src, _TAG_GHOST, bundle)
+
+    inboxes = router.exchange()
+    created = 0
+    for pid in sorted(inboxes):
+        part = dmesh.part(pid)
+        for _src, _tag, bundle in inboxes[pid]:
+            created += _unpack_ghost(part, bundle)
+    dmesh.counters.add("ghosting.elements", created)
+    return created
+
+
+def _unpack_ghost(part: Part, bundle: dict) -> int:
+    """Create a ghost element bundle; returns 1 if a new ghost appeared."""
+    mesh = part.mesh
+    home_pid, home_ent = bundle["home"]
+    element_gid = bundle["element"][1]
+    if part.by_gid(bundle["element"][0], element_gid) is not None:
+        return 0  # already present (real element or earlier ghost copy)
+
+    before = [set(part._gid[d]) for d in range(4)]
+    element = _unpack_element(part, bundle)
+    # Everything that just appeared is a ghost entity homed off-part;
+    # entities that already existed (part-boundary copies) stay as they are.
+    for d in range(4):
+        for idx in part._gid[d].keys() - before[d]:
+            ghost = Ent(d, idx)
+            part.ghosts.add(ghost)
+            if ghost == element:
+                part.ghost_home[ghost] = (home_pid, home_ent)
+            else:
+                part.ghost_home[ghost] = (home_pid, None)
+    for name, value in bundle.get("tags", {}).items():
+        if value is not None:
+            mesh.tag(name).set(element, value)
+    return 1
+
+
+def delete_ghosts(dmesh: DistributedMesh) -> int:
+    """Remove every ghost entity from every part; returns entities removed."""
+    removed = 0
+    for part in dmesh:
+        mesh = part.mesh
+        for d in range(3, -1, -1):
+            for ghost in sorted(
+                (g for g in part.ghosts if g.dim == d), reverse=True
+            ):
+                if not mesh.has(ghost):
+                    continue
+                if mesh.up(ghost):
+                    # Still bounds a surviving entity: it was promoted to a
+                    # real boundary entity of this part and must stay.
+                    continue
+                part.drop_gid(ghost)
+                part.remotes.pop(ghost, None)
+                mesh.destroy(ghost)
+                removed += 1
+        part.ghosts.clear()
+        part.ghost_home.clear()
+    dmesh.counters.add("ghosting.deleted", removed)
+    return removed

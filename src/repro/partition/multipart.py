@@ -1,0 +1,81 @@
+"""Multiple parts per process and process-level views.
+
+"Multiple part per process: a capability to dynamically change the number of
+parts per process" (paper, Section II-C).  In this simulation a "process"
+is a node of the machine topology; these helpers give the process-level view
+(which parts share a node, aggregate loads per node) and the dynamic-part
+operations the evaluation uses: creating an empty part and moving a set of
+elements into it (the building block of local partitioning and ParMA heavy
+part splitting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..mesh.entity import Ent
+from .dmesh import DistributedMesh
+from .migration import migrate
+
+
+def parts_per_node(dmesh: DistributedMesh) -> Dict[int, List[int]]:
+    """Node id -> part ids hosted on that node (block mapping)."""
+    result: Dict[int, List[int]] = {}
+    for part in dmesh:
+        node = dmesh.topology.node_of(part.pid)
+        result.setdefault(node, []).append(part.pid)
+    return result
+
+
+def node_entity_counts(dmesh: DistributedMesh) -> np.ndarray:
+    """Aggregate per-node entity counts, shape ``(nodes_in_use, 4)``.
+
+    The process-level load view: with multiple parts per process the memory
+    constraint is per process, not per part.
+    """
+    grouping = parts_per_node(dmesh)
+    counts = dmesh.entity_counts()
+    return np.asarray(
+        [counts[pids].sum(axis=0) for _node, pids in sorted(grouping.items())]
+    )
+
+
+def spawn_empty_part(dmesh: DistributedMesh) -> int:
+    """Add a new empty part; returns its id."""
+    return dmesh.add_part().pid
+
+
+def move_elements_to_new_part(
+    dmesh: DistributedMesh, source_pid: int, elements: Iterable[Ent]
+) -> int:
+    """Create a new part and migrate ``elements`` from ``source_pid`` to it.
+
+    Returns the new part id.  This is "splitting" a part in one step; ParMA
+    heavy part splitting and local partitioning are built from it.
+    """
+    new_pid = spawn_empty_part(dmesh)
+    plan = {source_pid: {ent: new_pid for ent in elements}}
+    migrate(dmesh, plan)
+    return new_pid
+
+
+def merge_parts(dmesh: DistributedMesh, source_pid: int, target_pid: int) -> int:
+    """Migrate every element of ``source_pid`` into ``target_pid``.
+
+    The source part becomes empty (it is not removed: part ids are stable).
+    Returns the number of elements moved.
+    """
+    if source_pid == target_pid:
+        return 0
+    part = dmesh.part(source_pid)
+    dim = dmesh.element_dim()
+    plan = {
+        source_pid: {
+            ent: target_pid
+            for ent in part.mesh.entities(dim)
+            if not part.is_ghost(ent)
+        }
+    }
+    return migrate(dmesh, plan)

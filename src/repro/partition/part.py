@@ -1,0 +1,154 @@
+"""A part: one piece of a distributed mesh.
+
+"When a mesh is distributed to N parts, each part is assigned to a process or
+processing core.  A part is a subset of topological mesh entities of the
+entire mesh, uniquely identified by its handle or id" (paper, Section II-A).
+
+Each part is a full serial :class:`~repro.mesh.mesh.Mesh` plus the extra
+bookkeeping the distributed representation needs:
+
+* **global ids** — every entity carries a gid unique across the whole
+  distributed mesh within its dimension, used to match copies across parts;
+* **remote copies** — for part-boundary entities, the map
+  ``{other part id: remote entity handle}`` (the paper's duplicated
+  entities);
+* **ghosts** — read-only off-part copies created by ghosting, excluded from
+  ownership and balance accounting.
+
+Residence parts and ownership are derived, not stored: the residence part set
+of an entity is its own part plus its remote-copy parts, and the owning part
+is the smallest id in that set (the standard deterministic rule; the
+partition model can impose others).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..mesh.entity import Ent
+from ..mesh.mesh import Mesh
+
+
+class Part:
+    """One part of a distributed mesh."""
+
+    def __init__(self, pid: int, mesh: Optional[Mesh] = None) -> None:
+        self.pid = pid
+        self.mesh = mesh if mesh is not None else Mesh()
+        #: remote copies: local entity -> {remote pid: remote entity}.
+        self.remotes: Dict[Ent, Dict[int, Ent]] = {}
+        #: ghost entities (read-only off-part copies) present locally.
+        self.ghosts: Set[Ent] = set()
+        #: for each ghost, the (owner pid, owner-local entity) it mirrors.
+        self.ghost_home: Dict[Ent, Tuple[int, Ent]] = {}
+        self._gid: List[Dict[int, int]] = [{}, {}, {}, {}]
+        self._by_gid: List[Dict[int, int]] = [{}, {}, {}, {}]
+
+    # -- global ids ----------------------------------------------------------
+
+    def set_gid(self, ent: Ent, gid: int) -> None:
+        """Assign ``ent``'s global id (one per dimension, unique per mesh)."""
+        old = self._gid[ent.dim].get(ent.idx)
+        if old is not None:
+            del self._by_gid[ent.dim][old]
+        existing = self._by_gid[ent.dim].get(gid)
+        if existing is not None and existing != ent.idx:
+            raise ValueError(
+                f"part {self.pid}: gid {gid} (dim {ent.dim}) already taken "
+                f"by entity {existing}"
+            )
+        self._gid[ent.dim][ent.idx] = gid
+        self._by_gid[ent.dim][gid] = ent.idx
+
+    def gid(self, ent: Ent) -> int:
+        try:
+            return self._gid[ent.dim][ent.idx]
+        except KeyError:
+            raise KeyError(f"part {self.pid}: {ent} has no global id") from None
+
+    def has_gid(self, ent: Ent) -> bool:
+        return ent.idx in self._gid[ent.dim]
+
+    def by_gid(self, dim: int, gid: int) -> Optional[Ent]:
+        idx = self._by_gid[dim].get(gid)
+        return Ent(dim, idx) if idx is not None else None
+
+    def drop_gid(self, ent: Ent) -> None:
+        gid = self._gid[ent.dim].pop(ent.idx, None)
+        if gid is not None:
+            self._by_gid[ent.dim].pop(gid, None)
+
+    # -- residence / ownership -------------------------------------------------
+
+    def residence(self, ent: Ent) -> Tuple[int, ...]:
+        """Sorted residence-part ids of ``ent`` (always includes this part)."""
+        copies = self.remotes.get(ent)
+        if not copies:
+            return (self.pid,)
+        return tuple(sorted([self.pid, *copies.keys()]))
+
+    def is_shared(self, ent: Ent) -> bool:
+        """True when ``ent`` is a part-boundary entity (has remote copies)."""
+        return bool(self.remotes.get(ent))
+
+    def is_ghost(self, ent: Ent) -> bool:
+        return ent in self.ghosts
+
+    def owner(self, ent: Ent) -> int:
+        """Owning part id of ``ent`` — the smallest residence part.
+
+        Ghosts are owned by their home part regardless of residence.
+        """
+        home = self.ghost_home.get(ent)
+        if home is not None:
+            return home[0]
+        return self.residence(ent)[0]
+
+    def owns(self, ent: Ent) -> bool:
+        return self.owner(ent) == self.pid
+
+    # -- part boundary iteration -------------------------------------------------
+
+    def shared_entities(self, dim: int) -> Iterator[Ent]:
+        """Part-boundary entities of one dimension, in id order."""
+        for ent in sorted(self.remotes):
+            if ent.dim == dim:
+                yield ent
+
+    def neighbors(self, dim: Optional[int] = None) -> Set[int]:
+        """Part ids sharing any entity (of ``dim``, or of any dimension).
+
+        "A part Pi neighbors part Pj over entity type d if they share d
+        dimensional mesh entities on part boundary" (paper, Section II-D).
+        """
+        result: Set[int] = set()
+        for ent, copies in self.remotes.items():
+            if dim is None or ent.dim == dim:
+                result.update(copies.keys())
+        return result
+
+    # -- counting --------------------------------------------------------------
+
+    def entity_count(self, dim: int) -> int:
+        """Live non-ghost entities of one dimension on this part."""
+        total = self.mesh.count(dim)
+        ghosts = sum(1 for g in self.ghosts if g.dim == dim)
+        return total - ghosts
+
+    def entity_counts(self) -> Tuple[int, int, int, int]:
+        return tuple(self.entity_count(d) for d in range(4))  # type: ignore
+
+    def owned_count(self, dim: int) -> int:
+        """Entities of ``dim`` this part owns (each counted once globally)."""
+        total = 0
+        for ent in self.mesh.entities(dim):
+            if ent not in self.ghosts and self.owns(ent):
+                total += 1
+        return total
+
+    def __repr__(self) -> str:
+        v, e, f, r = self.entity_counts()
+        return (
+            f"Part({self.pid}, verts={v}, edges={e}, faces={f}, regions={r}, "
+            f"shared={len(self.remotes)}, ghosts={len(self.ghosts)})"
+        )

@@ -1,0 +1,56 @@
+"""Baseline partitioners: geometric, graph, and hypergraph methods.
+
+The comparators of the paper's Section III: Zoltan-PHG-style hypergraph
+partitioning (test T0), multilevel graph bisection, RCB/RIB geometric
+methods, and the local (per-part) partitioning used to reach extreme part
+counts.
+"""
+
+from .bisection import recursive_bisection
+from .fm import cut_weight, fm_refine
+from .graph import (
+    ElementGraph,
+    ElementHypergraph,
+    dual_graph,
+    element_centroids,
+    element_hypergraph,
+)
+from .hypergraph import phg, refine_connectivity
+from .interface import entity_counts_from_assignment, imbalance, partition
+from .local import local_partition
+from .multilevel import (
+    contract,
+    greedy_grow,
+    heavy_edge_matching,
+    multilevel_bisect,
+)
+from .rcb import rcb, rcb_points
+from .twolevel import boundary_locality, two_level_partition
+from .rib import rib, rib_points
+
+__all__ = [
+    "ElementGraph",
+    "ElementHypergraph",
+    "boundary_locality",
+    "contract",
+    "cut_weight",
+    "dual_graph",
+    "element_centroids",
+    "element_hypergraph",
+    "entity_counts_from_assignment",
+    "fm_refine",
+    "greedy_grow",
+    "heavy_edge_matching",
+    "imbalance",
+    "local_partition",
+    "multilevel_bisect",
+    "partition",
+    "phg",
+    "rcb",
+    "rcb_points",
+    "recursive_bisection",
+    "refine_connectivity",
+    "rib",
+    "rib_points",
+    "two_level_partition",
+]

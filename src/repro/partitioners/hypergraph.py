@@ -1,0 +1,129 @@
+"""Multilevel hypergraph partitioner — the Zoltan PHG substitute (test T0).
+
+"Hypergraph-based methods can further optimize the partition boundaries at
+the cost of increased run-time over the graph-based methods" (paper, Section
+III).  This implementation follows that structure:
+
+1. a multilevel recursive bisection of the element dual graph produces the
+   initial k-way partition (the graph phase), then
+2. a greedy **connectivity refinement** pass walks the boundary elements and
+   moves any whose reassignment lowers the hypergraph (λ-1) connectivity
+   metric without violating element balance — the hyperedge-aware phase PHG
+   adds over pure graph methods, and the reason it is slower.
+
+The result matches the paper's baseline signature: tight element (region)
+balance, optimized boundaries, but no control whatsoever over vertex/edge
+balance — the spikes ParMA then removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..mesh.mesh import Mesh
+from .bisection import recursive_bisection
+from .graph import dual_graph, element_hypergraph
+
+
+def _connectivity_gain(hg, assignment, pins_of_element, element, to, counts):
+    """Change in the λ-1 metric if ``element`` moves to part ``to``."""
+    frm = assignment[element]
+    gain = 0
+    for j in pins_of_element[element]:
+        cnt = counts[j]
+        if cnt.get(frm, 0) == 1:
+            gain += 1  # part frm disappears from hyperedge j
+        if cnt.get(to, 0) == 0:
+            gain -= 1  # part to newly appears in hyperedge j
+    return gain
+
+
+def refine_connectivity(
+    mesh: Mesh,
+    assignment: np.ndarray,
+    eps: float = 0.05,
+    passes: int = 2,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, int]:
+    """Greedy λ-1 refinement; returns (assignment, moves made)."""
+    hg = element_hypergraph(mesh, weights)
+    assignment = assignment.copy()
+    nparts = int(assignment.max()) + 1
+
+    # Per-element pin membership and per-hyperedge part counts.
+    pins_of_element = [[] for _ in range(hg.n)]
+    for j in range(hg.nedges):
+        for p in hg.pins[hg.eptr[j]: hg.eptr[j + 1]]:
+            pins_of_element[int(p)].append(j)
+    counts = []
+    for j in range(hg.nedges):
+        cnt: dict = {}
+        for p in hg.pins[hg.eptr[j]: hg.eptr[j + 1]]:
+            part = int(assignment[p])
+            cnt[part] = cnt.get(part, 0) + 1
+        counts.append(cnt)
+
+    part_weight = np.zeros(nparts)
+    np.add.at(part_weight, assignment, hg.weights.astype(float))
+    max_weight = hg.weights.sum() / nparts * (1.0 + eps)
+
+    graph = dual_graph(mesh)
+    total_moves = 0
+    for _pass in range(passes):
+        moves = 0
+        for i in range(hg.n):
+            frm = int(assignment[i])
+            neighbor_parts = {
+                int(assignment[j]) for j in graph.neighbors(i)
+            } - {frm}
+            if not neighbor_parts:
+                continue
+            best_to = -1
+            best_gain = 0
+            for to in sorted(neighbor_parts):
+                if part_weight[to] + hg.weights[i] > max_weight:
+                    continue
+                gain = _connectivity_gain(
+                    hg, assignment, pins_of_element, i, to, counts
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_to = to
+            if best_to >= 0:
+                for j in pins_of_element[i]:
+                    cnt = counts[j]
+                    cnt[frm] -= 1
+                    if cnt[frm] == 0:
+                        del cnt[frm]
+                    cnt[best_to] = cnt.get(best_to, 0) + 1
+                part_weight[frm] -= hg.weights[i]
+                part_weight[best_to] += hg.weights[i]
+                assignment[i] = best_to
+                moves += 1
+        total_moves += moves
+        if moves == 0:
+            break
+    return assignment, total_moves
+
+
+def phg(
+    mesh: Mesh,
+    nparts: int,
+    eps: float = 0.05,
+    seed: int = 0,
+    weights: Optional[np.ndarray] = None,
+    refine_passes: int = 2,
+) -> np.ndarray:
+    """Partition a mesh's elements with the PHG-style pipeline."""
+    graph = dual_graph(mesh, weights)
+    assignment = recursive_bisection(
+        graph.xadj, graph.adjncy, graph.weights.astype(float), nparts,
+        eps=eps, seed=seed,
+    )
+    if refine_passes > 0 and nparts > 1:
+        assignment, _moves = refine_connectivity(
+            mesh, assignment, eps=eps, passes=refine_passes, weights=weights
+        )
+    return assignment

@@ -1,0 +1,200 @@
+"""Multilevel two-way graph bisection (the METIS/Chaco scheme).
+
+Three phases: **coarsen** by heavy-edge matching until the graph is small,
+**bisect** the coarsest graph by greedy graph growing from a pseudo-
+peripheral seed, and **uncoarsen** by projecting the side assignment back up
+the hierarchy with an FM refinement pass at each level.  Node and edge
+weights are carried through contraction so balance and cut are measured on
+the original graph's terms throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .fm import cut_weight, fm_refine
+
+
+def heavy_edge_matching(
+    xadj: np.ndarray,
+    adjncy: np.ndarray,
+    eweights: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy heavy-edge matching; returns each node's mate (or itself)."""
+    n = len(xadj) - 1
+    mate = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for i in order:
+        if mate[i] != -1:
+            continue
+        best = -1
+        best_w = -1.0
+        for k in range(xadj[i], xadj[i + 1]):
+            j = int(adjncy[k])
+            if mate[j] == -1 and j != i and eweights[k] > best_w:
+                best = j
+                best_w = float(eweights[k])
+        if best == -1:
+            mate[i] = i
+        else:
+            mate[i] = best
+            mate[best] = i
+    return mate
+
+
+def contract(
+    xadj: np.ndarray,
+    adjncy: np.ndarray,
+    weights: np.ndarray,
+    eweights: np.ndarray,
+    mate: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Contract matched pairs; returns (xadj, adjncy, weights, eweights, cmap)."""
+    n = len(weights)
+    cmap = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for i in range(n):
+        if cmap[i] != -1:
+            continue
+        j = int(mate[i])
+        cmap[i] = next_id
+        if j != i:
+            cmap[j] = next_id
+        next_id += 1
+
+    cweights = np.zeros(next_id, dtype=weights.dtype)
+    np.add.at(cweights, cmap, weights)
+
+    edge_accum: dict = {}
+    for i in range(n):
+        ci = cmap[i]
+        for k in range(xadj[i], xadj[i + 1]):
+            cj = cmap[int(adjncy[k])]
+            if ci == cj:
+                continue
+            key = (ci, cj)
+            edge_accum[key] = edge_accum.get(key, 0.0) + float(eweights[k])
+
+    cxadj = np.zeros(next_id + 1, dtype=np.int64)
+    for ci, _cj in edge_accum:
+        cxadj[ci + 1] += 1
+    np.cumsum(cxadj, out=cxadj)
+    cadjncy = np.zeros(int(cxadj[-1]), dtype=np.int64)
+    ceweights = np.zeros(int(cxadj[-1]))
+    cursor = cxadj[:-1].copy()
+    for (ci, cj), w in sorted(edge_accum.items()):
+        cadjncy[cursor[ci]] = cj
+        ceweights[cursor[ci]] = w
+        cursor[ci] += 1
+    return cxadj, cadjncy, cweights, ceweights, cmap
+
+
+def greedy_grow(
+    xadj: np.ndarray,
+    adjncy: np.ndarray,
+    weights: np.ndarray,
+    ratio: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Grow side 0 by BFS from a pseudo-peripheral seed to the target weight."""
+    n = len(weights)
+    side = np.ones(n, dtype=np.int64)
+    total = float(weights.sum())
+    target = total * ratio
+
+    # Pseudo-peripheral seed: BFS twice from a random start.
+    start = int(rng.integers(n))
+    for _ in range(2):
+        dist = np.full(n, -1)
+        dist[start] = 0
+        queue = [start]
+        head = 0
+        while head < len(queue):
+            i = queue[head]
+            head += 1
+            for k in range(xadj[i], xadj[i + 1]):
+                j = int(adjncy[k])
+                if dist[j] == -1:
+                    dist[j] = dist[i] + 1
+                    queue.append(j)
+        start = queue[-1]
+
+    grown = 0.0
+    dist = np.full(n, -1)
+    dist[start] = 0
+    queue = [start]
+    head = 0
+    while head < len(queue) and grown < target:
+        i = queue[head]
+        head += 1
+        if side[i] == 1:
+            side[i] = 0
+            grown += float(weights[i])
+        for k in range(xadj[i], xadj[i + 1]):
+            j = int(adjncy[k])
+            if dist[j] == -1:
+                dist[j] = dist[i] + 1
+                queue.append(j)
+    # Disconnected leftovers: sweep any unreached nodes if still underweight.
+    if grown < target:
+        for i in range(n):
+            if grown >= target:
+                break
+            if side[i] == 1:
+                side[i] = 0
+                grown += float(weights[i])
+    return side
+
+
+def multilevel_bisect(
+    xadj: np.ndarray,
+    adjncy: np.ndarray,
+    weights: np.ndarray,
+    eweights: Optional[np.ndarray] = None,
+    ratio: float = 0.5,
+    eps: float = 0.05,
+    seed: int = 0,
+    coarse_limit: int = 120,
+    fm_passes: int = 4,
+) -> np.ndarray:
+    """Two-way multilevel bisection; returns a 0/1 side per node."""
+    rng = np.random.default_rng(seed)
+    if eweights is None:
+        eweights = np.ones(len(adjncy))
+    return _bisect_level(
+        xadj, adjncy, weights, eweights, ratio, eps, rng, coarse_limit,
+        fm_passes,
+    )
+
+
+def _bisect_level(
+    xadj, adjncy, weights, eweights, ratio, eps, rng, coarse_limit, fm_passes
+) -> np.ndarray:
+    n = len(weights)
+    if n <= coarse_limit or len(adjncy) == 0:
+        side = greedy_grow(xadj, adjncy, weights, ratio, rng)
+        return fm_refine(
+            xadj, adjncy, weights, side, eweights, ratio, eps, fm_passes
+        )
+
+    mate = heavy_edge_matching(xadj, adjncy, eweights, rng)
+    if (mate == np.arange(n)).all():
+        # Matching made no progress (e.g. edgeless graph): bisect directly.
+        side = greedy_grow(xadj, adjncy, weights, ratio, rng)
+        return fm_refine(
+            xadj, adjncy, weights, side, eweights, ratio, eps, fm_passes
+        )
+    cxadj, cadjncy, cweights, ceweights, cmap = contract(
+        xadj, adjncy, weights, eweights, mate
+    )
+    coarse_side = _bisect_level(
+        cxadj, cadjncy, cweights, ceweights, ratio, eps, rng, coarse_limit,
+        fm_passes,
+    )
+    side = coarse_side[cmap]
+    return fm_refine(
+        xadj, adjncy, weights, side, eweights, ratio, eps, fm_passes
+    )

@@ -1,0 +1,81 @@
+"""Recursive inertial bisection (RIB).
+
+A geometric partitioner like RCB, but each bisection cuts perpendicular to
+the principal axis of the point set's inertia tensor instead of a coordinate
+axis, which follows the domain's actual orientation (better for slanted or
+elongated geometry).  Same interface as :mod:`repro.partitioners.rcb`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..mesh.mesh import Mesh
+from .graph import element_centroids
+
+
+def rib_points(
+    points: np.ndarray,
+    nparts: int,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """RIB assignment of weighted points to ``nparts`` parts."""
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if nparts < 1:
+        raise ValueError(f"need at least one part, got {nparts}")
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n,):
+            raise ValueError("weights must have one entry per point")
+    assignment = np.zeros(n, dtype=np.int64)
+    _rib_recurse(points, weights, np.arange(n), 0, nparts, assignment)
+    return assignment
+
+
+def _principal_axis(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    center = np.average(points, axis=0, weights=weights)
+    centered = points - center
+    inertia = (centered * weights[:, None]).T @ centered
+    _eigvals, eigvecs = np.linalg.eigh(inertia)
+    return eigvecs[:, -1]  # largest-variance direction
+
+
+def _rib_recurse(points, weights, ids, first_part, nparts, assignment) -> None:
+    if nparts == 1 or len(ids) == 0:
+        assignment[ids] = first_part
+        return
+    left_parts = nparts // 2
+    target = left_parts / nparts
+
+    subset = points[ids]
+    wsub = weights[ids]
+    if len(ids) == 1 or np.allclose(subset, subset[0]):
+        projection = np.zeros(len(ids))
+    else:
+        axis = _principal_axis(subset, wsub)
+        projection = subset @ axis
+    order = ids[np.argsort(projection, kind="stable")]
+
+    cum = np.cumsum(weights[order])
+    split = int(np.searchsorted(cum, target * cum[-1], side="left")) + 1
+    split = min(max(split, 1), len(order) - 1)
+
+    _rib_recurse(points, weights, order[:split], first_part, left_parts,
+                 assignment)
+    _rib_recurse(points, weights, order[split:], first_part + left_parts,
+                 nparts - left_parts, assignment)
+
+
+def rib(
+    mesh: Mesh,
+    nparts: int,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """RIB assignment of a mesh's elements (by centroid)."""
+    _elements, centroids = element_centroids(mesh)
+    return rib_points(centroids, nparts, weights)

@@ -1,0 +1,32 @@
+"""Workload generators standing in for the paper's evaluation meshes.
+
+Each module documents what the paper used, what is built instead, and why
+the substitution preserves the behaviour the experiment measures (see
+DESIGN.md's substitution table).
+"""
+
+from .aaa import aaa_mesh
+from .accelerator import (
+    TrackStats,
+    accelerator_mesh,
+    particle_positions,
+    particle_size,
+    track_particle,
+)
+from .scramjet import scramjet_case, scramjet_mesh, shock_train
+from .wing import shock_size, wing_case, wing_mesh
+
+__all__ = [
+    "TrackStats",
+    "aaa_mesh",
+    "accelerator_mesh",
+    "particle_positions",
+    "particle_size",
+    "scramjet_case",
+    "scramjet_mesh",
+    "shock_size",
+    "shock_train",
+    "track_particle",
+    "wing_case",
+    "wing_mesh",
+]

@@ -1,0 +1,65 @@
+"""ONERA-M6-surrogate workload: wing-like box with a shock-plane size field.
+
+Fig. 13 of the paper shows the element imbalance of a 1024-part mesh around
+an ONERA M6 wing after adapting to "a size field computed from the hessian
+of the mach number" that resolves a shock front — with no load balancing
+applied first.  The surrogate: a flat box domain (the flow volume over the
+wing planform) and an analytic oblique shock-plane size field whose band
+sweeps across it at the lambda-shock angle, concentrating refinement in a
+thin slab exactly like the hessian field does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..field.sizefield import MinSize, ShockPlaneSize, SizeField, UniformSize
+from ..mesh.generate import box_tet
+from ..mesh.mesh import Mesh
+
+#: Domain of the flow box: unit span and chord, thin vertical extent.
+_LO = (0.0, 0.0, 0.0)
+_HI = (1.0, 1.0, 0.25)
+
+
+def wing_mesh(n: int = 12) -> Mesh:
+    """Flow-box tet mesh over the wing planform: ``6 * n * n * ceil(n/4)``."""
+    nz = max(n // 4, 1)
+    return box_tet(n, n, nz, lo=_LO, hi=_HI)
+
+
+def shock_size(
+    mesh_scale: float,
+    refinement: float = 4.0,
+    angle_deg: float = 30.0,
+    position: float = 0.55,
+    width_fraction: float = 0.5,
+) -> SizeField:
+    """Oblique shock-front size field for the wing flow box.
+
+    ``mesh_scale`` is the current coarse resolution h; the band requests
+    ``h / refinement`` within a slab of width ``width_fraction * h`` whose
+    normal is tilted ``angle_deg`` from the chordwise axis — the swept
+    lambda-shock of the M6 test case.
+    """
+    angle = math.radians(angle_deg)
+    normal = (math.cos(angle), math.sin(angle), 0.0)
+    offset = position * math.cos(angle) + 0.5 * math.sin(angle)
+    return ShockPlaneSize(
+        normal=normal,
+        offset=offset,
+        h_fine=mesh_scale / refinement,
+        h_coarse=mesh_scale,
+        width=width_fraction * mesh_scale,
+    )
+
+
+def wing_case(
+    n: int = 12, refinement: float = 4.0
+) -> Tuple[Mesh, SizeField]:
+    """The full Fig.-13 scenario: mesh plus its shock size field."""
+    mesh = wing_mesh(n)
+    return mesh, shock_size(1.0 / n, refinement=refinement)

@@ -1,0 +1,131 @@
+"""Tests for the adaptation driver, ancestry tracking, and estimation."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    adapt,
+    ancestry_counts,
+    conformity,
+    estimate_counts_by_label,
+    estimate_element_count,
+    estimation_error,
+    seed_ancestry,
+)
+from repro.field import ShockPlaneSize, SphereSize, UniformSize
+from repro.mesh import box_tet, rect_tri
+from repro.mesh.verify import verify
+
+
+def test_uniform_refinement_quadruples_2d():
+    mesh = rect_tri(4)  # h = 0.25 axis edges
+    stats = adapt(mesh, UniformSize(0.125), do_coarsen=False)
+    verify(mesh, check_volumes=True)
+    # Halving h in 2D roughly quadruples the element count.
+    assert 3 * stats.initial_elements <= stats.final_elements
+    assert stats.splits > 0
+    assert stats.converged
+
+
+def test_adapt_converges_to_conforming_band():
+    mesh = rect_tri(6)
+    shock = ShockPlaneSize([1, 0], 0.5, h_fine=0.04, h_coarse=0.2, width=0.08)
+    adapt(mesh, shock, do_swap=True)
+    verify(mesh, check_volumes=True)
+    report = conformity(mesh, shock)
+    assert report["in_band_fraction"] > 0.9
+
+
+def test_adapt_refines_near_shock_only():
+    mesh = rect_tri(8)
+    shock = ShockPlaneSize([1, 0], 0.5, h_fine=0.03, h_coarse=0.15, width=0.05)
+    adapt(mesh, shock)
+    near = 0
+    far = 0
+    for f in mesh.entities(2):
+        if abs(mesh.centroid(f)[0] - 0.5) < 0.1:
+            near += 1
+        elif abs(mesh.centroid(f)[0] - 0.5) > 0.3:
+            far += 1
+    assert near > far  # the band holds most of the elements
+
+
+def test_coarsening_reduces_elements():
+    mesh = rect_tri(8)  # h = 0.125
+    stats = adapt(mesh, UniformSize(0.4), max_passes=6)
+    verify(mesh, check_volumes=True)
+    assert stats.final_elements < stats.initial_elements
+    assert stats.collapses > 0
+
+
+def test_adapt_3d_shock():
+    mesh = box_tet(3)
+    shock = ShockPlaneSize(
+        [1, 0, 0], 0.5, h_fine=0.15, h_coarse=0.5, width=0.08
+    )
+    stats = adapt(mesh, shock, max_passes=4)
+    verify(mesh, check_volumes=True)
+    assert stats.final_elements > stats.initial_elements
+
+
+def test_moving_sphere_refinement():
+    mesh = rect_tri(6)
+    ball = SphereSize([0.25, 0.5], radius=0.1, h_fine=0.04, h_coarse=0.2)
+    adapt(mesh, ball, max_passes=6)
+    count_at_first = mesh.count(2)
+    # Move the particle and re-adapt: refinement follows it.
+    adapt(mesh, ball.moved_to([0.75, 0.5]), max_passes=6)
+    verify(mesh, check_volumes=True)
+    fine_near_new = sum(
+        1 for f in mesh.entities(2)
+        if np.linalg.norm(mesh.centroid(f)[:2] - [0.75, 0.5]) < 0.1
+    )
+    fine_near_old = sum(
+        1 for f in mesh.entities(2)
+        if np.linalg.norm(mesh.centroid(f)[:2] - [0.25, 0.5]) < 0.1
+    )
+    assert fine_near_new > fine_near_old
+
+
+def test_ancestry_partition_of_elements():
+    mesh = rect_tri(4)
+    seed_ancestry(mesh, "part", lambda e: e.idx % 4)
+    shock = ShockPlaneSize([1, 0], 0.5, h_fine=0.05, h_coarse=0.2, width=0.1)
+    adapt(mesh, shock, ancestry_tag="part")
+    counts = ancestry_counts(mesh, "part")
+    assert sum(counts.values()) == mesh.count(2)
+    assert set(counts) <= {0, 1, 2, 3}
+
+
+def test_ancestry_requires_tag():
+    mesh = rect_tri(2)
+    with pytest.raises(KeyError):
+        ancestry_counts(mesh, "nope")
+
+
+def test_estimate_element_count_tracks_reality():
+    mesh = rect_tri(6)
+    size = UniformSize(0.08)
+    estimated = estimate_element_count(mesh, size)
+    adapt(mesh, size)
+    realized = mesh.count(2)
+    assert 0.4 * realized <= estimated <= 2.5 * realized
+
+
+def test_estimate_counts_by_label_and_error():
+    mesh = rect_tri(4)
+    seed_ancestry(mesh, "p", lambda e: 0 if mesh.centroid(e)[0] < 0.5 else 1)
+    shock = ShockPlaneSize([1, 0], 0.25, h_fine=0.05, h_coarse=0.25, width=0.1)
+    estimated = estimate_counts_by_label(mesh, shock, "p")
+    adapt(mesh, shock, ancestry_tag="p")
+    realized = ancestry_counts(mesh, "p")
+    # The refined (left) side must dominate both forecast and reality.
+    assert estimated[0] > estimated[1]
+    assert realized[0] > realized[1]
+    assert estimation_error(estimated, realized) < 1.0
+
+
+def test_estimate_missing_tag():
+    mesh = rect_tri(2)
+    with pytest.raises(KeyError):
+        estimate_counts_by_label(mesh, UniformSize(0.1), "nope")

@@ -1,0 +1,106 @@
+"""Property-based tests: adaptation invariants under randomized inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adapt import adapt, collapse_edge, split_edge
+from repro.field import AnalyticSize, SphereSize, UniformSize
+from repro.mesh import Ent, rect_tri
+from repro.mesh.quality import measure
+from repro.mesh.verify import verify
+
+
+def total_area(mesh):
+    return sum(measure(mesh, f) for f in mesh.entities(2))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    cx=st.floats(0.1, 0.9),
+    cy=st.floats(0.1, 0.9),
+    radius=st.floats(0.05, 0.3),
+    refinement=st.floats(1.5, 4.0),
+)
+def test_random_sphere_adaptation_preserves_validity(cx, cy, radius,
+                                                     refinement):
+    """Any sphere size field yields a valid mesh of unchanged area."""
+    mesh = rect_tri(4)
+    size = SphereSize([cx, cy], radius, h_fine=0.25 / refinement,
+                      h_coarse=0.3)
+    adapt(mesh, size, max_passes=4)
+    verify(mesh, check_volumes=True)
+    assert total_area(mesh) == pytest.approx(1.0)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(splits=st.lists(st.integers(0, 10_000), min_size=1, max_size=15))
+def test_random_split_sequences(splits):
+    """Splitting arbitrary live edges never invalidates the mesh."""
+    mesh = rect_tri(3)
+    for pick in splits:
+        edges = [e for e in mesh.entities(1)]
+        edge = edges[pick % len(edges)]
+        split_edge(mesh, edge)
+    verify(mesh, check_volumes=True)
+    assert total_area(mesh) == pytest.approx(1.0)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 10_000)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_random_split_collapse_interleaving(ops):
+    """Interleaved splits and (attempted) collapses keep the mesh valid.
+
+    Collapses may be rejected (geometry/inversion guards); the property is
+    that whatever subset succeeds leaves a valid, area-preserving mesh.
+    """
+    mesh = rect_tri(3)
+    for is_split, pick in ops:
+        edges = [e for e in mesh.entities(1)]
+        edge = edges[pick % len(edges)]
+        if is_split:
+            split_edge(mesh, edge)
+        else:
+            collapse_edge(mesh, edge)
+    verify(mesh, check_volumes=True)
+    assert total_area(mesh) == pytest.approx(1.0)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    a=st.floats(0.05, 0.3),
+    b=st.floats(1.0, 8.0),
+)
+def test_analytic_size_field_adaptation(a, b):
+    """Smooth positive analytic size fields adapt without corruption."""
+    mesh = rect_tri(4)
+    size = AnalyticSize(lambda x: a + 0.2 * abs(np.sin(b * x[0])))
+    adapt(mesh, size, max_passes=3)
+    verify(mesh, check_volumes=True)
+    assert total_area(mesh) == pytest.approx(1.0)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(h=st.floats(0.08, 0.6))
+def test_uniform_adaptation_reaches_band(h):
+    """Uniform targets converge with every edge inside the size band."""
+    from repro.field import edge_size_ratio
+
+    mesh = rect_tri(4)
+    stats = adapt(mesh, UniformSize(h), max_passes=8)
+    verify(mesh, check_volumes=True)
+    if stats.converged:
+        for edge in mesh.entities(1):
+            ratio = edge_size_ratio(mesh, UniformSize(h), edge)
+            assert ratio <= 1.5 + 1e-9

@@ -1,0 +1,120 @@
+"""Tests for vertex smoothing and quality optimization."""
+
+import numpy as np
+import pytest
+
+from repro.adapt.smooth import (
+    optimize_quality,
+    smooth_distributed,
+    smooth_pass,
+    smooth_vertex,
+)
+from repro.mesh import box_tet, delaunay_rect, rect_tri
+from repro.mesh.quality import worst_quality
+from repro.mesh.verify import verify
+
+
+def jittered_mesh(seed=3):
+    return delaunay_rect(6, jitter=0.45, seed=seed)
+
+
+def test_smooth_improves_jittered_mesh():
+    mesh = jittered_mesh()
+    before = worst_quality(mesh)
+    moved = smooth_pass(mesh)
+    assert moved > 0
+    verify(mesh, check_volumes=True)
+    assert worst_quality(mesh) >= before - 1e-12
+
+
+def test_smooth_preserves_area():
+    from repro.mesh.quality import measure
+
+    mesh = jittered_mesh()
+    before = sum(measure(mesh, f) for f in mesh.entities(2))
+    smooth_pass(mesh)
+    after = sum(measure(mesh, f) for f in mesh.entities(2))
+    assert after == pytest.approx(before)
+
+
+def test_model_vertices_never_move():
+    mesh = rect_tri(3)
+    corners = {
+        v: mesh.coords(v)
+        for v in mesh.entities(0)
+        if mesh.classification(v).dim == 0
+    }
+    smooth_pass(mesh)
+    for v, coords in corners.items():
+        assert np.allclose(mesh.coords(v), coords)
+
+
+def test_boundary_vertices_stay_on_their_model_entity():
+    mesh = jittered_mesh()
+    smooth_pass(mesh)
+    for v in mesh.entities(0):
+        gent = mesh.classification(v)
+        if gent.dim < 2:
+            shape = mesh.model.shape(gent)
+            assert shape.contains(mesh.coords(v), tol=1e-9)
+
+
+def test_smooth_vertex_rejects_quality_loss():
+    # A structured mesh is near-optimal: guarded smoothing mostly no-ops
+    # and never produces an invalid mesh.
+    mesh = rect_tri(4)
+    before = worst_quality(mesh)
+    smooth_pass(mesh)
+    verify(mesh, check_volumes=True)
+    assert worst_quality(mesh) >= before - 1e-12
+
+
+def test_smooth_3d():
+    mesh = box_tet(3)
+    before = worst_quality(mesh)
+    smooth_pass(mesh)
+    verify(mesh, check_volumes=True)
+    assert worst_quality(mesh) >= before - 1e-12
+
+
+def test_optimize_quality_driver():
+    mesh = jittered_mesh(seed=9)
+    stats = optimize_quality(mesh)
+    verify(mesh, check_volumes=True)
+    assert stats.final_worst >= stats.initial_worst
+    assert "quality optimization" in stats.summary()
+
+
+def test_optimize_improves_post_adaptation_quality():
+    from repro.adapt import adapt
+    from repro.field import SphereSize
+
+    mesh = rect_tri(5)
+    adapt(mesh, SphereSize([0.5, 0.5], 0.15, 0.04, 0.25), max_passes=5)
+    before = worst_quality(mesh)
+    stats = optimize_quality(mesh)
+    verify(mesh, check_volumes=True)
+    assert stats.final_worst > before
+
+
+def test_smooth_distributed_keeps_copies_consistent():
+    from repro.partition import distribute
+    from repro.partitioners import partition
+
+    mesh = jittered_rect = delaunay_rect(8, jitter=0.4, seed=5)
+    dm = distribute(mesh, partition(mesh, 4, method="rcb"))
+    moved = smooth_distributed(dm)
+    assert moved > 0
+    dm.verify()
+    for part in dm:
+        verify(part.mesh, check_classification=False, check_volumes=True)
+    # Shared vertices untouched: coordinates still agree bit-for-bit.
+    for part in dm:
+        for ent, copies in part.remotes.items():
+            if ent.dim != 0:
+                continue
+            for other_pid, other_ent in copies.items():
+                assert np.array_equal(
+                    part.mesh.coords(ent),
+                    dm.part(other_pid).mesh.coords(other_ent),
+                )

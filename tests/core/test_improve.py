@@ -1,0 +1,221 @@
+"""Tests for candidate selection, scheduling, and the improvement driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParMA,
+    candidate_parts,
+    improve_partition,
+    imbalance_of,
+    migration_schedule,
+    select_for_dimension,
+)
+from repro.mesh import box_tet, rect_tri
+from repro.partition import distribute
+from repro.partitioners import partition
+
+
+def make_dmesh(n=8, nparts=4, method="hypergraph", seed=1, dim3=False):
+    mesh = box_tet(n) if dim3 else rect_tri(n)
+    return distribute(mesh, partition(mesh, nparts, method=method, seed=seed))
+
+
+# -- candidates -----------------------------------------------------------------
+
+
+def test_candidates_are_neighbors_only():
+    dm = make_dmesh()
+    counts = dm.entity_counts()
+    for heavy in range(dm.nparts):
+        cands = candidate_parts(dm, counts, heavy, 2)
+        assert set(cands) <= dm.part(heavy).neighbors()
+
+
+def test_candidates_absolute_vs_relative():
+    dm = make_dmesh()
+    counts = dm.entity_counts().astype(float).copy()
+    heavy = 0
+    neighbors = sorted(dm.part(heavy).neighbors())
+    assert neighbors
+    nb = neighbors[0]
+    # Force nb above the (fixed) mean but below the heavy part:
+    # relatively light only.
+    means = counts.mean(axis=0)
+    counts[heavy, 2] = 1000.0
+    counts[nb, 2] = means[2] + 1
+    rel = candidate_parts(dm, counts, heavy, 2, mode="relative", means=means)
+    ab = candidate_parts(dm, counts, heavy, 2, mode="absolute", means=means)
+    both = candidate_parts(dm, counts, heavy, 2, mode="both", means=means)
+    assert nb in rel
+    assert nb not in ab
+    assert nb in both
+
+
+def test_candidates_gated_by_lower_priority_load():
+    dm = make_dmesh()
+    counts = dm.entity_counts().astype(float).copy()
+    heavy = 0
+    nb = sorted(dm.part(heavy).neighbors())[0]
+    counts[heavy, 2] = 1000.0
+    # Make nb overloaded in the lower-priority dimension 0 in both senses.
+    counts[nb, 0] = counts[:, 0].max() * 10
+    counts[heavy, 0] = 0.0
+    cands = candidate_parts(dm, counts, heavy, 2, lower_priority_dims=[0])
+    assert nb not in cands
+
+
+def test_candidates_gated_by_higher_priority_heaviness():
+    dm = make_dmesh()
+    counts = dm.entity_counts().astype(float).copy()
+    heavy = 0
+    nb = sorted(dm.part(heavy).neighbors())[0]
+    counts[heavy, 2] = 1000.0
+    counts[nb, 0] = counts[:, 0].mean() * 2  # heavy in dim 0
+    cands = candidate_parts(dm, counts, heavy, 2, higher_priority_dims=[0])
+    assert nb not in cands
+
+
+def test_candidates_sorted_lightest_first():
+    dm = make_dmesh()
+    counts = dm.entity_counts().astype(float)
+    heavy = int(np.argmax(counts[:, 2]))
+    cands = candidate_parts(dm, counts, heavy, 2)
+    loads = [counts[c, 2] for c in cands]
+    assert loads == sorted(loads)
+
+
+# -- schedule ----------------------------------------------------------------------
+
+
+def test_schedule_empty_when_not_heavy():
+    counts = np.array([[0, 0, 10, 0], [0, 0, 10, 0]])
+    assert migration_schedule(counts, 0, [1], 2, mean=10.0) == {}
+
+
+def test_schedule_caps_at_capacity():
+    counts = np.array([[0, 0, 100, 0], [0, 0, 10, 0]])
+    sched = migration_schedule(counts, 0, [1], 2, mean=55.0)
+    assert sched == {1: 45}
+
+
+def test_schedule_splits_proportionally():
+    counts = np.array([[0, 0, 100, 0], [0, 0, 40, 0], [0, 0, 10, 0]])
+    mean = 50.0
+    sched = migration_schedule(counts, 0, [1, 2], 2, mean=mean)
+    assert sched[2] == 4 * sched[1]  # capacities 10 vs 40
+    assert sum(sched.values()) <= 100 - mean + 1
+
+
+def test_schedule_relative_candidate_half_gap():
+    counts = np.array([[0, 0, 100, 0], [0, 0, 60, 0]])
+    sched = migration_schedule(counts, 0, [1], 2, mean=50.0)
+    assert sched == {1: 20}  # (100 - 60) / 2
+
+
+def test_schedule_minimum_one_unit():
+    counts = np.array([[0, 0, 52, 0], [0, 0, 49, 0]])
+    sched = migration_schedule(counts, 0, [1], 2, mean=50.0)
+    assert sched == {1: 1} or sched == {1: 2}
+
+
+# -- selection -----------------------------------------------------------------------
+
+
+def test_selection_only_from_candidate_boundary():
+    dm = make_dmesh(nparts=4)
+    counts = dm.entity_counts()
+    heavy = int(np.argmax(counts[:, 2]))
+    part = dm.part(heavy)
+    for cand in sorted(part.neighbors()):
+        picks = select_for_dimension(part, cand, 2, quota=3, already=set())
+        for element in picks:
+            # Each pick must touch the boundary with the candidate.
+            touches = any(
+                cand in part.remotes.get(facet, {})
+                for facet in part.mesh.down(element)
+            )
+            assert touches
+
+
+def test_selection_respects_quota_and_already():
+    dm = make_dmesh(nparts=2)
+    part = dm.part(0)
+    cand = 1
+    already = set()
+    first = select_for_dimension(part, cand, 2, quota=2, already=already)
+    assert len(first) <= 2
+    second = select_for_dimension(part, cand, 2, quota=2, already=already)
+    assert not set(first) & set(second)
+
+
+def test_vertex_selection_small_cavities_3d():
+    dm = make_dmesh(n=4, nparts=4, dim3=True)
+    heavy = int(np.argmax(dm.entity_counts()[:, 0]))
+    part = dm.part(heavy)
+    for cand in sorted(part.neighbors()):
+        picks = select_for_dimension(part, cand, 0, quota=2, already=set())
+        # All picked elements are regions.
+        assert all(p.dim == 3 for p in picks)
+
+
+# -- driver ------------------------------------------------------------------------
+
+
+def test_improve_reduces_target_imbalance_2d():
+    dm = make_dmesh(n=12, nparts=8)
+    before = imbalance_of(dm.entity_counts(), 0)
+    stats = improve_partition(dm, "Vtx > Face", tol=0.05)
+    after = imbalance_of(dm.entity_counts(), 0)
+    assert after <= before
+    dm.verify()
+    assert stats.total_migrated >= 0
+    assert "Vtx" in stats.summary()
+
+
+def test_improve_3d_vtx_rgn_to_tolerance():
+    dm = make_dmesh(n=6, nparts=8, dim3=True)
+    stats = improve_partition(dm, "Vtx > Rgn", tol=0.10)
+    final = stats.final_imbalances
+    assert final[0] <= stats.initial_imbalances[0] or final[0] <= 1.10
+    dm.verify()
+
+
+def test_improve_higher_priority_not_ruined():
+    """Balancing a lower-priority type must not blow up the higher one."""
+    dm = make_dmesh(n=6, nparts=8, dim3=True)
+    improve_partition(dm, "Rgn", tol=0.05)
+    rgn_after_first = imbalance_of(dm.entity_counts(), 3)
+    stats = improve_partition(dm, "Rgn > Vtx", tol=0.05)
+    rgn_final = imbalance_of(dm.entity_counts(), 3)
+    # Allowed: slight growth within tolerance-ish; forbidden: a new spike.
+    assert rgn_final <= max(rgn_after_first + 0.05, 1.10)
+    dm.verify()
+
+
+def test_improve_already_balanced_is_noop():
+    dm = make_dmesh(n=8, nparts=2, method="rcb")
+    counts_before = dm.entity_counts().copy()
+    stats = improve_partition(dm, "Face", tol=0.25)
+    assert stats.total_migrated == 0
+    assert np.array_equal(dm.entity_counts(), counts_before)
+
+
+def test_improve_accepts_parsed_priorities():
+    from repro.core import parse_priorities
+
+    dm = make_dmesh(n=6, nparts=4)
+    stats = improve_partition(dm, parse_priorities("Face"), tol=0.20)
+    assert stats.priorities == "Face"
+
+
+def test_parma_facade():
+    dm = make_dmesh(n=8, nparts=4)
+    balancer = ParMA(dm)
+    imb = balancer.imbalances()
+    assert imb.shape == (4,)
+    report = balancer.report()
+    assert "Vtx" in report
+    stats = balancer.improve("Vtx > Face", tol=0.10)
+    assert stats.tolerance == 0.10
+    dm.verify()

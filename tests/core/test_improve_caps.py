@@ -1,0 +1,107 @@
+"""Unit tests for the improvement driver's no-harm selection trimming."""
+
+import numpy as np
+import pytest
+
+from repro.core.improve import _trim_by_higher_priority
+from repro.mesh import rect_tri
+from repro.partition import distribute
+
+
+def make_case():
+    """Two parts; part 0's boundary elements are trim candidates."""
+    mesh = rect_tri(4)
+    assignment = [
+        0 if mesh.centroid(e)[0] < 0.5 else 1 for e in mesh.entities(2)
+    ]
+    dm = distribute(mesh, assignment)
+    part = dm.part(0)
+    boundary_elements = sorted(
+        {
+            element
+            for facet in part.shared_entities(1)
+            for element in part.mesh.up(facet)
+        }
+    )
+    return dm, part, boundary_elements
+
+
+def test_no_higher_dims_passes_through():
+    dm, part, selected = make_case()
+    counts = dm.entity_counts()
+    means = counts.astype(float).mean(axis=0)
+    kept = _trim_by_higher_priority(
+        part, 1, selected, counts, means, 0.05, [], {}
+    )
+    assert kept == selected
+
+
+def test_empty_selection_passes_through():
+    dm, part, _ = make_case()
+    counts = dm.entity_counts()
+    means = counts.astype(float).mean(axis=0)
+    assert _trim_by_higher_priority(
+        part, 1, [], counts, means, 0.05, [0], {}
+    ) == []
+
+
+def test_zero_headroom_drops_everything():
+    dm, part, selected = make_case()
+    counts = dm.entity_counts().astype(float).copy()
+    means = counts.mean(axis=0)
+    counts[1, 0] = means[0] * 2  # candidate already far over in vertices
+    kept = _trim_by_higher_priority(
+        part, 1, selected, counts, means, 0.05, [0], {}
+    )
+    assert kept == []
+
+
+def test_large_headroom_keeps_everything():
+    dm, part, selected = make_case()
+    counts = dm.entity_counts().astype(float).copy()
+    means = counts.mean(axis=0).copy()
+    means[0] = 10_000  # effectively unlimited vertex headroom
+    kept = _trim_by_higher_priority(
+        part, 1, selected, counts, means, 0.05, [0], {}
+    )
+    assert kept == selected
+
+
+def test_charges_only_new_copies():
+    """Entities already shared with the candidate cost nothing."""
+    dm, part, selected = make_case()
+    counts = dm.entity_counts().astype(float).copy()
+    means = counts.mean(axis=0).copy()
+    # Allow exactly the new vertices of the first element: its vertices not
+    # already shared with part 1.
+    first = selected[0]
+    new_verts = [
+        v
+        for v in part.mesh.verts_of(first)
+        if 1 not in part.remotes.get(v, {})
+    ]
+    means[0] = (counts[1, 0] + len(new_verts)) / 1.05
+    kept = _trim_by_higher_priority(
+        part, 1, selected, counts, means, 0.05, [0], {}
+    )
+    assert kept[:1] == [first]
+    # The second element would need additional new vertices: dropped
+    # unless it shares all of them with the first / the boundary.
+    assert len(kept) <= len(selected)
+
+
+def test_planned_accumulates_across_senders():
+    dm, part, selected = make_case()
+    counts = dm.entity_counts().astype(float).copy()
+    means = counts.mean(axis=0).copy()
+    means[0] = (counts[1, 0] + 4) / 1.05  # room for ~4 new vertices
+    planned = {}
+    first = _trim_by_higher_priority(
+        part, 1, selected, counts, means, 0.05, [0], planned
+    )
+    assert planned[1][0] > 0
+    # A second sender with the same budget sees it consumed.
+    second = _trim_by_higher_priority(
+        part, 1, selected, counts, means, 0.05, [0], planned
+    )
+    assert len(second) <= len(first)

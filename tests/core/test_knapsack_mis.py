@@ -1,0 +1,141 @@
+"""Tests for the knapsack solver and maximal-independent-set selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import independent_merges, knapsack, maximal_independent_set
+
+
+# -- knapsack ------------------------------------------------------------------
+
+
+def test_knapsack_trivial():
+    assert knapsack([], [], 10) == (0.0, [])
+    assert knapsack([5], [3.0], 0) == (0.0, [])
+
+
+def test_knapsack_takes_everything_that_fits():
+    value, chosen = knapsack([2, 3, 4], [2.0, 3.0, 4.0], 9)
+    assert value == 9.0
+    assert sorted(chosen) == [0, 1, 2]
+
+
+def test_knapsack_classic_tradeoff():
+    # Item 0 is heavy but valuable; optimal skips it for 1+2.
+    value, chosen = knapsack([10, 6, 5], [11.0, 6.0, 6.0], 11)
+    assert value == 12.0
+    assert sorted(chosen) == [1, 2]
+
+
+def test_knapsack_respects_capacity_exactly():
+    value, chosen = knapsack([5, 5, 5], [1.0, 1.0, 1.0], 10)
+    assert value == 2.0
+    assert len(chosen) == 2
+
+
+def test_knapsack_validation():
+    with pytest.raises(ValueError):
+        knapsack([1], [1.0, 2.0], 5)
+    with pytest.raises(ValueError):
+        knapsack([1], [1.0], -1)
+    with pytest.raises(ValueError):
+        knapsack([-1], [1.0], 5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.integers(1, 20), min_size=1, max_size=8),
+    capacity=st.integers(0, 60),
+)
+def test_knapsack_matches_bruteforce(weights, capacity):
+    values = [float(w) for w in weights]
+    best, chosen = knapsack(weights, values, capacity)
+    # Brute force over all subsets.
+    n = len(weights)
+    brute = 0.0
+    for mask in range(1 << n):
+        w = sum(weights[i] for i in range(n) if mask >> i & 1)
+        v = sum(values[i] for i in range(n) if mask >> i & 1)
+        if w <= capacity:
+            brute = max(brute, v)
+    assert best == pytest.approx(brute)
+    assert sum(weights[i] for i in chosen) <= capacity
+    assert sum(values[i] for i in chosen) == pytest.approx(best)
+
+
+def test_knapsack_scaling_path_stays_feasible():
+    rng = np.random.default_rng(0)
+    weights = rng.integers(1, 10_000, size=50).tolist()
+    values = [float(w) for w in weights]
+    capacity = 100_000
+    best, chosen = knapsack(weights, values, capacity, max_table=10_000)
+    assert sum(weights[i] for i in chosen) <= capacity
+    assert best > 0
+
+
+# -- MIS ---------------------------------------------------------------------------
+
+
+def test_mis_empty():
+    assert maximal_independent_set([], {}) == []
+
+
+def test_mis_no_conflicts_takes_all():
+    nodes = [1, 2, 3]
+    assert sorted(maximal_independent_set(nodes, {n: set() for n in nodes})) == nodes
+
+
+def test_mis_triangle_conflict():
+    conflicts = {1: {2, 3}, 2: {1, 3}, 3: {1, 2}}
+    result = maximal_independent_set([1, 2, 3], conflicts)
+    assert len(result) == 1
+
+
+def test_mis_priority_wins():
+    conflicts = {1: {2}, 2: {1}, 3: set()}
+    result = maximal_independent_set([1, 2, 3], conflicts, {1: 1.0, 2: 5.0, 3: 0.0})
+    assert 2 in result and 1 not in result and 3 in result
+
+
+def test_mis_is_maximal():
+    # Path conflict graph 1-2-3-4-5: MIS must include non-adjacent nodes.
+    conflicts = {1: {2}, 2: {1, 3}, 3: {2, 4}, 4: {3, 5}, 5: {4}}
+    result = set(maximal_independent_set([1, 2, 3, 4, 5], conflicts))
+    for node in [1, 2, 3, 4, 5]:
+        assert node in result or conflicts[node] & result
+
+
+# -- merge proposal selection --------------------------------------------------------
+
+
+def test_independent_merges_no_conflict():
+    proposals = {0: ([1], 10.0), 2: ([3], 8.0)}
+    assert independent_merges(proposals) == {0: [1], 2: [3]}
+
+
+def test_independent_merges_shared_donor():
+    proposals = {0: ([1], 10.0), 2: ([1], 20.0)}
+    assert independent_merges(proposals) == {2: [1]}
+
+
+def test_independent_merges_receiver_is_donor_elsewhere():
+    proposals = {0: ([1], 5.0), 1: ([2], 9.0)}
+    # 1 cannot both donate to 0 and receive 2; higher weight wins.
+    assert independent_merges(proposals) == {1: [2]}
+
+
+def test_independent_merges_every_part_once():
+    proposals = {
+        0: ([1, 2], 12.0),
+        3: ([2, 4], 11.0),
+        5: ([6], 3.0),
+    }
+    chosen = independent_merges(proposals)
+    used = []
+    for receiver, donors in chosen.items():
+        used.append(receiver)
+        used.extend(donors)
+    assert len(used) == len(set(used))
+    assert 0 in chosen  # heaviest proposal survives
+    assert 5 in chosen  # disjoint proposal survives

@@ -1,0 +1,134 @@
+"""Tests for heavy part splitting and predictive balancing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParMA,
+    heavy_part_splitting,
+    predicted_element_weight,
+    predicted_weights,
+    predictive_balance,
+    propose_merges,
+    split_off_piece,
+)
+from repro.field import ShockPlaneSize, UniformSize
+from repro.mesh import box_tet, rect_tri
+from repro.partition import distribute
+from repro.partitioners import partition
+
+
+def spiked_dmesh(n=6, nparts=8):
+    """A distribution with one huge spike and two empty parts."""
+    mesh = box_tet(n)
+    a = partition(mesh, nparts, method="rcb")
+    a = np.where(a <= 2, 0, a)
+    return distribute(mesh, a, nparts=nparts)
+
+
+def test_propose_merges_light_parts_propose():
+    dm = spiked_dmesh()
+    counts = dm.entity_counts()[:, 3].astype(float)
+    proposals = propose_merges(dm, counts, counts.mean())
+    # The heavy part (0) has no capacity; it must not propose.
+    assert 0 not in proposals
+    for receiver, (donors, total) in proposals.items():
+        assert counts[receiver] + total <= counts.mean()
+        assert set(donors) <= dm.part(receiver).neighbors()
+
+
+def test_split_off_piece_moves_roughly_requested():
+    dm = spiked_dmesh()
+    counts = dm.entity_counts()[:, 3]
+    piece = int(counts[0] // 3)
+    moved = split_off_piece(dm, 0, 1, piece)
+    assert moved > 0
+    assert abs(moved - piece) <= piece * 0.35
+    dm.verify()
+
+
+def test_split_off_piece_degenerate():
+    dm = spiked_dmesh()
+    assert split_off_piece(dm, 0, 1, 0) == 0
+    assert split_off_piece(dm, 1, 0, 5) == 0  # part 1 is empty -> n <= 1
+
+
+def test_heavy_part_splitting_removes_spike():
+    dm = spiked_dmesh()
+    stats = heavy_part_splitting(dm, tol=0.05)
+    assert stats.initial_peak > 2.5
+    assert stats.final_peak < stats.initial_peak / 2
+    assert stats.splits_executed >= 1
+    dm.verify()
+    assert "heavy part splitting" in stats.summary()
+
+
+def test_heavy_part_splitting_noop_when_balanced():
+    mesh = box_tet(4)
+    dm = distribute(mesh, partition(mesh, 4, method="rcb"))
+    stats = heavy_part_splitting(dm, tol=0.10)
+    assert stats.merges_executed == 0
+    assert stats.splits_executed == 0
+
+
+def test_composed_recipe_reaches_tolerance():
+    dm = spiked_dmesh()
+    balancer = ParMA(dm)
+    split_stats, improve_stats = balancer.rebalance_spikes("Rgn", tol=0.05)
+    final = balancer.imbalances()[3]
+    assert final <= 1.15  # splitting + diffusion ends near tolerance
+    dm.verify()
+
+
+# -- predictive ----------------------------------------------------------------------
+
+
+def test_predicted_weight_uniform_size_near_one():
+    mesh = rect_tri(8)  # edges ~0.125-0.177
+    size = UniformSize(0.15)
+    weights = predicted_weights(mesh, size)
+    assert weights.shape == (mesh.count(2),)
+    assert 0.4 < weights.mean() < 2.5
+
+
+def test_predicted_weight_scales_with_refinement():
+    mesh = rect_tri(4)
+    element = next(mesh.entities(2))
+    w_coarse = predicted_element_weight(mesh, element, UniformSize(0.5))
+    w_fine = predicted_element_weight(mesh, element, UniformSize(0.05))
+    assert w_fine > w_coarse * 10
+
+
+def test_predicted_weight_floor():
+    mesh = rect_tri(2)
+    element = next(mesh.entities(2))
+    w = predicted_element_weight(mesh, element, UniformSize(100.0), floor=0.1)
+    assert w == 0.1
+
+
+def test_predictive_balance_moves_elements_toward_refined_zone():
+    mesh = rect_tri(12)
+    dm = distribute(mesh, partition(mesh, 4, method="rcb"))
+    shock = ShockPlaneSize(
+        normal=[1, 0], offset=0.5, h_fine=0.02, h_coarse=0.2, width=0.08
+    )
+    moved = predictive_balance(dm, shock)
+    assert moved > 0
+    dm.verify()
+    # The actual contract: the *predicted* load is balanced after the move.
+    loads = np.zeros(dm.nparts)
+    for part in dm:
+        for element in part.mesh.entities(2):
+            loads[part.pid] += predicted_element_weight(
+                part.mesh, element, shock
+            )
+    assert loads.max() / loads.mean() < 1.25
+
+
+def test_predictive_balance_uniform_is_mild():
+    mesh = rect_tri(8)
+    dm = distribute(mesh, partition(mesh, 4, method="rcb"))
+    moved = predictive_balance(dm, UniformSize(0.125))
+    dm.verify()
+    counts = dm.entity_counts()[:, 2].astype(float)
+    assert counts.max() / counts.mean() < 1.2

@@ -1,0 +1,141 @@
+"""Tests for priority-list parsing and imbalance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    balance_report,
+    heavy_parts,
+    imbalance_of,
+    imbalance_percent,
+    imbalances,
+    light_parts,
+    parse_priorities,
+)
+from repro.core.priorities import PriorityList
+
+
+# -- priorities -----------------------------------------------------------------
+
+
+def test_parse_single_type():
+    pl = parse_priorities("Rgn")
+    assert pl.levels == ((3,),)
+    assert str(pl) == "Rgn"
+
+
+def test_parse_table1_t1():
+    pl = parse_priorities("Vtx > Rgn")
+    assert pl.levels == ((0,), (3,))
+
+
+def test_parse_table1_t2_equal_levels():
+    pl = parse_priorities("Vtx = Edge > Rgn")
+    assert pl.levels == ((0, 1), (3,))
+    assert str(pl) == "Vtx = Edge > Rgn"
+
+
+def test_parse_table1_t4():
+    pl = parse_priorities("Edge = Face > Rgn")
+    assert pl.levels == ((1, 2), (3,))
+
+
+def test_parse_paper_example_three_levels():
+    pl = parse_priorities("Rgn > Face = Edge > Vtx")
+    assert pl.levels == ((3,), (1, 2), (0,))
+    assert pl.all_dims() == [3, 1, 2, 0]
+
+
+def test_parse_case_insensitive_aliases():
+    pl = parse_priorities("vertex > REGION")
+    assert pl.levels == ((0,), (3,))
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_priorities("Blob > Rgn")
+    with pytest.raises(ValueError):
+        parse_priorities("Vtx > > Rgn")
+    with pytest.raises(ValueError):
+        parse_priorities("")
+
+
+def test_duplicate_type_rejected():
+    with pytest.raises(ValueError):
+        parse_priorities("Vtx > Vtx")
+    with pytest.raises(ValueError):
+        PriorityList(((0,), (0,)))
+
+
+def test_equal_level_must_be_sorted():
+    with pytest.raises(ValueError):
+        PriorityList(((2, 1),))
+
+
+def test_higher_and_lower_priority_dims():
+    pl = parse_priorities("Rgn > Face = Edge > Vtx")
+    assert pl.higher_priority_dims(3) == []
+    assert pl.higher_priority_dims(1) == [3]
+    assert pl.higher_priority_dims(0) == [3, 1, 2]
+    assert pl.lower_priority_dims(3) == [1, 2, 0]
+    assert pl.lower_priority_dims(0) == []
+    with pytest.raises(ValueError):
+        parse_priorities("Rgn").higher_priority_dims(0)
+    with pytest.raises(ValueError):
+        parse_priorities("Rgn").lower_priority_dims(0)
+
+
+# -- imbalance metrics ---------------------------------------------------------
+
+
+def test_imbalance_of_uniform_is_one():
+    counts = np.full((4, 4), 10)
+    assert imbalance_of(counts, 0) == 1.0
+    assert (imbalances(counts) == 1.0).all()
+
+
+def test_imbalance_of_peak():
+    counts = np.array([[10, 0, 0, 0], [30, 0, 0, 0]])
+    assert imbalance_of(counts, 0) == pytest.approx(1.5)
+    assert imbalance_percent(1.5) == pytest.approx(50.0)
+
+
+def test_imbalance_fixed_mean():
+    counts = np.array([[10, 0, 0, 0], [30, 0, 0, 0]])
+    assert imbalance_of(counts, 0, mean=10.0) == pytest.approx(3.0)
+
+
+def test_imbalance_empty_dim():
+    counts = np.zeros((3, 4))
+    assert imbalance_of(counts, 2) == 1.0
+
+
+def test_heavy_parts_ordered_heaviest_first():
+    counts = np.array([[10], [30], [25], [9]]) * np.array([[1, 0, 0, 0]])
+    heavy = heavy_parts(counts, 0, tol=0.05)
+    assert heavy == [1, 2]  # mean 18.5, threshold 19.4
+
+
+def test_light_parts():
+    counts = np.array([[10, 0, 0, 0], [30, 0, 0, 0], [20, 0, 0, 0]])
+    assert light_parts(counts, 0) == [0]
+
+
+def test_balance_report_shape():
+    counts = np.array([[576, 800, 400, 100], [600, 820, 420, 110]])
+    report = balance_report(counts)
+    assert set(report) == {"Vtx", "Edge", "Face", "Rgn"}
+    assert report["Rgn"]["mean"] == pytest.approx(105.0)
+    assert report["Rgn"]["imbalance_percent"] == pytest.approx(
+        (110 / 105 - 1) * 100
+    )
+
+
+def test_paper_spike_arithmetic():
+    """Section III-B: 576-vertex average, one part +324 => 56% imbalance."""
+    nparts = 100
+    counts = np.full((nparts, 4), 576)
+    counts[7, 0] = 576 + 324
+    mean = 576.0  # paper states the average explicitly
+    imb = imbalance_of(counts, 0, mean=mean)
+    assert imbalance_percent(imb) == pytest.approx(56.25)

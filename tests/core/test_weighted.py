@@ -1,0 +1,91 @@
+"""Tests for weighted diffusive balancing."""
+
+import numpy as np
+import pytest
+
+from repro.core import part_weights, weighted_diffusion
+from repro.field import ShockPlaneSize
+from repro.mesh import rect_tri
+from repro.partition import distribute
+from repro.partitioners import partition
+
+
+def tagged_dmesh(nparts=4, n=8, weight_fn=None):
+    mesh = rect_tri(n)
+    dm = distribute(mesh, partition(mesh, nparts, method="rcb"))
+    for part in dm:
+        tag = part.mesh.tag("w")
+        for element in part.mesh.entities(2):
+            value = weight_fn(part, element) if weight_fn else 1.0
+            tag.set(element, value)
+    return dm
+
+
+def test_part_weights_default_one():
+    mesh = rect_tri(4)
+    dm = distribute(mesh, partition(mesh, 2, method="rcb"))
+    loads = part_weights(dm, "missing-tag")
+    assert loads.sum() == mesh.count(2)
+
+
+def test_part_weights_sums_tag():
+    dm = tagged_dmesh(weight_fn=lambda part, e: 2.0)
+    loads = part_weights(dm, "w")
+    assert loads.sum() == pytest.approx(2.0 * 128)
+
+
+def test_uniform_weights_already_balanced():
+    dm = tagged_dmesh()
+    stats = weighted_diffusion(dm, "w", tol=0.10)
+    assert stats.converged
+    assert stats.elements_migrated == 0
+
+
+def test_skewed_weights_balance():
+    # Left-side elements are 8x heavier (a shock on the left boundary).
+    dm = tagged_dmesh(
+        nparts=4,
+        weight_fn=lambda part, e: 8.0
+        if part.mesh.centroid(e)[0] < 0.25
+        else 1.0,
+    )
+    before = part_weights(dm, "w")
+    assert before.max() / before.mean() > 1.5
+    stats = weighted_diffusion(dm, "w", tol=0.15, max_iterations=30)
+    after = part_weights(dm, "w")
+    assert after.max() / after.mean() < before.max() / before.mean()
+    assert after.max() / after.mean() <= 1.35
+    dm.verify()
+    assert "weighted diffusion" in stats.summary()
+
+
+def test_weights_travel_with_elements():
+    dm = tagged_dmesh(
+        nparts=2,
+        weight_fn=lambda part, e: 5.0 if part.pid == 0 else 1.0,
+    )
+    total_before = part_weights(dm, "w").sum()
+    weighted_diffusion(dm, "w", tol=0.10, max_iterations=20)
+    total_after = part_weights(dm, "w").sum()
+    assert total_after == pytest.approx(total_before)
+    dm.verify()
+
+
+def test_predictive_weights_diffusion():
+    """The predictive-balancing use case, executed diffusively."""
+    from repro.core.predictive import predicted_element_weight
+
+    mesh = rect_tri(10)
+    dm = distribute(mesh, partition(mesh, 5, method="rcb"))
+    shock = ShockPlaneSize([1, 0], 0.1, h_fine=0.02, h_coarse=0.2, width=0.06)
+    for part in dm:
+        tag = part.mesh.tag("pred")
+        for e in part.mesh.entities(2):
+            tag.set(e, predicted_element_weight(part.mesh, e, shock))
+    before = part_weights(dm, "pred")
+    stats = weighted_diffusion(dm, "pred", tol=0.10, max_iterations=30)
+    after = part_weights(dm, "pred")
+    excess_before = before.max() / before.mean() - 1.0
+    excess_after = after.max() / after.mean() - 1.0
+    assert excess_after < excess_before / 2
+    dm.verify()

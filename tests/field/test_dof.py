@@ -1,0 +1,125 @@
+"""Tests for distributed dof numbering."""
+
+import numpy as np
+import pytest
+
+from repro.field.dof import DofNumbering, dof_imbalance, dof_loads
+from repro.mesh import box_tet, rect_tri
+from repro.partition import distribute
+from repro.partitioners import partition
+
+
+def dmesh(n=6, parts=3, method="rcb"):
+    mesh = rect_tri(n)
+    return mesh, distribute(mesh, partition(mesh, parts, method=method))
+
+
+def test_p1_total_equals_global_vertices():
+    mesh, dm = dmesh()
+    numbering = DofNumbering(dm, order=1)
+    assert numbering.total == mesh.count(0)
+
+
+def test_p2_total_equals_vertices_plus_edges():
+    mesh, dm = dmesh()
+    numbering = DofNumbering(dm, order=2)
+    assert numbering.total == mesh.count(0) + mesh.count(1)
+
+
+def test_p0_total_equals_elements():
+    mesh, dm = dmesh()
+    numbering = DofNumbering(dm, order=0)
+    assert numbering.total == mesh.count(2)
+
+
+def test_invalid_order_rejected():
+    _mesh, dm = dmesh(n=2, parts=1)
+    with pytest.raises(ValueError):
+        DofNumbering(dm, order=3)
+
+
+def test_shared_dofs_agree_across_copies():
+    _mesh, dm = dmesh()
+    numbering = DofNumbering(dm, order=2)
+    checked = 0
+    for part in dm:
+        for ent, copies in part.remotes.items():
+            if ent.dim > 1:
+                continue
+            mine = numbering.id_of(part.pid, ent)
+            for other_pid, other_ent in copies.items():
+                assert numbering.id_of(other_pid, other_ent) == mine
+                checked += 1
+    assert checked > 0
+
+
+def test_ids_dense_and_unique():
+    _mesh, dm = dmesh()
+    numbering = DofNumbering(dm, order=1)
+    seen = {}
+    for part in dm:
+        for v in part.mesh.entities(0):
+            dof = numbering.id_of(part.pid, v)
+            gid = part.gid(v)
+            if gid in seen:
+                assert seen[gid] == dof
+            seen[gid] = dof
+    assert sorted(set(seen.values())) == list(range(numbering.total))
+
+
+def test_element_dofs_p2():
+    _mesh, dm = dmesh(n=2, parts=1)
+    numbering = DofNumbering(dm, order=2)
+    part = dm.part(0)
+    element = next(part.mesh.entities(2))
+    dofs = numbering.element_dofs(0, element)
+    assert len(dofs) == 6  # 3 vertex + 3 edge nodes
+    assert len(set(dofs)) == 6
+
+
+def test_element_dofs_p0():
+    _mesh, dm = dmesh(n=2, parts=1)
+    numbering = DofNumbering(dm, order=0)
+    element = next(dm.part(0).mesh.entities(2))
+    assert len(numbering.element_dofs(0, element)) == 1
+
+
+def test_missing_dof_raises():
+    _mesh, dm = dmesh(n=2, parts=1)
+    numbering = DofNumbering(dm, order=1)
+    edge = next(dm.part(0).mesh.entities(1))
+    with pytest.raises(KeyError):
+        numbering.id_of(0, edge)
+    assert not numbering.has(0, edge)
+
+
+def test_part_loads_match_entity_counts():
+    _mesh, dm = dmesh()
+    counts = dm.entity_counts()
+    assert np.array_equal(dof_loads(dm, 1), counts[:, 0])
+    assert np.array_equal(dof_loads(dm, 2), counts[:, 0] + counts[:, 1])
+
+
+def test_parma_vtx_edge_balance_improves_p2_dof_imbalance():
+    """The Table-II T2 priority list is exactly the P2 dof balance."""
+    from repro.core import ParMA
+
+    mesh = box_tet(6)
+    dm = distribute(mesh, partition(mesh, 8, method="hypergraph", seed=1))
+    before = dof_imbalance(dm, order=2)
+    ParMA(dm).improve("Vtx = Edge > Rgn", tol=0.05)
+    after = dof_imbalance(dm, order=2)
+    assert after <= before + 1e-9
+    dm.verify()
+
+
+def test_3d_p2_counts():
+    mesh = box_tet(2)
+    dm = distribute(
+        mesh, partition(mesh, 2, method="rcb"), nparts=2
+    )
+    numbering = DofNumbering(dm, order=2)
+    assert numbering.total == mesh.count(0) + mesh.count(1)
+    # A tet's P2 element dofs: 4 vertices + 6 edges.
+    element = next(dm.part(0).mesh.entities(3))
+    assert len(numbering.element_dofs(0, element)) == 10

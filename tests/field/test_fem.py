@@ -1,0 +1,109 @@
+"""Tests for the distributed P1 Poisson solver."""
+
+import numpy as np
+import pytest
+
+from repro.field.fem import PoissonProblem, solution_error
+from repro.mesh import box_tet, rect_tri
+from repro.partition import distribute
+from repro.partitioners import partition
+
+
+def dmesh_2d(n=8, parts=4, method="rcb"):
+    mesh = rect_tri(n)
+    return distribute(mesh, partition(mesh, parts, method=method))
+
+
+def test_linear_solution_is_exact():
+    dm = dmesh_2d()
+    exact = lambda x: 2 * x[0] + 3 * x[1] - 1
+    u, stats = PoissonProblem(dm, dirichlet=exact).solve()
+    assert stats.converged
+    assert solution_error(dm, u, exact) < 1e-10
+
+
+def test_harmonic_quadratic_exact_at_nodes():
+    dm = dmesh_2d()
+    exact = lambda x: x[0] * x[0] - x[1] * x[1]
+    u, stats = PoissonProblem(dm, dirichlet=exact).solve()
+    assert solution_error(dm, u, exact) < 1e-9
+
+
+def test_manufactured_rhs():
+    """-u'' = 2 with u = x(1-x): exact at nodes on the structured grid."""
+    dm = dmesh_2d()
+    exact = lambda x: x[0] * (1 - x[0])
+    u, stats = PoissonProblem(dm, f=lambda x: 2.0, dirichlet=exact).solve()
+    assert solution_error(dm, u, exact) < 1e-9
+    assert stats.iterations < 100
+
+
+def test_solution_independent_of_partition():
+    """The same system solved on different partitions agrees nodally."""
+    mesh = rect_tri(6)
+    exact = lambda x: x[0] * x[1]
+    solutions = []
+    for parts, method in ((1, "rcb"), (3, "rcb"), (4, "hypergraph")):
+        dm = distribute(
+            mesh, partition(mesh, parts, method=method), nparts=parts
+        )
+        u, _stats = PoissonProblem(dm, dirichlet=exact).solve()
+        by_gid = {}
+        for part in dm:
+            field = u.on(part.pid)
+            for v in part.mesh.entities(0):
+                by_gid[part.gid(v)] = field.get_scalar(v)
+        solutions.append(by_gid)
+    for other in solutions[1:]:
+        assert set(other) == set(solutions[0])
+        for gid, value in solutions[0].items():
+            assert other[gid] == pytest.approx(value, abs=1e-9)
+
+
+def test_3d_linear_exact():
+    mesh = box_tet(3)
+    dm = distribute(mesh, partition(mesh, 3, method="rcb"))
+    exact = lambda x: x[0] - 2 * x[1] + 0.5 * x[2]
+    u, stats = PoissonProblem(dm, dirichlet=exact).solve()
+    assert stats.converged
+    assert solution_error(dm, u, exact) < 1e-9
+
+
+def test_convergence_under_refinement():
+    """Nodal error of a non-polynomial solution shrinks with h."""
+    exact = lambda x: np.sin(np.pi * x[0]) * np.sinh(np.pi * x[1])
+    errors = []
+    for n in (4, 8, 16):
+        dm = dmesh_2d(n=n, parts=2)
+        u, _stats = PoissonProblem(dm, dirichlet=exact).solve(tol=1e-12)
+        errors.append(
+            solution_error(dm, u, exact)
+            / max(abs(np.sinh(np.pi)), 1.0)
+        )
+    assert errors[1] < errors[0]
+    assert errors[2] < errors[1]
+    assert errors[2] < errors[0] / 4  # ~O(h^2)
+
+
+def test_rejects_unsupported_dim():
+    from repro.mesh import Mesh
+    from repro.partition import DistributedMesh
+
+    dm = DistributedMesh(1)
+    with pytest.raises(ValueError):
+        PoissonProblem(dm)
+
+
+def test_dirichlet_values_pinned():
+    dm = dmesh_2d(n=4, parts=2)
+    g = lambda x: 7.0
+    u, _stats = PoissonProblem(dm, dirichlet=g).solve()
+    for part in dm:
+        field = u.on(part.pid)
+        for v in part.mesh.entities(0):
+            gent = part.mesh.classification(v)
+            if gent is not None and gent.dim < 2:
+                assert field.get_scalar(v) == pytest.approx(7.0)
+    # Constant boundary data + zero source => constant solution.
+    exact = lambda x: 7.0
+    assert solution_error(dm, u, exact) < 1e-10

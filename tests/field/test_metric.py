@@ -1,0 +1,120 @@
+"""Tests for anisotropic metric fields and metric-driven adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import adapt
+from repro.field.metric import (
+    AnalyticMetric,
+    MetricField,
+    UniformMetric,
+    boundary_layer_metric,
+    mean_metric_edge_length,
+)
+from repro.mesh import rect_tri
+from repro.mesh.quality import measure
+from repro.mesh.verify import verify
+
+
+def test_uniform_metric_matches_isotropic_size():
+    metric = UniformMetric(0.25)
+    assert metric.value([0.3, 0.7]) == pytest.approx(0.25)
+    # An edge of length 0.25 has metric length 1.
+    assert metric.metric_length(
+        np.array([0.0, 0.0]), np.array([0.25, 0.0])
+    ) == pytest.approx(1.0)
+
+
+def test_uniform_metric_validation():
+    with pytest.raises(ValueError):
+        UniformMetric(0.0)
+
+
+def test_analytic_metric_shape_check():
+    bad = AnalyticMetric(lambda x: np.ones(3))
+    with pytest.raises(ValueError):
+        bad.matrix([0, 0])
+
+
+def test_metric_length_directional():
+    # Fine (0.1) along x, coarse (1.0) along y.
+    metric = AnalyticMetric(lambda x: np.diag([1 / 0.1 ** 2, 1.0]))
+    lx = metric.metric_length(np.zeros(2), np.array([0.5, 0.0]))
+    ly = metric.metric_length(np.zeros(2), np.array([0.0, 0.5]))
+    assert lx == pytest.approx(5.0)
+    assert ly == pytest.approx(0.5)
+
+
+def test_edge_target_turns_ratio_into_metric_length():
+    from repro.field.sizefield import edge_size_ratio
+
+    mesh = rect_tri(2)
+    metric = UniformMetric(0.125)
+    for edge in mesh.entities(1):
+        a, b = mesh.verts_of(edge)
+        expected = metric.metric_length(mesh.coords(a), mesh.coords(b))
+        assert edge_size_ratio(mesh, metric, edge) == pytest.approx(expected)
+
+
+def test_boundary_layer_metric_anisotropy():
+    metric = boundary_layer_metric(
+        wall_normal=[0, 1], wall_offset=0.0, h_normal=0.02, h_tangent=0.2
+    )
+    m_wall = metric.matrix(np.array([0.5, 0.0]))
+    eigvals = np.sort(np.linalg.eigvalsh(m_wall))
+    assert np.sqrt(1 / eigvals[0]) == pytest.approx(0.2, rel=1e-6)
+    assert np.sqrt(1 / eigvals[1]) == pytest.approx(0.02, rel=1e-6)
+    # Far from the wall the metric relaxes toward isotropy at h_tangent.
+    m_far = metric.matrix(np.array([0.5, 10.0]))
+    eig_far = np.sort(np.linalg.eigvalsh(m_far))
+    assert np.sqrt(1 / eig_far[0]) == pytest.approx(0.2, rel=1e-3)
+    assert np.sqrt(1 / eig_far[1]) == pytest.approx(0.2, rel=0.05)
+
+
+def test_boundary_layer_validation():
+    with pytest.raises(ValueError):
+        boundary_layer_metric([0, 0], 0.0, 0.1, 0.2)
+    with pytest.raises(ValueError):
+        boundary_layer_metric([0, 1], 0.0, 0.3, 0.2)
+
+
+def test_metric_adaptation_produces_anisotropic_elements():
+    """Adapting to a boundary-layer metric stretches elements along x."""
+    mesh = rect_tri(6)
+    metric = boundary_layer_metric(
+        wall_normal=[0, 1], wall_offset=0.0, h_normal=0.04, h_tangent=0.25,
+        growth=1.0,
+    )
+    adapt(mesh, metric, max_passes=6, do_coarsen=True)
+    verify(mesh, check_volumes=True)
+    assert sum(measure(mesh, f) for f in mesh.entities(2)) == pytest.approx(1.0)
+
+    # Near-wall edges: the short (y) edges outnumber and undercut the
+    # long (x) edges — measure mean |dy| vs |dx| of wall-zone edges.
+    dys, dxs = [], []
+    for edge in mesh.entities(1):
+        a, b = mesh.verts_of(edge)
+        pa, pb = mesh.coords(a), mesh.coords(b)
+        if max(pa[1], pb[1]) > 0.15:
+            continue
+        dxs.append(abs(pb[0] - pa[0]))
+        dys.append(abs(pb[1] - pa[1]))
+    vertical = [d for d in dys if d > 1e-12]
+    assert vertical, "no wall-zone edges with vertical extent"
+    # Vertical spacing is much finer than horizontal near the wall.
+    assert np.mean(vertical) < 0.5 * np.mean([d for d in dxs if d > 1e-12])
+
+
+def test_metric_conformity_measure():
+    mesh = rect_tri(4)
+    metric = UniformMetric(0.25)
+    mean_length = mean_metric_edge_length(mesh, metric)
+    assert 1.0 <= mean_length <= 1.45  # h=0.25 grid edges: 1.0-1.41
+    from repro.mesh import Mesh
+
+    assert mean_metric_edge_length(Mesh(), metric) == 0.0
+
+
+def test_metric_base_class_abstract():
+    with pytest.raises(NotImplementedError):
+        MetricField().matrix([0, 0])

@@ -1,0 +1,175 @@
+"""Tests for shape functions, point location, size fields, and transfer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.field import (
+    AnalyticSize,
+    ElementLocator,
+    Field,
+    ShockPlaneSize,
+    SphereSize,
+    UniformSize,
+    barycentric,
+    contains_point,
+    current_vertex_sizes,
+    edge_size_ratio,
+    interpolate,
+    transfer_error,
+    transfer_vertex_field,
+)
+from repro.mesh import box_tet, rect_tri
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def test_barycentric_tri_vertices_and_centroid():
+    mesh = rect_tri(1)
+    f = next(mesh.entities(2))
+    verts = mesh.verts_of(f)
+    for i, v in enumerate(verts):
+        bary = barycentric(mesh, f, mesh.coords(v))
+        expected = np.zeros(3)
+        expected[i] = 1.0
+        assert np.allclose(bary, expected)
+    centroid = mesh.centroid(f)
+    assert np.allclose(barycentric(mesh, f, centroid), [1 / 3] * 3)
+
+
+def test_barycentric_tet():
+    mesh = box_tet(1)
+    r = next(mesh.entities(3))
+    bary = barycentric(mesh, r, mesh.centroid(r))
+    assert np.allclose(bary, [0.25] * 4)
+    assert bary.sum() == pytest.approx(1.0)
+
+
+def test_contains_point():
+    mesh = rect_tri(1)
+    f = next(mesh.entities(2))
+    assert contains_point(mesh, f, mesh.centroid(f))
+    assert not contains_point(mesh, f, [5.0, 5.0, 0.0])
+
+
+def test_interpolate_linear_field_is_exact():
+    mesh = rect_tri(2)
+    field = Field(mesh, "u")
+    field.set_from_coords(lambda x: 2 * x[0] + 3 * x[1] + 1)
+    f = next(mesh.entities(2))
+    x = mesh.centroid(f)
+    value = interpolate(mesh, field, f, x)
+    assert value[0] == pytest.approx(2 * x[0] + 3 * x[1] + 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=unit, y=unit)
+def test_locator_finds_containing_element(x, y):
+    mesh = rect_tri(3)
+    locator = ElementLocator(mesh)
+    element = locator.locate([x, y])
+    assert element is not None
+    assert contains_point(mesh, element, [x, y, 0.0], tol=1e-9)
+
+
+def test_locator_outside_returns_none_and_nearest_works():
+    mesh = rect_tri(2)
+    locator = ElementLocator(mesh)
+    assert locator.locate([5.0, 5.0]) is None
+    assert locator.nearest([5.0, 5.0]) is not None
+
+
+def test_locator_rejects_empty_mesh():
+    from repro.mesh import Mesh
+
+    with pytest.raises(ValueError):
+        ElementLocator(Mesh())
+
+
+def test_transfer_linear_field_exact():
+    source = rect_tri(4)
+    target = rect_tri(7)
+    u = Field(source, "u")
+    u.set_from_coords(lambda x: 4 * x[0] - 2 * x[1])
+    transferred = transfer_vertex_field(source, u, target)
+    err = transfer_error(
+        target, transferred, lambda x: 4 * x[0] - 2 * x[1], norm="max"
+    )
+    assert err < 1e-9
+
+
+def test_transfer_3d():
+    source = box_tet(2)
+    target = box_tet(3)
+    u = Field(source, "u")
+    u.set_from_coords(lambda x: x[0] + x[1] + x[2])
+    transferred = transfer_vertex_field(source, u, target)
+    err = transfer_error(
+        target, transferred, lambda x: x[0] + x[1] + x[2], norm="l2"
+    )
+    assert err < 1e-9
+
+
+def test_transfer_requires_vertex_field():
+    source = rect_tri(2)
+    with pytest.raises(ValueError):
+        transfer_vertex_field(source, Field(source, "r", entity_dim=2), source)
+
+
+# -- size fields ---------------------------------------------------------------
+
+
+def test_uniform_size():
+    s = UniformSize(0.25)
+    assert s.value([0.3, 0.9]) == 0.25
+    with pytest.raises(ValueError):
+        UniformSize(0.0)
+
+
+def test_analytic_size_positive_check():
+    s = AnalyticSize(lambda x: x[0] - 10.0)
+    with pytest.raises(ValueError):
+        s.value([0.0, 0.0])
+
+
+def test_shock_plane_size_band():
+    s = ShockPlaneSize(normal=[1, 0, 0], offset=0.5, h_fine=0.01,
+                       h_coarse=0.2, width=0.05)
+    assert s.value([0.5, 0.3, 0.1]) == pytest.approx(0.01)
+    far = s.value([0.0, 0.3, 0.1])
+    assert far == pytest.approx(0.2, rel=1e-3)
+    mid = s.value([0.53, 0.0, 0.0])
+    assert 0.01 < mid < 0.2
+
+
+def test_shock_plane_validation():
+    with pytest.raises(ValueError):
+        ShockPlaneSize([0, 0, 0], 0.0, 0.1, 0.2, 0.1)
+    with pytest.raises(ValueError):
+        ShockPlaneSize([1, 0, 0], 0.0, 0.3, 0.2, 0.1)  # fine > coarse
+    with pytest.raises(ValueError):
+        ShockPlaneSize([1, 0, 0], 0.0, 0.1, 0.2, -1.0)
+
+
+def test_sphere_size_and_move():
+    s = SphereSize(center=[0, 0], radius=0.1, h_fine=0.02, h_coarse=0.3)
+    assert s.value([0.05, 0.0]) == 0.02
+    assert s.value([5.0, 0.0]) == pytest.approx(0.3)
+    moved = s.moved_to([1.0, 0.0])
+    assert moved.value([1.0, 0.0]) == 0.02
+    assert moved.value([0.0, 0.0]) == pytest.approx(0.3)
+
+
+def test_edge_size_ratio():
+    mesh = rect_tri(2)  # edges have length 0.5 (axis) or ~0.707 (diagonal)
+    s = UniformSize(0.5)
+    ratios = [edge_size_ratio(mesh, s, e) for e in mesh.entities(1)]
+    assert min(ratios) == pytest.approx(1.0)
+    assert max(ratios) == pytest.approx(np.sqrt(2) / 2 / 0.5)
+
+
+def test_current_vertex_sizes():
+    mesh = rect_tri(2)
+    sizes = current_vertex_sizes(mesh)
+    assert len(sizes) == mesh.count(0)
+    assert all(0.4 < h < 0.8 for h in sizes.values())

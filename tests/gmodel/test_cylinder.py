@@ -1,0 +1,129 @@
+"""Tests for the cylinder b-rep (curved classification and snapping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gmodel import classify_point, snap_to_entity
+from repro.gmodel.cylinder import (
+    DiskShape,
+    LateralShape,
+    RimShape,
+    SolidCylinderShape,
+    cylinder_model,
+)
+
+angle = st.floats(0.0, 2 * np.pi)
+height = st.floats(0.0, 1.0)
+
+
+def test_model_topology():
+    model = cylinder_model()
+    assert model.count(0) == 2
+    assert model.count(1) == 2
+    assert model.count(2) == 3
+    assert model.count(3) == 1
+    model.check()
+    # The lateral face is bounded by both rims.
+    lateral = model.find(2, 2)
+    assert len(model.downward(lateral)) == 2
+
+
+def test_classification_by_region():
+    model = cylinder_model(radius=1.0, height=2.0)
+    assert classify_point(model, [0.0, 0.0, 1.0]).dim == 3
+    assert classify_point(model, [0.5, 0.0, 1.0]).dim == 3
+
+
+def test_classification_on_faces():
+    model = cylinder_model()
+    assert classify_point(model, [0.2, 0.1, 0.0]) == model.find(2, 0)
+    assert classify_point(model, [0.2, 0.1, 1.0]) == model.find(2, 1)
+    lateral_point = [1.0, 0.0, 0.5]
+    assert classify_point(model, lateral_point) == model.find(2, 2)
+
+
+def test_classification_on_rims():
+    model = cylinder_model()
+    theta = 1.1
+    p = [np.cos(theta), np.sin(theta), 0.0]
+    assert classify_point(model, p) == model.find(1, 0)
+    p_top = [np.cos(theta), np.sin(theta), 1.0]
+    assert classify_point(model, p_top) == model.find(1, 1)
+
+
+def test_classification_outside():
+    model = cylinder_model()
+    assert classify_point(model, [2.0, 0.0, 0.5]) is None
+    assert classify_point(model, [0.0, 0.0, 1.5]) is None
+
+
+@given(theta=angle, z=height)
+def test_lateral_snap_lands_on_wall(theta, z):
+    model = cylinder_model()
+    lateral = model.find(2, 2)
+    # Perturb a wall point radially; snapping restores the radius.
+    p = [1.3 * np.cos(theta), 1.3 * np.sin(theta), z]
+    snapped = snap_to_entity(model, lateral, p)
+    assert np.hypot(snapped[0], snapped[1]) == pytest.approx(1.0)
+    assert snapped[2] == pytest.approx(z)
+
+
+@given(theta=angle)
+def test_rim_snap(theta):
+    model = cylinder_model()
+    rim = model.find(1, 0)
+    p = [0.5 * np.cos(theta), 0.5 * np.sin(theta), 0.7]
+    snapped = snap_to_entity(model, rim, p)
+    assert np.hypot(snapped[0], snapped[1]) == pytest.approx(1.0)
+    assert snapped[2] == pytest.approx(0.0)
+
+
+def test_disk_projection_clamps_radius():
+    disk = DiskShape(0.0, 1.0)
+    assert np.allclose(disk.project([3.0, 0.0, 5.0]), [1.0, 0.0, 0.0])
+    assert disk.contains([0.5, 0.5, 0.0])
+    assert not disk.contains([0.5, 0.5, 0.2])
+
+
+def test_lateral_axis_degenerate_point():
+    lateral = LateralShape(1.0, 0.0, 1.0)
+    snapped = lateral.project([0.0, 0.0, 0.5])
+    assert np.hypot(snapped[0], snapped[1]) == pytest.approx(1.0)
+
+
+def test_solid_contains():
+    solid = SolidCylinderShape(1.0, 0.0, 2.0)
+    assert solid.contains([0.5, 0.5, 1.0])
+    assert not solid.contains([1.2, 0.0, 1.0])
+    assert not solid.contains([0.0, 0.0, 2.5])
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        DiskShape(0.0, -1.0)
+    with pytest.raises(ValueError):
+        LateralShape(1.0, 1.0, 0.0)
+
+
+def test_refinement_snaps_onto_curved_wall():
+    """An edge classified on the lateral face splits onto the true wall."""
+    from repro.adapt import split_edge
+    from repro.mesh import TET, Mesh
+
+    model = cylinder_model()
+    mesh = Mesh(model)
+    lateral = model.find(2, 2)
+    region = model.find(3, 0)
+    # A tet with one face's vertices on the wall (a chord of the circle).
+    a = mesh.create_vertex([1.0, 0.0, 0.2], model.find(2, 2))
+    b = mesh.create_vertex([0.0, 1.0, 0.2], model.find(2, 2))
+    c = mesh.create_vertex([np.sqrt(0.5), np.sqrt(0.5), 0.8], lateral)
+    d = mesh.create_vertex([0.0, 0.0, 0.5], region)
+    tet = mesh.create(TET, [a, b, c, d], region)
+    chord = mesh.find(1, [a, b])
+    mesh.set_classification(chord, lateral)
+    mid = split_edge(mesh, chord)
+    # Without snapping the midpoint sits at radius ~0.707; with it: 1.
+    assert np.hypot(*mesh.coords(mid)[:2]) == pytest.approx(1.0)
+    assert mesh.classification(mid) == lateral

@@ -1,0 +1,155 @@
+"""Tests for shape evaluators, classification, and snapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gmodel import (
+    BoxShape,
+    PlanarPatchShape,
+    PointShape,
+    SegmentShape,
+    box_model,
+    classify_from_closure,
+    classify_point,
+    rect_model,
+    snap_error,
+    snap_to_entity,
+)
+
+coords = st.floats(min_value=-2.0, max_value=3.0, allow_nan=False)
+
+
+def test_point_shape():
+    p = PointShape([1.0, 2.0])
+    assert p.contains([1.0, 2.0])
+    assert not p.contains([1.1, 2.0])
+    assert np.allclose(p.project([5.0, 5.0]), [1.0, 2.0])
+
+
+def test_segment_projection_clamps():
+    s = SegmentShape([0, 0], [1, 0])
+    assert np.allclose(s.project([0.5, 1.0]), [0.5, 0.0])
+    assert np.allclose(s.project([-3.0, 0.5]), [0.0, 0.0])
+    assert np.allclose(s.project([9.0, -0.5]), [1.0, 0.0])
+    assert s.contains([0.25, 0.0])
+    assert not s.contains([0.25, 0.01])
+
+
+def test_segment_degenerate_rejected():
+    with pytest.raises(ValueError):
+        SegmentShape([1, 1], [1, 1])
+
+
+def test_planar_patch():
+    patch = PlanarPatchShape(axis=2, value=1.0, lo=[0, 0, 1], hi=[2, 2, 1])
+    assert patch.contains([1.0, 1.0, 1.0])
+    assert not patch.contains([1.0, 1.0, 0.5])
+    assert np.allclose(patch.project([3.0, 1.0, 0.0]), [2.0, 1.0, 1.0])
+
+
+def test_box_shape_contains_and_project():
+    box = BoxShape([0, 0, 0], [1, 1, 1])
+    assert box.contains([0.5, 0.5, 0.5])
+    assert box.contains([0, 0, 0])
+    assert not box.contains([1.5, 0.5, 0.5])
+    assert np.allclose(box.project([2, -1, 0.5]), [1, 0, 0.5])
+
+
+def test_box_shape_validates_corners():
+    with pytest.raises(ValueError):
+        BoxShape([1, 1, 1], [0, 2, 2])
+
+
+square_coord = st.one_of(
+    st.just(0.0),
+    st.just(1.0),
+    st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+    st.floats(min_value=1.1, max_value=3.0, allow_nan=False),
+    st.floats(min_value=-2.0, max_value=-0.1, allow_nan=False),
+)
+
+
+@given(x=square_coord, y=square_coord)
+def test_rect_classification_dimension_rules(x, y):
+    """Any point inside the unit square classifies; boundary gets dim<2."""
+    model = rect_model()
+    g = classify_point(model, [x, y], tol=1e-9)
+    inside = 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+    if not inside:
+        assert g is None
+        return
+    on_x = x in (0.0, 1.0)
+    on_y = y in (0.0, 1.0)
+    if on_x and on_y:
+        assert g.dim == 0
+    elif on_x or on_y:
+        assert g.dim == 1
+    else:
+        assert g.dim == 2
+
+
+def test_rect_classification_specific_entities():
+    model = rect_model()
+    assert classify_point(model, [0.0, 0.0]).tag == 0  # corner (x-,y-)
+    assert classify_point(model, [0.5, 0.0]) == model.find(1, 0)  # bottom
+    assert classify_point(model, [1.0, 0.5]) == model.find(1, 1)  # right
+    assert classify_point(model, [0.5, 0.5]) == model.find(2, 0)
+
+
+def test_box_classification_dimensions():
+    model = box_model()
+    assert classify_point(model, [0, 0, 0]).dim == 0
+    assert classify_point(model, [0.5, 0, 0]).dim == 1
+    assert classify_point(model, [0.5, 0.5, 0]).dim == 2
+    assert classify_point(model, [0.5, 0.5, 0.5]).dim == 3
+    assert classify_point(model, [2, 0, 0]) is None
+
+
+def test_classify_from_closure_face_dominates():
+    model = rect_model()
+    bottom = model.find(1, 0)
+    face = model.find(2, 0)
+    # Edge between a face-interior vertex and a boundary-edge vertex: face.
+    assert classify_from_closure(model, [bottom, face]) == face
+    # Edge along the bottom between two bottom-classified vertices: bottom.
+    assert classify_from_closure(model, [bottom, bottom]) == bottom
+
+
+def test_classify_from_closure_vertex_and_edge():
+    model = rect_model()
+    corner = model.find(0, 0)
+    bottom = model.find(1, 0)
+    assert classify_from_closure(model, [corner, bottom]) == bottom
+
+
+def test_classify_from_closure_two_edges_of_one_face():
+    model = rect_model()
+    bottom = model.find(1, 0)
+    right = model.find(1, 1)
+    # A mesh edge crossing from the bottom to the right boundary is interior.
+    assert classify_from_closure(model, [bottom, right]) == model.find(2, 0)
+
+
+def test_classify_from_closure_rejects_empty():
+    with pytest.raises(ValueError):
+        classify_from_closure(rect_model(), [])
+
+
+def test_snap_to_entity_projects():
+    model = rect_model()
+    bottom = model.find(1, 0)
+    snapped = snap_to_entity(model, bottom, [0.5, 0.2])
+    assert np.allclose(snapped, [0.5, 0.0])
+    assert snap_error(model, bottom, [0.5, 0.2]) == pytest.approx(0.2)
+    assert snap_error(model, bottom, snapped) == pytest.approx(0.0)
+
+
+@given(x=coords, y=coords, z=coords)
+def test_snap_idempotent_on_box_faces(x, y, z):
+    model = box_model()
+    face = model.find(2, 0)  # x == 0 face
+    once = snap_to_entity(model, face, [x, y, z])
+    twice = snap_to_entity(model, face, once)
+    assert np.allclose(once, twice)
+    assert once[0] == 0.0

@@ -1,0 +1,245 @@
+"""Tests for the central Mesh class: creation, adjacency, modification."""
+
+import numpy as np
+import pytest
+
+from repro.gmodel import ModelEntity, rect_model
+from repro.mesh import EDGE, QUAD, TET, TRI, Ent, Mesh
+from repro.mesh.verify import MeshInvalidError, verify
+
+
+def two_tris():
+    """Two triangles sharing an edge: the smallest interesting mesh."""
+    mesh = Mesh()
+    v = [
+        mesh.create_vertex([0, 0]),
+        mesh.create_vertex([1, 0]),
+        mesh.create_vertex([1, 1]),
+        mesh.create_vertex([0, 1]),
+    ]
+    t0 = mesh.create(TRI, [v[0], v[1], v[2]])
+    t1 = mesh.create(TRI, [v[0], v[2], v[3]])
+    return mesh, v, t0, t1
+
+
+def single_tet():
+    mesh = Mesh()
+    v = [
+        mesh.create_vertex([0, 0, 0]),
+        mesh.create_vertex([1, 0, 0]),
+        mesh.create_vertex([0, 1, 0]),
+        mesh.create_vertex([0, 0, 1]),
+    ]
+    tet = mesh.create(TET, v)
+    return mesh, v, tet
+
+
+def test_create_vertex_and_coords():
+    mesh = Mesh()
+    v = mesh.create_vertex([1.5, 2.5])
+    assert v == Ent(0, 0)
+    assert np.allclose(mesh.coords(v), [1.5, 2.5, 0.0])
+    mesh.set_coords(v, [3.0, 4.0, 5.0])
+    assert np.allclose(mesh.coords(v), [3.0, 4.0, 5.0])
+
+
+def test_triangle_creates_edges():
+    mesh, v, t0, t1 = two_tris()
+    assert mesh.count(0) == 4
+    assert mesh.count(1) == 5  # 4 boundary + 1 shared diagonal
+    assert mesh.count(2) == 2
+    verify(mesh, check_classification=False)
+
+
+def test_create_is_find_or_create():
+    mesh, v, t0, _ = two_tris()
+    again = mesh.create(TRI, [v[0], v[1], v[2]])
+    assert again == t0
+    # Same vertices in a different rotation also finds the entity.
+    rotated = mesh.create(TRI, [v[1], v[2], v[0]])
+    assert rotated == t0
+
+
+def test_create_rejects_repeated_vertices():
+    mesh = Mesh()
+    a = mesh.create_vertex([0, 0])
+    b = mesh.create_vertex([1, 0])
+    with pytest.raises(ValueError):
+        mesh.create(TRI, [a, b, a])
+
+
+def test_create_rejects_wrong_vertex_count():
+    mesh = Mesh()
+    a = mesh.create_vertex([0, 0])
+    b = mesh.create_vertex([1, 0])
+    with pytest.raises(ValueError):
+        mesh.create(TRI, [a, b])
+
+
+def test_create_rejects_dead_vertex():
+    mesh = Mesh()
+    a = mesh.create_vertex([0, 0])
+    b = mesh.create_vertex([1, 0])
+    c = mesh.create_vertex([0, 1])
+    mesh.destroy(c)
+    with pytest.raises(KeyError):
+        mesh.create(TRI, [a, b, c])
+
+
+def test_downward_adjacency_order():
+    mesh, v, t0, _ = two_tris()
+    edges = mesh.down(t0)
+    assert len(edges) == 3
+    # Canonical edge order: (v0,v1), (v1,v2), (v2,v0).
+    assert mesh.verts_of(edges[0]) == [v[0], v[1]]
+    assert mesh.verts_of(edges[1]) == [v[1], v[2]]
+    assert mesh.verts_of(edges[2]) == [v[2], v[0]]
+
+
+def test_upward_adjacency():
+    mesh, v, t0, t1 = two_tris()
+    diagonal = mesh.find(1, [v[0], v[2]])
+    assert diagonal is not None
+    assert set(mesh.up(diagonal)) == {t0, t1}
+    assert mesh.up(t0) == []
+
+
+def test_vertex_to_faces_multilevel():
+    mesh, v, t0, t1 = two_tris()
+    assert set(mesh.adjacent(v[0], 2)) == {t0, t1}
+    assert set(mesh.adjacent(v[1], 2)) == {t0}
+
+
+def test_region_adjacency():
+    mesh, v, tet = single_tet()
+    assert mesh.count(1) == 6
+    assert mesh.count(2) == 4
+    assert len(mesh.adjacent(tet, 1)) == 6
+    assert len(mesh.adjacent(tet, 0)) == 4
+    assert mesh.adjacent(v[0], 3) == [tet]
+    verify(mesh, check_classification=False)
+
+
+def test_adjacent_same_dim_is_identity():
+    mesh, _, t0, _ = two_tris()
+    assert mesh.adjacent(t0, 2) == [t0]
+
+
+def test_second_adjacent_via_edges():
+    mesh, v, t0, t1 = two_tris()
+    assert mesh.second_adjacent(t0, 1, 2) == [t1]
+    assert mesh.second_adjacent(t1, 1, 2) == [t0]
+
+
+def test_second_adjacent_excludes_self():
+    mesh, v, t0, _ = two_tris()
+    assert t0 not in mesh.second_adjacent(t0, 0, 2)
+
+
+def test_destroy_face_cascade():
+    mesh, v, t0, t1 = two_tris()
+    mesh.destroy(t0, cascade=True)
+    # The shared diagonal and all of t1's entities must survive.
+    assert mesh.count(2) == 1
+    assert mesh.count(1) == 3
+    assert mesh.count(0) == 3  # v[1] was only used by t0
+    verify(mesh, check_classification=False)
+
+
+def test_destroy_without_cascade_leaves_boundary():
+    mesh, v, t0, t1 = two_tris()
+    mesh.destroy(t1)
+    assert mesh.count(1) == 5  # edges retained
+    verify(mesh, check_classification=False, allow_dangling=True)
+    with pytest.raises(MeshInvalidError):
+        verify(mesh, check_classification=False, allow_dangling=False)
+
+
+def test_destroy_bounded_entity_rejected():
+    mesh, v, t0, _ = two_tris()
+    edge = mesh.down(t0)[0]
+    with pytest.raises(ValueError):
+        mesh.destroy(edge)
+    with pytest.raises(ValueError):
+        mesh.destroy(v[0])
+
+
+def test_find_region_by_verts():
+    mesh, v, tet = single_tet()
+    assert mesh.find(3, v) == tet
+    assert mesh.find(3, [v[0], v[1], v[2], mesh.create_vertex([9, 9, 9])]) is None
+
+
+def test_counts_and_dim():
+    mesh, *_ = two_tris()
+    assert mesh.dim() == 2
+    mesh3, *_ = single_tet()
+    assert mesh3.dim() == 3
+    assert Mesh().dim() == 0
+
+
+def test_centroid():
+    mesh, v, t0, _ = two_tris()
+    assert np.allclose(mesh.centroid(t0), [2 / 3, 1 / 3, 0])
+
+
+def test_classification_dimension_rule():
+    mesh = Mesh()
+    v = mesh.create_vertex([0, 0])
+    face_g = ModelEntity(2, 0)
+    vert_g = ModelEntity(0, 0)
+    mesh.set_classification(v, face_g)  # vertex on model face: fine
+    assert mesh.classification(v) == face_g
+    mesh2, _, t0, _ = two_tris()
+    with pytest.raises(ValueError):
+        mesh2.set_classification(t0, vert_g)  # face on model vertex: no
+
+
+def test_classify_against_model():
+    mesh, v, t0, t1 = two_tris()
+    model = rect_model()
+    mesh.classify_against(model)
+    assert mesh.classification(v[0]).dim == 0
+    diagonal = mesh.find(1, [v[0], v[2]])
+    assert mesh.classification(diagonal) == model.find(2, 0)
+    verify(mesh)
+
+
+def test_entity_counts_tuple():
+    mesh, *_ = single_tet()
+    assert mesh.entity_counts() == (4, 6, 4, 1)
+
+
+def test_quad_mesh():
+    mesh = Mesh()
+    v = [mesh.create_vertex(p) for p in [(0, 0), (1, 0), (1, 1), (0, 1)]]
+    q = mesh.create(QUAD, v)
+    assert mesh.count(1) == 4
+    assert mesh.etype(q) == QUAD
+    assert mesh.type_name(q) == "quad"
+    verify(mesh, check_classification=False)
+
+
+def test_coords_view_is_readonly():
+    mesh, *_ = two_tris()
+    view = mesh.coords_view()
+    with pytest.raises(ValueError):
+        view[0, 0] = 99.0
+
+
+def test_tag_shortcut_roundtrip():
+    mesh, v, t0, _ = two_tris()
+    tag = mesh.tag("weight")
+    tag.set(t0, 2.5)
+    assert mesh.tag("weight").get(t0) == 2.5
+
+
+def test_destroy_drops_tag_and_set_membership():
+    mesh, v, t0, t1 = two_tris()
+    tag = mesh.tag("w")
+    tag.set(t0, 1)
+    group = mesh.sets.create("g")
+    group.add(t0)
+    mesh.destroy(t0, cascade=True)
+    assert not tag.has(t0)
+    assert t0 not in group

@@ -1,0 +1,118 @@
+"""Tests for mixed-face cell types: prisms, pyramids, and extrusion."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh, PRISM, PYRAMID, rect_tri
+from repro.mesh.generate import extrude_to_prisms
+from repro.mesh.quality import measure
+from repro.mesh.verify import verify
+
+
+def single_prism():
+    mesh = Mesh()
+    v = [
+        mesh.create_vertex([0, 0, 0]),
+        mesh.create_vertex([1, 0, 0]),
+        mesh.create_vertex([0, 1, 0]),
+        mesh.create_vertex([0, 0, 1]),
+        mesh.create_vertex([1, 0, 1]),
+        mesh.create_vertex([0, 1, 1]),
+    ]
+    return mesh, mesh.create(PRISM, v)
+
+
+def single_pyramid():
+    mesh = Mesh()
+    v = [
+        mesh.create_vertex([0, 0, 0]),
+        mesh.create_vertex([1, 0, 0]),
+        mesh.create_vertex([1, 1, 0]),
+        mesh.create_vertex([0, 1, 0]),
+        mesh.create_vertex([0.5, 0.5, 1]),
+    ]
+    return mesh, mesh.create(PYRAMID, v)
+
+
+def test_prism_entity_counts():
+    mesh, prism = single_prism()
+    assert mesh.entity_counts() == (6, 9, 5, 1)
+    verify(mesh, check_classification=False)
+    faces = mesh.down(prism)
+    sizes = sorted(len(mesh.verts_of(f)) for f in faces)
+    assert sizes == [3, 3, 4, 4, 4]
+
+
+def test_pyramid_entity_counts():
+    mesh, pyramid = single_pyramid()
+    assert mesh.entity_counts() == (5, 8, 5, 1)
+    verify(mesh, check_classification=False)
+    faces = mesh.down(pyramid)
+    sizes = sorted(len(mesh.verts_of(f)) for f in faces)
+    assert sizes == [3, 3, 3, 3, 4]
+
+
+def test_prism_measure_is_volume():
+    mesh, prism = single_prism()
+    assert measure(mesh, prism) == pytest.approx(0.5)
+
+
+def test_two_prisms_share_quad_face():
+    mesh, _ = single_prism()
+    v = list(mesh.entities(0))
+    extra = [
+        mesh.create_vertex([1, 1, 0]),
+        mesh.create_vertex([1, 1, 1]),
+    ]
+    # Second prism on the quad face (v1, v2) x z: verts 1,6,2 / 4,7,5.
+    mesh.create(PRISM, [v[1], extra[0], v[2], v[4], extra[1], v[5]])
+    assert mesh.count(3) == 2
+    shared = [f for f in mesh.entities(2) if len(mesh.up(f)) == 2]
+    assert len(shared) == 1
+    assert len(mesh.verts_of(shared[0])) == 4
+    verify(mesh, check_classification=False)
+
+
+def test_extrude_counts():
+    base = rect_tri(2, classify=False)
+    mesh = extrude_to_prisms(base, layers=3, height=1.5)
+    assert mesh.count(3) == base.count(2) * 3
+    assert mesh.count(0) == base.count(0) * 4
+    verify(mesh, check_classification=False)
+    zs = [mesh.coords(v)[2] for v in mesh.entities(0)]
+    assert max(zs) == pytest.approx(1.5)
+
+
+def test_extrude_volume_matches_base_area():
+    base = rect_tri(3, classify=False)
+    mesh = extrude_to_prisms(base, layers=2, height=2.0)
+    volume = sum(measure(mesh, r) for r in mesh.entities(3))
+    assert volume == pytest.approx(1.0 * 2.0)
+
+
+def test_extrude_validation():
+    base = rect_tri(2, classify=False)
+    with pytest.raises(ValueError):
+        extrude_to_prisms(base, layers=0)
+    with pytest.raises(ValueError):
+        extrude_to_prisms(Mesh())
+    from repro.mesh import rect_quad
+
+    with pytest.raises(ValueError):
+        extrude_to_prisms(rect_quad(2, classify=False))
+
+
+def test_prism_mesh_distributes_and_migrates():
+    from repro.partition import distribute, migrate
+
+    base = rect_tri(3, classify=False)
+    mesh = extrude_to_prisms(base, layers=2)
+    assignment = [
+        0 if mesh.centroid(r)[2] < 0.5 else 1 for r in mesh.entities(3)
+    ]
+    dm = distribute(mesh, assignment)
+    dm.verify()
+    element = next(dm.part(0).mesh.entities(3))
+    migrate(dm, {0: {element: 1}})
+    dm.verify()
+    assert dm.entity_counts()[:, 3].sum() == mesh.count(3)

@@ -1,0 +1,142 @@
+"""Tests for quality metrics and the mesh verifier."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mesh import TET, TRI, Mesh, rect_tri
+from repro.mesh.quality import (
+    mean_ratio_tet,
+    mean_ratio_tri,
+    measure,
+    quality,
+    quality_histogram,
+    tet_volume,
+    tri_area,
+    worst_quality,
+)
+from repro.mesh.verify import MeshInvalidError, verify
+
+
+def test_tri_area_signed():
+    a, b, c = np.array([0, 0.0]), np.array([1, 0.0]), np.array([0, 1.0])
+    assert tri_area(a, b, c) == pytest.approx(0.5)
+    assert tri_area(a, c, b) == pytest.approx(-0.5)
+
+
+def test_tet_volume_signed():
+    a = np.array([0, 0, 0.0])
+    b = np.array([1, 0, 0.0])
+    c = np.array([0, 1, 0.0])
+    d = np.array([0, 0, 1.0])
+    assert tet_volume(a, b, c, d) == pytest.approx(1 / 6)
+    assert tet_volume(a, c, b, d) == pytest.approx(-1 / 6)
+
+
+def test_equilateral_tri_quality_is_one():
+    a = np.array([0.0, 0.0])
+    b = np.array([1.0, 0.0])
+    c = np.array([0.5, math.sqrt(3) / 2])
+    assert mean_ratio_tri(a, b, c) == pytest.approx(1.0)
+
+
+def test_degenerate_tri_quality_is_zero():
+    a = np.array([0.0, 0.0])
+    b = np.array([1.0, 0.0])
+    c = np.array([2.0, 0.0])
+    assert mean_ratio_tri(a, b, c) == pytest.approx(0.0)
+
+
+def test_regular_tet_quality_is_one():
+    # Regular tet from alternating cube corners (positively oriented).
+    a = np.array([0, 0, 0.0])
+    b = np.array([1, 0, 1.0])
+    c = np.array([1, 1, 0.0])
+    d = np.array([0, 1, 1.0])
+    assert mean_ratio_tet(a, b, c, d) == pytest.approx(1.0)
+
+
+def test_inverted_tet_quality_negative():
+    a = np.array([0, 0, 0.0])
+    b = np.array([1, 0, 0.0])
+    c = np.array([0, 1, 0.0])
+    d = np.array([0, 0, -1.0])
+    assert mean_ratio_tet(a, b, c, d) < 0
+
+
+@given(
+    st.floats(0.1, 2.0),
+    st.floats(-1.0, 1.0),
+    st.floats(0.1, 2.0),
+)
+def test_tri_quality_scale_invariant(scale, tx, ty):
+    a = np.array([0.0, 0.0])
+    b = np.array([1.0, 0.2])
+    c = np.array([0.3, 0.9])
+    t = np.array([tx, ty])
+    q1 = mean_ratio_tri(a, b, c)
+    q2 = mean_ratio_tri(scale * a + t, scale * b + t, scale * c + t)
+    assert q1 == pytest.approx(q2, rel=1e-9)
+
+
+def test_measure_edge_length():
+    mesh = Mesh()
+    a = mesh.create_vertex([0, 0])
+    b = mesh.create_vertex([3, 4])
+    c = mesh.create_vertex([0, 1])
+    tri = mesh.create(TRI, [a, b, c])
+    edge = mesh.down(tri)[0]
+    assert measure(mesh, edge) == pytest.approx(5.0)
+
+
+def test_quality_of_mesh_elements():
+    mesh = rect_tri(2)
+    for f in mesh.entities(2):
+        assert 0 < quality(mesh, f) <= 1
+    assert 0 < worst_quality(mesh) <= 1
+
+
+def test_quality_histogram_sums_to_element_count():
+    mesh = rect_tri(3)
+    hist = quality_histogram(mesh, bins=5)
+    assert sum(hist) == mesh.count(2)
+    assert len(hist) == 5
+
+
+def test_verify_accepts_valid_mesh():
+    verify(rect_tri(3), check_volumes=True)
+
+
+def test_verify_rejects_missing_classification():
+    mesh = rect_tri(2, classify=False)
+    # No model, so classification isn't required by default...
+    verify(mesh)
+    # ...but an explicit request fails.
+    with pytest.raises(MeshInvalidError):
+        verify(mesh, check_classification=True)
+
+
+def test_verify_detects_inverted_element():
+    mesh = Mesh()
+    a = mesh.create_vertex([0, 0])
+    b = mesh.create_vertex([1, 0])
+    c = mesh.create_vertex([0, 1])
+    mesh.create(TRI, [a, c, b])  # clockwise: negative area
+    with pytest.raises(MeshInvalidError):
+        verify(mesh, check_classification=False, check_volumes=True)
+
+
+def test_verify_detects_corrupted_upward_link():
+    mesh = rect_tri(1)
+    # Break an upward link behind the store API's back.
+    store1 = mesh._stores[1]
+    first_edge = next(store1.indices())
+    store1._up[first_edge].clear()
+    with pytest.raises(MeshInvalidError):
+        verify(mesh)
+
+
+def test_worst_quality_empty_mesh():
+    assert worst_quality(Mesh()) == 1.0

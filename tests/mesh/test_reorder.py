@@ -1,0 +1,111 @@
+"""Tests for mesh compaction and reordering."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import adapt
+from repro.field import ShockPlaneSize
+from repro.mesh import Ent, rect_tri, box_tet
+from repro.mesh.quality import measure
+from repro.mesh.reorder import bfs_element_order, compact, dead_fraction
+from repro.mesh.verify import verify
+
+
+def test_bfs_order_covers_all_elements():
+    mesh = rect_tri(4)
+    order = bfs_element_order(mesh)
+    assert len(order) == mesh.count(2)
+    assert len(set(order)) == len(order)
+
+
+def test_bfs_neighbors_are_close_in_order():
+    mesh = rect_tri(6)
+    order = bfs_element_order(mesh)
+    position = {e: i for i, e in enumerate(order)}
+    gaps = []
+    for e in order:
+        for nb in mesh.second_adjacent(e, 1, 2):
+            gaps.append(abs(position[e] - position[nb]))
+    # BFS keeps dual-graph neighbors within a band ~ the frontier width.
+    assert np.mean(gaps) < mesh.count(2) / 3
+
+
+def test_compact_preserves_structure():
+    mesh = rect_tri(4)
+    new_mesh, emap, vmap = compact(mesh)
+    assert new_mesh.entity_counts() == mesh.entity_counts()
+    verify(new_mesh, check_volumes=True)
+    # Coordinates preserved through the vertex map.
+    for old, new in vmap.items():
+        assert np.allclose(mesh.coords(old), new_mesh.coords(new))
+    # Element vertex sets preserved through both maps.
+    for old, new in emap.items():
+        old_set = {vmap[v] for v in mesh.verts_of(old)}
+        assert old_set == set(new_mesh.verts_of(new))
+
+
+def test_compact_removes_dead_slots_after_adaptation():
+    mesh = rect_tri(5)
+    shock = ShockPlaneSize([1, 0], 0.5, h_fine=0.05, h_coarse=0.25, width=0.08)
+    adapt(mesh, shock, max_passes=5)
+    assert dead_fraction(mesh) > 0.1
+    new_mesh, _emap, _vmap = compact(mesh)
+    assert dead_fraction(new_mesh) == 0.0
+    assert new_mesh.entity_counts() == mesh.entity_counts()
+    verify(new_mesh, check_volumes=True)
+    area_old = sum(measure(mesh, f) for f in mesh.entities(2))
+    area_new = sum(measure(new_mesh, f) for f in new_mesh.entities(2))
+    assert area_new == pytest.approx(area_old)
+
+
+def test_compact_transfers_tags_and_sets():
+    mesh = rect_tri(3)
+    tag = mesh.tag("w")
+    group = mesh.sets.create("g", ordered=True)
+    for i, f in enumerate(mesh.entities(2)):
+        tag.set(f, float(i))
+        if i % 2 == 0:
+            group.add(f)
+    first_vert = next(mesh.entities(0))
+    tag.set(first_vert, -1.0)
+
+    new_mesh, emap, vmap = compact(mesh)
+    new_tag = new_mesh.tags.find("w")
+    assert new_tag is not None
+    for old, new in emap.items():
+        assert new_tag.get(new) == tag.get(old)
+    assert new_tag.get(vmap[first_vert]) == -1.0
+    new_group = new_mesh.sets.find("g")
+    assert len(new_group) == len(group)
+
+
+def test_compact_preserves_classification():
+    mesh = rect_tri(3)
+    new_mesh, _emap, vmap = compact(mesh)
+    for old, new in vmap.items():
+        assert new_mesh.classification(new) == mesh.classification(old)
+    verify(new_mesh)  # classification check included (model present)
+
+
+def test_compact_keep_order():
+    mesh = rect_tri(2)
+    new_mesh, emap, _vmap = compact(mesh, order="keep")
+    # Identity permutation: element i maps to element i.
+    for old, new in emap.items():
+        assert old.idx == new.idx
+
+
+def test_compact_3d():
+    mesh = box_tet(2)
+    new_mesh, _e, _v = compact(mesh)
+    assert new_mesh.entity_counts() == mesh.entity_counts()
+    verify(new_mesh, check_volumes=True)
+
+
+def test_compact_invalid_order():
+    with pytest.raises(ValueError):
+        compact(rect_tri(1), order="random")
+
+
+def test_dead_fraction_fresh_mesh():
+    assert dead_fraction(rect_tri(2)) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for mesh statistics and memory estimation."""
+
+import pytest
+
+from repro.mesh import (
+    Mesh,
+    box_tet,
+    edge_length_histogram,
+    memory_estimate,
+    mesh_stats,
+    rect_tri,
+)
+
+
+def test_memory_estimate_positive_and_monotone():
+    small = memory_estimate(rect_tri(2))
+    large = memory_estimate(rect_tri(8))
+    assert 0 < small["total_bytes"] < large["total_bytes"]
+    assert small["adjacency_ids"] > 0
+    assert small["total_bytes"] == (
+        small["adjacency_bytes"] + small["coordinate_bytes"]
+    )
+
+
+def test_memory_estimate_empty_mesh():
+    est = memory_estimate(Mesh())
+    assert est["total_bytes"] == 0
+
+
+def test_mesh_stats_structured_grid():
+    stats = mesh_stats(rect_tri(4))
+    assert stats.counts == (25, 56, 32, 0)
+    # Structured grid interior vertices: 4 axis edges + 2 diagonals.
+    assert stats.max_vertex_valence == 6
+    assert 3.0 < stats.mean_vertex_valence < 6.0
+    assert stats.min_edge_length == pytest.approx(0.25)
+    assert stats.max_edge_length == pytest.approx(0.25 * 2 ** 0.5)
+    assert "verts=25" in stats.summary()
+
+
+def test_mesh_stats_3d():
+    stats = mesh_stats(box_tet(2))
+    assert stats.counts[3] == 48
+    assert stats.max_vertex_valence > stats.counts[1] / stats.counts[0]
+
+
+def test_mesh_stats_empty():
+    stats = mesh_stats(Mesh())
+    assert stats.mean_vertex_valence == 0.0
+    assert stats.mean_edge_length == 0.0
+
+
+def test_edge_length_histogram():
+    hist = edge_length_histogram(rect_tri(4), bins=5)
+    assert len(hist["counts"]) == 5
+    assert len(hist["edges"]) == 6
+    assert sum(hist["counts"]) == 56
+
+
+def test_edge_length_histogram_empty():
+    assert edge_length_histogram(Mesh()) == {"edges": [], "counts": []}

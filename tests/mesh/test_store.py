@@ -1,0 +1,103 @@
+"""Tests for the per-dimension entity store."""
+
+import pytest
+
+from repro.mesh.store import EntityStore
+from repro.mesh.topology import EDGE, TRI, VERTEX
+
+
+def test_create_returns_sequential_ids():
+    store = EntityStore(0)
+    assert store.create(VERTEX, (0,), ()) == 0
+    assert store.create(VERTEX, (1,), ()) == 1
+    assert len(store) == 2
+
+
+def test_type_dimension_enforced():
+    store = EntityStore(0)
+    with pytest.raises(ValueError):
+        store.create(EDGE, (0, 1), ())
+
+
+def test_vertex_count_enforced():
+    store = EntityStore(1)
+    with pytest.raises(ValueError):
+        store.create(EDGE, (0,), (0,))
+
+
+def test_accessors():
+    store = EntityStore(1)
+    idx = store.create(EDGE, (4, 7), (4, 7))
+    assert store.etype(idx) == EDGE
+    assert store.verts(idx) == (4, 7)
+    assert store.down(idx) == (4, 7)
+    assert store.up(idx) == []
+
+
+def test_upward_links():
+    store = EntityStore(1)
+    idx = store.create(EDGE, (0, 1), (0, 1))
+    store.add_up(idx, 5)
+    store.add_up(idx, 9)
+    assert store.up(idx) == [5, 9]
+    assert store.up_count(idx) == 2
+    store.remove_up(idx, 5)
+    assert store.up(idx) == [9]
+    with pytest.raises(ValueError):
+        store.remove_up(idx, 5)
+
+
+def test_destroy_requires_no_upward_users():
+    store = EntityStore(1)
+    idx = store.create(EDGE, (0, 1), (0, 1))
+    store.add_up(idx, 3)
+    with pytest.raises(ValueError):
+        store.destroy(idx)
+    store.remove_up(idx, 3)
+    store.destroy(idx)
+    assert not store.alive(idx)
+    assert len(store) == 0
+
+
+def test_ids_never_reused():
+    store = EntityStore(0)
+    a = store.create(VERTEX, (0,), ())
+    store.destroy(a)
+    b = store.create(VERTEX, (1,), ())
+    assert b != a
+    assert store.capacity == 2
+
+
+def test_dead_access_raises():
+    store = EntityStore(0)
+    idx = store.create(VERTEX, (0,), ())
+    store.destroy(idx)
+    with pytest.raises(KeyError):
+        store.verts(idx)
+    with pytest.raises(KeyError):
+        store.etype(idx)
+
+
+def test_indices_iterates_live_only():
+    store = EntityStore(0)
+    ids = [store.create(VERTEX, (i,), ()) for i in range(5)]
+    store.destroy(ids[1])
+    store.destroy(ids[3])
+    assert list(store.indices()) == [0, 2, 4]
+
+
+def test_compact_map_densifies():
+    store = EntityStore(0)
+    for i in range(4):
+        store.create(VERTEX, (i,), ())
+    store.destroy(1)
+    assert store.compact_map() == {0: 0, 2: 1, 3: 2}
+
+
+def test_up_returns_copy():
+    store = EntityStore(0)
+    idx = store.create(VERTEX, (0,), ())
+    store.add_up(idx, 1)
+    up = store.up(idx)
+    up.append(99)
+    assert store.up(idx) == [1]

@@ -1,0 +1,119 @@
+"""Tests for the canonical topology tables."""
+
+import pytest
+
+from repro.mesh.topology import (
+    EDGE,
+    HEX,
+    PRISM,
+    PYRAMID,
+    QUAD,
+    TET,
+    TRI,
+    TYPES,
+    VERTEX,
+    face_type_for_verts,
+    type_info,
+    types_of_dim,
+)
+
+
+def test_dimensions():
+    assert type_info(VERTEX).dim == 0
+    assert type_info(EDGE).dim == 1
+    assert type_info(TRI).dim == 2
+    assert type_info(QUAD).dim == 2
+    for code in (TET, HEX, PRISM, PYRAMID):
+        assert type_info(code).dim == 3
+
+
+def test_vertex_counts():
+    expected = {VERTEX: 1, EDGE: 2, TRI: 3, QUAD: 4, TET: 4, PYRAMID: 5,
+                PRISM: 6, HEX: 8}
+    for code, n in expected.items():
+        assert type_info(code).nverts == n
+
+
+def test_edge_counts():
+    expected = {TRI: 3, QUAD: 4, TET: 6, PYRAMID: 8, PRISM: 9, HEX: 12}
+    for code, n in expected.items():
+        assert type_info(code).nedges == n
+
+
+def test_face_counts():
+    expected = {TET: 4, PYRAMID: 5, PRISM: 5, HEX: 6}
+    for code, n in expected.items():
+        assert type_info(code).nfaces == n
+
+
+@pytest.mark.parametrize("code", [TRI, QUAD, TET, PYRAMID, PRISM, HEX])
+def test_edges_reference_valid_local_vertices(code):
+    info = type_info(code)
+    for a, b in info.edges:
+        assert 0 <= a < info.nverts
+        assert 0 <= b < info.nverts
+        assert a != b
+
+
+@pytest.mark.parametrize("code", [TET, PYRAMID, PRISM, HEX])
+def test_faces_reference_valid_local_vertices(code):
+    info = type_info(code)
+    for ftype, locals_ in info.faces:
+        finfo = type_info(ftype)
+        assert len(locals_) == finfo.nverts
+        assert len(set(locals_)) == len(locals_)
+        assert all(0 <= v < info.nverts for v in locals_)
+
+
+@pytest.mark.parametrize("code", [TET, PYRAMID, PRISM, HEX])
+def test_every_cell_edge_appears_in_exactly_two_faces(code):
+    """Manifold cell boundary: each edge is shared by two of its faces."""
+    info = type_info(code)
+    edge_use = {tuple(sorted(e)): 0 for e in info.edges}
+    for ftype, locals_ in info.faces:
+        finfo = type_info(ftype)
+        for a, b in finfo.edges:
+            key = tuple(sorted((locals_[a], locals_[b])))
+            assert key in edge_use, f"face edge {key} missing from cell edges"
+            edge_use[key] += 1
+    assert all(n == 2 for n in edge_use.values())
+
+
+@pytest.mark.parametrize("code", [TET, PYRAMID, PRISM, HEX])
+def test_face_vertex_union_covers_cell(code):
+    info = type_info(code)
+    union = set()
+    for _ftype, locals_ in info.faces:
+        union.update(locals_)
+    assert union == set(range(info.nverts))
+
+
+def test_downward_count():
+    tet = type_info(TET)
+    assert tet.downward_count(0) == 4
+    assert tet.downward_count(1) == 6
+    assert tet.downward_count(2) == 4
+    with pytest.raises(ValueError):
+        type_info(TRI).downward_count(2)
+
+
+def test_types_of_dim():
+    assert set(types_of_dim(2)) == {TRI, QUAD}
+    assert set(types_of_dim(3)) == {TET, PYRAMID, PRISM, HEX}
+
+
+def test_face_type_for_verts():
+    assert face_type_for_verts(3) == TRI
+    assert face_type_for_verts(4) == QUAD
+    with pytest.raises(ValueError):
+        face_type_for_verts(5)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ValueError):
+        type_info(99)
+
+
+def test_names_unique():
+    names = [info.name for info in TYPES.values()]
+    assert len(names) == len(set(names))

@@ -1,0 +1,208 @@
+"""Unit tests for collective operations, at several world sizes."""
+
+import operator
+
+import pytest
+
+from repro.parallel import PerfCounters, spmd
+
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+def run(n, fn, *args):
+    return spmd(n, fn, *args, counters=PerfCounters(), timeout=20.0)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_completes(n):
+    def prog(comm):
+        for _ in range(3):
+            comm.barrier()
+        return True
+
+    assert run(n, prog) == [True] * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast(n, root):
+    root = n - 1 if root == "last" else 0
+
+    def prog(comm):
+        obj = {"v": 42} if comm.rank == root else None
+        return comm.bcast(obj, root=root)
+
+    assert run(n, prog) == [{"v": 42}] * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gather(n):
+    def prog(comm):
+        return comm.gather(comm.rank ** 2, root=0)
+
+    results = run(n, prog)
+    assert results[0] == [r ** 2 for r in range(n)]
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scatter(n):
+    def prog(comm):
+        data = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(data, root=0)
+
+    assert run(n, prog) == [f"item{i}" for i in range(n)]
+
+
+def test_scatter_wrong_length_raises():
+    def prog(comm):
+        data = [1] if comm.rank == 0 else None
+        return comm.scatter(data, root=0)
+
+    from repro.parallel import SpmdError
+
+    with pytest.raises(SpmdError):
+        run(2, prog)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather(n):
+    def prog(comm):
+        return comm.allgather(comm.rank + 1)
+
+    expected = [list(range(1, n + 1))] * n
+    assert run(n, prog) == expected
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sum(n):
+    def prog(comm):
+        return comm.reduce(comm.rank, root=0)
+
+    results = run(n, prog)
+    assert results[0] == sum(range(n))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce_max(n):
+    def prog(comm):
+        return comm.allreduce(comm.rank * 3, op=max)
+
+    assert run(n, prog) == [(n - 1) * 3] * n
+
+
+def test_reduce_is_rank_ordered_for_noncommutative_op():
+    def prog(comm):
+        return comm.reduce(str(comm.rank), op=operator.add, root=0)
+
+    assert run(4, prog)[0] == "0123"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoall(n):
+    def prog(comm):
+        sendobjs = [(comm.rank, dst) for dst in range(comm.size)]
+        return comm.alltoall(sendobjs)
+
+    results = run(n, prog)
+    for rank, got in enumerate(results):
+        assert got == [(src, rank) for src in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scan_inclusive(n):
+    def prog(comm):
+        return comm.scan(comm.rank + 1)
+
+    expected = [sum(range(1, r + 2)) for r in range(n)]
+    assert run(n, prog) == expected
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_exscan(n):
+    def prog(comm):
+        return comm.exscan(1)
+
+    expected = [None] + list(range(1, n))
+    assert run(n, prog) == expected
+
+
+def test_back_to_back_collectives_do_not_cross_match():
+    def prog(comm):
+        a = comm.bcast("A" if comm.rank == 0 else None, root=0)
+        b = comm.bcast("B" if comm.rank == 0 else None, root=0)
+        c = comm.allreduce(1)
+        return (a, b, c)
+
+    n = 5
+    assert run(n, prog) == [("A", "B", n)] * n
+
+
+def test_split_forms_correct_subgroups():
+    def prog(comm):
+        color = comm.rank % 2
+        sub = comm.split(color)
+        total = sub.allreduce(comm.rank)
+        return (sub.size, total)
+
+    results = run(6, prog)
+    # Evens: 0+2+4=6 in a size-3 comm; odds: 1+3+5=9.
+    assert results[0] == (3, 6)
+    assert results[1] == (3, 9)
+    assert results[2] == (3, 6)
+
+
+def test_split_orders_by_key():
+    def prog(comm):
+        # Reverse the ranks within one color group.
+        sub = comm.split(color=0, key=-comm.rank)
+        return sub.rank
+
+    assert run(4, prog) == [3, 2, 1, 0]
+
+
+def test_dup_is_independent_context():
+    def prog(comm):
+        dup = comm.dup()
+        if comm.rank == 0:
+            comm.send("orig", dest=1, tag=1)
+            dup.send("dup", dest=1, tag=1)
+            return None
+        # Receive on dup first: the contexts must not cross-match.
+        from_dup = dup.recv(source=0, tag=1)
+        from_orig = comm.recv(source=0, tag=1)
+        return (from_orig, from_dup)
+
+    assert run(2, prog)[1] == ("orig", "dup")
+
+
+def test_node_comm_groups_by_node():
+    from repro.parallel import MachineTopology
+
+    topo = MachineTopology(nodes=2, cores_per_node=2)
+
+    def prog(comm):
+        node = comm.node_comm()
+        return sorted(node.allgather(comm.rank))
+
+    results = spmd(4, prog, topology=topo, counters=PerfCounters(), timeout=20.0)
+    assert results[0] == [0, 1]
+    assert results[2] == [2, 3]
+
+
+def test_leader_comm_contains_only_leaders():
+    from repro.parallel import MachineTopology
+
+    topo = MachineTopology(nodes=2, cores_per_node=2)
+
+    def prog(comm):
+        leaders = comm.leader_comm()
+        if leaders is None:
+            return None
+        return sorted(leaders.allgather(comm.rank))
+
+    results = spmd(4, prog, topology=topo, counters=PerfCounters(), timeout=20.0)
+    assert results[0] == [0, 2]
+    assert results[1] is None
+    assert results[2] == [0, 2]
+    assert results[3] is None

@@ -1,0 +1,165 @@
+"""Unit tests for the simulated MPI communicator and SPMD executor."""
+
+import pytest
+
+from repro.parallel import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MachineTopology,
+    PerfCounters,
+    SpmdError,
+    spmd,
+)
+
+
+def run(n, fn, *args, **kw):
+    kw.setdefault("counters", PerfCounters())
+    kw.setdefault("timeout", 20.0)
+    return spmd(n, fn, *args, **kw)
+
+
+def test_rank_and_size():
+    def prog(comm):
+        assert comm.Get_size() == 4
+        return comm.Get_rank()
+
+    assert run(4, prog) == [0, 1, 2, 3]
+
+
+def test_send_recv_roundtrip():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send({"a": 7}, dest=1, tag=11)
+            return None
+        return comm.recv(source=0, tag=11)
+
+    assert run(2, prog)[1] == {"a": 7}
+
+
+def test_recv_any_source_any_tag():
+    def prog(comm):
+        if comm.rank == 0:
+            got = [comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(2)]
+            return sorted(got)
+        comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+        return None
+
+    assert run(3, prog)[0] == [10, 20]
+
+
+def test_tag_matching_out_of_order():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("first", dest=1, tag=1)
+            comm.send("second", dest=1, tag=2)
+            return None
+        second = comm.recv(source=0, tag=2)
+        first = comm.recv(source=0, tag=1)
+        return (first, second)
+
+    assert run(2, prog)[1] == ("first", "second")
+
+
+def test_isend_irecv():
+    def prog(comm):
+        if comm.rank == 0:
+            req = comm.isend([1, 2], dest=1, tag=3)
+            req.wait()
+            return None
+        req = comm.irecv(source=0, tag=3)
+        done, _ = req.test()  # may or may not be ready; must not raise
+        return req.wait()
+
+    assert run(2, prog)[1] == [1, 2]
+
+
+def test_sendrecv_ring_shift():
+    def prog(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        return comm.sendrecv(comm.rank, dest=right, source=left)
+
+    assert run(4, prog) == [3, 0, 1, 2]
+
+
+def test_probe():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("x", dest=1, tag=5)
+            comm.barrier()
+            return None
+        comm.barrier()
+        assert comm.probe(source=0, tag=5)
+        assert not comm.probe(source=0, tag=6)
+        return comm.recv(source=0, tag=5)
+
+    assert run(2, prog)[1] == "x"
+
+
+def test_off_node_payloads_are_copied():
+    def prog(comm, shared):
+        if comm.rank == 0:
+            comm.send(shared, dest=1)
+            return None
+        got = comm.recv(source=0)
+        got.append(99)  # must not leak back to sender's object
+        return got
+
+    shared = [1, 2]
+    results = run(2, prog, shared)
+    assert results[1] == [1, 2, 99]
+    assert shared == [1, 2]
+
+
+def test_counters_classify_on_off_node():
+    perf = PerfCounters()
+    topo = MachineTopology(nodes=2, cores_per_node=2)
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("a", dest=1)  # on-node
+            comm.send("b", dest=2)  # off-node
+
+    spmd(4, prog, topology=topo, counters=perf, timeout=20.0)
+    assert perf.get("comm.messages.on_node") == 1
+    assert perf.get("comm.messages.off_node") == 1
+    assert perf.get("comm.bytes.off_node") > 0
+
+
+def test_rank_failure_raises_spmd_error():
+    def prog(comm):
+        if comm.rank == 1:
+            raise ValueError("deliberate")
+        # Other ranks block; the abort must wake them up quickly.
+        comm.recv(source=ANY_SOURCE)
+
+    with pytest.raises(SpmdError) as info:
+        run(3, prog)
+    assert "deliberate" in str(info.value)
+
+
+def test_single_rank_world():
+    def prog(comm):
+        assert comm.size == 1
+        comm.barrier()
+        return comm.bcast("solo", root=0)
+
+    assert run(1, prog) == ["solo"]
+
+
+def test_wildcard_recv_does_not_steal_collective_traffic():
+    def prog(comm):
+        # Rank 1 posts a wildcard irecv, then both ranks run a barrier and a
+        # bcast; the wildcard must match only the user message.
+        if comm.rank == 0:
+            comm.barrier()
+            value = comm.bcast("payload", root=0)
+            comm.send("user", dest=1, tag=9)
+            return value
+        req = comm.irecv(source=ANY_SOURCE, tag=ANY_TAG)
+        comm.barrier()
+        value = comm.bcast(None, root=0)
+        assert req.wait() == "user"
+        return value
+
+    assert run(2, prog) == ["payload", "payload"]

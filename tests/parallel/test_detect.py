@@ -1,0 +1,51 @@
+"""Tests for architecture topology detection."""
+
+import os
+
+import pytest
+
+from repro.parallel import MachineTopology, detect, virtual
+
+
+def test_detect_returns_valid_topology():
+    topo = detect()
+    assert isinstance(topo, MachineTopology)
+    assert topo.nodes >= 1
+    assert topo.cores_per_node >= 1
+    # Detection never claims more processing units than the OS exposes
+    # (packages * cores-per-package <= logical CPUs by construction).
+    assert topo.total_cores <= max(os.cpu_count() or 1, topo.nodes)
+
+
+def test_virtual_explicit():
+    topo = virtual(4, 8)
+    assert topo.nodes == 4
+    assert topo.cores_per_node == 8
+
+
+def test_virtual_divides_host_cpus():
+    topo = virtual(2)
+    assert topo.nodes == 2
+    assert topo.cores_per_node >= 1
+    assert topo.cores_per_node == max((os.cpu_count() or 2) // 2, 1)
+
+
+def test_virtual_more_nodes_than_cpus():
+    topo = virtual(1024)
+    assert topo.nodes == 1024
+    assert topo.cores_per_node == 1
+
+
+def test_detected_topology_usable_by_spmd():
+    from repro.parallel import PerfCounters, spmd
+
+    topo = detect()
+    n = min(topo.total_cores, 4)
+    results = spmd(
+        n,
+        lambda comm: comm.allreduce(1),
+        topology=topo,
+        counters=PerfCounters(),
+        timeout=20.0,
+    )
+    assert results == [n] * n

@@ -1,0 +1,88 @@
+"""Failure-path tests for the communication substrate."""
+
+import pytest
+
+from repro.parallel import (
+    Comm,
+    CommTimeoutError,
+    CommWorld,
+    PerfCounters,
+    SpmdError,
+    spmd,
+)
+
+
+def test_recv_timeout_raises():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.recv(source=1, tag=9)  # never sent
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=0.2)
+    assert "timed out" in str(info.value)
+
+
+def test_spmd_error_reports_every_failing_rank():
+    def prog(comm):
+        raise RuntimeError(f"rank {comm.rank} boom")
+
+    with pytest.raises(SpmdError) as info:
+        spmd(3, prog, counters=PerfCounters(), timeout=5.0)
+    message = str(info.value)
+    assert "3 rank(s) failed" in message
+    for rank in range(3):
+        assert f"rank {rank} boom" in message
+
+
+def test_abort_wakes_blocked_ranks_quickly():
+    import time
+
+    def prog(comm):
+        if comm.rank == 0:
+            raise ValueError("dead on arrival")
+        comm.recv(source=0)  # would block for the full timeout
+
+    start = time.perf_counter()
+    with pytest.raises(SpmdError) as info:
+        spmd(3, prog, counters=PerfCounters(), timeout=30.0)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0  # abort cut through the 30s timeout
+    # The root cause is reported, not the secondary aborts.
+    assert "dead on arrival" in str(info.value)
+    assert "CommAbortedError" not in str(info.value)
+
+
+def test_send_to_invalid_rank():
+    def prog(comm):
+        comm.send("x", dest=99)
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=5.0)
+    assert "out of range" in str(info.value)
+
+
+def test_world_size_validated():
+    with pytest.raises(ValueError):
+        CommWorld(0)
+
+
+def test_comm_requires_member_rank():
+    world = CommWorld(2, counters=PerfCounters())
+    with pytest.raises(ValueError):
+        Comm(world, rank=1, group=[0])
+
+
+def test_topology_capacity_validated():
+    from repro.parallel import single_node
+
+    with pytest.raises(ValueError):
+        CommWorld(8, topology=single_node(2), counters=PerfCounters())
+
+
+def test_alltoall_length_validated():
+    def prog(comm):
+        comm.alltoall([1])  # wrong length for size-2 world
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=5.0)
+    assert "exactly" in str(info.value)

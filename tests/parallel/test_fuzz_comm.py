@@ -1,0 +1,112 @@
+"""Property-based fuzzing of the communication substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.parallel import (
+    BufferedRouter,
+    MachineTopology,
+    Network,
+    NodeRouter,
+    PerfCounters,
+    neighbor_exchange,
+    spmd,
+)
+
+post_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 9)),
+    max_size=40,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(posts=post_lists)
+def test_network_delivers_exactly_what_was_posted(posts):
+    net = Network(6, counters=PerfCounters())
+    for src, dst, tag in posts:
+        net.post(src, dst, tag, (src, tag))
+    inboxes = net.exchange()
+    delivered = [
+        (src, dst, tag)
+        for dst, msgs in inboxes.items()
+        for src, tag, _payload in msgs
+    ]
+    assert sorted(delivered) == sorted(posts)
+    # Payload integrity.
+    for dst, msgs in inboxes.items():
+        for src, tag, payload in msgs:
+            assert payload == (src, tag)
+
+
+@settings(max_examples=20, deadline=None)
+@given(posts=post_lists, nodes=st.integers(1, 3))
+def test_routers_deliver_same_multiset_as_network(posts, nodes):
+    topo = MachineTopology(nodes=nodes, cores_per_node=-(-6 // nodes))
+    for router_cls in (BufferedRouter, NodeRouter):
+        net = Network(6, topology=topo, counters=PerfCounters())
+        router = router_cls(net)
+        for src, dst, tag in posts:
+            router.post(src, dst, tag, (src, dst, tag))
+        inboxes = router.exchange()
+        delivered = sorted(
+            (src, dst, tag)
+            for dst, msgs in inboxes.items()
+            for src, tag, _payload in msgs
+        )
+        assert delivered == sorted(posts), router_cls.__name__
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pattern=st.lists(
+        st.lists(st.integers(0, 3), max_size=6), min_size=4, max_size=4
+    )
+)
+def test_neighbor_exchange_arbitrary_patterns(pattern):
+    """Sparse exchange delivers every payload for any traffic pattern."""
+
+    def prog(comm):
+        outgoing = {}
+        for dst in pattern[comm.rank]:
+            outgoing.setdefault(dst, []).append((comm.rank, dst))
+        received = neighbor_exchange(comm, outgoing)
+        return sorted(
+            payload for msgs in received.values() for payload in msgs
+        )
+
+    results = spmd(4, prog, counters=PerfCounters(), timeout=30.0)
+    for rank, got in enumerate(results):
+        expected = sorted(
+            (src, rank)
+            for src in range(4)
+            for dst in pattern[src]
+            if dst == rank
+        )
+        assert got == expected
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    values=st.lists(st.integers(-1000, 1000), min_size=3, max_size=3),
+    seed=st.integers(0, 99),
+)
+def test_collectives_agree_with_numpy(values, seed):
+    def prog(comm):
+        mine = values[comm.rank]
+        return (
+            comm.allreduce(mine),
+            comm.allreduce(mine, op=max),
+            comm.scan(mine),
+            sorted(comm.allgather(mine)),
+        )
+
+    results = spmd(3, prog, counters=PerfCounters(), timeout=30.0)
+    total = sum(values)
+    for rank, (s, mx, scan, gathered) in enumerate(results):
+        assert s == total
+        assert mx == max(values)
+        assert scan == sum(values[: rank + 1])
+        assert gathered == sorted(values)

@@ -1,0 +1,189 @@
+"""Tests for sparse neighbor exchange, buffered routing, and node routing."""
+
+import pytest
+
+from repro.parallel import (
+    BufferedRouter,
+    MachineTopology,
+    Network,
+    NodeRouter,
+    PerfCounters,
+    TwoLevelComm,
+    dense_exchange,
+    neighbor_exchange,
+    spmd,
+)
+
+
+def run(n, fn, *args, **kw):
+    kw.setdefault("counters", PerfCounters())
+    kw.setdefault("timeout", 20.0)
+    return spmd(n, fn, *args, **kw)
+
+
+# -- neighbor exchange -----------------------------------------------------
+
+
+def test_neighbor_exchange_ring():
+    def prog(comm):
+        right = (comm.rank + 1) % comm.size
+        got = neighbor_exchange(comm, {right: [f"from{comm.rank}"]})
+        left = (comm.rank - 1) % comm.size
+        return got == {left: [f"from{left}"]}
+
+    assert all(run(5, prog))
+
+
+def test_neighbor_exchange_no_messages():
+    def prog(comm):
+        return neighbor_exchange(comm, {})
+
+    assert run(3, prog) == [{}, {}, {}]
+
+
+def test_neighbor_exchange_multiple_payloads_preserve_order():
+    def prog(comm):
+        if comm.rank == 0:
+            return neighbor_exchange(comm, {1: ["a", "b", "c"]})
+        return neighbor_exchange(comm, {})
+
+    assert run(2, prog)[1] == {0: ["a", "b", "c"]}
+
+
+def test_neighbor_exchange_matches_dense_reference():
+    def prog(comm):
+        outgoing = {
+            (comm.rank + 1) % comm.size: [comm.rank],
+            (comm.rank + 2) % comm.size: [comm.rank * 10, comm.rank * 100],
+        }
+        sparse = neighbor_exchange(comm, outgoing)
+        dense = dense_exchange(comm, outgoing)
+        return sparse == dense
+
+    assert all(run(6, prog))
+
+
+def test_neighbor_exchange_rejects_bad_destination():
+    from repro.parallel import SpmdError
+
+    def prog(comm):
+        neighbor_exchange(comm, {99: ["x"]})
+
+    with pytest.raises(SpmdError):
+        run(2, prog)
+
+
+# -- buffered router ---------------------------------------------------------
+
+
+def test_buffered_router_delivers_and_coalesces():
+    perf = PerfCounters()
+    net = Network(3, counters=perf)
+    router = BufferedRouter(net)
+    router.post(0, 1, 5, "a")
+    router.post(0, 1, 6, "b")
+    router.post(2, 1, 7, "c")
+    inboxes = router.exchange()
+    assert inboxes[1] == [(0, 5, "a"), (0, 6, "b"), (2, 7, "c")]
+    # Two (src, dst) pairs -> exactly two wire messages despite 3 payloads.
+    assert perf.get("net.messages.off_node") == 2
+
+
+def test_buffered_router_empty_exchange():
+    router = BufferedRouter(Network(2, counters=PerfCounters()))
+    assert router.exchange() == {0: [], 1: []}
+
+
+# -- node router -------------------------------------------------------------
+
+
+def test_node_router_delivers_everything():
+    topo = MachineTopology(nodes=2, cores_per_node=2)
+    net = Network(4, topology=topo, counters=PerfCounters())
+    router = NodeRouter(net)
+    router.post(0, 1, 1, "on-node")
+    router.post(0, 3, 2, "off-node")
+    router.post(2, 1, 3, "off-node-2")
+    inboxes = router.exchange()
+    assert (0, 1, "on-node") in inboxes[1]
+    assert (2, 3, "off-node-2") in inboxes[1]
+    assert inboxes[3] == [(0, 2, "off-node")]
+
+
+def test_node_router_coalesces_off_node_traffic():
+    topo = MachineTopology(nodes=2, cores_per_node=4)
+    perf = PerfCounters()
+    net = Network(8, topology=topo, counters=perf)
+    router = NodeRouter(net)
+    # 16 cross-node messages from every core of node 0 to every core of node 1.
+    for src in range(4):
+        for dst in range(4, 8):
+            router.post(src, dst, 0, (src, dst))
+    inboxes = router.exchange()
+    delivered = sum(len(v) for v in inboxes.values())
+    assert delivered == 16
+    # All 16 payloads crossed nodes inside ONE leader-to-leader message.
+    assert perf.get("net.messages.off_node") == 1
+
+
+def test_node_router_reserved_tag_rejected():
+    net = Network(2, counters=PerfCounters())
+    router = NodeRouter(net)
+    with pytest.raises(ValueError):
+        router.post(0, 1, NodeRouter.BUNDLE_TAG, "x")
+
+
+# -- two-level comm ----------------------------------------------------------
+
+
+def test_twolevel_exchange_matches_flat_semantics():
+    topo = MachineTopology(nodes=2, cores_per_node=3)
+
+    def prog(comm):
+        hybrid = TwoLevelComm(comm)
+        outgoing = {(comm.rank + 1) % comm.size: [f"p{comm.rank}"],
+                    (comm.rank + 3) % comm.size: ["x", "y"]}
+        got = hybrid.exchange(outgoing)
+        return {src: sorted(msgs) for src, msgs in got.items()}
+
+    results = spmd(6, prog, topology=topo, counters=PerfCounters(), timeout=20.0)
+    for rank, got in enumerate(results):
+        left = (rank - 1) % 6
+        opposite = (rank - 3) % 6
+        assert got[left] == [f"p{left}"] or opposite == left
+        assert sorted(got[opposite]) == (
+            sorted(["x", "y", f"p{left}"]) if opposite == left else ["x", "y"]
+        )
+
+
+def test_twolevel_reduces_off_node_messages():
+    topo = MachineTopology(nodes=2, cores_per_node=4)
+
+    def flat_prog(comm):
+        outgoing = {dst: [comm.rank] for dst in range(comm.size) if dst != comm.rank}
+        neighbor_exchange(comm, outgoing)
+
+    def hybrid_prog(comm):
+        hybrid = TwoLevelComm(comm)
+        outgoing = {dst: [comm.rank] for dst in range(comm.size) if dst != comm.rank}
+        hybrid.exchange(outgoing)
+
+    flat_perf = PerfCounters()
+    spmd(8, flat_prog, topology=topo, counters=flat_perf, timeout=20.0)
+    hybrid_perf = PerfCounters()
+    spmd(8, hybrid_prog, topology=topo, counters=hybrid_perf, timeout=20.0)
+
+    flat_off = flat_perf.get("comm.messages.off_node")
+    hybrid_off = hybrid_perf.get("comm.messages.off_node")
+    assert hybrid_off < flat_off
+
+
+def test_twolevel_identifies_leaders():
+    topo = MachineTopology(nodes=2, cores_per_node=2)
+
+    def prog(comm):
+        hybrid = TwoLevelComm(comm)
+        return (hybrid.node, hybrid.core, hybrid.is_leader)
+
+    results = spmd(4, prog, topology=topo, counters=PerfCounters(), timeout=20.0)
+    assert results == [(0, 0, True), (0, 1, False), (1, 0, True), (1, 1, False)]

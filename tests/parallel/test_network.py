@@ -1,0 +1,104 @@
+"""Unit tests for the BSP network."""
+
+import pytest
+
+from repro.parallel.network import Network, wire_size
+from repro.parallel.perf import PerfCounters
+from repro.parallel.topology import MachineTopology, single_node
+
+
+def make(nparts, **kw):
+    return Network(nparts, counters=PerfCounters(), **kw)
+
+
+def test_exchange_delivers_to_destination():
+    net = make(3)
+    net.post(0, 2, tag=7, payload="hello")
+    inboxes = net.exchange()
+    assert inboxes[2] == [(0, 7, "hello")]
+    assert inboxes[0] == [] and inboxes[1] == []
+
+
+def test_exchange_clears_outbox():
+    net = make(2)
+    net.post(0, 1, 0, "x")
+    net.exchange()
+    assert net.pending() == 0
+    assert all(msgs == [] for msgs in net.exchange().values())
+
+
+def test_delivery_order_is_posting_order():
+    net = make(2)
+    for i in range(5):
+        net.post(0, 1, i, i)
+    msgs = net.exchange()[1]
+    assert [tag for _, tag, _ in msgs] == list(range(5))
+
+
+def test_off_node_messages_are_copied():
+    net = make(2)  # flat topology: 0 and 1 are on different nodes
+    payload = {"k": [1, 2, 3]}
+    net.post(0, 1, 0, payload)
+    (src, tag, received), = net.exchange()[1]
+    assert received == payload
+    assert received is not payload  # pickled copy, MPI semantics
+
+
+def test_on_node_messages_share_reference():
+    net = make(2, topology=single_node(2))
+    payload = {"k": [1, 2, 3]}
+    net.post(0, 1, 0, payload)
+    (_, _, received), = net.exchange()[1]
+    assert received is payload  # shared memory, the paper's implicit rep
+
+
+def test_traffic_classification():
+    topo = MachineTopology(nodes=2, cores_per_node=2)
+    perf = PerfCounters()
+    net = Network(4, topology=topo, counters=perf)
+    net.post(0, 1, 0, "on")   # same node
+    net.post(0, 2, 0, "off")  # across nodes
+    net.post(3, 3, 0, "self")
+    net.exchange()
+    assert perf.get("net.messages.on_node") == 1
+    assert perf.get("net.messages.off_node") == 1
+    assert perf.get("net.messages.self") == 1
+    assert perf.get("net.bytes.off_node") == wire_size("off")
+
+
+def test_stats_accumulate_across_exchanges():
+    net = make(2)
+    net.post(0, 1, 0, "a")
+    net.exchange()
+    net.post(1, 0, 0, "b")
+    net.exchange()
+    stats = net.stats()
+    assert stats["exchanges"] == 2
+    assert stats["messages_off_node"] == 2
+
+
+def test_neighbor_counts_reports_pending():
+    net = make(3)
+    net.post(0, 1, 0, "x")
+    net.post(0, 1, 0, "y")
+    net.post(2, 0, 0, "z")
+    assert net.neighbor_counts() == {1: 2, 0: 1}
+
+
+def test_invalid_endpoints_rejected():
+    net = make(2)
+    with pytest.raises(ValueError):
+        net.post(0, 2, 0, "x")
+    with pytest.raises(ValueError):
+        net.post(-1, 0, 0, "x")
+
+
+def test_topology_must_cover_parts():
+    with pytest.raises(ValueError):
+        Network(8, topology=single_node(4), counters=PerfCounters())
+
+
+def test_wire_size_positive_and_monotone_for_lists():
+    small = wire_size([0] * 10)
+    large = wire_size([0] * 1000)
+    assert 0 < small < large

@@ -1,0 +1,101 @@
+"""Unit tests for the performance counter registry."""
+
+import threading
+import time
+
+from repro.parallel.perf import PerfCounters
+
+
+def test_counter_starts_at_zero():
+    perf = PerfCounters()
+    assert perf.get("nothing") == 0
+
+
+def test_add_and_get():
+    perf = PerfCounters()
+    perf.add("msgs")
+    perf.add("msgs", 4)
+    assert perf.get("msgs") == 5
+    assert perf.counters() == {"msgs": 5}
+
+
+def test_timer_records_interval():
+    perf = PerfCounters()
+    with perf.timer("work"):
+        time.sleep(0.01)
+    stat = perf.timer_stat("work")
+    assert stat is not None
+    assert stat.count == 1
+    assert stat.total >= 0.009
+    assert stat.min <= stat.max
+
+
+def test_timer_accumulates_and_mean():
+    perf = PerfCounters()
+    for _ in range(3):
+        with perf.timer("t"):
+            pass
+    stat = perf.timer_stat("t")
+    assert stat.count == 3
+    assert abs(stat.mean - stat.total / 3) < 1e-12
+
+
+def test_timer_records_on_exception():
+    perf = PerfCounters()
+    try:
+        with perf.timer("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert perf.timer_stat("boom").count == 1
+
+
+def test_reset_clears_everything():
+    perf = PerfCounters()
+    perf.add("a")
+    with perf.timer("t"):
+        pass
+    perf.reset()
+    assert perf.counters() == {}
+    assert perf.timer_stat("t") is None
+
+
+def test_merge_combines_counters_and_timers():
+    a = PerfCounters()
+    b = PerfCounters()
+    a.add("x", 2)
+    b.add("x", 3)
+    b.add("y", 1)
+    with a.timer("t"):
+        pass
+    with b.timer("t"):
+        pass
+    a.merge(b)
+    assert a.get("x") == 5
+    assert a.get("y") == 1
+    assert a.timer_stat("t").count == 2
+
+
+def test_thread_safety_of_add():
+    perf = PerfCounters()
+
+    def worker():
+        for _ in range(1000):
+            perf.add("n")
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert perf.get("n") == 8000
+
+
+def test_report_mentions_counters_and_timers():
+    perf = PerfCounters()
+    perf.add("alpha", 7)
+    with perf.timer("beta"):
+        pass
+    text = perf.report()
+    assert "alpha: 7" in text
+    assert "beta:" in text

@@ -1,0 +1,75 @@
+"""Unit tests for the machine topology model (hwloc substitute)."""
+
+import pytest
+
+from repro.parallel.topology import MachineTopology, flat, single_node
+
+
+def test_total_cores():
+    topo = MachineTopology(nodes=4, cores_per_node=8)
+    assert topo.total_cores == 32
+
+
+def test_block_mapping():
+    topo = MachineTopology(nodes=2, cores_per_node=4)
+    assert topo.node_of(0) == 0
+    assert topo.node_of(3) == 0
+    assert topo.node_of(4) == 1
+    assert topo.core_of(5) == 1
+
+
+def test_same_node():
+    topo = MachineTopology(nodes=2, cores_per_node=2)
+    assert topo.same_node(0, 1)
+    assert not topo.same_node(1, 2)
+    assert topo.same_node(2, 3)
+
+
+def test_ranks_on_node_and_leader():
+    topo = MachineTopology(nodes=3, cores_per_node=4)
+    assert list(topo.ranks_on_node(1)) == [4, 5, 6, 7]
+    assert topo.node_leader(2) == 8
+    assert topo.is_node_leader(8)
+    assert not topo.is_node_leader(9)
+    assert topo.leaders() == [0, 4, 8]
+
+
+def test_iteration_covers_all_nodes():
+    topo = MachineTopology(nodes=2, cores_per_node=3)
+    pairs = list(topo)
+    assert [node for node, _ in pairs] == [0, 1]
+    assert [list(r) for _, r in pairs] == [[0, 1, 2], [3, 4, 5]]
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValueError):
+        MachineTopology(nodes=0, cores_per_node=1)
+    with pytest.raises(ValueError):
+        MachineTopology(nodes=1, cores_per_node=0)
+
+
+def test_rank_range_checked():
+    topo = MachineTopology(nodes=1, cores_per_node=2)
+    with pytest.raises(ValueError):
+        topo.node_of(2)
+    with pytest.raises(ValueError):
+        topo.node_of(-1)
+    with pytest.raises(ValueError):
+        topo.ranks_on_node(1)
+
+
+def test_single_node_everything_shared():
+    topo = single_node(16)
+    assert topo.nodes == 1
+    assert all(topo.same_node(0, r) for r in range(16))
+
+
+def test_flat_nothing_shared():
+    topo = flat(5)
+    assert topo.total_cores == 5
+    assert not any(topo.same_node(0, r) for r in range(1, 5))
+
+
+def test_describe_mentions_shape():
+    text = MachineTopology(nodes=2, cores_per_node=4).describe()
+    assert "2 node" in text and "4 core" in text

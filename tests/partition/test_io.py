@@ -1,0 +1,104 @@
+"""Tests for distributed-mesh checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import box_tet, rect_tri
+from repro.partition import (
+    distribute,
+    load_dmesh,
+    migrate,
+    save_dmesh,
+)
+
+
+def strips(mesh, nparts, axis=0):
+    return [
+        min(int(mesh.centroid(e)[axis] * nparts), nparts - 1)
+        for e in mesh.entities(mesh.dim())
+    ]
+
+
+def test_roundtrip_counts_and_links(tmp_path):
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 4))
+    save_dmesh(dm, tmp_path / "ckpt")
+    restored = load_dmesh(tmp_path / "ckpt", model=mesh.model)
+    restored.verify()
+    assert np.array_equal(restored.entity_counts(), dm.entity_counts())
+    # Remote-link structure identical (same residence sets per shared gid).
+    for part in dm:
+        other = restored.part(part.pid)
+        mine = {
+            part.gid(ent): part.residence(ent) for ent in part.remotes
+            if ent.dim == 0
+        }
+        theirs = {
+            other.gid(ent): other.residence(ent) for ent in other.remotes
+            if ent.dim == 0
+        }
+        assert mine == theirs
+
+
+def test_roundtrip_3d(tmp_path):
+    mesh = box_tet(2)
+    dm = distribute(mesh, strips(mesh, 2, axis=2))
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model)
+    restored.verify()
+    assert np.array_equal(restored.entity_counts(), dm.entity_counts())
+
+
+def test_roundtrip_classification(tmp_path):
+    mesh = rect_tri(3)
+    dm = distribute(mesh, strips(mesh, 2))
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model)
+    for part in restored:
+        for v in part.mesh.entities(0):
+            assert part.mesh.classification(v) is not None
+        for e in part.mesh.entities(1):
+            assert part.mesh.classification(e) is not None
+
+
+def test_roundtrip_without_model(tmp_path):
+    mesh = rect_tri(2)
+    dm = distribute(mesh, strips(mesh, 2))
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c")
+    restored.verify()
+    assert np.array_equal(restored.entity_counts(), dm.entity_counts())
+
+
+def test_roundtrip_with_empty_part(tmp_path):
+    mesh = rect_tri(2)
+    dm = distribute(mesh, [0] * mesh.count(2), nparts=3)
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model)
+    restored.verify()
+    assert restored.part(1).mesh.count(2) == 0
+
+
+def test_restored_mesh_is_operational(tmp_path):
+    """Migration works on a reloaded checkpoint (gid allocator restored)."""
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 4))
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model)
+    element = next(restored.part(0).mesh.entities(2))
+    migrate(restored, {0: {element: 1}})
+    restored.verify()
+    assert restored.entity_counts()[:, 2].sum() == mesh.count(2)
+
+
+def test_checkpoint_after_adaptation(tmp_path):
+    from repro.field import UniformSize
+    from repro.partition import refine_distributed
+
+    mesh = rect_tri(3)
+    dm = distribute(mesh, strips(mesh, 3))
+    refine_distributed(dm, UniformSize(0.15))
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model)
+    restored.verify()
+    assert np.array_equal(restored.entity_counts(), dm.entity_counts())

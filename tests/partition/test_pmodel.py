@@ -1,0 +1,97 @@
+"""Dedicated tests for the partition model."""
+
+import pytest
+
+from repro.mesh import box_tet, rect_tri
+from repro.partition import (
+    build_partition_model,
+    distribute,
+    migrate,
+)
+
+
+def strips(mesh, nparts, axis=0):
+    return [
+        min(int(mesh.centroid(e)[axis] * nparts), nparts - 1)
+        for e in mesh.entities(mesh.dim())
+    ]
+
+
+def test_entities_deterministic_order():
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 4))
+    pm1 = build_partition_model(dm)
+    pm2 = build_partition_model(dm)
+    assert [repr(p) for p in pm1.entities()] == [
+        repr(p) for p in pm2.entities()
+    ]
+    tags = [p.tag for p in pm1.entities(1)]
+    assert tags == sorted(tags)
+
+
+def test_interior_entity_classification():
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 2))
+    pm = build_partition_model(dm)
+    part = dm.part(1)
+    interior = next(
+        v for v in part.mesh.entities(0) if not part.is_shared(v)
+    )
+    pent = pm.classification(1, interior)
+    assert pent.dim == 2
+    assert pent.residence == (1,)
+    assert pent.owner == 1
+
+
+def test_classification_stale_after_migration():
+    """A partition model is a snapshot: migration invalidates it."""
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 4))
+    pm = build_partition_model(dm)
+    # Merge two parts' worth of elements into part 0 so a new residence
+    # pattern appears somewhere.
+    part1 = dm.part(1)
+    elements = sorted(part1.mesh.entities(2))
+    migrate(dm, {1: {e: 0 for e in elements[: len(elements) // 2]}})
+    part2 = dm.part(2)
+    moved_any = False
+    for ent in sorted(part2.remotes):
+        try:
+            pm.classification(2, ent)
+        except KeyError:
+            moved_any = True
+            break
+    # Either some residence set is new (KeyError above) or the model still
+    # covers everything — both are legal; rebuilding always works.
+    fresh = build_partition_model(dm)
+    for part in dm:
+        for ent in part.remotes:
+            assert fresh.classification(part.pid, ent) is not None
+
+
+def test_3d_partition_model_dims():
+    mesh = box_tet(2)
+    dm = distribute(mesh, strips(mesh, 2, axis=2))
+    pm = build_partition_model(dm)
+    # Two parts: interior partition regions (dim 3) + one interface (dim 2).
+    assert pm.count(3) == 2
+    assert pm.count(2) == 1
+    assert pm.count(1) == 0
+    interface = pm.entities(2)[0]
+    assert interface.residence == (0, 1)
+
+
+def test_count_and_repr():
+    mesh = rect_tri(2)
+    dm = distribute(mesh, strips(mesh, 2))
+    pm = build_partition_model(dm)
+    assert pm.count() == pm.count(0) + pm.count(1) + pm.count(2) + pm.count(3)
+    assert "PartitionModel" in repr(pm)
+
+
+def test_owner_rule_applies_to_every_entity():
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 4))
+    pm = build_partition_model(dm, owner_rule=max)
+    for pent in pm.entities():
+        assert pent.owner == max(pent.residence)

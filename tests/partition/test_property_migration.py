@@ -1,0 +1,184 @@
+"""Property-based tests: migration and distribution invariants under
+randomized inputs (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mesh import box_tet, rect_tri
+from repro.mesh.quality import measure
+from repro.partition import distribute, migrate
+from repro.partition.migration import surface_closure
+
+NPARTS = 4
+
+_BASE_MESH = rect_tri(4)
+_NELEMS = _BASE_MESH.count(2)
+
+
+def fresh_dmesh(assignment):
+    # Meshes are immutable inputs here; distribution builds fresh parts.
+    return distribute(_BASE_MESH, assignment, nparts=NPARTS)
+
+
+assignments = st.lists(
+    st.integers(0, NPARTS - 1), min_size=_NELEMS, max_size=_NELEMS
+)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(assignment=assignments)
+def test_any_assignment_distributes_validly(assignment):
+    """Every element→part map yields a consistent distributed mesh."""
+    dm = fresh_dmesh(assignment)
+    dm.verify()
+    counts = dm.entity_counts()
+    assert counts[:, 2].sum() == _NELEMS
+    expected = np.bincount(np.asarray(assignment), minlength=NPARTS)
+    assert np.array_equal(counts[:, 2], expected)
+    owned = dm.owned_counts()
+    for dim in range(3):
+        assert owned[:, dim].sum() == _BASE_MESH.count(dim)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    assignment=assignments,
+    moves=st.lists(
+        st.tuples(st.integers(0, NPARTS - 1), st.integers(0, 200),
+                  st.integers(0, NPARTS - 1)),
+        max_size=12,
+    ),
+)
+def test_random_migrations_preserve_invariants(assignment, moves):
+    """Arbitrary (valid) migration plans keep all invariants intact."""
+    dm = fresh_dmesh(assignment)
+    area_before = sum(
+        measure(p.mesh, f) for p in dm for f in p.mesh.entities(2)
+    )
+    plan = {}
+    for src, nth, dest in moves:
+        part = dm.part(src)
+        elements = sorted(part.mesh.entities(2))
+        if not elements:
+            continue
+        element = elements[nth % len(elements)]
+        already = plan.setdefault(src, {})
+        already.setdefault(element, dest)
+    migrate(dm, plan)
+    dm.verify()
+    assert dm.entity_counts()[:, 2].sum() == _NELEMS
+    area_after = sum(
+        measure(p.mesh, f) for p in dm for f in p.mesh.entities(2)
+    )
+    assert area_after == pytest.approx(area_before)
+    owned = dm.owned_counts()
+    for dim in range(3):
+        assert owned[:, dim].sum() == _BASE_MESH.count(dim)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(assignment=assignments)
+def test_shared_entities_subset_of_surface(assignment):
+    """Every shared entity lies on its part's topological surface."""
+    dm = fresh_dmesh(assignment)
+    for part in dm:
+        surface = set(surface_closure(part))
+        for ent in part.remotes:
+            assert ent in surface
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(assignment=assignments, seed=st.integers(0, 100))
+def test_round_trip_migration_is_identity_on_counts(assignment, seed):
+    """Moving elements out and straight back restores all counts."""
+    dm = fresh_dmesh(assignment)
+    before = dm.entity_counts().copy()
+    rng = np.random.default_rng(seed)
+    src = int(rng.integers(NPARTS))
+    part = dm.part(src)
+    elements = sorted(part.mesh.entities(2))
+    if not elements:
+        return
+    element = elements[int(rng.integers(len(elements)))]
+    gid = part.gid(element)
+    dest = (src + 1) % NPARTS
+    migrate(dm, {src: {element: dest}})
+    landed = dm.part(dest).by_gid(2, gid)
+    assert landed is not None
+    migrate(dm, {dest: {landed: src}})
+    dm.verify()
+    assert np.array_equal(dm.entity_counts(), before)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 50))
+def test_3d_random_migration(seed):
+    mesh = box_tet(2)
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, 3, mesh.count(3))
+    dm = distribute(mesh, assignment, nparts=3)
+    dm.verify()
+    # Move a random batch from the fullest part.
+    counts = dm.entity_counts()[:, 3]
+    src = int(np.argmax(counts))
+    part = dm.part(src)
+    elements = sorted(part.mesh.entities(3))[:5]
+    migrate(dm, {src: {e: (src + 1) % 3 for e in elements}})
+    dm.verify()
+    volume = sum(
+        measure(p.mesh, r) for p in dm for r in p.mesh.entities(3)
+    )
+    assert volume == pytest.approx(1.0)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    steps=st.lists(
+        st.tuples(st.integers(0, NPARTS - 1), st.integers(0, 200),
+                  st.integers(0, NPARTS - 1), st.integers(1, 6)),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_sequential_migrations_keep_links_consistent(steps):
+    """Chained migrations (the partial link-rebuild path) never desync.
+
+    Regression guard for the affected-set computation: the neighbor
+    snapshot must be taken before dying links are dropped, or a later
+    partial rebuild misses parts and leaves stale links behind.
+    """
+    dm = fresh_dmesh([i % NPARTS for i in range(_NELEMS)])
+    for src, nth, dest, batch in steps:
+        part = dm.part(src)
+        elements = sorted(part.mesh.entities(2))
+        if not elements:
+            continue
+        start = nth % len(elements)
+        moves = {e: dest for e in elements[start:start + batch]}
+        migrate(dm, {src: moves})
+        dm.verify()
+    assert dm.entity_counts()[:, 2].sum() == _NELEMS
+
+
+def test_emptying_and_refilling_part_through_chain():
+    """Merge a part away, then split back into it, verifying each step."""
+    from repro.partition import merge_parts, migrate as do_migrate
+
+    dm = fresh_dmesh([i % NPARTS for i in range(_NELEMS)])
+    merge_parts(dm, 1, 0)
+    dm.verify()
+    assert dm.part(1).mesh.count(2) == 0
+    # Refill part 1 from part 0 in two waves.
+    for _wave in range(2):
+        part0 = dm.part(0)
+        elements = sorted(part0.mesh.entities(2))[:4]
+        do_migrate(dm, {0: {e: 1 for e in elements}})
+        dm.verify()
+    assert dm.part(1).mesh.count(2) == 8

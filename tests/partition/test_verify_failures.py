@@ -1,0 +1,113 @@
+"""Failure injection: the distributed verifier must catch corruptions.
+
+Each test corrupts one invariant behind the API's back and asserts
+``DistributedMesh.verify`` reports it — the verifier is what every other
+test trusts, so its own detection power needs proof.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Ent, rect_tri
+from repro.partition import distribute, ghost_layer
+from repro.partition.migration import _remove_element
+
+
+def strips(mesh, nparts):
+    return [
+        min(int(mesh.centroid(e)[0] * nparts), nparts - 1)
+        for e in mesh.entities(2)
+    ]
+
+
+@pytest.fixture
+def dm():
+    mesh = rect_tri(4)
+    return distribute(mesh, strips(mesh, 3))
+
+
+def shared_vertex(part):
+    return next(e for e in sorted(part.remotes) if e.dim == 0)
+
+
+def test_clean_distribution_verifies(dm):
+    dm.verify()
+
+
+def test_detects_asymmetric_link(dm):
+    part0 = dm.part(0)
+    v = shared_vertex(part0)
+    other_pid, other_ent = next(iter(part0.remotes[v].items()))
+    del dm.part(other_pid).remotes[other_ent][0]
+    with pytest.raises(AssertionError, match="not reciprocated|identity"):
+        dm.verify()
+
+
+def test_detects_dangling_link_to_dead_entity(dm):
+    part0 = dm.part(0)
+    # Kill an element on part 1 that a link points... links point at
+    # boundary entities; kill a linked vertex's closure instead: remove
+    # every element of part 1 touching its copy, then the vertex itself.
+    v = shared_vertex(part0)
+    other_pid, other_ent = next(iter(part0.remotes[v].items()))
+    other = dm.part(other_pid)
+    for element in list(other.mesh.adjacent(other_ent, 2)):
+        _remove_element(other, element)
+    # The vertex died with its cavity; part0's link now dangles.
+    assert not other.mesh.has(other_ent)
+    with pytest.raises(AssertionError, match="dead"):
+        dm.verify()
+
+
+def test_detects_identity_mismatch(dm):
+    part0 = dm.part(0)
+    v = shared_vertex(part0)
+    # Re-gid the local copy: the link now joins different identities.
+    part0.drop_gid(v)
+    part0.set_gid(v, 999_999)
+    with pytest.raises(AssertionError, match="identity mismatch"):
+        dm.verify()
+
+
+def test_detects_self_link(dm):
+    part0 = dm.part(0)
+    v = shared_vertex(part0)
+    part0.remotes[v][0] = v
+    with pytest.raises(AssertionError, match="self remote link"):
+        dm.verify()
+
+
+def test_detects_link_from_dead_entity(dm):
+    part0 = dm.part(0)
+    # Fabricate a link entry keyed by a never-created entity.
+    part0.remotes[Ent(0, 10_000)] = {1: Ent(0, 0)}
+    with pytest.raises(AssertionError, match="dead entity"):
+        dm.verify()
+
+
+def test_detects_dead_ghost(dm):
+    ghost_layer(dm, bridge_dim=0)
+    part0 = dm.part(0)
+    ghost = next(g for g in part0.ghosts if g.dim == 2)
+    # Destroy the ghost element but leave the registry entry behind.
+    part0.mesh.destroy(ghost)
+    with pytest.raises(AssertionError, match="dead ghost"):
+        dm.verify()
+
+
+def test_detects_broken_part_mesh(dm):
+    part0 = dm.part(0)
+    # Corrupt the serial mesh itself: verify must propagate mesh checks.
+    store1 = part0.mesh._stores[1]
+    first_edge = next(store1.indices())
+    store1._up[first_edge].clear()
+    with pytest.raises(AssertionError):
+        dm.verify()
+
+
+def test_check_meshes_flag_skips_serial_checks(dm):
+    part0 = dm.part(0)
+    store1 = part0.mesh._stores[1]
+    first_edge = next(store1.indices())
+    store1._up[first_edge].clear()
+    dm.verify(check_meshes=False)  # only link invariants checked

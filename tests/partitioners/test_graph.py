@@ -1,0 +1,93 @@
+"""Tests for graph/hypergraph extraction and cut metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh, box_tet, rect_tri
+from repro.partitioners import dual_graph, element_centroids, element_hypergraph
+
+
+def test_dual_graph_two_tris():
+    mesh = rect_tri(1)
+    graph = dual_graph(mesh)
+    assert graph.n == 2
+    assert graph.degree(0) == 1
+    assert list(graph.neighbors(0)) == [1]
+    assert list(graph.neighbors(1)) == [0]
+
+
+def test_dual_graph_symmetry_and_degree_bound():
+    mesh = rect_tri(4)
+    graph = dual_graph(mesh)
+    for i in range(graph.n):
+        assert graph.degree(i) <= 3  # a triangle has three edges
+        for j in graph.neighbors(i):
+            assert i in graph.neighbors(int(j))
+
+
+def test_dual_graph_3d_degree_bound():
+    mesh = box_tet(2)
+    graph = dual_graph(mesh)
+    assert graph.n == mesh.count(3)
+    assert max(graph.degree(i) for i in range(graph.n)) <= 4
+
+
+def test_dual_graph_edge_count_matches_interior_facets():
+    mesh = rect_tri(3)
+    graph = dual_graph(mesh)
+    interior_edges = sum(
+        1 for e in mesh.entities(1) if len(mesh.up(e)) == 2
+    )
+    assert len(graph.adjncy) == 2 * interior_edges
+
+
+def test_edge_cut():
+    mesh = rect_tri(2)
+    graph = dual_graph(mesh)
+    same = np.zeros(graph.n, dtype=np.int64)
+    assert graph.edge_cut(same) == 0
+    alternating = np.arange(graph.n) % 2
+    assert graph.edge_cut(alternating) > 0
+
+
+def test_weights_default_and_custom():
+    mesh = rect_tri(2)
+    graph = dual_graph(mesh)
+    assert (graph.weights == 1).all()
+    custom = np.arange(graph.n)
+    graph2 = dual_graph(mesh, custom)
+    assert (graph2.weights == custom).all()
+    with pytest.raises(ValueError):
+        dual_graph(mesh, np.ones(3))
+
+
+def test_dual_graph_requires_elements():
+    with pytest.raises(ValueError):
+        dual_graph(Mesh())
+
+
+def test_hypergraph_shape():
+    mesh = rect_tri(2)
+    hg = element_hypergraph(mesh)
+    assert hg.n == mesh.count(2)
+    assert hg.nedges == mesh.count(0)
+    # Every pin references a valid element.
+    assert hg.pins.min() >= 0 and hg.pins.max() < hg.n
+
+
+def test_hypergraph_connectivity_metric():
+    mesh = rect_tri(2)
+    hg = element_hypergraph(mesh)
+    same = np.zeros(hg.n, dtype=np.int64)
+    assert hg.connectivity_cost(same) == 0
+    # Two halves: each vertex on the interface contributes 1.
+    halves = (np.arange(hg.n) >= hg.n // 2).astype(np.int64)
+    assert hg.connectivity_cost(halves) > 0
+
+
+def test_element_centroids():
+    mesh = rect_tri(1)
+    elements, centroids = element_centroids(mesh)
+    assert len(elements) == 2
+    assert centroids.shape == (2, 3)
+    assert np.allclose(centroids[0], [2 / 3, 1 / 3, 0])

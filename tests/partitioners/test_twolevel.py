@@ -1,0 +1,92 @@
+"""Tests for two-level architecture-aware partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import box_tet, rect_tri
+from repro.parallel import MachineTopology
+from repro.partitioners import (
+    boundary_locality,
+    entity_counts_from_assignment,
+    imbalance,
+    partition,
+    two_level_partition,
+)
+
+
+def test_part_count_and_block_mapping():
+    mesh = rect_tri(8)
+    topo = MachineTopology(nodes=3, cores_per_node=2)
+    a = two_level_partition(mesh, topo, seed=1)
+    assert set(a.tolist()) <= set(range(6))
+    # Each node's parts form one contiguous id block (the topology's
+    # block mapping): node of part p is p // cores.
+    node_a = partition(mesh, 3, method="hypergraph", seed=1)
+    for element in range(len(a)):
+        assert a[element] // 2 == node_a[element]
+
+
+def test_single_core_reduces_to_global_partition():
+    mesh = rect_tri(6)
+    topo = MachineTopology(nodes=4, cores_per_node=1)
+    a = two_level_partition(mesh, topo, seed=2)
+    base = partition(mesh, 4, method="hypergraph", seed=2)
+    assert np.array_equal(a, base)
+
+
+def test_balance_carries_through_both_levels():
+    mesh = box_tet(6)
+    topo = MachineTopology(nodes=2, cores_per_node=4)
+    a = two_level_partition(mesh, topo, seed=1, eps=0.05)
+    imb = imbalance(entity_counts_from_assignment(mesh, a, 8))
+    assert imb[3] < 0.15
+
+
+def test_locality_by_construction():
+    """Two-level locality survives id permutations that destroy flat's."""
+    mesh = box_tet(6)
+    topo = MachineTopology(nodes=4, cores_per_node=4)
+    a2 = two_level_partition(mesh, topo, seed=1)
+    flat = partition(mesh, 16, method="hypergraph", seed=1)
+    rng = np.random.default_rng(0)
+    permuted = rng.permutation(16)[flat]
+
+    loc2 = boundary_locality(mesh, a2, topo)
+    locp = boundary_locality(mesh, permuted, topo)
+    assert loc2["on_node_fraction"] > locp["on_node_fraction"] + 0.15
+    # And it stays comparable to the (luckily-ordered) flat partition.
+    locf = boundary_locality(mesh, flat, topo)
+    assert loc2["on_node_fraction"] > locf["on_node_fraction"] - 0.10
+
+
+def test_boundary_locality_extremes():
+    mesh = rect_tri(4)
+    one_node = MachineTopology(nodes=1, cores_per_node=4)
+    a = partition(mesh, 4, method="rcb")
+    loc = boundary_locality(mesh, a, one_node)
+    assert loc["on_node_fraction"] == 1.0
+    all_nodes = MachineTopology(nodes=4, cores_per_node=1)
+    loc = boundary_locality(mesh, a, all_nodes)
+    assert loc["on_node_fraction"] == 0.0
+
+
+def test_boundary_locality_unpartitioned():
+    mesh = rect_tri(3)
+    topo = MachineTopology(nodes=2, cores_per_node=1)
+    loc = boundary_locality(mesh, np.zeros(mesh.count(2), dtype=int), topo)
+    assert loc["on_node_fraction"] == 1.0
+    assert loc["off_node_copies"] == 0
+
+
+def test_distributes_with_matching_topology():
+    from repro.partition import distribute
+
+    mesh = rect_tri(6)
+    topo = MachineTopology(nodes=2, cores_per_node=3)
+    a = two_level_partition(mesh, topo, seed=3)
+    dm = distribute(mesh, a, nparts=6, topology=topo)
+    dm.verify()
+    # On-node migration generates no off-node element traffic.
+    from repro.parallel import PerfCounters
+
+    assert dm.entity_counts()[:, 2].sum() == mesh.count(2)

@@ -1,0 +1,269 @@
+"""Direct tests for public API members not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Ent, rect_tri, box_tet
+from repro.partition import distribute
+from repro.partitioners import partition
+
+
+def strips(mesh, nparts):
+    return [
+        min(int(mesh.centroid(e)[0] * nparts), nparts - 1)
+        for e in mesh.entities(mesh.dim())
+    ]
+
+
+# -- adapt passes ---------------------------------------------------------------
+
+
+def test_refine_pass_respects_max_splits():
+    from repro.adapt import refine_pass
+    from repro.field import UniformSize
+
+    mesh = rect_tri(4)
+    splits = refine_pass(mesh, UniformSize(0.05), max_splits=3)
+    assert splits == 3
+
+
+def test_coarsen_pass_respects_max_collapses():
+    from repro.adapt import coarsen_pass
+    from repro.field import UniformSize
+
+    mesh = rect_tri(8)
+    collapses = coarsen_pass(mesh, UniformSize(0.6), max_collapses=2)
+    assert collapses <= 2
+
+
+# -- dmesh helpers -----------------------------------------------------------------
+
+
+def test_dmesh_helpers():
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 3))
+    assert dm.total_owned(0) == mesh.count(0)
+    neighbor_map = dm.neighbor_map()
+    assert neighbor_map[0] == {1}
+    assert neighbor_map[1] == {0, 2}
+    assert dm.shared_entity_count(dim=0) > 0
+    assert dm.shared_entity_count() >= dm.shared_entity_count(dim=0)
+    # gid allocation: monotone, note_gid raises the floor.
+    a = dm.alloc_gid(0)
+    dm.note_gid(0, a + 100)
+    assert dm.alloc_gid(0) == a + 101
+    # add_part extends the auto topology.
+    before = dm.nparts
+    new = dm.add_part()
+    assert new.pid == before
+    assert dm.topology.total_cores >= dm.nparts
+    with pytest.raises(ValueError):
+        dm.part(dm.nparts)
+
+
+def test_part_counters():
+    mesh = rect_tri(3)
+    dm = distribute(mesh, strips(mesh, 3))
+    part = dm.part(1)
+    assert part.entity_count(2) == part.mesh.count(2)
+    assert part.entity_counts()[2] == part.entity_count(2)
+    owned = part.owned_count(0)
+    assert 0 < owned <= part.entity_count(0)
+    v = next(part.shared_entities(0))
+    assert part.has_gid(v)
+    assert "Part(1" in repr(part)
+    assert "DistributedMesh" in repr(dm)
+
+
+def test_entity_key_shapes():
+    from repro.partition.migration import entity_key
+
+    mesh = rect_tri(2)
+    dm = distribute(mesh, strips(mesh, 2))
+    part = dm.part(0)
+    v = next(part.mesh.entities(0))
+    assert entity_key(part, v) == (part.gid(v),)
+    e = next(part.mesh.entities(1))
+    key = entity_key(part, e)
+    assert len(key) == 2 and key == tuple(sorted(key))
+
+
+def test_spawn_empty_part():
+    from repro.partition import spawn_empty_part
+
+    mesh = rect_tri(2)
+    dm = distribute(mesh, strips(mesh, 2))
+    pid = spawn_empty_part(dm)
+    assert dm.part(pid).mesh.count(2) == 0
+
+
+def test_default_owner_rule():
+    from repro.partition import default_owner_rule
+
+    assert default_owner_rule((3, 1, 7)) == 1
+
+
+# -- ParMA facade -------------------------------------------------------------------
+
+
+def test_parma_facade_split_and_predictive():
+    from repro.core import ParMA
+    from repro.field import UniformSize
+
+    mesh = box_tet(4)
+    assignment = np.where(np.asarray(strips(mesh, 4)) <= 1, 0, 2)
+    dm = distribute(mesh, assignment, nparts=4)
+    balancer = ParMA(dm)
+    split_stats = balancer.split_heavy_parts(tol=0.10)
+    assert split_stats.rounds >= 1
+    moved = balancer.predictive_balance(UniformSize(0.25))
+    assert moved >= 0
+    dm.verify()
+
+
+def test_is_lightly_loaded_modes():
+    from repro.core import is_lightly_loaded
+
+    counts = np.array([[0, 0, 0, 100], [0, 0, 0, 40], [0, 0, 0, 70]])
+    # Part 1 below mean (70): absolutely light; part 2 at mean: not.
+    assert is_lightly_loaded(counts, 1, 3, 0, mean=70.0, mode="absolute")
+    assert not is_lightly_loaded(counts, 2, 3, 0, mean=70.0, mode="absolute")
+    assert is_lightly_loaded(counts, 2, 3, 0, mean=70.0, mode="relative")
+    assert is_lightly_loaded(counts, 2, 3, 0, mean=70.0, mode="both")
+    with pytest.raises(ValueError):
+        is_lightly_loaded(counts, 1, 3, 0, mean=70.0, mode="sideways")
+
+
+def test_boundary_facet_count():
+    from repro.core.selection import boundary_facet_count
+
+    mesh = rect_tri(2)
+    dm = distribute(mesh, strips(mesh, 2))
+    part = dm.part(0)
+    counts = [
+        boundary_facet_count(part, e) for e in part.mesh.entities(2)
+    ]
+    assert max(counts) >= 1
+    assert min(counts) >= 0
+
+
+def test_element_size_helper():
+    from repro.core.predictive import element_size
+
+    mesh = rect_tri(2)
+    element = next(mesh.entities(2))
+    size = element_size(mesh, element)
+    assert 0.25 < size < 0.71  # between axis and diagonal edge lengths
+
+
+# -- multilevel internals -----------------------------------------------------------
+
+
+def test_heavy_edge_matching_pairs_heavy_edges():
+    from repro.partitioners import heavy_edge_matching
+
+    # Path 0-1-2-3 with a heavy middle edge: 1 and 2 must match together.
+    xadj = np.array([0, 1, 3, 5, 6])
+    adjncy = np.array([1, 0, 2, 1, 3, 2])
+    eweights = np.array([1.0, 1.0, 9.0, 9.0, 1.0, 1.0])
+    rng = np.random.default_rng(0)
+    mate = heavy_edge_matching(xadj, adjncy, eweights, rng)
+    assert mate[1] == 2 and mate[2] == 1
+    # Matching is an involution.
+    for i, m in enumerate(mate):
+        assert mate[m] == i
+
+
+def test_greedy_grow_reaches_target_weight():
+    from repro.partitioners import dual_graph, greedy_grow
+
+    mesh = rect_tri(6)
+    graph = dual_graph(mesh)
+    rng = np.random.default_rng(1)
+    side = greedy_grow(
+        graph.xadj, graph.adjncy, graph.weights.astype(float), 0.5, rng
+    )
+    sizes = np.bincount(side, minlength=2)
+    assert abs(sizes[0] - sizes[1]) <= 2
+    # Side 0 is connected (grown by BFS): every side-0 node reaches the
+    # seed through side-0 nodes.
+    zero = set(np.flatnonzero(side == 0).tolist())
+    frontier = {next(iter(zero))}
+    seen = set(frontier)
+    while frontier:
+        nxt = set()
+        for i in frontier:
+            for j in graph.neighbors(i):
+                if int(j) in zero and int(j) not in seen:
+                    seen.add(int(j))
+                    nxt.add(int(j))
+        frontier = nxt
+    assert seen == zero
+
+
+def test_contract_merges_weights():
+    from repro.partitioners import contract
+
+    xadj = np.array([0, 1, 3, 4])
+    adjncy = np.array([1, 0, 2, 1])
+    weights = np.array([1, 2, 3])
+    eweights = np.array([1.0, 1.0, 1.0, 1.0])
+    mate = np.array([1, 0, 2])  # merge 0+1, keep 2
+    cxadj, cadjncy, cweights, ceweights, cmap = contract(
+        xadj, adjncy, weights, eweights, mate
+    )
+    assert len(cweights) == 2
+    assert sorted(cweights.tolist()) == [3, 3]
+    assert cmap[0] == cmap[1] != cmap[2]
+
+
+def test_refine_connectivity_direct():
+    from repro.partitioners import refine_connectivity, element_hypergraph
+
+    mesh = rect_tri(6)
+    assignment = partition(mesh, 3, method="rcb")
+    refined, moves = refine_connectivity(mesh, assignment, passes=2)
+    hg = element_hypergraph(mesh)
+    assert hg.connectivity_cost(refined) <= hg.connectivity_cost(assignment)
+    assert moves >= 0
+
+
+# -- misc field/mesh -----------------------------------------------------------------
+
+
+def test_field_ncomp():
+    from repro.field import Field
+
+    mesh = rect_tri(1)
+    assert Field(mesh, "s").ncomp == 1
+    assert Field(mesh, "m", shape=(2, 3)).ncomp == 6
+
+
+def test_sizefield_vertex_and_edge_target():
+    from repro.field import UniformSize
+
+    mesh = rect_tri(2)
+    size = UniformSize(0.3)
+    v = next(mesh.entities(0))
+    assert size.at_vertex(mesh, v) == 0.3
+    e = next(mesh.entities(1))
+    assert size.edge_target(mesh, e) == 0.3
+
+
+def test_segment_param():
+    from repro.gmodel import SegmentShape
+
+    seg = SegmentShape([0, 0], [2, 0])
+    assert seg.param([1.0, 5.0]) == pytest.approx(0.5)
+    assert seg.param([-9.0, 0.0]) == 0.0
+    assert seg.param([9.0, 0.0]) == 1.0
+
+
+def test_perf_timers_snapshot():
+    from repro.parallel import PerfCounters
+
+    perf = PerfCounters()
+    with perf.timer("t"):
+        pass
+    snap = perf.timers()
+    assert "t" in snap and snap["t"].count == 1

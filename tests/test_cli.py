@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_rect(capsys):
+    assert main(["info", "--kind", "rect", "--n", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "verts=16" in out
+    assert "mesh verified" in out
+
+
+def test_info_box(capsys):
+    assert main(["info", "--kind", "box", "--n", "2"]) == 0
+    assert "regions=48" in capsys.readouterr().out
+
+
+def test_info_saves_vtk(tmp_path, capsys):
+    out_file = tmp_path / "m.vtk"
+    assert main(["info", "--kind", "rect", "--n", "2",
+                 "--save", str(out_file)]) == 0
+    assert out_file.exists()
+    assert "DATASET UNSTRUCTURED_GRID" in out_file.read_text()
+
+
+def test_partition_reports_balance(capsys):
+    assert main([
+        "partition", "--kind", "box", "--n", "3", "--parts", "4",
+        "--method", "rcb",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "edge cut" in out
+    assert "imbalance%" in out
+    assert "Rgn" in out
+
+
+def test_partition_saves_part_field(tmp_path, capsys):
+    out_file = tmp_path / "p.vtk"
+    assert main([
+        "partition", "--kind", "rect", "--n", "4", "--parts", "2",
+        "--method", "rcb", "--save", str(out_file),
+    ]) == 0
+    text = out_file.read_text()
+    assert "SCALARS part double 1" in text
+
+
+def test_balance_runs_parma(capsys):
+    assert main([
+        "balance", "--kind", "box", "--n", "4", "--parts", "4",
+        "--method", "hypergraph", "--priorities", "Vtx > Rgn",
+        "--tol", "0.10",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "before ParMA" in out
+    assert "after ParMA" in out
+    assert "ParMA improvement [Vtx > Rgn]" in out
+
+
+def test_bench_hint(capsys):
+    assert main(["bench"]) == 0
+    assert "pytest benchmarks/" in capsys.readouterr().out
+
+
+def test_unknown_kind_fails():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["info", "--kind", "sphere"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

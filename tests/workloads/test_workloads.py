@@ -1,0 +1,111 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.field import MinSize, UniformSize
+from repro.mesh.quality import measure, worst_quality
+from repro.mesh.verify import verify
+from repro.workloads import (
+    aaa_mesh,
+    accelerator_mesh,
+    particle_positions,
+    scramjet_case,
+    scramjet_mesh,
+    shock_size,
+    shock_train,
+    track_particle,
+    wing_case,
+    wing_mesh,
+)
+
+
+def test_aaa_mesh_valid_and_nonuniform():
+    mesh = aaa_mesh(n=4, seed=1)
+    verify(mesh, check_volumes=True)
+    assert mesh.count(3) == 6 * 4 * 4 ** 3
+    # The bulge makes mid-vessel elements larger than end elements.
+    volumes_mid = []
+    volumes_end = []
+    for r in mesh.entities(3):
+        x = mesh.centroid(r)[0]
+        v = measure(mesh, r)
+        if 3.5 < x < 4.5:
+            volumes_mid.append(v)
+        elif x < 1.0:
+            volumes_end.append(v)
+    assert np.mean(volumes_mid) > 2 * np.mean(volumes_end)
+
+
+def test_aaa_mesh_curved_centerline():
+    mesh = aaa_mesh(n=3, curvature=0.8, jitter=0.0)
+    ys = [mesh.coords(v)[1] for v in mesh.entities(0)]
+    assert max(ys) > 1.0  # the bend pushes the vessel off-axis
+
+
+def test_aaa_mesh_deterministic():
+    a = aaa_mesh(n=3, seed=5)
+    b = aaa_mesh(n=3, seed=5)
+    assert np.allclose(a.coords_view(), b.coords_view())
+
+
+def test_aaa_mesh_validates_n():
+    with pytest.raises(ValueError):
+        aaa_mesh(n=1)
+
+
+def test_wing_case():
+    mesh, size = wing_case(n=6)
+    verify(mesh, check_volumes=True)
+    # The shock band requests fine size near its plane, coarse far away.
+    fine = size.value([0.55 * np.cos(np.radians(30)) * 1.0, 0.0, 0.1])
+    assert size.value([0.0, 0.0, 0.1]) > 2 * size.h_fine
+    assert size.h_fine == pytest.approx((1 / 6) / 4)
+
+
+def test_wing_mesh_thin_box():
+    mesh = wing_mesh(n=8)
+    zs = [mesh.coords(v)[2] for v in mesh.entities(0)]
+    assert max(zs) == pytest.approx(0.25)
+
+
+def test_scramjet_case_and_shock_train():
+    mesh, size = scramjet_case(n=6, reflections=3)
+    verify(mesh, check_volumes=True)
+    assert isinstance(size, MinSize)
+    assert len(size.fields) == 3
+    # Somewhere in the channel the field requests fine resolution.
+    xs = np.linspace(0.2, 3.8, 80)
+    values = [size.value([x, 0.5]) for x in xs]
+    assert min(values) < 0.1
+    assert max(values) > 0.12
+
+
+def test_shock_train_validation():
+    with pytest.raises(ValueError):
+        shock_train(0.1, reflections=0)
+
+
+def test_accelerator_positions():
+    pos = particle_positions(3)
+    assert len(pos) == 3
+    assert pos[0][0] < pos[1][0] < pos[2][0]
+    assert all(y == 0.5 for _x, y in pos)
+    with pytest.raises(ValueError):
+        particle_positions(0)
+
+
+def test_track_particle_moves_refinement():
+    mesh = accelerator_mesh(n=4)
+    history = track_particle(mesh, steps=2, refinement=3.0, max_passes=4)
+    verify(mesh, check_volumes=True)
+    assert len(history) == 2
+    # After the final step, refinement concentrates at the final position.
+    final = history[-1]
+    assert final.refined_near_particle > 0
+    first_zone_now = sum(
+        1
+        for f in mesh.entities(2)
+        if np.linalg.norm(mesh.centroid(f)[:2] - history[0].position) < 0.25
+    )
+    assert final.refined_near_particle > first_zone_now
