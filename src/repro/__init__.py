@@ -38,6 +38,10 @@ Subpackages
     ParMA: multi-criteria partition improvement and heavy part splitting.
 ``repro.workloads``
     Synthetic stand-ins for the paper's evaluation meshes.
+``repro.analysis``
+    SPMD correctness tooling: the ``python -m repro lint`` AST lint and the
+    runtime sanitizers (alias freeze proxies, collective-order checking,
+    deadlock detection) used by ``spmd(..., sanitize=True)``.
 """
 
 from . import (

@@ -1,0 +1,44 @@
+"""SPMD correctness tooling: AST lint + runtime sanitizers.
+
+The paper's infrastructure leans on ``apf::verify``-style invariant checking
+after every distributed operation.  This package is the analogous correctness
+net for the *communication* layer of the reproduction: a custom AST lint that
+knows the hazard classes of thread-based SPMD programs (collective mismatch,
+unordered message posting, on-node payload aliasing), and runtime sanitizers
+that catch the same classes dynamically while the simulated runtime executes.
+
+* :mod:`repro.analysis.lint` — the lint engine (``python -m repro lint``).
+* :mod:`repro.analysis.rules` — the SPMD001..SPMD006 rule visitors.
+* :mod:`repro.analysis.sanitizers` — freeze proxies and sanitizer errors used
+  by :mod:`repro.parallel` when sanitize mode is on.
+"""
+
+from .lint import Finding, format_json, format_text, lint_source, run_paths
+from .sanitizers import (
+    CollectiveMismatchError,
+    DeadlockError,
+    FrozenDict,
+    FrozenList,
+    FrozenSet,
+    PayloadAliasError,
+    SanitizerError,
+    freeze,
+    sanitize_default,
+)
+
+__all__ = [
+    "CollectiveMismatchError",
+    "DeadlockError",
+    "Finding",
+    "FrozenDict",
+    "FrozenList",
+    "FrozenSet",
+    "PayloadAliasError",
+    "SanitizerError",
+    "format_json",
+    "format_text",
+    "freeze",
+    "lint_source",
+    "run_paths",
+    "sanitize_default",
+]

@@ -1,0 +1,146 @@
+"""SPMD lint engine: parse once, run every rule, honor ``# noqa``.
+
+Entry points:
+
+* :func:`lint_source` — lint one source string (used by the tests' buggy
+  fixtures).
+* :func:`run_paths` — lint files and directory trees.
+* ``python -m repro lint [paths...] [--format=json]`` — the CLI wrapper in
+  :mod:`repro.cli`; with no paths it lints the installed ``repro`` package,
+  which is ``src/repro`` in a checkout.
+
+Suppression follows the flake8 convention: a ``# noqa`` comment on the
+offending line suppresses everything, ``# noqa: SPMD003`` suppresses one
+code (a justification after the code is encouraged and ignored by the
+parser).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Type
+
+from .rules import ALL_RULES, Finding, Rule
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?!\w)(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
+    re.IGNORECASE,
+)
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not 0 < finding.line <= len(lines):
+        return False
+    match = _NOQA_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # blanket "# noqa"
+    allowed = {code.strip().upper() for code in codes.split(",")}
+    return finding.code in allowed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> List[Finding]:
+    """Lint one source string; returns findings sorted by location."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code="SPMD000",
+                message=f"syntax error: {exc.msg}",
+                hint="fix the syntax error so the file can be analyzed",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule_cls in rules if rules is not None else ALL_RULES:
+        visitor = rule_cls(path)
+        visitor.visit(tree)
+        findings.extend(visitor.findings)
+    lines = source.splitlines()
+    findings = [f for f in findings if not _suppressed(f, lines)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[Type[Rule]]] = None
+) -> List[Finding]:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files and directory trees into a sorted stream of ``.py`` files."""
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+
+
+def run_paths(
+    paths: Iterable[Path], rules: Optional[Sequence[Type[Rule]]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings in path order."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules=rules))
+    return findings
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus hint and summary."""
+    lines = [f"{f.format()}\n    hint: {f.hint}" for f in findings]
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "clean: 0 findings"
+    )
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (list of finding objects)."""
+    return json.dumps([asdict(f) for f in findings], indent=2)
+
+
+def default_target() -> Path:
+    """With no explicit paths, lint the installed ``repro`` package tree."""
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry (``python -m repro.analysis.lint``); 1 if findings."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description="SPMD correctness lint"
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+    paths = [Path(p) for p in args.paths] or [default_target()]
+    findings = run_paths(paths)
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

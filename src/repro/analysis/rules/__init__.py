@@ -1,0 +1,40 @@
+"""Rule registry for the SPMD lint.
+
+| Code    | Rule                        | Hazard                                |
+|---------|-----------------------------|---------------------------------------|
+| SPMD001 | CollectiveInRankBranch      | collective mismatch / deadlock        |
+| SPMD002 | UnorderedPosting            | nondeterministic wire order           |
+| SPMD003 | ReceivedPayloadMutation     | on-node payload aliasing corruption   |
+| SPMD004 | MutableDefaultArg           | cross-rank shared mutable default     |
+| SPMD005 | BareExcept                  | swallowed abort, job hangs            |
+| SPMD006 | ImplicitOptionalAnnotation  | lying annotation (`x: bool = None`)   |
+
+Suppress a finding with ``# noqa: SPMD00N — justification`` on the line.
+"""
+
+from .aliasing import ReceivedPayloadMutation
+from .base import Finding, Rule
+from .communication import CollectiveInRankBranch, UnorderedPosting
+from .hygiene import BareExcept, ImplicitOptionalAnnotation, MutableDefaultArg
+
+#: All rules, in code order; the engine runs each over every file.
+ALL_RULES = [
+    CollectiveInRankBranch,
+    UnorderedPosting,
+    ReceivedPayloadMutation,
+    MutableDefaultArg,
+    BareExcept,
+    ImplicitOptionalAnnotation,
+]
+
+__all__ = [
+    "ALL_RULES",
+    "BareExcept",
+    "CollectiveInRankBranch",
+    "Finding",
+    "ImplicitOptionalAnnotation",
+    "MutableDefaultArg",
+    "ReceivedPayloadMutation",
+    "Rule",
+    "UnorderedPosting",
+]

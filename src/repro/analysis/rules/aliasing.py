@@ -1,0 +1,210 @@
+"""On-node aliasing rule: mutation of received payloads.
+
+The simulated network passes on-node messages **by reference**
+(:mod:`repro.parallel.network`), mirroring the implicit shared-memory
+representation of the paper's two-level design.  A receiver that mutates a
+payload therefore silently corrupts the *sender's* data structure — the
+hazard real MPI cannot even express.  SPMD003 taints names bound from
+``recv``-like calls (and loop variables drawn from ``exchange()`` inboxes)
+and flags in-place mutation of a tainted name unless it was re-bound first
+(the defensive copy: ``payload = list(payload)``).
+
+The analysis is function-local and flow-approximate: statements are scanned
+in source order, any re-assignment un-taints.  That is deliberately the same
+precision class as classic lints (pyflakes), not a points-to analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from .base import Rule, call_name
+
+#: Calls whose return value is a message payload (possibly by-reference).
+RECEIVE_CALLS: Set[str] = {
+    "recv",
+    "irecv",
+    "sendrecv",
+    "wait",
+    "_crecv",
+    "bcast",
+    "gather",
+    "allgather",
+    "alltoall",
+    "scatter",
+    "scan",
+    "exscan",
+}
+
+#: Calls returning the whole inbox map of a superstep.
+EXCHANGE_CALLS: Set[str] = {"exchange", "neighbor_exchange", "dense_exchange"}
+
+#: In-place mutators of list/dict/set/ndarray payloads.
+MUTATING_METHODS: Set[str] = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "sort",
+    "reverse",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "difference_update",
+    "intersection_update",
+    "symmetric_difference_update",
+    "fill",
+    "resize",
+    "put",
+}
+
+#: Re-binding calls that count as a defensive copy and clear the taint.
+COPY_CALLS: Set[str] = {
+    "list",
+    "dict",
+    "set",
+    "tuple",
+    "sorted",
+    "copy",
+    "deepcopy",
+    "array",
+}
+
+
+def _target_names(target: ast.AST):
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+
+
+class ReceivedPayloadMutation(Rule):
+    """SPMD003: in-place mutation of a received payload without a copy."""
+
+    code = "SPMD003"
+    hint = (
+        "copy before mutating (payload = list(payload) / dict(payload) / "
+        "copy.deepcopy(payload)); on-node messages alias the sender's object"
+    )
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._tainted: Set[str] = set()
+        self._inboxes: Set[str] = set()
+
+    # -- function scoping -------------------------------------------------
+
+    def _visit_function(self, node: ast.AST) -> None:
+        saved_t, self._tainted = self._tainted, set()
+        saved_i, self._inboxes = self._inboxes, set()
+        self.generic_visit(node)
+        self._tainted = saved_t
+        self._inboxes = saved_i
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- taint sources ----------------------------------------------------
+
+    def _is_receive(self, value: ast.AST) -> bool:
+        return isinstance(value, ast.Call) and call_name(value) in RECEIVE_CALLS
+
+    def _is_exchange(self, value: ast.AST) -> bool:
+        return isinstance(value, ast.Call) and call_name(value) in EXCHANGE_CALLS
+
+    def _references_inbox(self, expr: ast.AST) -> bool:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and sub.id in self._inboxes:
+                return True
+        return False
+
+    def _is_fresh_container(self, value: ast.AST) -> bool:
+        """A comprehension or copy-constructor builds a *new* container;
+        mutating it cannot corrupt the sender even if its elements came from
+        an inbox."""
+        if isinstance(
+            value, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            return True
+        return isinstance(value, ast.Call) and call_name(value) in COPY_CALLS
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        names = [n for t in node.targets for n in _target_names(t)]
+        if self._is_exchange(node.value):
+            self._inboxes.update(names)
+            self._tainted.difference_update(names)
+            return
+        if self._is_fresh_container(node.value):
+            self._tainted.difference_update(names)
+            return
+        if self._is_receive(node.value) or self._references_inbox(node.value):
+            self._tainted.update(names)
+            return
+        if isinstance(node.value, ast.Name) and node.value.id in self._tainted:
+            # Aliasing a tainted name taints the alias too.
+            self._tainted.update(names)
+            return
+        # Any other re-binding (including a defensive copy) clears the taint.
+        self._tainted.difference_update(names)
+
+    def visit_For(self, node: ast.For) -> None:
+        if (
+            self._is_receive(node.iter)
+            or self._is_exchange(node.iter)
+            or self._references_inbox(node.iter)
+        ):
+            self._tainted.update(_target_names(node.target))
+        self.generic_visit(node)
+
+    # -- taint sinks -------------------------------------------------------
+
+    def _base_name(self, expr: ast.AST):
+        while isinstance(expr, (ast.Subscript, ast.Attribute)):
+            expr = expr.value
+        return expr.id if isinstance(expr, ast.Name) else None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+            and self._base_name(func.value) in self._tainted
+        ):
+            self.report(
+                node,
+                f"received payload '{self._base_name(func.value)}' mutated "
+                f"in place via .{func.attr}() without a defensive copy",
+            )
+        self.generic_visit(node)
+
+    def _check_store_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            name = self._base_name(target)
+            if name in self._tainted:
+                self.report(
+                    target,
+                    f"received payload '{name}' mutated in place by item/"
+                    f"attribute assignment without a defensive copy",
+                )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, ast.Store):
+            self._check_store_target(node)
+        self.generic_visit(node)

@@ -1,0 +1,66 @@
+"""Shared machinery for lint rules: the finding record and the rule base.
+
+Every rule is an :class:`ast.NodeVisitor` subclass with a stable ``code``
+(``SPMD001``...), a one-line ``hint`` telling the author how to fix the
+hazard, and a ``findings`` list the engine collects after visiting.  Rules
+never read the file system — the engine parses once and hands each rule the
+same tree, so a lint run is one parse plus N cheap traversals per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one instance per (rule, file) pair."""
+
+    #: Stable rule identifier, e.g. ``SPMD001``; used in ``# noqa: SPMD001``.
+    code: str = "SPMD000"
+    #: Default finding message (rules may pass a specific one to report()).
+    message: str = ""
+    #: How to fix the hazard; appended to the CLI output.
+    hint: str = ""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def report(self, node: ast.AST, message: Optional[str] = None) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=self.code,
+                message=message if message is not None else self.message,
+                hint=self.hint,
+            )
+        )
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The attribute or bare name a call targets (``x.post(...)`` -> ``post``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None

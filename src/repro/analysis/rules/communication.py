@@ -1,0 +1,188 @@
+"""Communication-structure rules: collective mismatch and posting order.
+
+These are the two hazards an SPMD *simulator* shares with real MPI codes:
+
+* a collective (or BSP ``exchange``) reached by only a subset of ranks
+  deadlocks or cross-matches the whole job — the classic collective-mismatch
+  bug MPI debuggers (MUST, MPI_Check) exist to find;
+* message posting driven by iteration over an unordered container makes the
+  wire order vary run to run, which breaks the deterministic-replay property
+  the BSP network promises and hides real races behind flaky tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .base import Rule, call_name
+
+#: User-facing collective entry points of Comm / Network / neighbor exchange.
+COLLECTIVE_CALLS: Set[str] = {
+    "barrier",
+    "bcast",
+    "scatter",
+    "gather",
+    "allgather",
+    "reduce",
+    "allreduce",
+    "alltoall",
+    "scan",
+    "exscan",
+    "split",
+    "dup",
+    "node_comm",
+    "leader_comm",
+    "exchange",
+    "neighbor_exchange",
+    "dense_exchange",
+}
+
+#: Calls that enqueue or transmit a message.
+POSTING_CALLS: Set[str] = {
+    "post",
+    "send",
+    "isend",
+    "sendrecv",
+    "transmit",
+    "_csend",
+}
+
+#: Calls and set-operations whose result iterates in hash order.
+UNORDERED_PRODUCERS: Set[str] = {
+    "set",
+    "frozenset",
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+}
+
+
+def _mentions_rank(test: ast.AST) -> bool:
+    """Whether a branch condition depends on the calling rank's identity."""
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Name):
+            if sub.id == "rank" or sub.id.endswith("_rank") or sub.id == "vrank":
+                return True
+        elif isinstance(sub, ast.Attribute):
+            if sub.attr == "rank" or sub.attr.endswith("_rank"):
+                return True
+        elif isinstance(sub, ast.Call):
+            if call_name(sub) in ("Get_rank", "world_rank_of"):
+                return True
+    return False
+
+
+class CollectiveInRankBranch(Rule):
+    """SPMD001: collective/exchange call inside a rank-dependent branch."""
+
+    code = "SPMD001"
+    hint = (
+        "hoist the collective out of the branch so every rank calls it, or "
+        "split the communicator first"
+    )
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._branch_lines: List[int] = []
+
+    def _visit_branch(self, node: ast.AST, test: ast.AST) -> None:
+        if _mentions_rank(test):
+            self._branch_lines.append(node.lineno)
+            self.generic_visit(node)
+            self._branch_lines.pop()
+        else:
+            self.generic_visit(node)
+
+    def visit_If(self, node: ast.If) -> None:
+        self._visit_branch(node, node.test)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_branch(node, node.test)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        # A nested function defined inside a rank branch is not necessarily
+        # *called* there; analyze its body with a fresh branch stack.
+        saved, self._branch_lines = self._branch_lines, []
+        self.generic_visit(node)
+        self._branch_lines = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_function(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if name in COLLECTIVE_CALLS and self._branch_lines:
+            self.report(
+                node,
+                f"collective '{name}' called inside a rank-dependent branch "
+                f"(line {self._branch_lines[-1]}); ranks that skip it will "
+                f"deadlock or cross-match the collective",
+            )
+        self.generic_visit(node)
+
+
+def _is_unordered_expr(expr: ast.AST) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and call_name(expr) in UNORDERED_PRODUCERS:
+        return True
+    return False
+
+
+class UnorderedPosting(Rule):
+    """SPMD002: message posting driven by iteration over an unordered set."""
+
+    code = "SPMD002"
+    hint = "iterate sorted(...) so posting order is deterministic across runs"
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._unordered_names: Set[str] = set()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        saved, self._unordered_names = self._unordered_names, set()
+        # Pre-pass: names bound to set-valued expressions anywhere in this
+        # function body (flow-insensitive; precision is traded for a visitor
+        # that never misses the common `parts = set(...)` pattern).
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and _is_unordered_expr(sub.value):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        self._unordered_names.add(target.id)
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                if _is_unordered_expr(sub.value) and isinstance(
+                    sub.target, ast.Name
+                ):
+                    self._unordered_names.add(sub.target.id)
+        self.generic_visit(node)
+        self._unordered_names = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        unordered = _is_unordered_expr(node.iter) or (
+            isinstance(node.iter, ast.Name)
+            and node.iter.id in self._unordered_names
+        )
+        if unordered:
+            for sub in ast.walk(ast.Module(body=node.body, type_ignores=[])):
+                if isinstance(sub, ast.Call) and call_name(sub) in POSTING_CALLS:
+                    self.report(
+                        sub,
+                        f"message posting '{call_name(sub)}' inside a loop "
+                        f"over an unordered set (line {node.lineno}); wire "
+                        f"order will vary between runs",
+                    )
+        self.generic_visit(node)

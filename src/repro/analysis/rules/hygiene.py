@@ -1,0 +1,143 @@
+"""General rank-program hygiene rules.
+
+Three classics that are disproportionately dangerous in SPMD code:
+
+* a **mutable default argument** is shared across every rank thread of the
+  process — in a normal script it is a wart, here it is a data race;
+* a **bare except** swallows :class:`~repro.parallel.comm.CommAbortedError`
+  and the abort wake-up, turning a clean job abort into a hang;
+* an **implicit-Optional annotation** (``x: bool = None``) lies to readers
+  and type checkers about whether ``None`` flows through collective results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .base import Rule
+
+#: Annotations considered concrete (a ``= None`` default contradicts them).
+_CONCRETE_NAMES = {
+    "bool",
+    "int",
+    "float",
+    "complex",
+    "str",
+    "bytes",
+    "list",
+    "dict",
+    "set",
+    "tuple",
+    "List",
+    "Dict",
+    "Set",
+    "Tuple",
+    "Sequence",
+    "Mapping",
+    "Callable",
+    "Iterable",
+    "Iterator",
+    "FrozenSet",
+}
+
+
+def _annotation_head(annotation: ast.AST) -> Optional[str]:
+    """Outermost name of an annotation (``Callable[..., X]`` -> ``Callable``)."""
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    return None
+
+
+def _is_none(node: Optional[ast.AST]) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class MutableDefaultArg(Rule):
+    """SPMD004: mutable default argument (shared across rank threads)."""
+
+    code = "SPMD004"
+    hint = "default to None and create the container inside the function body"
+
+    def _check(self, node) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        pairs = list(zip(positional[len(positional) - len(args.defaults):],
+                         args.defaults))
+        pairs += [
+            (a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is not None
+        ]
+        for arg, default in pairs:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            )
+            if mutable:
+                self.report(
+                    default,
+                    f"mutable default for argument '{arg.arg}' of "
+                    f"'{node.name}' is shared across all rank threads",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+
+class BareExcept(Rule):
+    """SPMD005: bare ``except:`` in a rank program."""
+
+    code = "SPMD005"
+    hint = (
+        "catch a specific exception; a bare except swallows CommAbortedError "
+        "and turns a clean SPMD abort into a hang"
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare 'except:' catches abort/interrupt signals")
+        self.generic_visit(node)
+
+
+class ImplicitOptionalAnnotation(Rule):
+    """SPMD006: concrete annotation with a ``None`` default."""
+
+    code = "SPMD006"
+    hint = "annotate as Optional[...] (PEP 484 forbids implicit Optional)"
+
+    def _check(self, node) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        pairs = list(zip(positional[len(positional) - len(args.defaults):],
+                         args.defaults))
+        pairs += list(zip(args.kwonlyargs, args.kw_defaults))
+        for arg, default in pairs:
+            if default is None or arg.annotation is None:
+                continue
+            if not _is_none(default):
+                continue
+            head = _annotation_head(arg.annotation)
+            if head in _CONCRETE_NAMES:
+                self.report(
+                    arg,
+                    f"argument '{arg.arg}' of '{node.name}' is annotated "
+                    f"'{head}' but defaults to None",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)

@@ -13,6 +13,12 @@ release ships for quick experiments without writing a driver script:
     multi-criteria improvement, before/after report.
 ``bench``
     Point at the benchmark suite (delegates to pytest).
+``lint``
+    Run the SPMD correctness lint (:mod:`repro.analysis`) over the package
+    source (or explicit paths); exits nonzero on findings.
+
+``balance`` accepts ``--sanitize`` to run the distributed pipeline with the
+runtime sanitizers on (alias freeze proxies on the part network).
 
 All meshes are generated on the fly (``--kind box|rect|aaa|wing``) since
 the native mesh format is a library-level feature; ``--save`` writes the
@@ -108,7 +114,9 @@ def cmd_balance(args) -> int:
     assignment = partition(
         mesh, args.parts, method=args.method, seed=args.seed, eps=args.eps
     )
-    dmesh = distribute(mesh, assignment, nparts=args.parts)
+    dmesh = distribute(
+        mesh, assignment, nparts=args.parts, sanitize=args.sanitize
+    )
     balancer = ParMA(dmesh)
     before = (imbalances(dmesh.entity_counts()) - 1) * 100
     print(
@@ -130,6 +138,27 @@ def cmd_bench(_args) -> int:
     print("run:  pytest benchmarks/ --benchmark-only")
     print("scale with:  REPRO_BENCH_SCALE=medium|large")
     return 0
+
+
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        default_target,
+        format_json,
+        format_text,
+        run_paths,
+    )
+
+    paths = [Path(p) for p in args.paths] or [default_target()]
+    try:
+        findings = run_paths(paths)
+    except OSError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(findings))
+    return 1 if findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,10 +198,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_partition_args(p_bal)
     p_bal.add_argument("--priorities", default="Vtx > Rgn")
     p_bal.add_argument("--tol", type=float, default=0.05)
+    p_bal.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the runtime sanitizers on (alias freeze proxies)",
+    )
     p_bal.set_defaults(fn=cmd_balance)
 
     p_bench = sub.add_parser("bench", help="how to run the benchmarks")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_lint = sub.add_parser("lint", help="SPMD correctness lint (SPMD001..)")
+    p_lint.add_argument(
+        "paths", nargs="*", help="files/dirs (default: the repro package)"
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.set_defaults(fn=cmd_lint)
     return parser
 
 

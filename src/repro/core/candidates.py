@@ -17,7 +17,7 @@ higher-priority dimension.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -57,7 +57,7 @@ def candidate_parts(
     lower_priority_dims: Sequence[int] = (),
     higher_priority_dims: Sequence[int] = (),
     tol: float = 0.05,
-    means: Sequence[float] = None,
+    means: Optional[Sequence[float]] = None,
     mode: str = "both",
 ) -> List[int]:
     """Candidate parts for unloading ``heavy_pid``'s ``dim`` entities.

@@ -11,13 +11,13 @@ equivalent to one-round-per-pick Luby with those priorities.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 
 def maximal_independent_set(
     nodes: Sequence[Hashable],
     conflicts: Dict[Hashable, Set[Hashable]],
-    priority: Dict[Hashable, float] = None,
+    priority: Optional[Dict[Hashable, float]] = None,
 ) -> List[Hashable]:
     """Greedy MIS over a conflict graph, highest priority first.
 

@@ -11,7 +11,7 @@ come out even (avoiding the Fig. 13 histogram).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,7 +54,7 @@ def predicted_weights(mesh: Mesh, size: SizeField) -> np.ndarray:
 def predictive_balance(
     dmesh: DistributedMesh,
     size: SizeField,
-    assigner: Callable[[np.ndarray, int, np.ndarray], np.ndarray] = None,
+    assigner: Optional[Callable[[np.ndarray, int, np.ndarray], np.ndarray]] = None,
 ) -> int:
     """Rebalance the distributed mesh under predicted adaptation weights.
 

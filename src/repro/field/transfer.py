@@ -11,6 +11,8 @@ clamped to that element.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..mesh.mesh import Mesh
 from .field import Field
 from .shape import ElementLocator, barycentric, interpolate
@@ -22,7 +24,7 @@ def transfer_vertex_field(
     source_mesh: Mesh,
     source_field: Field,
     target_mesh: Mesh,
-    target_name: str = None,
+    target_name: Optional[str] = None,
 ) -> Field:
     """Interpolate ``source_field`` onto the vertices of ``target_mesh``."""
     if source_field.entity_dim != 0:

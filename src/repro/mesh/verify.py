@@ -16,7 +16,7 @@ checks mirror PUMI's ``apf::verify``:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .entity import Ent
 from .mesh import Mesh
@@ -31,7 +31,7 @@ class MeshInvalidError(AssertionError):
 def verify(
     mesh: Mesh,
     allow_dangling: bool = False,
-    check_classification: bool = None,
+    check_classification: Optional[bool] = None,
     check_volumes: bool = False,
 ) -> None:
     """Raise :class:`MeshInvalidError` on the first violated invariant."""

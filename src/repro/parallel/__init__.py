@@ -5,6 +5,12 @@ component (Fig. 1 of the paper): communicators, collectives, neighbor
 exchange, architecture topology, message routing, and performance counters.
 """
 
+from ..analysis.sanitizers import (
+    CollectiveMismatchError,
+    DeadlockError,
+    PayloadAliasError,
+    SanitizerError,
+)
 from .detect import detect, virtual
 from .comm import (
     ANY_SOURCE,
@@ -27,10 +33,14 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "BufferedRouter",
+    "CollectiveMismatchError",
     "Comm",
     "CommAbortedError",
     "CommTimeoutError",
     "CommWorld",
+    "DeadlockError",
+    "PayloadAliasError",
+    "SanitizerError",
     "GLOBAL",
     "MachineTopology",
     "Message",

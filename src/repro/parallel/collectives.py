@@ -34,6 +34,7 @@ def _resolve_op(op: Optional[BinOp]) -> BinOp:
 def barrier(comm) -> None:
     """Dissemination barrier: after return, every rank has entered."""
     seq = comm._next_seq()
+    comm._sanitize_collective("barrier", seq)
     size = comm.size
     if size == 1:
         return
@@ -50,6 +51,7 @@ def barrier(comm) -> None:
 def bcast(comm, obj: Any, root: int = 0) -> Any:
     """Binomial-tree broadcast of ``obj`` from ``root``; returns the object."""
     seq = comm._next_seq()
+    comm._sanitize_collective("bcast", seq)
     size = comm.size
     if size == 1:
         return obj
@@ -76,6 +78,7 @@ def bcast(comm, obj: Any, root: int = 0) -> Any:
 def gather(comm, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
     """Gather one object per rank to ``root`` (rank order); None elsewhere."""
     seq = comm._next_seq()
+    comm._sanitize_collective("gather", seq)
     if comm.rank == root:
         result: List[Any] = [None] * comm.size
         result[root] = sendobj
@@ -90,6 +93,7 @@ def gather(comm, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
 def scatter(comm, sendobj: Optional[List[Any]], root: int = 0) -> Any:
     """Scatter ``comm.size`` objects from ``root``; returns this rank's one."""
     seq = comm._next_seq()
+    comm._sanitize_collective("scatter", seq)
     if comm.rank == root:
         if sendobj is None or len(sendobj) != comm.size:
             raise ValueError(
@@ -134,6 +138,7 @@ def alltoall(comm, sendobjs: List[Any]) -> List[Any]:
             f"alltoall needs exactly {comm.size} objects, got {len(sendobjs)}"
         )
     seq = comm._next_seq()
+    comm._sanitize_collective("alltoall", seq)
     rank = comm.rank
     for dst in range(comm.size):
         if dst != rank:
@@ -150,6 +155,7 @@ def scan(comm, sendobj: Any, op: Optional[BinOp] = None) -> Any:
     """Inclusive prefix reduction along rank order (linear chain)."""
     op = _resolve_op(op)
     seq = comm._next_seq()
+    comm._sanitize_collective("scan", seq)
     rank = comm.rank
     if rank == 0:
         accum = sendobj
@@ -165,6 +171,7 @@ def exscan(comm, sendobj: Any, op: Optional[BinOp] = None) -> Any:
     """Exclusive prefix reduction; rank 0 receives None (as in MPI)."""
     op = _resolve_op(op)
     seq = comm._next_seq()
+    comm._sanitize_collective("exscan", seq)
     rank = comm.rank
     prefix = None if rank == 0 else comm._crecv(rank - 1, "exscan", seq)
     if rank + 1 < comm.size:

@@ -21,6 +21,13 @@ import pickle
 import threading
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from ..analysis.sanitizers import (
+    CollectiveMismatchError,
+    DeadlockError,
+    format_wait_cycle,
+    freeze,
+    sanitize_default,
+)
 from .perf import PerfCounters, GLOBAL
 from .topology import MachineTopology, flat
 
@@ -45,10 +52,12 @@ class CommAbortedError(RuntimeError):
 class _Mailbox:
     """One rank's incoming-message store with MPI matching semantics."""
 
-    def __init__(self, abort_flag: threading.Event) -> None:
+    def __init__(self, world: "CommWorld", rank: int) -> None:
         self._cond = threading.Condition()
         self._messages: List[Tuple[Hashable, int, Hashable, Any]] = []
-        self._abort = abort_flag
+        self._world = world
+        self._rank = rank
+        self._abort = world._abort
 
     def deliver(self, ctx: Hashable, src: int, tag: Hashable, payload: Any) -> None:
         with self._cond:
@@ -83,22 +92,56 @@ class _Mailbox:
         tag: Hashable,
         timeout: Optional[float],
     ) -> Tuple[int, Hashable, Any]:
-        """Block until a matching message arrives; return (src, tag, payload)."""
-        with self._cond:
+        """Block until a matching message arrives; return (src, tag, payload).
+
+        Under sanitize mode, a receive with a concrete source registers a
+        wait-for edge in the world's graph before blocking; the registration
+        that closes a cycle raises :class:`DeadlockError` immediately instead
+        of letting every rank in the cycle run into the timeout.
+        """
+        # Only a receive naming a concrete source forms a definite wait-for
+        # edge (an ANY_SOURCE receive can be satisfied by anyone).
+        detect = self._world.sanitize and source != ANY_SOURCE
+        registered = False
+        try:
             while True:
-                index = self._match(ctx, source, tag)
-                if index is not None:
-                    _ctx, msrc, mtag, payload = self._messages.pop(index)
-                    return msrc, mtag, payload
-                if self._abort.is_set():
-                    raise CommAbortedError(
-                        "communication world aborted while waiting in recv"
+                with self._cond:
+                    index = self._match(ctx, source, tag)
+                    if index is not None:
+                        _ctx, msrc, mtag, payload = self._messages.pop(index)
+                        return msrc, mtag, payload
+                    if self._abort.is_set():
+                        raise CommAbortedError(
+                            "communication world aborted while waiting in recv"
+                        )
+                if detect and not registered:
+                    # Register outside our own condition lock so cycle
+                    # verification can probe other mailboxes without a
+                    # lock-order inversion.
+                    cycle = self._world._register_wait(
+                        self._rank, ctx, source, tag
                     )
-                if not self._cond.wait(timeout=timeout):
-                    raise CommTimeoutError(
-                        f"recv(source={source}, tag={tag}) timed out after "
-                        f"{timeout}s — likely deadlock in the rank program"
-                    )
+                    registered = True
+                    if cycle is not None:
+                        raise DeadlockError(
+                            "deadlock detected among blocking receives: "
+                            + format_wait_cycle(cycle)
+                        )
+                with self._cond:
+                    # Re-check: a message may have landed between the locks.
+                    if (
+                        self._match(ctx, source, tag) is None
+                        and not self._abort.is_set()
+                    ):
+                        if not self._cond.wait(timeout=timeout):
+                            raise CommTimeoutError(
+                                f"recv(source={source}, tag={tag}) timed out "
+                                f"after {timeout}s — likely deadlock in the "
+                                f"rank program"
+                            )
+        finally:
+            if registered:
+                self._world._clear_wait(self._rank)
 
     def probe(self, ctx: Hashable, source: int, tag: Hashable) -> bool:
         with self._cond:
@@ -115,6 +158,7 @@ class CommWorld:
         counters: Optional[PerfCounters] = None,
         copy_off_node: bool = True,
         timeout: Optional[float] = 60.0,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"world size must be positive, got {size}")
@@ -128,8 +172,15 @@ class CommWorld:
         self.counters = counters if counters is not None else GLOBAL
         self.copy_off_node = copy_off_node
         self.timeout = timeout
+        self.sanitize = sanitize_default() if sanitize is None else bool(sanitize)
         self._abort = threading.Event()
-        self.mailboxes = [_Mailbox(self._abort) for _ in range(size)]
+        # Collective-order sanitizer: (ctx, seq) -> (op kind, first rank).
+        self._collective_lock = threading.Lock()
+        self._collective_ledger: Dict[Tuple[Hashable, int], Tuple[str, int]] = {}
+        # Deadlock detector: world rank -> (ctx, source, tag) it blocks on.
+        self._wait_lock = threading.Lock()
+        self._waiting: Dict[int, Tuple[Hashable, int, Hashable]] = {}
+        self.mailboxes = [_Mailbox(self, rank) for rank in range(size)]
 
     def abort(self) -> None:
         """Wake every blocked receiver with :class:`CommAbortedError`."""
@@ -142,6 +193,7 @@ class CommWorld:
     ) -> None:
         if not 0 <= dst < self.size:
             raise ValueError(f"destination rank {dst} out of range [0, {self.size})")
+        by_reference = True
         if src == dst:
             self.counters.add("comm.messages.self")
         elif self.topology.same_node(src, dst):
@@ -156,7 +208,76 @@ class CommWorld:
                 payload = pickle.loads(
                     pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
                 )
+                by_reference = False
+        if self.sanitize and by_reference:
+            # Alias sanitizer: the receiver would share the sender's object;
+            # deliver a read-only view that raises on mutation instead.
+            payload = freeze(payload)
         self.mailboxes[dst].deliver(ctx, src, tag, payload)
+
+    # -- sanitizer hooks ---------------------------------------------------
+
+    def check_collective(
+        self, ctx: Hashable, seq: int, kind: str, rank: int
+    ) -> None:
+        """Collective-order sanitizer: cross-check op kind at (ctx, seq).
+
+        The ledger grows by one small entry per collective call; sanitize
+        mode is a debugging tool, not a production configuration, so the
+        memory is accepted for the precision.
+        """
+        key = (ctx, seq)
+        with self._collective_lock:
+            previous = self._collective_ledger.get(key)
+            if previous is None:
+                self._collective_ledger[key] = (kind, rank)
+                return
+            prev_kind, prev_rank = previous
+        if prev_kind != kind:
+            raise CollectiveMismatchError(
+                f"collective order mismatch on communicator ctx={ctx!r}: "
+                f"rank {rank} entered {kind!r} as collective #{seq} but "
+                f"rank {prev_rank} entered {prev_kind!r}"
+            )
+
+    def _register_wait(
+        self, rank: int, ctx: Hashable, source: int, tag: Hashable
+    ) -> Optional[List[Tuple[int, Tuple[Hashable, int, Hashable]]]]:
+        """Record ``rank`` blocking on ``source``; return a wait cycle if any.
+
+        Cycle verification re-probes every member's mailbox: a stale edge
+        whose message has since arrived is not a deadlock (that rank will
+        wake and drain it), so a cycle is only reported when no member can
+        make progress.  Lock order is always wait-lock -> mailbox condition,
+        and the caller never holds its own mailbox condition here.
+        """
+        with self._wait_lock:
+            self._waiting[rank] = (ctx, source, tag)
+            chain = [rank]
+            seen = {rank}
+            current = source
+            while True:
+                if current in seen and current != rank:
+                    # A cycle that does not include us: its members raced a
+                    # pending delivery when they registered; leave it to the
+                    # timeout backstop rather than looping forever here.
+                    return None
+                if current == rank:
+                    cycle = [(r, self._waiting[r]) for r in chain]
+                    for member, (mctx, msrc, mtag) in cycle:
+                        if self.mailboxes[member].probe(mctx, msrc, mtag):
+                            return None
+                    return cycle
+                entry = self._waiting.get(current)
+                if entry is None:
+                    return None
+                chain.append(current)
+                seen.add(current)
+                current = entry[1]
+
+    def _clear_wait(self, rank: int) -> None:
+        with self._wait_lock:
+            self._waiting.pop(rank, None)
 
 
 class Request:
@@ -297,6 +418,11 @@ class Comm:
         self._collective_seq += 1
         return seq
 
+    def _sanitize_collective(self, kind: str, seq: int) -> None:
+        """Collective-order sanitizer entry; no-op unless sanitize mode."""
+        if self.world.sanitize:
+            self.world.check_collective(self._ctx, seq, kind, self.rank)
+
     # -- collectives (implemented in collectives.py) ----------------------
 
     def barrier(self) -> None:
@@ -325,13 +451,13 @@ class Comm:
         return collectives.allgather(self, sendobj)
 
     def reduce(
-        self, sendobj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0
+        self, sendobj: Any, op: Optional[Callable[[Any, Any], Any]] = None, root: int = 0
     ) -> Any:
         from . import collectives
 
         return collectives.reduce(self, sendobj, op, root)
 
-    def allreduce(self, sendobj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+    def allreduce(self, sendobj: Any, op: Optional[Callable[[Any, Any], Any]] = None) -> Any:
         from . import collectives
 
         return collectives.allreduce(self, sendobj, op)
@@ -341,12 +467,12 @@ class Comm:
 
         return collectives.alltoall(self, sendobjs)
 
-    def scan(self, sendobj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+    def scan(self, sendobj: Any, op: Optional[Callable[[Any, Any], Any]] = None) -> Any:
         from . import collectives
 
         return collectives.scan(self, sendobj, op)
 
-    def exscan(self, sendobj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+    def exscan(self, sendobj: Any, op: Optional[Callable[[Any, Any], Any]] = None) -> Any:
         from . import collectives
 
         return collectives.exscan(self, sendobj, op)

@@ -43,6 +43,7 @@ def spmd(
     counters: Optional[PerfCounters] = None,
     timeout: Optional[float] = 60.0,
     copy_off_node: bool = True,
+    sanitize: Optional[bool] = None,
 ) -> List[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` threads; return results by rank.
 
@@ -61,6 +62,10 @@ def spmd(
     copy_off_node:
         Whether off-node payloads are deep-copied through pickle (MPI
         semantics).  Disable only for trusted read-only payloads.
+    sanitize:
+        Enable the runtime sanitizers (alias freeze proxies, collective-order
+        cross-checking, wait-for-graph deadlock detection).  ``None`` (the
+        default) resolves from the ``REPRO_SANITIZE`` environment variable.
     """
     world = CommWorld(
         nranks,
@@ -68,6 +73,7 @@ def spmd(
         counters=counters,
         copy_off_node=copy_off_node,
         timeout=timeout,
+        sanitize=sanitize,
     )
     results: List[Any] = [None] * nranks
     failures: List[tuple] = []

@@ -20,8 +20,10 @@ is precisely the memory/communication saving the two-level design targets.
 from __future__ import annotations
 
 import pickle
+import threading
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..analysis.sanitizers import freeze, sanitize_default
 from .perf import PerfCounters, GLOBAL
 from .topology import MachineTopology, flat
 
@@ -57,6 +59,11 @@ class Network:
         distributed-memory semantics real MPI provides.  On-node payloads are
         always shared by reference (the paper's implicit shared-memory
         representation).
+    sanitize:
+        Alias-sanitizer mode: payloads that would be delivered by reference
+        are wrapped in read-only freeze proxies that raise
+        :class:`~repro.analysis.sanitizers.PayloadAliasError` on mutation.
+        Defaults to the ``REPRO_SANITIZE`` environment variable.
     """
 
     def __init__(
@@ -65,6 +72,7 @@ class Network:
         topology: Optional[MachineTopology] = None,
         counters: Optional[PerfCounters] = None,
         copy_off_node: bool = True,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if nparts < 1:
             raise ValueError(f"need at least one part, got {nparts}")
@@ -77,29 +85,51 @@ class Network:
             )
         self.counters = counters if counters is not None else GLOBAL
         self.copy_off_node = copy_off_node
-        self._outbox: List[Tuple[int, int, int, Any]] = []  # (src,dst,tag,payload)
+        self.sanitize = sanitize_default() if sanitize is None else bool(sanitize)
+        # Posting may happen from concurrent rank threads (the Comm ranks of
+        # an spmd() job all share one part network), so the outbox and its
+        # sequence stamp are guarded by a lock.
+        self._lock = threading.Lock()
+        self._outbox: List[Tuple[int, int, int, int, Any]] = []  # (src,dst,seq,tag,payload)
         self._seq = 0
         self.rounds = 0
 
     def post(self, src: int, dst: int, tag: int, payload: Any) -> None:
-        """Queue one message from part ``src`` to part ``dst``."""
+        """Queue one message from part ``src`` to part ``dst``.
+
+        Thread-safe; each message is stamped with a global posting sequence
+        number so :meth:`exchange` can deliver in (source, sequence) order.
+        """
         self._check(src)
         self._check(dst)
-        self._outbox.append((src, dst, tag, payload))
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            self._outbox.append((src, dst, seq, tag, payload))
 
     def pending(self) -> int:
         """Number of messages posted since the last exchange."""
-        return len(self._outbox)
+        with self._lock:
+            return len(self._outbox)
 
     def exchange(self) -> Dict[int, List[Message]]:
         """Deliver all posted messages; returns ``{dst: [(src, tag, payload)]}``.
 
         Every destination part appears in the result (possibly with an empty
-        inbox) so BSP loops need no key-existence checks.
+        inbox) so BSP loops need no key-existence checks.  Each inbox is
+        sorted by (source part, posting sequence): messages from a lower
+        source part come first, and messages from the same source arrive in
+        the order it posted them — regardless of how posting interleaved
+        across threads.
         """
+        with self._lock:
+            outbox = self._outbox
+            self._outbox = []
+        outbox.sort(key=lambda message: (message[0], message[2]))
         inboxes: Dict[int, List[Message]] = {p: [] for p in range(self.nparts)}
-        for src, dst, tag, payload in self._outbox:
+        for src, dst, _seq, tag, payload in outbox:
             on_node = self.topology.same_node(src, dst)
+            by_reference = True
             if src == dst:
                 self.counters.add("net.messages.self")
             elif on_node:
@@ -112,8 +142,12 @@ class Network:
                     payload = pickle.loads(
                         pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
                     )
+                    by_reference = False
+            if self.sanitize and by_reference:
+                # Alias sanitizer: by-reference delivery shares the sender's
+                # object; hand out a read-only proxy instead.
+                payload = freeze(payload)
             inboxes[dst].append((src, tag, payload))
-        self._outbox.clear()
         self.rounds += 1
         self.counters.add("net.exchanges")
         return inboxes
@@ -121,7 +155,9 @@ class Network:
     def neighbor_counts(self) -> Dict[int, int]:
         """Messages currently queued per destination (diagnostics)."""
         counts: Dict[int, int] = {}
-        for _src, dst, _tag, _payload in self._outbox:
+        with self._lock:
+            outbox = list(self._outbox)
+        for _src, dst, _seq, _tag, _payload in outbox:
             counts[dst] = counts.get(dst, 0) + 1
         return counts
 

@@ -33,6 +33,7 @@ def distribute(
     nparts: Optional[int] = None,
     topology: Optional[MachineTopology] = None,
     counters: Optional[PerfCounters] = None,
+    sanitize: Optional[bool] = None,
 ) -> DistributedMesh:
     """Split ``mesh`` into a :class:`DistributedMesh` by element assignment.
 
@@ -67,7 +68,11 @@ def distribute(
         raise ValueError(f"assignment references part {needed - 1} >= {nparts}")
 
     dmesh = DistributedMesh(
-        nparts, model=mesh.model, topology=topology, counters=counters
+        nparts,
+        model=mesh.model,
+        topology=topology,
+        counters=counters,
+        sanitize=sanitize,
     )
 
     # holders[d][gid] -> [(pid, local Ent)] for remote-link construction.

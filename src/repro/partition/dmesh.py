@@ -37,10 +37,13 @@ class DistributedMesh:
         model: Optional[Model] = None,
         topology: Optional[MachineTopology] = None,
         counters: Optional[PerfCounters] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if nparts < 1:
             raise ValueError(f"need at least one part, got {nparts}")
         self.model = model
+        #: Alias-sanitizer mode for the part networks (None = REPRO_SANITIZE).
+        self.sanitize = sanitize
         self._auto_topology = topology is None
         self.topology = topology if topology is not None else flat(nparts)
         self.counters = counters if counters is not None else GLOBAL
@@ -95,13 +98,17 @@ class DistributedMesh:
         """
         if self._network is None or self._network.nparts != self.nparts:
             self._network = Network(
-                self.nparts, topology=self.topology, counters=self.counters
+                self.nparts,
+                topology=self.topology,
+                counters=self.counters,
+                sanitize=self.sanitize,
             )
             self._trusted_network = Network(
                 self.nparts,
                 topology=self.topology,
                 counters=self.counters,
                 copy_off_node=False,
+                sanitize=self.sanitize,
             )
         return BufferedRouter(
             self._trusted_network if trusted else self._network

@@ -1,0 +1,284 @@
+"""Each SPMD lint rule triggered on a deliberately-buggy fixture.
+
+Every fixture is the *minimal* program exhibiting the hazard class the rule
+exists for; a sibling "clean" fixture pins down that the rule does not fire
+on the correct version of the same code.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import (
+    format_json,
+    format_text,
+    lint_source,
+    run_paths,
+)
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code))
+
+
+def codes(code):
+    return [f.code for f in lint(code)]
+
+
+# -- SPMD001: collective inside a rank-dependent branch ----------------------
+
+
+def test_spmd001_collective_in_rank_branch():
+    buggy = """
+    def prog(comm):
+        if comm.rank == 0:
+            comm.barrier()
+    """
+    assert "SPMD001" in codes(buggy)
+
+
+def test_spmd001_exchange_in_rank_branch():
+    buggy = """
+    def superstep(net, rank):
+        if rank % 2 == 0:
+            net.exchange()
+    """
+    assert "SPMD001" in codes(buggy)
+
+
+def test_spmd001_clean_when_every_rank_calls():
+    clean = """
+    def prog(comm):
+        is_root = comm.rank == 0
+        value = comm.bcast(42 if is_root else None)
+        return value
+    """
+    assert "SPMD001" not in codes(clean)
+
+
+def test_spmd001_point_to_point_in_branch_is_fine():
+    clean = """
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("x", dest=1)
+    """
+    assert "SPMD001" not in codes(clean)
+
+
+def test_spmd001_nested_function_resets_branch_context():
+    clean = """
+    def prog(comm):
+        if comm.rank == 0:
+            def helper(c):
+                c.barrier()
+    """
+    # The nested function is defined, not called, in the branch.
+    assert "SPMD001" not in codes(clean)
+
+
+# -- SPMD002: posting driven by unordered iteration --------------------------
+
+
+def test_spmd002_posting_over_set_literal():
+    buggy = """
+    def superstep(net):
+        for dst in {3, 1, 2}:
+            net.post(0, dst, 0, "payload")
+    """
+    assert "SPMD002" in codes(buggy)
+
+
+def test_spmd002_posting_over_set_variable():
+    buggy = """
+    def superstep(net, neighbors):
+        targets = set(neighbors)
+        for dst in targets:
+            net.post(0, dst, 0, "payload")
+    """
+    assert "SPMD002" in codes(buggy)
+
+
+def test_spmd002_clean_when_sorted():
+    clean = """
+    def superstep(net, neighbors):
+        for dst in sorted(set(neighbors)):
+            net.post(0, dst, 0, "payload")
+    """
+    assert "SPMD002" not in codes(clean)
+
+
+# -- SPMD003: mutating a received payload ------------------------------------
+
+
+def test_spmd003_mutating_recv_result():
+    buggy = """
+    def prog(comm):
+        data = comm.recv(source=0)
+        data.append(99)
+    """
+    assert "SPMD003" in codes(buggy)
+
+
+def test_spmd003_mutating_inbox_payload():
+    buggy = """
+    def superstep(router):
+        inboxes = router.exchange()
+        for src, tag, payload in inboxes[0]:
+            payload["seen"] = True
+    """
+    assert "SPMD003" in codes(buggy)
+
+
+def test_spmd003_clean_after_defensive_copy():
+    clean = """
+    def prog(comm):
+        data = comm.recv(source=0)
+        data = list(data)
+        data.append(99)
+    """
+    assert "SPMD003" not in codes(clean)
+
+
+def test_spmd003_fresh_comprehension_is_not_tainted():
+    clean = """
+    def superstep(router):
+        inboxes = router.exchange()
+        ordered = [payload for _s, _t, payload in inboxes[0]]
+        ordered.append("mine")
+    """
+    assert "SPMD003" not in codes(clean)
+
+
+def test_spmd003_alias_of_tainted_name_is_tainted():
+    buggy = """
+    def prog(comm):
+        data = comm.recv(source=0)
+        alias = data
+        alias.update(x=1)
+    """
+    assert "SPMD003" in codes(buggy)
+
+
+# -- SPMD004: mutable default argument ---------------------------------------
+
+
+def test_spmd004_mutable_default():
+    buggy = """
+    def prog(comm, cache={}):
+        cache[comm.rank] = 1
+    """
+    assert "SPMD004" in codes(buggy)
+
+
+def test_spmd004_clean_none_default():
+    clean = """
+    def prog(comm, cache=None):
+        cache = {} if cache is None else cache
+    """
+    assert "SPMD004" not in codes(clean)
+
+
+# -- SPMD005: bare except ----------------------------------------------------
+
+
+def test_spmd005_bare_except():
+    buggy = """
+    def prog(comm):
+        try:
+            comm.recv(source=0)
+        except:
+            pass
+    """
+    assert "SPMD005" in codes(buggy)
+
+
+def test_spmd005_specific_except_is_fine():
+    clean = """
+    def prog(comm):
+        try:
+            comm.recv(source=0)
+        except ValueError:
+            pass
+    """
+    assert "SPMD005" not in codes(clean)
+
+
+# -- SPMD006: implicit-Optional annotation -----------------------------------
+
+
+def test_spmd006_implicit_optional():
+    buggy = """
+    def verify(mesh, check_classification: bool = None):
+        pass
+    """
+    assert "SPMD006" in codes(buggy)
+
+
+def test_spmd006_explicit_optional_is_fine():
+    clean = """
+    from typing import Optional
+
+    def verify(mesh, check_classification: Optional[bool] = None):
+        pass
+    """
+    assert "SPMD006" not in codes(clean)
+
+
+# -- suppression, formatting, engine -----------------------------------------
+
+
+def test_noqa_with_code_suppresses():
+    suppressed = """
+    def prog(comm):
+        if comm.rank == 0:
+            comm.barrier()  # noqa: SPMD001 - fixture exercises the hang path
+    """
+    assert "SPMD001" not in codes(suppressed)
+
+
+def test_blanket_noqa_suppresses():
+    suppressed = """
+    def prog(comm, cache={}):  # noqa
+        pass
+    """
+    assert codes(suppressed) == []
+
+
+def test_noqa_other_code_does_not_suppress():
+    buggy = """
+    def prog(comm):
+        if comm.rank == 0:
+            comm.barrier()  # noqa: SPMD999
+    """
+    assert "SPMD001" in codes(buggy)
+
+
+def test_syntax_error_becomes_finding():
+    assert codes("def broken(:") == ["SPMD000"]
+
+
+def test_json_format_round_trips():
+    findings = lint(
+        """
+        def prog(comm):
+            data = comm.recv(source=0)
+            data.append(1)
+        """
+    )
+    decoded = json.loads(format_json(findings))
+    assert decoded[0]["code"] == "SPMD003"
+    assert decoded[0]["line"] == findings[0].line
+
+
+def test_text_format_mentions_hint_and_count():
+    findings = lint("def f(x=[]):\n    pass\n")
+    text = format_text(findings)
+    assert "SPMD004" in text and "hint:" in text and "1 finding(s)" in text
+
+
+def test_package_tree_is_lint_clean():
+    """Acceptance criterion: the shipped package has zero findings."""
+    package_dir = Path(repro.__file__).resolve().parent
+    findings = run_paths([package_dir])
+    assert findings == [], "\n".join(f.format() for f in findings)

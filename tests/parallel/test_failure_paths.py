@@ -86,3 +86,83 @@ def test_alltoall_length_validated():
     with pytest.raises(SpmdError) as info:
         spmd(2, prog, counters=PerfCounters(), timeout=5.0)
     assert "exactly" in str(info.value)
+
+
+# -- SpmdError failure reporting (executor.py primary/secondary filtering) ---
+
+
+def test_secondary_aborts_filtered_out_of_failures_attribute():
+    from repro.parallel import CommAbortedError
+
+    def prog(comm):
+        if comm.rank == 1:
+            raise ValueError("root cause")
+        comm.recv(source=(comm.rank + 1) % comm.size)  # blocks until abort
+
+    with pytest.raises(SpmdError) as info:
+        spmd(3, prog, counters=PerfCounters(), timeout=30.0)
+    failures = info.value.failures
+    # Only the primary failure survives filtering; the ranks woken by the
+    # abort (CommAbortedError) are dropped.
+    assert [rank for rank, _exc, _tb in failures] == [1]
+    assert not any(isinstance(exc, CommAbortedError) for _r, exc, _t in failures)
+
+
+def test_all_aborted_failures_reported_when_no_primary():
+    from repro.parallel import CommAbortedError
+
+    def prog(comm):
+        if comm.rank == 0:
+            raise CommAbortedError("synthetic abort raised by the program")
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=5.0)
+    # With no non-abort failure, the aborts themselves are the report —
+    # an empty SpmdError would hide that the job died.
+    assert any(
+        isinstance(exc, CommAbortedError) for _r, exc, _t in info.value.failures
+    )
+
+
+def test_multi_rank_failures_sorted_by_rank():
+    import time
+
+    def prog(comm):
+        if comm.rank == 2:
+            raise RuntimeError("fast failure on rank 2")
+        if comm.rank == 0:
+            time.sleep(0.3)  # append out of rank order
+            raise KeyError("slow failure on rank 0")
+
+    with pytest.raises(SpmdError) as info:
+        spmd(3, prog, counters=PerfCounters(), timeout=30.0)
+    ranks = [rank for rank, _exc, _tb in info.value.failures]
+    assert ranks == sorted(ranks) and ranks[0] == 0
+    # The headline names the lowest-ranked primary failure, not the first
+    # to be appended.
+    assert "first: rank 0" in str(info.value)
+
+
+def test_failures_carry_formatted_tracebacks():
+    def prog(comm):
+        if comm.rank == 1:
+            raise RuntimeError("carry my traceback")
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=5.0)
+    (rank, exc, tb), = info.value.failures
+    assert rank == 1 and isinstance(exc, RuntimeError)
+    assert "carry my traceback" in tb and "Traceback" in tb
+
+
+def test_abort_wakeup_leaves_results_for_successful_ranks_unreported():
+    # The wake-up path: rank 0 fails *after* rank 1 is already blocked in a
+    # collective; the abort must cut rank 1 loose and the job must raise.
+    def prog(comm):
+        if comm.rank == 0:
+            raise RuntimeError("fail before entering the collective")
+        comm.barrier()  # noqa: SPMD001 - deliberately unmatched to test abort
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=30.0)
+    assert "fail before entering the collective" in str(info.value)

@@ -72,3 +72,49 @@ def test_unknown_kind_fails():
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_lint_clean_package(capsys):
+    assert main(["lint"]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_lint_reports_findings_on_buggy_file(tmp_path, capsys):
+    buggy = tmp_path / "buggy.py"
+    buggy.write_text(
+        "def prog(comm):\n"
+        "    if comm.rank == 0:\n"
+        "        comm.barrier()\n"
+    )
+    assert main(["lint", str(buggy)]) == 1
+    out = capsys.readouterr().out
+    assert "SPMD001" in out and "1 finding(s)" in out
+
+
+def test_lint_json_format(tmp_path, capsys):
+    import json
+
+    buggy = tmp_path / "buggy.py"
+    buggy.write_text("def f(x=[]):\n    pass\n")
+    assert main(["lint", str(buggy), "--format=json"]) == 1
+    decoded = json.loads(capsys.readouterr().out)
+    assert decoded[0]["code"] == "SPMD004"
+
+
+def test_balance_with_sanitize(capsys):
+    assert (
+        main(
+            [
+                "balance",
+                "--kind",
+                "rect",
+                "--n",
+                "5",
+                "--parts",
+                "3",
+                "--sanitize",
+            ]
+        )
+        == 0
+    )
+    assert "after ParMA" in capsys.readouterr().out
