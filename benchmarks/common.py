@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -42,12 +42,40 @@ def params() -> Dict[str, int]:
     return dict(SCALES[scale_name()])
 
 
-def write_result(name: str, lines: List[str]) -> Path:
-    """Write one experiment's output block to results/<name>.txt."""
+def write_result(
+    name: str,
+    lines: List[str],
+    tracer=None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write one experiment's output block to results/<name>.txt.
+
+    Alongside the text block a machine-readable ``BENCH_<name>.json``
+    (the :func:`repro.obs.metrics_dict` schema) is emitted with the global
+    counter snapshot, the optional tracer's communication matrix, and the
+    text lines — the structured form the EXPERIMENTS log and CI artifacts
+    consume.
+    """
+    from repro.obs import write_metrics
+    from repro.parallel import GLOBAL
+
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     header = f"# scale={scale_name()}\n"
     path.write_text(header + "\n".join(lines) + "\n")
+    payload: Dict[str, Any] = {
+        "benchmark": name,
+        "scale": scale_name(),
+        "lines": list(lines),
+    }
+    if extra:
+        payload.update(extra)
+    write_metrics(
+        RESULTS_DIR / f"BENCH_{name}.json",
+        tracer=tracer,
+        counters=GLOBAL,
+        extra=payload,
+    )
     return path
 
 

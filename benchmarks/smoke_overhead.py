@@ -1,0 +1,124 @@
+"""CI gate: a disabled tracer must not slow the superstep loop measurably.
+
+The tracer hooks sit on the hottest paths of the simulated runtime
+(``Network.exchange``, ``CommWorld.transmit``); the design contract is that
+an attached-but-disabled tracer costs one attribute check per message.  This
+script measures a superstep-heavy smoke workload three ways —
+
+* ``baseline``: no tracer attached,
+* ``disabled``: ``Tracer(enabled=False)`` attached,
+* ``enabled``: a live tracer (reported for context, not gated)
+
+— takes the best of ``--repeats`` runs of each (best-of damps scheduler
+noise far better than means), and fails with exit code 1 when the disabled
+tracer's best run is more than ``--limit`` (default 3%) slower than
+baseline.
+
+Run as ``python benchmarks/smoke_overhead.py`` from the repo root (CI does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import Tracer  # noqa: E402
+from repro.parallel import Network, PerfCounters  # noqa: E402
+
+
+def smoke_workload(tracer, nparts: int, supersteps: int) -> None:
+    """A superstep loop with neighbor traffic on every step."""
+    net = Network(nparts, counters=PerfCounters(), tracer=tracer)
+    payload = list(range(32))
+    for _step in range(supersteps):
+        for src in range(nparts):
+            net.post(src, (src + 1) % nparts, 1, payload)
+            net.post(src, (src - 1) % nparts, 2, payload)
+        net.exchange()
+
+
+def _timed(tracer, nparts: int, supersteps: int) -> float:
+    gc.collect()
+    start = time.perf_counter()
+    smoke_workload(tracer, nparts, supersteps)
+    return time.perf_counter() - start
+
+
+def alternating_mins(repeats: int, nparts: int, supersteps: int):
+    """Best baseline and best disabled-tracer time, runs strictly alternating.
+
+    Scheduler noise is additive — preemption and frequency dips only ever
+    *add* time — so the minimum over many runs converges on the true cost
+    and the min/min ratio is the most noise-immune overhead estimate
+    available without perf counters.  Alternating the order every round
+    cancels position bias (a fixed order showed a systematic ~3% phantom
+    overhead in testing; medians of paired ratios still swung ±10% on a
+    shared machine, min/min stayed within ±3%).
+    """
+    base = float("inf")
+    dis = float("inf")
+    for round_no in range(repeats):
+        if round_no % 2 == 0:
+            base = min(base, _timed(None, nparts, supersteps))
+            dis = min(
+                dis, _timed(Tracer(enabled=False), nparts, supersteps)
+            )
+        else:
+            dis = min(
+                dis, _timed(Tracer(enabled=False), nparts, supersteps)
+            )
+            base = min(base, _timed(None, nparts, supersteps))
+    return base, dis
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--parts", type=int, default=8)
+    parser.add_argument("--supersteps", type=int, default=400)
+    parser.add_argument("--repeats", type=int, default=14)
+    parser.add_argument(
+        "--limit", type=float, default=0.03,
+        help="maximum allowed disabled-tracer overhead (fraction)",
+    )
+    args = parser.parse_args(argv)
+
+    # Warm up allocators / imports outside the timed region.
+    smoke_workload(None, args.parts, 50)
+
+    baseline, disabled = alternating_mins(
+        args.repeats, args.parts, args.supersteps
+    )
+    overhead = disabled / baseline - 1.0
+    enabled = _timed(Tracer(), args.parts, args.supersteps)
+
+    print(
+        f"smoke: {args.parts} parts x {args.supersteps} supersteps, "
+        f"best of {args.repeats} alternating rounds"
+    )
+    print(f"  baseline (no tracer):  {baseline:.4f}s")
+    print(
+        f"  disabled tracer:       {disabled:.4f}s "
+        f"({100 * overhead:+.2f}%)"
+    )
+    print(
+        f"  enabled tracer:        {enabled:.4f}s "
+        f"({100 * (enabled / baseline - 1.0):+.2f}%, informational)"
+    )
+    if overhead > args.limit:
+        print(
+            f"FAIL: disabled-tracer overhead {100 * overhead:.2f}% exceeds "
+            f"the {100 * args.limit:.0f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: within the {100 * args.limit:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,21 @@ Subpackages
     SPMD correctness tooling: the ``python -m repro lint`` AST lint and the
     runtime sanitizers (alias freeze proxies, collective-order checking,
     deadlock detection) used by ``spmd(..., sanitize=True)``.
+``repro.obs``
+    Observability: superstep tracing (Chrome trace export), per-superstep
+    part-to-part communication matrices, typed operation statistics, and
+    the ``python -m repro trace`` workload runner.
+
+The one-true entry points are re-exported at the top level, so a driver
+script needs only ``import repro``:
+
+    ``spmd``, ``DistributedMesh``, ``distribute``, ``migrate``,
+    ``ghost_layer``, ``delete_ghosts``, ``synchronize``, ``accumulate``,
+    ``DistributedField``, ``ParMA``, ``Tracer``
+
+plus the typed statistics each distributed service returns
+(``MigrateStats``, ``GhostStats``, ``GhostDeleteStats``, ``SyncStats``,
+``AccumulateStats``).
 """
 
 from . import (
@@ -50,10 +65,31 @@ from . import (
     field,
     gmodel,
     mesh,
+    obs,
     parallel,
     partition,
     partitioners,
     workloads,
+)
+from .core import ParMA
+from .obs import (
+    AccumulateStats,
+    GhostDeleteStats,
+    GhostStats,
+    MigrateStats,
+    SyncStats,
+    Tracer,
+)
+from .parallel import spmd
+from .partition import (
+    DistributedField,
+    DistributedMesh,
+    accumulate,
+    delete_ghosts,
+    distribute,
+    ghost_layer,
+    migrate,
+    synchronize,
 )
 
 __version__ = "1.0.0"
@@ -64,9 +100,26 @@ __all__ = [
     "field",
     "gmodel",
     "mesh",
+    "obs",
     "parallel",
     "partition",
     "partitioners",
     "workloads",
+    "AccumulateStats",
+    "DistributedField",
+    "DistributedMesh",
+    "GhostDeleteStats",
+    "GhostStats",
+    "MigrateStats",
+    "ParMA",
+    "SyncStats",
+    "Tracer",
+    "accumulate",
+    "delete_ghosts",
+    "distribute",
+    "ghost_layer",
+    "migrate",
+    "spmd",
+    "synchronize",
     "__version__",
 ]

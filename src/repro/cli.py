@@ -16,6 +16,10 @@ release ships for quick experiments without writing a driver script:
 ``lint``
     Run the SPMD correctness lint (:mod:`repro.analysis`) over the package
     source (or explicit paths); exits nonzero on findings.
+``trace``
+    Run a workload script under an installed :class:`repro.obs.Tracer` and
+    write a Chrome trace (``about:tracing`` / Perfetto loadable) plus a
+    metrics JSON with the per-superstep part-to-part communication matrix.
 
 ``balance`` accepts ``--sanitize`` to run the distributed pipeline with the
 runtime sanitizers on (alias freeze proxies on the part network).
@@ -161,6 +165,42 @@ def cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def cmd_trace(args) -> int:
+    import runpy
+    from pathlib import Path
+
+    from repro import obs
+    from repro.parallel import GLOBAL
+
+    script = Path(args.script)
+    if not script.exists():
+        print(f"repro trace: no such script: {script}", file=sys.stderr)
+        return 2
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    tracer = obs.Tracer(counters=GLOBAL)
+    # Install as the session default so DistributedMesh / spmd constructed
+    # inside the (unmodified) workload pick it up.
+    obs.install(tracer)
+    tracer.bind(pid=0, tid=0)
+    try:
+        with tracer.span("workload", script=str(script)):
+            runpy.run_path(str(script), run_name="__main__")
+    finally:
+        obs.uninstall()
+
+    stem = script.stem
+    trace_path = outdir / f"{stem}.trace.json"
+    metrics_path = outdir / f"{stem}.metrics.json"
+    obs.write_chrome_trace(tracer, trace_path)
+    obs.write_metrics(metrics_path, tracer=tracer, counters=GLOBAL)
+    print(obs.text_report(tracer, counters=GLOBAL))
+    print(f"chrome trace: {trace_path}  (load in about:tracing / Perfetto)")
+    print(f"metrics json: {metrics_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +254,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--format", choices=("text", "json"), default="text")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a workload script under the tracer"
+    )
+    p_trace.add_argument("script", help="python workload script to run")
+    p_trace.add_argument(
+        "--out", default="trace-out", help="output directory (created)"
+    )
+    p_trace.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Union
 import numpy as np
 
 from ..mesh.entity import Ent
+from ..obs.tracer import trace_span
 from ..partition.dmesh import DistributedMesh
 from ..partition.migration import migrate
 from .candidates import candidate_parts
@@ -163,73 +164,97 @@ def improve_partition(
     stats.initial_imbalances = imbalances(dmesh.entity_counts())
     stats.initial_boundary_entities = dmesh.shared_entity_count()
     elem_dim = dmesh.element_dim()
+    tracer = dmesh.tracer
+    if tracer is not None and not tracer.enabled:
+        tracer = None
 
-    for level in plist.levels:
-        for dim in level:
-            higher = plist.higher_priority_dims(dim)
-            lower = plist.lower_priority_dims(dim)
-            dstat = DimensionStats(dim=dim)
-            dstat.initial_imbalance = imbalance_of(dmesh.entity_counts(), dim)
-            for _iteration in range(max_iterations):
-                counts = dmesh.entity_counts()
-                means = counts.astype(float).mean(axis=0)
-                current = imbalance_of(counts, dim, float(means[dim]))
-                if current <= 1.0 + tol:
-                    dstat.converged = True
-                    break
-                plan: Dict[int, Dict[Ent, int]] = {}
-                planned: Dict[int, Dict[int, float]] = {}
-                for heavy in heavy_parts(counts, dim, tol, float(means[dim])):
-                    part = dmesh.part(heavy)
-                    cands = candidate_parts(
-                        dmesh, counts, heavy, dim,
-                        lower_priority_dims=lower,
-                        higher_priority_dims=higher,
-                        tol=tol,
-                        means=means,
-                        mode=candidate_mode,
-                    )
-                    if not cands:
-                        continue
-                    schedule = migration_schedule(
-                        counts, heavy, cands, dim, float(means[dim]), tol
-                    )
-                    already: Set[Ent] = set()
-                    moves: Dict[Ent, int] = {}
-                    for cand in sorted(schedule):
-                        selected = selection_rule(
-                            part, cand, dim, schedule[cand], already
-                        )
-                        selected = _trim_by_higher_priority(
-                            part, cand, selected, counts, means, tol,
-                            higher, planned,
-                        )
-                        for element in selected:
-                            moves[element] = cand
-                    # Never empty the part entirely (its id must survive);
-                    # anything finer is the candidate gate's business.
-                    max_send = int(counts[heavy, elem_dim]) - 1
-                    if max_send <= 0:
-                        continue
-                    if len(moves) > max_send:
-                        moves = dict(sorted(moves.items())[:max_send])
-                    if moves:
-                        plan[heavy] = moves
-                if not plan:
-                    break  # diffusion is stuck (no candidates / selections)
-                dstat.elements_migrated += migrate(dmesh, plan)
-                dstat.iterations += 1
-            else:
-                # Loop exhausted max_iterations without converging.
-                pass
-            final = imbalance_of(dmesh.entity_counts(), dim)
-            dstat.final_imbalance = final
-            if final <= 1.0 + tol:
-                dstat.converged = True
-            stats.per_dimension.append(dstat)
+    with trace_span(tracer, "improve_partition", priorities=str(plist)):
+        _improve_body(
+            dmesh, plist, tol, max_iterations, candidate_mode,
+            selection_rule, stats, elem_dim, tracer,
+        )
 
     stats.final_imbalances = imbalances(dmesh.entity_counts())
     stats.final_boundary_entities = dmesh.shared_entity_count()
     stats.seconds = time.perf_counter() - start
     dmesh.counters.add("parma.improve.runs")
     return stats
+
+
+def _improve_body(
+    dmesh, plist, tol, max_iterations, candidate_mode, selection_rule,
+    stats, elem_dim, tracer,
+):
+    for level in plist.levels:
+        for dim in level:
+            higher = plist.higher_priority_dims(dim)
+            lower = plist.lower_priority_dims(dim)
+            dstat = DimensionStats(dim=dim)
+            dstat.initial_imbalance = imbalance_of(dmesh.entity_counts(), dim)
+            series = f"imbalance[{ENTITY_NAMES[dim]}]"
+            with trace_span(tracer, f"improve.{ENTITY_NAMES[dim]}", dim=dim):
+                for _iteration in range(max_iterations):
+                    counts = dmesh.entity_counts()
+                    means = counts.astype(float).mean(axis=0)
+                    current = imbalance_of(counts, dim, float(means[dim]))
+                    if tracer is not None:
+                        tracer.record_value(series, current)
+                    if current <= 1.0 + tol:
+                        dstat.converged = True
+                        break
+                    plan: Dict[int, Dict[Ent, int]] = {}
+                    planned: Dict[int, Dict[int, float]] = {}
+                    heavies = heavy_parts(counts, dim, tol, float(means[dim]))
+                    for heavy in heavies:
+                        part = dmesh.part(heavy)
+                        cands = candidate_parts(
+                            dmesh, counts, heavy, dim,
+                            lower_priority_dims=lower,
+                            higher_priority_dims=higher,
+                            tol=tol,
+                            means=means,
+                            mode=candidate_mode,
+                        )
+                        if not cands:
+                            continue
+                        schedule = migration_schedule(
+                            counts, heavy, cands, dim, float(means[dim]), tol
+                        )
+                        already: Set[Ent] = set()
+                        moves: Dict[Ent, int] = {}
+                        for cand in sorted(schedule):
+                            selected = selection_rule(
+                                part, cand, dim, schedule[cand], already
+                            )
+                            selected = _trim_by_higher_priority(
+                                part, cand, selected, counts, means, tol,
+                                higher, planned,
+                            )
+                            for element in selected:
+                                moves[element] = cand
+                        # Never empty the part entirely (its id must
+                        # survive); anything finer is the candidate
+                        # gate's business.
+                        max_send = int(counts[heavy, elem_dim]) - 1
+                        if max_send <= 0:
+                            continue
+                        if len(moves) > max_send:
+                            moves = dict(sorted(moves.items())[:max_send])
+                        if moves:
+                            plan[heavy] = moves
+                    if not plan:
+                        break  # diffusion is stuck (nothing selected)
+                    dstat.elements_migrated += migrate(
+                        dmesh, plan
+                    ).elements_moved
+                    dstat.iterations += 1
+                else:
+                    # Loop exhausted max_iterations without converging.
+                    pass
+            final = imbalance_of(dmesh.entity_counts(), dim)
+            if tracer is not None:
+                tracer.record_value(series, final)
+            dstat.final_imbalance = final
+            if final <= 1.0 + tol:
+                dstat.converged = True
+            stats.per_dimension.append(dstat)

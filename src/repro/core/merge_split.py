@@ -30,6 +30,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..mesh.entity import Ent
+from ..obs.tracer import trace_span
 from ..partition.dmesh import DistributedMesh
 from ..partition.migration import migrate
 from ..partition.multipart import merge_parts
@@ -117,7 +118,7 @@ def split_off_piece(
     }
     if not moves or len(moves) == graph.n:
         return 0
-    return migrate(dmesh, {heavy_pid: moves})
+    return migrate(dmesh, {heavy_pid: moves}).elements_moved
 
 
 def heavy_part_splitting(
@@ -131,64 +132,80 @@ def heavy_part_splitting(
     counts = _element_counts(dmesh)
     average = counts.mean()
     stats.initial_peak = counts.max() / average if average > 0 else 1.0
+    tracer = dmesh.tracer
+    if tracer is not None and not tracer.enabled:
+        tracer = None
+    if tracer is not None:
+        tracer.record_value("imbalance[split.peak]", stats.initial_peak)
 
-    for _round in range(max_rounds):
-        counts = _element_counts(dmesh)
-        average = counts.mean()
-        heavies = [
-            p for p in np.argsort(-counts)
-            if counts[p] > average * (1.0 + tol)
-        ]
-        if not heavies:
-            break
-        stats.rounds += 1
-
-        # Phase 1+2: knapsack proposals, conflict-free subset, execution.
-        proposals = propose_merges(dmesh, counts, average)
-        # Parts that must split cannot also act as donors or receivers.
-        busy = set(int(h) for h in heavies)
-        proposals = {
-            r: (donors, w)
-            for r, (donors, w) in proposals.items()
-            if r not in busy and not busy.intersection(donors)
-        }
-        merges = independent_merges(proposals)
-        # Parts already empty (donors of earlier rounds, or empty from the
-        # start) are split targets too.
-        empties: List[int] = [
-            int(p) for p in np.flatnonzero(counts == 0)
-        ]
-        for receiver in sorted(merges):
-            for donor in merges[receiver]:
-                merge_parts(dmesh, donor, receiver)
-                if donor not in empties:
-                    empties.append(donor)
-                stats.merges_executed += 1
-
-        if not empties:
-            break  # nothing to split into: diffusion must take over
-
-        # Phase 3: split heavy parts into the emptied parts.
-        for heavy in map(int, heavies):
-            while empties:
-                counts = _element_counts(dmesh)
-                if counts[heavy] <= average * (1.0 + tol):
-                    break
-                piece = int(min(average, counts[heavy] - average))
-                if piece < 1:
-                    break
-                target = empties.pop(0)
-                moved = split_off_piece(dmesh, heavy, target, piece)
-                if moved == 0:
-                    empties.insert(0, target)
-                    break
-                stats.splits_executed += 1
-            if not empties:
+    with trace_span(tracer, "heavy_part_splitting", tol=tol):
+        for _round in range(max_rounds):
+            counts = _element_counts(dmesh)
+            average = counts.mean()
+            heavies = [
+                p for p in np.argsort(-counts)
+                if counts[p] > average * (1.0 + tol)
+            ]
+            if not heavies:
                 break
+            stats.rounds += 1
+
+            # Phase 1+2: knapsack proposals, conflict-free subset, execution.
+            with trace_span(tracer, "split.merge_phase"):
+                proposals = propose_merges(dmesh, counts, average)
+                # Parts that must split cannot also be donors or receivers.
+                busy = set(int(h) for h in heavies)
+                proposals = {
+                    r: (donors, w)
+                    for r, (donors, w) in proposals.items()
+                    if r not in busy and not busy.intersection(donors)
+                }
+                merges = independent_merges(proposals)
+                # Parts already empty (donors of earlier rounds, or empty
+                # from the start) are split targets too.
+                empties: List[int] = [
+                    int(p) for p in np.flatnonzero(counts == 0)
+                ]
+                for receiver in sorted(merges):
+                    for donor in merges[receiver]:
+                        merge_parts(dmesh, donor, receiver)
+                        if donor not in empties:
+                            empties.append(donor)
+                        stats.merges_executed += 1
+
+            if not empties:
+                break  # nothing to split into: diffusion must take over
+
+            # Phase 3: split heavy parts into the emptied parts.
+            with trace_span(tracer, "split.split_phase"):
+                for heavy in map(int, heavies):
+                    while empties:
+                        counts = _element_counts(dmesh)
+                        if counts[heavy] <= average * (1.0 + tol):
+                            break
+                        piece = int(min(average, counts[heavy] - average))
+                        if piece < 1:
+                            break
+                        target = empties.pop(0)
+                        moved = split_off_piece(dmesh, heavy, target, piece)
+                        if moved == 0:
+                            empties.insert(0, target)
+                            break
+                        stats.splits_executed += 1
+                    if not empties:
+                        break
+
+            if tracer is not None:
+                counts = _element_counts(dmesh)
+                average = counts.mean()
+                peak = counts.max() / average if average > 0 else 1.0
+                tracer.record_value("imbalance[split.peak]", peak)
 
     counts = _element_counts(dmesh)
     average = counts.mean()
     stats.final_peak = counts.max() / average if average > 0 else 1.0
+    if tracer is not None:
+        tracer.record_value("imbalance[split.peak]", stats.final_peak)
     stats.seconds = time.perf_counter() - start
     dmesh.counters.add("parma.split.runs")
     return stats

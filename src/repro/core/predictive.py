@@ -88,4 +88,4 @@ def predictive_balance(
     for (pid, element), target in zip(holders, assignment):
         if int(target) != pid:
             plan.setdefault(pid, {})[element] = int(target)
-    return migrate(dmesh, plan)
+    return migrate(dmesh, plan).elements_moved

@@ -145,7 +145,7 @@ def weighted_diffusion(
                     )
         if not plan:
             break
-        stats.elements_migrated += migrate(dmesh, plan)
+        stats.elements_migrated += migrate(dmesh, plan).elements_moved
         stats.iterations += 1
         # Re-tag migrated elements on their new parts.
         for pid, values in carried.items():

@@ -1,0 +1,75 @@
+"""Observability: superstep tracing, communication metrics, exporters.
+
+The reproduction's equivalent of PUMI's "performance measurement" control
+utility, grown into a subsystem: :class:`Tracer` records a per-rank span
+tree, a per-superstep part-to-part communication matrix, and named
+timelines; :mod:`repro.obs.export` renders them as Chrome trace-event JSON
+(loadable in ``about:tracing``), strict metrics JSON, or an aligned text
+report; :mod:`repro.obs.stats` holds the typed statistics the
+distributed-mesh services return.
+
+Typical explicit use::
+
+    from repro import Tracer, obs
+
+    tracer = Tracer(counters=dmesh.counters)
+    dmesh.tracer = tracer
+    with tracer.span("balance"):
+        ParMA(dmesh).improve("Vtx > Rgn")
+    obs.write_chrome_trace(tracer, "trace.json")
+    obs.write_metrics("metrics.json", tracer, dmesh.counters)
+
+or, for unmodified scripts, ``python -m repro trace <script.py>`` installs a
+process-wide default tracer (:func:`install`) that ``DistributedMesh`` and
+``spmd`` pick up automatically.
+"""
+
+from .export import (
+    chrome_trace,
+    comm_matrix_rows,
+    metrics_dict,
+    text_report,
+    write_chrome_trace,
+    write_metrics,
+)
+from .stats import (
+    AccumulateStats,
+    CommProbe,
+    CommStats,
+    GhostDeleteStats,
+    GhostStats,
+    MigrateStats,
+    SyncStats,
+)
+from .tracer import (
+    CommMatrix,
+    Span,
+    Tracer,
+    current,
+    install,
+    trace_span,
+    uninstall,
+)
+
+__all__ = [
+    "AccumulateStats",
+    "CommMatrix",
+    "CommProbe",
+    "CommStats",
+    "GhostDeleteStats",
+    "GhostStats",
+    "MigrateStats",
+    "Span",
+    "SyncStats",
+    "Tracer",
+    "chrome_trace",
+    "comm_matrix_rows",
+    "current",
+    "install",
+    "metrics_dict",
+    "text_report",
+    "trace_span",
+    "uninstall",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,172 @@
+"""Typed statistics returned by the distributed-mesh service entry points.
+
+The services (:func:`~repro.partition.migration.migrate`,
+:func:`~repro.partition.ghosting.ghost_layer` / ``delete_ghosts``,
+:func:`~repro.partition.fieldsync.synchronize` / ``accumulate``) historically
+returned bare ints, which made every perf claim ("migration moved less"
+versus "migration moved the same but sent twice the bytes") unverifiable
+from the caller's side.  They now return the dataclasses below, following
+the :class:`~repro.core.improve.ImproveStats` /
+:class:`~repro.core.merge_split.SplitStats` convention: a frozen record of
+what the operation did (entities, per-dimension breakdown) and what it cost
+(messages, wire bytes, supersteps, wall seconds), measured from the shared
+perf-counter registry around the operation.
+
+All of them expose ``summary()`` for human-readable one-liners and
+``to_dict()`` for strict-JSON export (used by the ``BENCH_*.json`` metrics).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # imported for annotations only: obs must stay cycle-free
+    from ..parallel.perf import PerfCounters
+
+#: Counter names that constitute message traffic on the BSP network.
+_MESSAGE_COUNTERS = (
+    "net.messages.self",
+    "net.messages.on_node",
+    "net.messages.off_node",
+)
+
+
+class CommProbe:
+    """Measures the communication charged to a counter registry in a window.
+
+    Snapshot the registry at construction, call :meth:`messages` /
+    :meth:`wire_bytes` / :meth:`supersteps` / :meth:`seconds` when the
+    operation finished.  This is how the service entry points source their
+    stats without threading a tracer through every call.
+    """
+
+    def __init__(self, counters: "PerfCounters") -> None:
+        self._counters = counters
+        self._before = counters.counters()
+        self._t0 = time.perf_counter()
+
+    def _delta(self, name: str) -> int:
+        return self._counters.get(name) - self._before.get(name, 0)
+
+    def messages(self) -> int:
+        return sum(self._delta(name) for name in _MESSAGE_COUNTERS)
+
+    def wire_bytes(self) -> int:
+        return self._delta("net.bytes.off_node")
+
+    def supersteps(self) -> int:
+        return self._delta("net.exchanges")
+
+    def seconds(self) -> float:
+        return time.perf_counter() - self._t0
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Communication cost common to every distributed service."""
+
+    messages: int = 0
+    wire_bytes: int = 0
+    supersteps: int = 0
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form safe for ``json.dumps(..., allow_nan=False)``."""
+        payload = asdict(self)
+        for key, value in payload.items():
+            if isinstance(value, tuple):
+                payload[key] = list(value)
+        return payload
+
+    def _cost(self) -> str:
+        return (
+            f"{self.messages} msg, {self.wire_bytes} B, "
+            f"{self.supersteps} superstep(s), {self.seconds:.4f}s"
+        )
+
+
+@dataclass(frozen=True)
+class MigrateStats(CommStats):
+    """Outcome of one :func:`~repro.partition.migration.migrate` call."""
+
+    elements_moved: int = 0
+    #: Closure entities packed onto the wire, per entity dimension.
+    per_dimension: Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+    def summary(self) -> str:
+        return (
+            f"migrate: {self.elements_moved} element(s) "
+            f"(closure {list(self.per_dimension)}) [{self._cost()}]"
+        )
+
+
+@dataclass(frozen=True)
+class GhostStats(CommStats):
+    """Outcome of one :func:`~repro.partition.ghosting.ghost_layer` call."""
+
+    ghosts_created: int = 0
+    layers: int = 0
+    #: Ghost entities created (elements plus closure), per dimension.
+    per_dimension: Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+    def summary(self) -> str:
+        return (
+            f"ghost_layer: {self.ghosts_created} ghost element(s) in "
+            f"{self.layers} layer(s) (created {list(self.per_dimension)}) "
+            f"[{self._cost()}]"
+        )
+
+
+@dataclass(frozen=True)
+class GhostDeleteStats(CommStats):
+    """Outcome of one :func:`~repro.partition.ghosting.delete_ghosts` call.
+
+    Ghost deletion is purely local, so the communication fields are zero;
+    they are kept for uniformity with the other services.
+    """
+
+    entities_removed: int = 0
+    #: Ghost entities destroyed, per dimension.
+    per_dimension: Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+    def summary(self) -> str:
+        return (
+            f"delete_ghosts: {self.entities_removed} entity(ies) removed "
+            f"(per dim {list(self.per_dimension)}) [{self.seconds:.4f}s]"
+        )
+
+
+@dataclass(frozen=True)
+class SyncStats(CommStats):
+    """Outcome of one :func:`~repro.partition.fieldsync.synchronize` call."""
+
+    values_sent: int = 0
+    entity_dim: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"synchronize(dim={self.entity_dim}): {self.values_sent} "
+            f"value(s) [{self._cost()}]"
+        )
+
+
+@dataclass(frozen=True)
+class AccumulateStats(CommStats):
+    """Outcome of one :func:`~repro.partition.fieldsync.accumulate` call."""
+
+    contributions: int = 0
+    synced: int = 0
+    entity_dim: int = 0
+
+    @property
+    def values_sent(self) -> int:
+        """Total values on the wire: copy→owner sums plus owner→copy sync."""
+        return self.contributions + self.synced
+
+    def summary(self) -> str:
+        return (
+            f"accumulate(dim={self.entity_dim}): {self.contributions} "
+            f"contribution(s) + {self.synced} sync value(s) [{self._cost()}]"
+        )

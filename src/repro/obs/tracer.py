@@ -1,0 +1,331 @@
+"""Superstep-aligned tracing for the simulated message-passing runtime.
+
+The paper states every scaling claim in terms of per-phase time and
+communication volume (run-time counters are one of PUMI's parallel control
+utilities, Section II-D); this module measures the BSP simulation the same
+way.  A :class:`Tracer` collects three kinds of evidence:
+
+* a **span tree** — nested ``with tracer.span("migrate"):`` contexts record
+  wall time, the perf-counter deltas attributable to the span, and the
+  superstep interval the span covered;
+* a **per-superstep communication matrix** — every
+  :meth:`~repro.parallel.network.Network.exchange` closes one superstep and
+  charges each delivered message to its ``(source part, destination part)``
+  cell as one message plus its wire bytes (off-node traffic only carries
+  bytes, matching the counter convention);
+* **timelines** — named series of ``(superstep, value)`` samples, used by
+  the ParMA loops to record imbalance over iterations.
+
+A tracer is *disabled-cheap*: every runtime hook first checks a plain
+attribute (``tracer is None`` at the call site, then ``tracer.enabled``), so
+an untraced run pays one branch per exchange.  Attach a tracer explicitly
+(``DistributedMesh(..., tracer=t)``, ``spmd(..., tracer=t)``) or install a
+process-wide default with :func:`install` — constructors pick the default up
+when no explicit tracer is given, which is how ``python -m repro trace``
+instruments unmodified example scripts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imported for annotations only: obs must stay cycle-free
+    from ..parallel.perf import PerfCounters
+
+#: One cell of a communication matrix: (message count, wire bytes).
+CommCell = Tuple[int, int]
+#: A communication matrix: {(src part, dst part): (messages, bytes)}.
+CommMatrix = Dict[Tuple[int, int], CommCell]
+
+
+@dataclass
+class Span:
+    """One timed region: name, wall interval, supersteps, counter deltas."""
+
+    name: str
+    pid: int = 0
+    tid: int = 0
+    t0: float = 0.0
+    t1: float = 0.0
+    superstep_start: int = 0
+    superstep_end: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+    counter_deltas: Dict[str, int] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def supersteps(self) -> int:
+        return self.superstep_end - self.superstep_start
+
+    def walk(self):
+        """Yield this span then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with ``name``, depth-first."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+
+class _SpanContext:
+    """Context manager pushing/popping one span on the thread's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._enter(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._exit(self._span)
+
+
+class _NullContext:
+    """Reentrant no-op context used when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """Collects spans, per-superstep communication matrices, and timelines.
+
+    Parameters
+    ----------
+    counters:
+        Optional :class:`~repro.parallel.perf.PerfCounters` registry; when
+        given, each span records the counter deltas that occurred inside it.
+    enabled:
+        Start in the enabled state (default).  A disabled tracer keeps its
+        hooks as cheap as no tracer at all — this is what the CI overhead
+        gate measures.
+    """
+
+    def __init__(
+        self,
+        counters: Optional["PerfCounters"] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.counters = counters
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: Completed root spans, in completion order.
+        self.roots: List[Span] = []
+        #: Closed supersteps: index -> communication matrix.
+        self._supersteps: List[CommMatrix] = []
+        #: Traffic of the superstep currently in progress.
+        self._pending: CommMatrix = {}
+        #: Named sample series: name -> [(superstep, value)].
+        self._timelines: Dict[str, List[Tuple[int, float]]] = {}
+
+    # -- enable / disable --------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- spans -------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def bind(self, pid: int = 0, tid: int = 0) -> None:
+        """Set this thread's default trace-event ids (part, rank)."""
+        self._local.pid = pid
+        self._local.tid = tid
+
+    def span(
+        self,
+        name: str,
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+        **args: Any,
+    ):
+        """Open a nested timed region; usable as ``with tracer.span(...)``.
+
+        ``pid``/``tid`` become the Chrome trace-event process/thread ids and
+        conventionally mean *part* and *rank*.  They default to the
+        enclosing span's ids (or this thread's :meth:`bind` values), so rank
+        programs tag every span with their rank by binding once.
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        stack = self._stack()
+        if pid is None:
+            pid = stack[-1].pid if stack else getattr(self._local, "pid", 0)
+        if tid is None:
+            tid = stack[-1].tid if stack else getattr(self._local, "tid", 0)
+        return _SpanContext(self, Span(name=name, pid=pid, tid=tid, args=args))
+
+    def _enter(self, span: Span) -> None:
+        span.superstep_start = self.superstep_count()
+        if self.counters is not None:
+            span._counters_before = self.counters.counters()  # type: ignore[attr-defined]
+        self._stack().append(span)
+        span.t0 = time.perf_counter()
+
+    def _exit(self, span: Span) -> None:
+        span.t1 = time.perf_counter()
+        span.superstep_end = self.superstep_count()
+        if self.counters is not None:
+            before = span.__dict__.pop("_counters_before", {})
+            after = self.counters.counters()
+            span.counter_deltas = {
+                name: after[name] - before.get(name, 0)
+                for name in sorted(after)
+                if after[name] != before.get(name, 0)
+            }
+        stack = self._stack()
+        # Tolerate mispaired exits defensively: pop back to this span.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    # -- communication recording ------------------------------------------
+
+    def on_message(self, src: int, dst: int, nbytes: int) -> None:
+        """Charge one message to the in-progress superstep's matrix."""
+        if not self.enabled:
+            return
+        with self._lock:
+            count, total = self._pending.get((src, dst), (0, 0))
+            self._pending[(src, dst)] = (count + 1, total + nbytes)
+
+    def end_superstep(self) -> int:
+        """Close the in-progress superstep; returns its index."""
+        if not self.enabled:
+            return len(self._supersteps)
+        with self._lock:
+            self._supersteps.append(self._pending)
+            self._pending = {}
+            return len(self._supersteps) - 1
+
+    def superstep_count(self) -> int:
+        """Number of closed supersteps (== index of the open one)."""
+        with self._lock:
+            return len(self._supersteps)
+
+    def comm_matrix(self, superstep: Optional[int] = None) -> CommMatrix:
+        """One superstep's matrix, or (default) the sum over all of them."""
+        with self._lock:
+            if superstep is not None:
+                return dict(self._supersteps[superstep])
+            total: Dict[Tuple[int, int], List[int]] = {}
+            for matrix in self._supersteps:
+                for pair, (count, nbytes) in matrix.items():
+                    cell = total.setdefault(pair, [0, 0])
+                    cell[0] += count
+                    cell[1] += nbytes
+            return {pair: (c, b) for pair, (c, b) in sorted(total.items())}
+
+    def supersteps(self) -> List[CommMatrix]:
+        """All closed supersteps' matrices, in superstep order."""
+        with self._lock:
+            return [dict(matrix) for matrix in self._supersteps]
+
+    # -- timelines ---------------------------------------------------------
+
+    def record_value(self, series: str, value: float) -> None:
+        """Append one ``(current superstep, value)`` sample to ``series``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._timelines.setdefault(series, []).append(
+                (len(self._supersteps), float(value))
+            )
+
+    def timelines(self) -> Dict[str, List[Tuple[int, float]]]:
+        with self._lock:
+            return {name: list(samples) for name, samples in self._timelines.items()}
+
+    # -- summaries ---------------------------------------------------------
+
+    def total_messages(self) -> int:
+        return sum(c for c, _b in self.comm_matrix().values())
+
+    def total_wire_bytes(self) -> int:
+        return sum(b for _c, b in self.comm_matrix().values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(enabled={self.enabled}, roots={len(self.roots)}, "
+            f"supersteps={self.superstep_count()}, "
+            f"messages={self.total_messages()})"
+        )
+
+
+# -- process-wide default tracer -------------------------------------------
+
+_default_lock = threading.Lock()
+_default: Optional[Tracer] = None
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide default and return it.
+
+    Constructors that take ``tracer=None`` (:class:`DistributedMesh`,
+    :func:`spmd`) resolve the installed default at construction time, so
+    installing before the workload runs instruments it without code changes.
+    """
+    global _default
+    with _default_lock:
+        _default = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    """Remove the installed default tracer (subsequent runs are untraced)."""
+    global _default
+    with _default_lock:
+        _default = None
+
+
+def current() -> Optional[Tracer]:
+    """The installed default tracer, or ``None``."""
+    return _default
+
+
+def trace_span(tracer: Optional[Tracer], name: str, **args: Any):
+    """``tracer.span(name)`` when tracing, a shared no-op context otherwise.
+
+    The helper instrumented code calls so the disabled path costs one
+    ``is None`` check and no allocation.
+    """
+    if tracer is None or not tracer.enabled:
+        return _NULL_CONTEXT
+    return tracer.span(name, **args)

@@ -28,6 +28,7 @@ from ..analysis.sanitizers import (
     freeze,
     sanitize_default,
 )
+from ..obs.tracer import Tracer, current as current_tracer
 from .perf import PerfCounters, GLOBAL
 from .topology import MachineTopology, flat
 
@@ -159,6 +160,7 @@ class CommWorld:
         copy_off_node: bool = True,
         timeout: Optional[float] = 60.0,
         sanitize: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"world size must be positive, got {size}")
@@ -173,6 +175,9 @@ class CommWorld:
         self.copy_off_node = copy_off_node
         self.timeout = timeout
         self.sanitize = sanitize_default() if sanitize is None else bool(sanitize)
+        #: Observability hook; ``None`` resolves to the installed default
+        #: tracer (see :func:`repro.obs.install`), normally also ``None``.
+        self.tracer = tracer if tracer is not None else current_tracer()
         self._abort = threading.Event()
         # Collective-order sanitizer: (ctx, seq) -> (op kind, first rank).
         self._collective_lock = threading.Lock()
@@ -194,21 +199,26 @@ class CommWorld:
         if not 0 <= dst < self.size:
             raise ValueError(f"destination rank {dst} out of range [0, {self.size})")
         by_reference = True
+        nbytes = 0
         if src == dst:
             self.counters.add("comm.messages.self")
         elif self.topology.same_node(src, dst):
             self.counters.add("comm.messages.on_node")
         else:
             self.counters.add("comm.messages.off_node")
-            self.counters.add(
-                "comm.bytes.off_node",
-                len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)),
+            nbytes = len(
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
             )
+            self.counters.add("comm.bytes.off_node", nbytes)
             if self.copy_off_node:
                 payload = pickle.loads(
                     pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
                 )
                 by_reference = False
+        if self.tracer is not None:
+            # Rank-to-rank traffic lands in the tracer's in-progress
+            # superstep (advanced by BSP exchanges, if any run alongside).
+            self.tracer.on_message(src, dst, nbytes)
         if self.sanitize and by_reference:
             # Alias sanitizer: the receiver would share the sender's object;
             # deliver a read-only view that raises on mutation instead.

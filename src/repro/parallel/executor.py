@@ -14,6 +14,7 @@ import threading
 import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
+from ..obs.tracer import Tracer, trace_span
 from .comm import Comm, CommWorld, CommAbortedError
 from .perf import PerfCounters
 from .topology import MachineTopology
@@ -44,6 +45,7 @@ def spmd(
     timeout: Optional[float] = 60.0,
     copy_off_node: bool = True,
     sanitize: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` threads; return results by rank.
 
@@ -66,6 +68,13 @@ def spmd(
         Enable the runtime sanitizers (alias freeze proxies, collective-order
         cross-checking, wait-for-graph deadlock detection).  ``None`` (the
         default) resolves from the ``REPRO_SANITIZE`` environment variable.
+    tracer:
+        Observability hook (:class:`~repro.obs.Tracer`).  When tracing is
+        active each rank runs inside a ``rank<i>`` span with its trace
+        thread id bound to the rank, and every transmitted message is
+        charged to the communication matrix.  ``None`` resolves to the
+        installed default tracer (normally also ``None`` — untraced runs
+        pay one branch per message).
     """
     world = CommWorld(
         nranks,
@@ -74,6 +83,7 @@ def spmd(
         copy_off_node=copy_off_node,
         timeout=timeout,
         sanitize=sanitize,
+        tracer=tracer,
     )
     results: List[Any] = [None] * nranks
     failures: List[tuple] = []
@@ -81,8 +91,16 @@ def spmd(
 
     def runner(rank: int) -> None:
         comm = Comm(world, rank)
+        active = world.tracer if (
+            world.tracer is not None and world.tracer.enabled
+        ) else None
+        if active is not None:
+            # Spans opened by the rank program inherit tid=rank, so the
+            # Chrome trace shows one timeline lane per rank.
+            active.bind(pid=0, tid=rank)
         try:
-            results[rank] = fn(comm, *args)
+            with trace_span(active, f"rank{rank}", tid=rank):
+                results[rank] = fn(comm, *args)
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
             with failure_lock:
                 failures.append((rank, exc, traceback.format_exc()))

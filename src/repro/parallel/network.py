@@ -24,6 +24,7 @@ import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.sanitizers import freeze, sanitize_default
+from ..obs.tracer import Tracer
 from .perf import PerfCounters, GLOBAL
 from .topology import MachineTopology, flat
 
@@ -64,6 +65,11 @@ class Network:
         are wrapped in read-only freeze proxies that raise
         :class:`~repro.analysis.sanitizers.PayloadAliasError` on mutation.
         Defaults to the ``REPRO_SANITIZE`` environment variable.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; when attached and enabled,
+        every exchange closes one traced superstep and charges each
+        delivered message to the per-superstep part-to-part communication
+        matrix.  ``None`` (the default) costs one branch per exchange.
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class Network:
         counters: Optional[PerfCounters] = None,
         copy_off_node: bool = True,
         sanitize: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if nparts < 1:
             raise ValueError(f"need at least one part, got {nparts}")
@@ -86,6 +93,7 @@ class Network:
         self.counters = counters if counters is not None else GLOBAL
         self.copy_off_node = copy_off_node
         self.sanitize = sanitize_default() if sanitize is None else bool(sanitize)
+        self.tracer = tracer
         # Posting may happen from concurrent rank threads (the Comm ranks of
         # an spmd() job all share one part network), so the outbox and its
         # sequence stamp are guarded by a lock.
@@ -126,10 +134,14 @@ class Network:
             outbox = self._outbox
             self._outbox = []
         outbox.sort(key=lambda message: (message[0], message[2]))
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         inboxes: Dict[int, List[Message]] = {p: [] for p in range(self.nparts)}
         for src, dst, _seq, tag, payload in outbox:
             on_node = self.topology.same_node(src, dst)
             by_reference = True
+            nbytes = 0
             if src == dst:
                 self.counters.add("net.messages.self")
             elif on_node:
@@ -143,6 +155,8 @@ class Network:
                         pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
                     )
                     by_reference = False
+            if tracer is not None:
+                tracer.on_message(src, dst, nbytes)
             if self.sanitize and by_reference:
                 # Alias sanitizer: by-reference delivery shares the sender's
                 # object; hand out a read-only proxy instead.
@@ -150,6 +164,8 @@ class Network:
             inboxes[dst].append((src, tag, payload))
         self.rounds += 1
         self.counters.add("net.exchanges")
+        if tracer is not None:
+            tracer.end_superstep()
         return inboxes
 
     def neighbor_counts(self) -> Dict[int, int]:

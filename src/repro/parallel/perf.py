@@ -37,6 +37,21 @@ class TimerStat:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def to_dict(self) -> Dict[str, Optional[float]]:
+        """Strict-JSON-safe form: a never-fired timer's ``min`` is ``None``.
+
+        ``min`` starts at ``float("inf")`` so :meth:`record` can take
+        minima, but ``inf`` serializes as the invalid-JSON token
+        ``Infinity``; exporters must go through this method.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": None if self.count == 0 else self.min,
+            "max": self.max,
+        }
+
 
 class PerfCounters:
     """Thread-safe registry of named counters and timers.
@@ -79,6 +94,14 @@ class PerfCounters:
                 if stat is None:
                     stat = self._timers[name] = TimerStat()
                 stat.record(elapsed)
+
+    def register_timer(self, name: str) -> TimerStat:
+        """Pre-declare a timer (count 0) so reports list it even if unused."""
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            return stat
 
     def timer_stat(self, name: str) -> Optional[TimerStat]:
         with self._lock:

@@ -20,6 +20,7 @@ import numpy as np
 from ..mesh.build import from_connectivity
 from ..mesh.entity import Ent
 from ..mesh.mesh import Mesh
+from ..obs.tracer import Tracer, trace_span
 from ..parallel.perf import PerfCounters
 from ..parallel.topology import MachineTopology
 from .dmesh import DistributedMesh
@@ -34,13 +35,15 @@ def distribute(
     topology: Optional[MachineTopology] = None,
     counters: Optional[PerfCounters] = None,
     sanitize: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
 ) -> DistributedMesh:
     """Split ``mesh`` into a :class:`DistributedMesh` by element assignment.
 
     ``assignment`` maps each top-dimension element to a part id — either a
     dict keyed by element handle, or a sequence aligned with the elements in
     id order.  ``nparts`` defaults to ``max(assignment) + 1``; empty parts
-    are allowed.
+    are allowed.  ``tracer`` is forwarded to the resulting
+    :class:`DistributedMesh` (``None`` resolves to the installed default).
     """
     dim = mesh.dim()
     if dim < 1:
@@ -73,37 +76,45 @@ def distribute(
         topology=topology,
         counters=counters,
         sanitize=sanitize,
+        tracer=tracer,
     )
 
-    # holders[d][gid] -> [(pid, local Ent)] for remote-link construction.
-    holders: List[Dict[int, List]] = [{}, {}, {}, {}]
+    with trace_span(dmesh.tracer, "distribute", nparts=nparts):
+        # holders[d][gid] -> [(pid, local Ent)] for remote links.
+        holders: List[Dict[int, List]] = [{}, {}, {}, {}]
 
-    store = mesh._stores[dim]
-    etypes = {store.etype(e.idx) for e in elements}
-    single_type = etypes.pop() if len(etypes) == 1 else None
+        store = mesh._stores[dim]
+        etypes = {store.etype(e.idx) for e in elements}
+        single_type = etypes.pop() if len(etypes) == 1 else None
 
-    for pid in range(nparts):
-        local_elements = [e for e, p in zip(elements, parts_of) if p == pid]
-        part = dmesh.part(pid)
-        if not local_elements:
-            continue
-        _build_part(mesh, dmesh, part, local_elements, single_type, holders)
+        with trace_span(dmesh.tracer, "distribute.build_parts"):
+            for pid in range(nparts):
+                local_elements = [
+                    e for e, p in zip(elements, parts_of) if p == pid
+                ]
+                part = dmesh.part(pid)
+                if not local_elements:
+                    continue
+                _build_part(
+                    mesh, dmesh, part, local_elements, single_type, holders
+                )
 
-    # Symmetric remote links for entities held by more than one part.
-    for dim_h in range(dim):  # elements are never shared
-        for gid, held in holders[dim_h].items():
-            if len(held) < 2:
-                continue
-            for pid, ent in held:
-                dmesh.part(pid).remotes[ent] = {
-                    other_pid: other_ent
-                    for other_pid, other_ent in held
-                    if other_pid != pid
-                }
+        # Symmetric remote links for entities held by more than one part.
+        with trace_span(dmesh.tracer, "distribute.link_boundaries"):
+            for dim_h in range(dim):  # elements are never shared
+                for gid, held in holders[dim_h].items():
+                    if len(held) < 2:
+                        continue
+                    for pid, ent in held:
+                        dmesh.part(pid).remotes[ent] = {
+                            other_pid: other_ent
+                            for other_pid, other_ent in held
+                            if other_pid != pid
+                        }
 
-    # Future gid allocations must not collide with the global mesh's ids.
-    for d in range(4):
-        dmesh.note_gid(d, mesh._stores[d].capacity)
+        # Future gid allocations must not collide with the global ids.
+        for d in range(4):
+            dmesh.note_gid(d, mesh._stores[d].capacity)
     return dmesh
 
 

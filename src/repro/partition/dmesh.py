@@ -21,6 +21,7 @@ import numpy as np
 
 from ..gmodel.model import Model
 from ..mesh.entity import Ent
+from ..obs.tracer import Tracer, current as current_tracer
 from ..parallel.network import Network
 from ..parallel.perf import PerfCounters, GLOBAL
 from ..parallel.routing import BufferedRouter
@@ -38,12 +39,19 @@ class DistributedMesh:
         topology: Optional[MachineTopology] = None,
         counters: Optional[PerfCounters] = None,
         sanitize: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if nparts < 1:
             raise ValueError(f"need at least one part, got {nparts}")
         self.model = model
         #: Alias-sanitizer mode for the part networks (None = REPRO_SANITIZE).
         self.sanitize = sanitize
+        #: Observability hook (:class:`~repro.obs.Tracer`): the part
+        #: networks charge each superstep's traffic to it and the
+        #: distributed services open spans on it.  ``None`` resolves to the
+        #: installed default tracer (normally also ``None``); assign at any
+        #: time — :meth:`router` re-propagates it to the cached networks.
+        self.tracer = tracer if tracer is not None else current_tracer()
         self._auto_topology = topology is None
         self.topology = topology if topology is not None else flat(nparts)
         self.counters = counters if counters is not None else GLOBAL
@@ -102,6 +110,7 @@ class DistributedMesh:
                 topology=self.topology,
                 counters=self.counters,
                 sanitize=self.sanitize,
+                tracer=self.tracer,
             )
             self._trusted_network = Network(
                 self.nparts,
@@ -109,7 +118,13 @@ class DistributedMesh:
                 counters=self.counters,
                 copy_off_node=False,
                 sanitize=self.sanitize,
+                tracer=self.tracer,
             )
+        else:
+            # The tracer attribute may have been (re)assigned since the
+            # networks were built; keep them pointing at the current one.
+            self._network.tracer = self.tracer
+            self._trusted_network.tracer = self.tracer
         return BufferedRouter(
             self._trusted_network if trusted else self._network
         )

@@ -22,6 +22,8 @@ import numpy as np
 
 from ..field.field import Field, Shape
 from ..mesh.entity import Ent
+from ..obs.stats import AccumulateStats, CommProbe, SyncStats
+from ..obs.tracer import trace_span
 from .dmesh import DistributedMesh
 
 _TAG_SYNC = 21
@@ -85,59 +87,84 @@ class DistributedField:
         return worst
 
 
-def synchronize(dfield: DistributedField) -> int:
-    """Overwrite every copy with the owner's value; returns values sent."""
+def synchronize(dfield: DistributedField) -> SyncStats:
+    """Overwrite every copy with the owner's value.
+
+    Returns a :class:`SyncStats` record; ``stats.values_sent`` is the number
+    of owner-to-copy values shipped.
+    """
     dmesh = dfield.dmesh
-    router = dmesh.router()
+    probe = CommProbe(dmesh.counters)
     sent = 0
-    for part in dmesh:
-        field = dfield.on(part.pid)
-        for ent in sorted(part.remotes):
-            if ent.dim != dfield.entity_dim or not part.owns(ent):
-                continue
-            if not field.has(ent):
-                continue
-            value = field.get(ent)
-            for other_pid, other_ent in sorted(part.remotes[ent].items()):
-                router.post(
-                    part.pid, other_pid, _TAG_SYNC, (other_ent, value)
-                )
-                sent += 1
-    inboxes = router.exchange()
-    for pid in sorted(inboxes):
-        field = dfield.on(pid)
-        for _src, _tag, (ent, value) in inboxes[pid]:
-            field.set(ent, value)
+    with trace_span(dmesh.tracer, "synchronize", field=dfield.name):
+        router = dmesh.router()
+        for part in dmesh:
+            field = dfield.on(part.pid)
+            for ent in sorted(part.remotes):
+                if ent.dim != dfield.entity_dim or not part.owns(ent):
+                    continue
+                if not field.has(ent):
+                    continue
+                value = field.get(ent)
+                for other_pid, other_ent in sorted(part.remotes[ent].items()):
+                    router.post(
+                        part.pid, other_pid, _TAG_SYNC, (other_ent, value)
+                    )
+                    sent += 1
+        inboxes = router.exchange()
+        for pid in sorted(inboxes):
+            field = dfield.on(pid)
+            for _src, _tag, (ent, value) in inboxes[pid]:
+                field.set(ent, value)
     dmesh.counters.add("fieldsync.values", sent)
-    return sent
+    return SyncStats(
+        values_sent=sent,
+        entity_dim=dfield.entity_dim,
+        messages=probe.messages(),
+        wire_bytes=probe.wire_bytes(),
+        supersteps=probe.supersteps(),
+        seconds=probe.seconds(),
+    )
 
 
-def accumulate(dfield: DistributedField) -> int:
+def accumulate(dfield: DistributedField) -> AccumulateStats:
     """Sum all copies' values onto the owner, then synchronize back.
 
     The finite-element assembly pattern: each part contributes its local
     portion of a shared dof; afterwards every copy holds the global sum.
+    Returns an :class:`AccumulateStats` record whose ``contributions`` is
+    the copy-to-owner value count and ``synced`` the redistribution count.
     """
     dmesh = dfield.dmesh
-    router = dmesh.router()
-    sent = 0
-    for part in dmesh:
-        field = dfield.on(part.pid)
-        for ent in sorted(part.remotes):
-            if ent.dim != dfield.entity_dim or part.owns(ent):
-                continue
-            if not field.has(ent):
-                continue
-            owner = part.owner(ent)
-            owner_ent = part.remotes[ent][owner]
-            router.post(
-                part.pid, owner, _TAG_ACCUM, (owner_ent, field.get(ent))
-            )
-            sent += 1
-    inboxes = router.exchange()
-    for pid in sorted(inboxes):
-        field = dfield.on(pid)
-        for _src, _tag, (ent, value) in inboxes[pid]:
-            field.set(ent, field.get(ent) + value)
-    sent += synchronize(dfield)
-    return sent
+    probe = CommProbe(dmesh.counters)
+    with trace_span(dmesh.tracer, "accumulate", field=dfield.name):
+        router = dmesh.router()
+        sent = 0
+        for part in dmesh:
+            field = dfield.on(part.pid)
+            for ent in sorted(part.remotes):
+                if ent.dim != dfield.entity_dim or part.owns(ent):
+                    continue
+                if not field.has(ent):
+                    continue
+                owner = part.owner(ent)
+                owner_ent = part.remotes[ent][owner]
+                router.post(
+                    part.pid, owner, _TAG_ACCUM, (owner_ent, field.get(ent))
+                )
+                sent += 1
+        inboxes = router.exchange()
+        for pid in sorted(inboxes):
+            field = dfield.on(pid)
+            for _src, _tag, (ent, value) in inboxes[pid]:
+                field.set(ent, field.get(ent) + value)
+        sync = synchronize(dfield)
+    return AccumulateStats(
+        contributions=sent,
+        synced=sync.values_sent,
+        entity_dim=dfield.entity_dim,
+        messages=probe.messages(),
+        wire_bytes=probe.wire_bytes(),
+        supersteps=probe.supersteps(),
+        seconds=probe.seconds(),
+    )

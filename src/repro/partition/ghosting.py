@@ -26,6 +26,8 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Set, Tuple
 
 from ..mesh.entity import Ent
+from ..obs.stats import CommProbe, GhostDeleteStats, GhostStats
+from ..obs.tracer import trace_span
 from .dmesh import DistributedMesh
 from .migration import _pack_element, _unpack_element
 from .part import Part
@@ -39,27 +41,48 @@ def ghost_layer(
     bridge_dim: int = 0,
     layers: int = 1,
     tags: Sequence[str] = (),
-) -> int:
-    """Create ``layers`` ghost layers; returns the number of ghost elements.
+) -> GhostStats:
+    """Create ``layers`` ghost layers; returns a :class:`GhostStats` record.
 
     ``bridge_dim`` selects the adjacency that defines the layer: vertices
     (0) give the widest layer, faces (dim-1) the narrowest.  ``tags`` lists
     tag names whose element values are copied along.
+
+    ``stats.ghosts_created`` counts ghost *elements*; ``per_dimension``
+    additionally counts the closure entities (vertices, edges, faces) the
+    copies brought along.
     """
     dim = dmesh.element_dim()
     if not 0 <= bridge_dim < dim:
         raise ValueError(
             f"bridge dimension must be below the element dimension {dim}"
         )
+    probe = CommProbe(dmesh.counters)
     total = 0
-    for layer in range(layers):
-        total += _one_layer(dmesh, bridge_dim, tags, first=(layer == 0))
-    return total
+    per_dim = [0, 0, 0, 0]
+    with trace_span(dmesh.tracer, "ghost_layer", bridge_dim=bridge_dim):
+        for layer in range(layers):
+            with trace_span(dmesh.tracer, f"ghost_layer.layer{layer}"):
+                created, created_per_dim = _one_layer(
+                    dmesh, bridge_dim, tags, first=(layer == 0)
+                )
+            total += created
+            for d in range(4):
+                per_dim[d] += created_per_dim[d]
+    return GhostStats(
+        ghosts_created=total,
+        layers=layers,
+        per_dimension=tuple(per_dim),
+        messages=probe.messages(),
+        wire_bytes=probe.wire_bytes(),
+        supersteps=probe.supersteps(),
+        seconds=probe.seconds(),
+    )
 
 
 def _one_layer(
     dmesh: DistributedMesh, bridge_dim: int, tags, first: bool
-) -> int:
+) -> Tuple[int, List[int]]:
     dim = dmesh.element_dim()
     router = dmesh.router()
 
@@ -114,16 +137,20 @@ def _one_layer(
 
     inboxes = router.exchange()
     created = 0
+    per_dim = [0, 0, 0, 0]
     for pid in sorted(inboxes):
         part = dmesh.part(pid)
         for _src, _tag, bundle in inboxes[pid]:
-            created += _unpack_ghost(part, bundle)
+            created += _unpack_ghost(part, bundle, per_dim)
     dmesh.counters.add("ghosting.elements", created)
-    return created
+    return created, per_dim
 
 
-def _unpack_ghost(part: Part, bundle: dict) -> int:
-    """Create a ghost element bundle; returns 1 if a new ghost appeared."""
+def _unpack_ghost(part: Part, bundle: dict, per_dim: List[int]) -> int:
+    """Create a ghost element bundle; returns 1 if a new ghost appeared.
+
+    ``per_dim`` accumulates the count of entities created per dimension.
+    """
     mesh = part.mesh
     home_pid, home_ent = bundle["home"]
     element_gid = bundle["element"][1]
@@ -137,6 +164,7 @@ def _unpack_ghost(part: Part, bundle: dict) -> int:
     for d in range(4):
         for idx in part._gid[d].keys() - before[d]:
             ghost = Ent(d, idx)
+            per_dim[d] += 1
             part.ghosts.add(ghost)
             if ghost == element:
                 part.ghost_home[ghost] = (home_pid, home_ent)
@@ -148,26 +176,41 @@ def _unpack_ghost(part: Part, bundle: dict) -> int:
     return 1
 
 
-def delete_ghosts(dmesh: DistributedMesh) -> int:
-    """Remove every ghost entity from every part; returns entities removed."""
+def delete_ghosts(dmesh: DistributedMesh) -> GhostDeleteStats:
+    """Remove every ghost entity from every part.
+
+    Returns a :class:`GhostDeleteStats` record; deletion is purely local,
+    so its communication fields are always zero.
+    """
+    probe = CommProbe(dmesh.counters)
     removed = 0
-    for part in dmesh:
-        mesh = part.mesh
-        for d in range(3, -1, -1):
-            for ghost in sorted(
-                (g for g in part.ghosts if g.dim == d), reverse=True
-            ):
-                if not mesh.has(ghost):
-                    continue
-                if mesh.up(ghost):
-                    # Still bounds a surviving entity: it was promoted to a
-                    # real boundary entity of this part and must stay.
-                    continue
-                part.drop_gid(ghost)
-                part.remotes.pop(ghost, None)
-                mesh.destroy(ghost)
-                removed += 1
-        part.ghosts.clear()
-        part.ghost_home.clear()
+    per_dim = [0, 0, 0, 0]
+    with trace_span(dmesh.tracer, "delete_ghosts"):
+        for part in dmesh:
+            mesh = part.mesh
+            for d in range(3, -1, -1):
+                for ghost in sorted(
+                    (g for g in part.ghosts if g.dim == d), reverse=True
+                ):
+                    if not mesh.has(ghost):
+                        continue
+                    if mesh.up(ghost):
+                        # Still bounds a surviving entity: it was promoted to
+                        # a real boundary entity of this part and must stay.
+                        continue
+                    part.drop_gid(ghost)
+                    part.remotes.pop(ghost, None)
+                    mesh.destroy(ghost)
+                    removed += 1
+                    per_dim[d] += 1
+            part.ghosts.clear()
+            part.ghost_home.clear()
     dmesh.counters.add("ghosting.deleted", removed)
-    return removed
+    return GhostDeleteStats(
+        entities_removed=removed,
+        per_dimension=tuple(per_dim),
+        messages=probe.messages(),
+        wire_bytes=probe.wire_bytes(),
+        supersteps=probe.supersteps(),
+        seconds=probe.seconds(),
+    )

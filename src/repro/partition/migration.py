@@ -33,6 +33,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..mesh.entity import Ent
 from ..mesh.topology import type_info
+from ..obs.stats import CommProbe, MigrateStats
+from ..obs.tracer import trace_span
 from .dmesh import DistributedMesh
 from .part import Part
 
@@ -44,61 +46,89 @@ _TAG_CANDIDATE = 2
 _TAG_LINKS = 3
 
 
-def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> int:
-    """Execute a migration plan; returns the number of elements moved.
+def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
+    """Execute a migration plan; returns a :class:`MigrateStats` record.
 
     Requirements: no ghosts anywhere (delete them first — ghost copies do
     not survive repartitioning), every planned element alive and of the
     mesh's element dimension.
+
+    The stats carry the elements moved (``stats.elements_moved``), the
+    closure entities packed per dimension, and the communication cost of
+    the whole operation (pack/send, unpack, remove, relink) measured from
+    the mesh's counter registry.
     """
     for part in dmesh:
         if part.ghosts:
             raise ValueError(
                 f"part {part.pid} has ghosts; delete ghosts before migrating"
             )
+    probe = CommProbe(dmesh.counters)
+    tracer = dmesh.tracer
     dim = dmesh.element_dim()
     router = dmesh.router()
     moved = 0
+    packed = [0, 0, 0, 0]
 
-    outgoing: List[Tuple[int, Ent, int]] = []
-    for pid in sorted(plan):
-        part = dmesh.part(pid)
-        for element in sorted(plan[pid]):
-            dest = plan[pid][element]
-            if dest == pid:
-                continue
-            if not 0 <= dest < dmesh.nparts:
-                raise ValueError(f"migration destination {dest} out of range")
-            if element.dim != dim or not part.mesh.has(element):
-                raise ValueError(
-                    f"part {pid}: {element} is not a live element"
-                )
-            router.post(pid, dest, _TAG_ELEMENT, _pack_element(part, element))
-            outgoing.append((pid, element, dest))
-            moved += 1
+    with trace_span(tracer, "migrate"):
+        outgoing: List[Tuple[int, Ent, int]] = []
+        with trace_span(tracer, "migrate.pack"):
+            for pid in sorted(plan):
+                part = dmesh.part(pid)
+                for element in sorted(plan[pid]):
+                    dest = plan[pid][element]
+                    if dest == pid:
+                        continue
+                    if not 0 <= dest < dmesh.nparts:
+                        raise ValueError(
+                            f"migration destination {dest} out of range"
+                        )
+                    if element.dim != dim or not part.mesh.has(element):
+                        raise ValueError(
+                            f"part {pid}: {element} is not a live element"
+                        )
+                    bundle = _pack_element(part, element)
+                    packed[0] += len(bundle["verts"])
+                    for mid in bundle["mids"]:
+                        packed[mid[0]] += 1
+                    packed[dim] += 1
+                    router.post(pid, dest, _TAG_ELEMENT, bundle)
+                    outgoing.append((pid, element, dest))
+                    moved += 1
 
-    # Only parts that send/receive elements — plus every part that shares
-    # anything with them — can see their links change.  The neighbor sets
-    # must be snapshotted NOW, before removal drops the dying links.
-    affected = set()
-    for pid, _element, dest in outgoing:
-        affected.add(pid)
-        affected.add(dest)
-    for pid in list(affected):
-        affected.update(dmesh.part(pid).neighbors())
+        # Only parts that send/receive elements — plus every part that
+        # shares anything with them — can see their links change.  The
+        # neighbor sets must be snapshotted NOW, before removal drops the
+        # dying links.
+        affected = set()
+        for pid, _element, dest in outgoing:
+            affected.add(pid)
+            affected.add(dest)
+        for pid in list(affected):
+            affected.update(dmesh.part(pid).neighbors())
 
-    inboxes = router.exchange()
-    for dest in sorted(inboxes):
-        part = dmesh.part(dest)
-        for _src, _tag, bundle in inboxes[dest]:
-            _unpack_element(part, bundle)
+        with trace_span(tracer, "migrate.unpack"):
+            inboxes = router.exchange()
+            for dest in sorted(inboxes):
+                part = dmesh.part(dest)
+                for _src, _tag, bundle in inboxes[dest]:
+                    _unpack_element(part, bundle)
 
-    for pid, element, _dest in outgoing:
-        _remove_element(dmesh.part(pid), element)
+        with trace_span(tracer, "migrate.remove"):
+            for pid, element, _dest in outgoing:
+                _remove_element(dmesh.part(pid), element)
 
-    rebuild_links(dmesh, only_parts=affected if outgoing else [])
+        with trace_span(tracer, "migrate.relink"):
+            rebuild_links(dmesh, only_parts=affected if outgoing else [])
     dmesh.counters.add("migration.elements", moved)
-    return moved
+    return MigrateStats(
+        elements_moved=moved,
+        per_dimension=tuple(packed),
+        messages=probe.messages(),
+        wire_bytes=probe.wire_bytes(),
+        supersteps=probe.supersteps(),
+        seconds=probe.seconds(),
+    )
 
 
 def _pack_element(part: Part, element: Ent) -> dict:

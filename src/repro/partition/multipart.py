@@ -78,4 +78,4 @@ def merge_parts(dmesh: DistributedMesh, source_pid: int, target_pid: int) -> int
             if not part.is_ghost(ent)
         }
     }
-    return migrate(dmesh, plan)
+    return migrate(dmesh, plan).elements_moved

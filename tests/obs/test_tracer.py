@@ -1,0 +1,170 @@
+"""Tests for the Tracer core: spans, supersteps, matrices, timelines."""
+
+import pytest
+
+from repro import obs
+from repro.mesh import rect_tri
+from repro.obs.tracer import _NULL_CONTEXT, trace_span
+from repro.parallel import Network, PerfCounters, spmd
+from repro.partition import DistributedMesh, distribute, migrate
+
+
+def strips(mesh, nparts):
+    return [
+        min(int(mesh.centroid(e)[0] * nparts), nparts - 1)
+        for e in mesh.entities(mesh.dim())
+    ]
+
+
+def test_span_nesting_and_timing():
+    t = obs.Tracer()
+    with t.span("outer"):
+        with t.span("inner", detail=7):
+            pass
+    assert len(t.roots) == 1
+    outer = t.roots[0]
+    assert outer.name == "outer"
+    assert [c.name for c in outer.children] == ["inner"]
+    inner = outer.children[0]
+    assert inner.args == {"detail": 7}
+    assert outer.seconds >= inner.seconds >= 0.0
+    assert outer.t0 <= inner.t0 and inner.t1 <= outer.t1
+    assert outer.find("inner") is inner
+    assert [s.name for s in outer.walk()] == ["outer", "inner"]
+
+
+def test_span_counter_deltas():
+    perf = PerfCounters()
+    t = obs.Tracer(counters=perf)
+    perf.add("pre.existing", 5)
+    with t.span("work"):
+        perf.add("work.items", 3)
+    span = t.roots[0]
+    assert span.counter_deltas == {"work.items": 3}  # unchanged keys omitted
+
+
+def test_network_exchange_closes_supersteps():
+    t = obs.Tracer()
+    net = Network(2, tracer=t)
+    net.post(0, 1, 1, "hello")
+    net.post(1, 0, 1, "world")
+    net.exchange()
+    net.exchange()  # empty superstep still closes
+    assert t.superstep_count() == 2
+    first = t.comm_matrix(superstep=0)
+    assert set(first) == {(0, 1), (1, 0)}
+    assert first[(0, 1)][0] == 1  # one message
+    assert t.comm_matrix(superstep=1) == {}
+    assert t.total_messages() == 2
+
+
+def test_span_superstep_alignment():
+    t = obs.Tracer()
+    net = Network(2, tracer=t)
+    net.exchange()
+    with t.span("two-steps"):
+        net.post(0, 1, 1, "x")
+        net.exchange()
+        net.exchange()
+    span = t.roots[0]
+    assert span.superstep_start == 1
+    assert span.superstep_end == 3
+    assert span.supersteps == 2
+
+
+def test_disabled_tracer_records_nothing():
+    t = obs.Tracer(enabled=False)
+    ctx = t.span("ignored")
+    assert ctx is _NULL_CONTEXT
+    with ctx:
+        pass
+    t.on_message(0, 1, 10)
+    t.end_superstep()
+    t.record_value("series", 1.0)
+    assert t.roots == []
+    assert t.superstep_count() == 0
+    assert t.timelines() == {}
+    # trace_span shares one reentrant null context for tracer=None too.
+    assert trace_span(None, "x") is _NULL_CONTEXT
+    assert trace_span(t, "x") is _NULL_CONTEXT
+
+
+def test_timelines_record_superstep_index():
+    t = obs.Tracer()
+    net = Network(2, tracer=t)
+    t.record_value("imb", 1.5)
+    net.exchange()
+    t.record_value("imb", 1.2)
+    assert t.timelines() == {"imb": [(0, 1.5), (1, 1.2)]}
+
+
+def test_install_makes_constructors_pick_up_default():
+    t = obs.install(obs.Tracer())
+    try:
+        dm = DistributedMesh(2)
+        assert dm.tracer is t
+    finally:
+        obs.uninstall()
+    assert obs.current() is None
+    assert DistributedMesh(2).tracer is None
+
+
+def test_spmd_binds_rank_as_tid():
+    t = obs.Tracer()
+
+    def program(comm):
+        with t.span("step"):
+            comm.barrier()
+        return comm.rank
+
+    assert spmd(3, program, tracer=t) == [0, 1, 2]
+    ranks = sorted(root.tid for root in t.roots)
+    assert ranks == [0, 1, 2]
+    for root in t.roots:
+        assert root.name == f"rank{root.tid}"
+        assert [c.name for c in root.children] == ["step"]
+        assert all(c.tid == root.tid for c in root.children)
+
+
+def test_migration_spans_and_traffic():
+    mesh = rect_tri(4)
+    t = obs.Tracer()
+    dm = distribute(mesh, strips(mesh, 2), tracer=t)
+    element = next(dm.part(0).mesh.entities(2))
+    migrate(dm, {0: {element: 1}})
+    names = [s.name for root in t.roots for s in root.walk()]
+    assert "migrate" in names and "migrate.pack" in names
+    assert t.superstep_count() > 0
+    assert t.total_messages() > 0
+
+
+def test_reassigned_tracer_reaches_cached_networks():
+    mesh = rect_tri(2)
+    dm = distribute(mesh, strips(mesh, 2))
+    dm.router().exchange()  # build and cache the networks, untraced
+    t = obs.Tracer()
+    dm.tracer = t
+    router = dm.router()
+    router.post(0, 1, 1, "late")
+    router.exchange()
+    assert t.superstep_count() == 1
+    assert t.total_messages() == 1
+
+
+def test_comm_matrix_totals_sum_supersteps():
+    t = obs.Tracer()
+    net = Network(2, tracer=t)
+    for _ in range(3):
+        net.post(0, 1, 1, "x")
+        net.exchange()
+    total = t.comm_matrix()
+    assert total[(0, 1)][0] == 3
+    per_step = t.supersteps()
+    assert len(per_step) == 3
+    assert all(m[(0, 1)][0] == 1 for m in per_step)
+
+
+def test_invalid_superstep_index_raises():
+    t = obs.Tracer()
+    with pytest.raises(IndexError):
+        t.comm_matrix(superstep=0)

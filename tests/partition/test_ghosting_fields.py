@@ -34,8 +34,11 @@ def dm():
 
 def test_ghost_layer_counts_excluded_from_load(dm):
     before = dm.entity_counts().copy()
-    created = ghost_layer(dm, bridge_dim=0)
+    stats = ghost_layer(dm, bridge_dim=0)
+    created = stats.ghosts_created
     assert created > 0
+    assert stats.per_dimension[2] == created  # 2D: faces are the elements
+    assert stats.messages > 0
     assert np.array_equal(dm.entity_counts(), before)  # ghosts don't count
     # But the raw meshes did grow.
     raw = sum(part.mesh.count(2) for part in dm)
@@ -58,9 +61,9 @@ def test_ghost_elements_mirror_their_home(dm):
 
 
 def test_ghost_layer_via_edges_smaller_than_via_vertices(dm):
-    created_vtx = ghost_layer(dm, bridge_dim=0)
+    created_vtx = ghost_layer(dm, bridge_dim=0).ghosts_created
     delete_ghosts(dm)
-    created_edge = ghost_layer(dm, bridge_dim=1)
+    created_edge = ghost_layer(dm, bridge_dim=1).ghosts_created
     delete_ghosts(dm)
     assert created_edge <= created_vtx
     dm.verify()
@@ -68,8 +71,12 @@ def test_ghost_layer_via_edges_smaller_than_via_vertices(dm):
 
 def test_delete_ghosts_restores_meshes(dm):
     raw_before = [part.mesh.count(2) for part in dm]
-    ghost_layer(dm, bridge_dim=0)
-    delete_ghosts(dm)
+    created = ghost_layer(dm, bridge_dim=0)
+    removed = delete_ghosts(dm)
+    # Deletion is purely local and removes at least every ghost element
+    # that survived as a ghost (shared closure entities may stay).
+    assert removed.entities_removed > 0
+    assert removed.messages == 0 and removed.supersteps == 0
     assert [part.mesh.count(2) for part in dm] == raw_before
     assert all(not part.ghosts for part in dm)
     dm.verify()
@@ -82,7 +89,8 @@ def test_two_ghost_layers():
     one = ghost_layer(dmesh, bridge_dim=0, layers=1)
     delete_ghosts(dmesh)
     two = ghost_layer(dmesh, bridge_dim=0, layers=2)
-    assert two > one
+    assert two.ghosts_created > one.ghosts_created
+    assert two.layers == 2 and one.layers == 1
     delete_ghosts(dmesh)
     dmesh.verify()
 
@@ -115,7 +123,8 @@ def test_ghosting_3d():
     mesh = box_tet(2)
     dmesh = distribute(mesh, strip(mesh, 2, axis=2))
     created = ghost_layer(dmesh, bridge_dim=2)
-    assert created > 0
+    assert created.ghosts_created > 0
+    assert created.per_dimension[3] == created.ghosts_created
     dmesh.verify()
     delete_ghosts(dmesh)
     dmesh.verify()
@@ -161,7 +170,8 @@ def test_field_set_from_coords_consistent_needs_no_sync(dm):
     df.set_from_coords(lambda x: x[0] + 2 * x[1])
     assert df.max_copy_disagreement() == 0
     sent = synchronize(df)
-    assert sent > 0  # values still travel; they just agree
+    assert sent.values_sent > 0  # values still travel; they just agree
+    assert sent.messages > 0 and sent.entity_dim == 0
     assert df.max_copy_disagreement() == 0
 
 

@@ -34,7 +34,11 @@ def total_faces(dm):
 def test_migrate_one_element(dm):
     before = dm.entity_counts()[:, 2]
     element = next(dm.part(0).mesh.entities(2))
-    assert migrate(dm, {0: {element: 1}}) == 1
+    stats = migrate(dm, {0: {element: 1}})
+    assert stats.elements_moved == 1
+    assert stats.per_dimension[2] == 1  # the element itself rode along
+    assert stats.messages > 0
+    assert stats.supersteps > 0
     after = dm.entity_counts()[:, 2]
     assert after[0] == before[0] - 1
     assert after[1] == before[1] + 1
@@ -64,7 +68,7 @@ def test_migrate_whole_part(dm):
 def test_migrate_self_destination_is_noop(dm):
     element = next(dm.part(0).mesh.entities(2))
     before = dm.entity_counts().copy()
-    assert migrate(dm, {0: {element: 0}}) == 0
+    assert migrate(dm, {0: {element: 0}}).elements_moved == 0
     assert np.array_equal(dm.entity_counts(), before)
 
 
@@ -178,5 +182,5 @@ def test_rebuild_links_is_idempotent(dm):
 
 def test_empty_plan_is_noop(dm):
     before = dm.entity_counts().copy()
-    assert migrate(dm, {}) == 0
+    assert migrate(dm, {}).elements_moved == 0
     assert np.array_equal(dm.entity_counts(), before)

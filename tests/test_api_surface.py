@@ -267,3 +267,95 @@ def test_perf_timers_snapshot():
         pass
     snap = perf.timers()
     assert "t" in snap and snap["t"].count == 1
+
+
+# -- consolidated top-level API ---------------------------------------------------
+
+
+def test_top_level_entry_points():
+    """The one-true entry points are importable from ``repro`` directly."""
+    import repro
+
+    for name in (
+        "spmd",
+        "DistributedMesh",
+        "DistributedField",
+        "distribute",
+        "migrate",
+        "ghost_layer",
+        "delete_ghosts",
+        "synchronize",
+        "accumulate",
+        "ParMA",
+        "Tracer",
+    ):
+        assert hasattr(repro, name), name
+        assert name in repro.__all__, name
+    # And they are the same objects the subpackages expose.
+    from repro.partition import migrate as p_migrate
+
+    assert repro.migrate is p_migrate
+
+
+def test_top_level_stats_types():
+    """Each distributed service's stats type is part of the pinned surface."""
+    import repro
+    from repro import obs
+
+    for name in (
+        "MigrateStats",
+        "GhostStats",
+        "GhostDeleteStats",
+        "SyncStats",
+        "AccumulateStats",
+    ):
+        assert getattr(repro, name) is getattr(obs, name)
+        assert name in repro.__all__
+
+
+def test_services_return_typed_stats():
+    """No caller can depend on the old bare-int returns anymore."""
+    from repro import (
+        AccumulateStats,
+        DistributedField,
+        GhostDeleteStats,
+        GhostStats,
+        MigrateStats,
+        SyncStats,
+        accumulate,
+        delete_ghosts,
+        distribute,
+        ghost_layer,
+        migrate,
+        synchronize,
+    )
+
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 2))
+    element = next(dm.part(0).mesh.entities(2))
+    mstats = migrate(dm, {0: {element: 1}})
+    assert isinstance(mstats, MigrateStats) and not isinstance(mstats, int)
+    assert mstats.elements_moved == 1
+    assert sum(mstats.per_dimension) >= 1
+    assert mstats.seconds >= 0.0
+    assert "migrate" in mstats.summary()
+
+    gstats = ghost_layer(dm, bridge_dim=0)
+    assert isinstance(gstats, GhostStats)
+    assert gstats.ghosts_created > 0 and gstats.layers == 1
+    dstats = delete_ghosts(dm)
+    assert isinstance(dstats, GhostDeleteStats)
+    assert dstats.entities_removed > 0
+
+    df = DistributedField(dm, "u")
+    df.set_from_coords(lambda x: x[0])
+    sstats = synchronize(df)
+    assert isinstance(sstats, SyncStats)
+    assert sstats.values_sent > 0 and sstats.messages > 0
+    astats = accumulate(df)
+    assert isinstance(astats, AccumulateStats)
+    assert astats.values_sent == astats.contributions + astats.synced
+    # Stats serialize to plain JSON-safe dicts.
+    for stats in (mstats, gstats, dstats, sstats, astats):
+        d = stats.to_dict()
+        assert isinstance(d, dict) and "messages" in d

@@ -101,6 +101,40 @@ def test_lint_json_format(tmp_path, capsys):
     assert decoded[0]["code"] == "SPMD004"
 
 
+def test_trace_runs_script_and_writes_artifacts(tmp_path, capsys):
+    import json
+
+    script = tmp_path / "workload.py"
+    script.write_text(
+        "from repro.mesh import rect_tri\n"
+        "from repro.partition import distribute, migrate\n"
+        "from repro.partitioners import partition\n"
+        "m = rect_tri(4)\n"
+        "dm = distribute(m, partition(m, 2, method='rcb'))\n"
+        "elem = next(dm.part(0).mesh.entities(2))\n"
+        "migrate(dm, {0: {elem: 1}})\n"
+    )
+    out_dir = tmp_path / "trace-out"
+    assert main(["trace", str(script), "--out", str(out_dir)]) == 0
+
+    trace = json.loads((out_dir / "workload.trace.json").read_text())
+    names = {e.get("name") for e in trace["traceEvents"]}
+    assert "migrate" in names and "distribute" in names
+
+    metrics = json.loads((out_dir / "workload.metrics.json").read_text())
+    assert metrics["schema"] == "repro.obs.metrics/1"
+    assert metrics["supersteps"] > 0
+    assert metrics["comm_matrix"]
+
+    out = capsys.readouterr().out
+    assert "workload.trace.json" in out
+
+
+def test_trace_missing_script_fails(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.py")]) == 2
+    assert "no such script" in capsys.readouterr().err
+
+
 def test_balance_with_sanitize(capsys):
     assert (
         main(
