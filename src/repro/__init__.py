@@ -46,6 +46,11 @@ Subpackages
     Observability: superstep tracing (Chrome trace export), per-superstep
     part-to-part communication matrices, typed operation statistics, and
     the ``python -m repro trace`` workload runner.
+``repro.resilience``
+    Deterministic fault injection (seeded ``FaultPlan`` executed against
+    the network/executor hook points), rotated hash-validated checkpoints
+    (``CheckpointManager``), and the ``resilient_spmd`` checkpoint/restart
+    recovery driver behind ``python -m repro chaos``.
 
 The one-true entry points are re-exported at the top level, so a driver
 script needs only ``import repro``:
@@ -56,7 +61,9 @@ script needs only ``import repro``:
 
 plus the typed statistics each distributed service returns
 (``MigrateStats``, ``GhostStats``, ``GhostDeleteStats``, ``SyncStats``,
-``AccumulateStats``).
+``AccumulateStats``) and the resilience surface (``FaultPlan``,
+``FaultInjector``, ``InjectedRankFailure``, ``CheckpointManager``,
+``CorruptCheckpointError``, ``resilient_spmd``, ``RankFailure``).
 """
 
 from . import (
@@ -69,6 +76,7 @@ from . import (
     parallel,
     partition,
     partitioners,
+    resilience,
     workloads,
 )
 from .core import ParMA
@@ -80,7 +88,7 @@ from .obs import (
     SyncStats,
     Tracer,
 )
-from .parallel import spmd
+from .parallel import RankFailure, spmd
 from .partition import (
     DistributedField,
     DistributedMesh,
@@ -90,6 +98,14 @@ from .partition import (
     ghost_layer,
     migrate,
     synchronize,
+)
+from .resilience import (
+    CheckpointManager,
+    CorruptCheckpointError,
+    FaultInjector,
+    FaultPlan,
+    InjectedRankFailure,
+    resilient_spmd,
 )
 
 __version__ = "1.0.0"
@@ -104,14 +120,21 @@ __all__ = [
     "parallel",
     "partition",
     "partitioners",
+    "resilience",
     "workloads",
     "AccumulateStats",
+    "CheckpointManager",
+    "CorruptCheckpointError",
     "DistributedField",
     "DistributedMesh",
+    "FaultInjector",
+    "FaultPlan",
     "GhostDeleteStats",
     "GhostStats",
+    "InjectedRankFailure",
     "MigrateStats",
     "ParMA",
+    "RankFailure",
     "SyncStats",
     "Tracer",
     "accumulate",
@@ -119,6 +142,7 @@ __all__ = [
     "distribute",
     "ghost_layer",
     "migrate",
+    "resilient_spmd",
     "spmd",
     "synchronize",
     "__version__",

@@ -20,6 +20,14 @@ release ships for quick experiments without writing a driver script:
     Run a workload script under an installed :class:`repro.obs.Tracer` and
     write a Chrome trace (``about:tracing`` / Perfetto loadable) plus a
     metrics JSON with the per-superstep part-to-part communication matrix.
+``chaos``
+    Run a step-structured workload script under the resilience harness:
+    deterministic fault injection from a JSON :class:`repro.resilience
+    .FaultPlan`, rotated checkpoints, and checkpoint/restart recovery.
+    The script must define ``build() -> DistributedMesh`` and
+    ``step(dmesh, i)``; an optional module-level ``NSTEPS`` sets the
+    default epoch count.  Writes the deterministic recovery report (and a
+    metrics JSON) to ``--out``.
 
 ``balance`` accepts ``--sanitize`` to run the distributed pipeline with the
 runtime sanitizers on (alias freeze proxies on the part network).
@@ -201,6 +209,92 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+    import runpy
+    from pathlib import Path
+
+    from repro import obs
+    from repro.parallel import GLOBAL
+    from repro.resilience import (
+        CheckpointManager,
+        FaultPlan,
+        FaultPlanError,
+        RecoveryExhaustedError,
+        resilient_spmd,
+    )
+
+    script = Path(args.script)
+    if not script.exists():
+        print(f"repro chaos: no such script: {script}", file=sys.stderr)
+        return 2
+    module = runpy.run_path(str(script), run_name="__repro_chaos__")
+    build = module.get("build")
+    step = module.get("step")
+    if not callable(build) or not callable(step):
+        print(
+            f"repro chaos: {script} must define build() and step(dmesh, i)",
+            file=sys.stderr,
+        )
+        return 2
+    nsteps = args.steps if args.steps is not None else module.get("NSTEPS")
+    if nsteps is None:
+        print(
+            "repro chaos: pass --steps or define NSTEPS in the script",
+            file=sys.stderr,
+        )
+        return 2
+
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.from_json(Path(args.faults))
+        except (OSError, FaultPlanError) as exc:
+            print(f"repro chaos: bad fault plan: {exc}", file=sys.stderr)
+            return 2
+
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    ckdir = Path(args.checkpoint_dir) if args.checkpoint_dir else (
+        outdir / "checkpoints"
+    )
+    manager = CheckpointManager(ckdir, keep=args.keep)
+
+    tracer = obs.Tracer(counters=GLOBAL)
+    obs.install(tracer)
+    tracer.bind(pid=0, tid=0)
+    status = 0
+    try:
+        with tracer.span("chaos", script=str(script)):
+            dmesh, report = resilient_spmd(
+                build,
+                step,
+                int(nsteps),
+                checkpoints=manager,
+                checkpoint_every=args.checkpoint_every,
+                faults=faults,
+                max_retries=args.max_retries,
+            )
+        dmesh.verify()
+    except RecoveryExhaustedError as exc:
+        report = exc.report
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        status = 1
+    finally:
+        obs.uninstall()
+
+    report_path = outdir / f"{script.stem}.resilience.json"
+    report_path.write_text(
+        json.dumps(report.to_dict(), indent=1, sort_keys=True) + "\n"
+    )
+    metrics_path = outdir / f"{script.stem}.metrics.json"
+    obs.write_metrics(metrics_path, tracer=tracer, counters=GLOBAL)
+    print(report.summary())
+    print(f"recovery report: {report_path}")
+    print(f"metrics json:    {metrics_path}")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -263,6 +357,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="trace-out", help="output directory (created)"
     )
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a workload under fault injection + checkpoint/restart",
+    )
+    p_chaos.add_argument(
+        "script", help="workload script defining build() and step(dmesh, i)"
+    )
+    p_chaos.add_argument(
+        "--faults", default=None, help="JSON fault-plan file (default: none)"
+    )
+    p_chaos.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="epoch count (default: the script's NSTEPS)",
+    )
+    p_chaos.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint cadence in epochs (default: 1)",
+    )
+    p_chaos.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint directory (default: <out>/checkpoints)",
+    )
+    p_chaos.add_argument(
+        "--keep", type=int, default=3, help="checkpoints retained (default: 3)"
+    )
+    p_chaos.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="recovery budget before giving up (default: 3)",
+    )
+    p_chaos.add_argument(
+        "--out", default="chaos-out", help="output directory (created)"
+    )
+    p_chaos.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -22,6 +22,11 @@ Typical explicit use::
 or, for unmodified scripts, ``python -m repro trace <script.py>`` installs a
 process-wide default tracer (:func:`install`) that ``DistributedMesh`` and
 ``spmd`` pick up automatically.
+
+:mod:`repro.resilience` reports through the same channels: recovery runs
+emit ``resilience.epoch``/``resilience.recover`` spans, the
+``resilience.checkpoints``/``failures``/``recoveries`` counters, and a
+``resilience.recoveries`` timeline (see ``python -m repro chaos``).
 """
 
 from .export import (

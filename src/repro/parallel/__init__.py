@@ -21,7 +21,7 @@ from .comm import (
     CommWorld,
     Request,
 )
-from .executor import SpmdError, spmd
+from .executor import RankFailure, SpmdError, spmd
 from .neighbors import dense_exchange, neighbor_exchange
 from .network import Message, Network, wire_size
 from .perf import GLOBAL, PerfCounters, TimerStat
@@ -47,6 +47,7 @@ __all__ = [
     "Network",
     "NodeRouter",
     "PerfCounters",
+    "RankFailure",
     "Request",
     "SpmdError",
     "TimerStat",

@@ -6,13 +6,19 @@ as its first argument, and :func:`spmd` launches ``P`` copies on threads.
 Return values are collected in rank order; an exception on any rank aborts
 the job and is re-raised on the caller (with all other failures attached as
 notes), mirroring an MPI abort.
+
+Failures are reported structurally: :class:`SpmdError.records` is a list of
+:class:`RankFailure` dataclasses (rank, exception type, superstep reached,
+whether the failure was injected by :mod:`repro.resilience`), so recovery
+drivers can classify failures without parsing tracebacks.
 """
 
 from __future__ import annotations
 
 import threading
 import traceback
-from typing import Any, Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 from ..obs.tracer import Tracer, trace_span
 from .comm import Comm, CommWorld, CommAbortedError
@@ -20,20 +26,81 @@ from .perf import PerfCounters
 from .topology import MachineTopology
 
 
-class SpmdError(RuntimeError):
-    """One or more ranks raised; carries per-rank tracebacks."""
+@dataclass(frozen=True)
+class RankFailure:
+    """Structured record of one rank's failure.
 
-    def __init__(self, failures: Sequence[tuple]) -> None:
-        self.failures = list(failures)
-        rank, exc, tb = self.failures[0]
+    ``superstep`` is the rank's collective sequence number when it failed
+    (its progress marker), or the injected fault's superstep when the
+    failure came from a fault plan.  ``injected`` is true for failures
+    raised by :class:`repro.resilience.InjectedFault` subclasses.
+    """
+
+    rank: int
+    exc_type: str
+    message: str
+    traceback: str
+    superstep: Optional[int] = None
+    injected: bool = False
+    exception: Optional[BaseException] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the live exception object is omitted)."""
+        return {
+            "rank": self.rank,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "superstep": self.superstep,
+            "injected": self.injected,
+        }
+
+
+def _normalize(failure: Union["RankFailure", tuple]) -> RankFailure:
+    if isinstance(failure, RankFailure):
+        return failure
+    rank, exc, tb = failure
+    return RankFailure(
+        rank=rank,
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        traceback=tb,
+        injected=bool(getattr(exc, "injected_fault", False)),
+        superstep=getattr(exc, "superstep", None),
+        exception=exc,
+    )
+
+
+class SpmdError(RuntimeError):
+    """One or more ranks raised; carries structured per-rank records.
+
+    ``records`` holds :class:`RankFailure` entries sorted by rank;
+    ``failures`` keeps the legacy ``(rank, exception, traceback)`` tuples.
+    """
+
+    def __init__(
+        self, failures: Sequence[Union[RankFailure, tuple]]
+    ) -> None:
+        self.records: List[RankFailure] = [_normalize(f) for f in failures]
+        self.failures = [
+            (r.rank, r.exception, r.traceback) for r in self.records
+        ]
+        first = self.records[0]
         detail = "".join(
-            f"\n--- rank {r} raised {type(e).__name__}: {e} ---\n{t}"
-            for r, e, t in self.failures
+            f"\n--- rank {r.rank} raised {r.exc_type}: {r.message} ---"
+            f"\n{r.traceback}"
+            for r in self.records
         )
         super().__init__(
-            f"{len(self.failures)} rank(s) failed; first: rank {rank} "
-            f"raised {type(exc).__name__}: {exc}{detail}"
+            f"{len(self.records)} rank(s) failed; first: rank {first.rank} "
+            f"raised {first.exc_type}: {first.message}{detail}"
         )
+
+    @property
+    def injected_only(self) -> bool:
+        """True when every reported failure came from a fault plan."""
+        return all(r.injected for r in self.records)
 
 
 def spmd(
@@ -46,6 +113,7 @@ def spmd(
     copy_off_node: bool = True,
     sanitize: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
+    fault_injector: Optional[Any] = None,
 ) -> List[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` threads; return results by rank.
 
@@ -75,6 +143,10 @@ def spmd(
         charged to the communication matrix.  ``None`` resolves to the
         installed default tracer (normally also ``None`` — untraced runs
         pay one branch per message).
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector`; ``crash`` faults
+        without a superstep kill their rank's thread as it starts, and the
+        resulting :class:`SpmdError` records mark the failure as injected.
     """
     world = CommWorld(
         nranks,
@@ -86,7 +158,7 @@ def spmd(
         tracer=tracer,
     )
     results: List[Any] = [None] * nranks
-    failures: List[tuple] = []
+    failures: List[RankFailure] = []
     failure_lock = threading.Lock()
 
     def runner(rank: int) -> None:
@@ -99,11 +171,28 @@ def spmd(
             # Chrome trace shows one timeline lane per rank.
             active.bind(pid=0, tid=rank)
         try:
+            if fault_injector is not None:
+                fault_injector.on_rank_start(rank)
             with trace_span(active, f"rank{rank}", tid=rank):
                 results[rank] = fn(comm, *args)
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            injected = bool(getattr(exc, "injected_fault", False))
+            superstep = (
+                getattr(exc, "superstep", None)
+                if injected
+                else comm._collective_seq
+            )
+            record = RankFailure(
+                rank=rank,
+                exc_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+                superstep=superstep,
+                injected=injected,
+                exception=exc,
+            )
             with failure_lock:
-                failures.append((rank, exc, traceback.format_exc()))
+                failures.append(record)
             world.abort()
 
     threads = [
@@ -116,11 +205,11 @@ def spmd(
         thread.join()
 
     if failures:
-        failures.sort(key=lambda item: item[0])
+        failures.sort(key=lambda record: record.rank)
         # Secondary CommAbortedError failures are just ranks woken by the
         # abort; report the root cause(s) unless nothing else failed.
         primary = [
-            f for f in failures if not isinstance(f[1], CommAbortedError)
+            f for f in failures if not isinstance(f.exception, CommAbortedError)
         ]
         raise SpmdError(primary or failures)
     return results

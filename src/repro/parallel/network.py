@@ -70,6 +70,14 @@ class Network:
         every exchange closes one traced superstep and charges each
         delivered message to the per-superstep part-to-part communication
         matrix.  ``None`` (the default) costs one branch per exchange.
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector`.  When attached,
+        :meth:`post` routes every message through the injector (which may
+        drop, duplicate, corrupt or delay it) and :meth:`exchange` gives the
+        injector a superstep boundary: scheduled rank crashes raise
+        :class:`~repro.resilience.InjectedRankFailure` here, and delayed
+        messages whose release superstep arrived are re-enqueued.  ``None``
+        (the default) costs one branch per post/exchange.
     """
 
     def __init__(
@@ -80,6 +88,7 @@ class Network:
         copy_off_node: bool = True,
         sanitize: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
+        fault_injector: Optional[Any] = None,
     ) -> None:
         if nparts < 1:
             raise ValueError(f"need at least one part, got {nparts}")
@@ -94,6 +103,7 @@ class Network:
         self.copy_off_node = copy_off_node
         self.sanitize = sanitize_default() if sanitize is None else bool(sanitize)
         self.tracer = tracer
+        self.fault_injector = fault_injector
         # Posting may happen from concurrent rank threads (the Comm ranks of
         # an spmd() job all share one part network), so the outbox and its
         # sequence stamp are guarded by a lock.
@@ -107,13 +117,24 @@ class Network:
 
         Thread-safe; each message is stamped with a global posting sequence
         number so :meth:`exchange` can deliver in (source, sequence) order.
+        With a fault injector attached the message may be dropped,
+        duplicated, corrupted, or held back for later supersteps.
         """
         self._check(src)
         self._check(dst)
+        injector = self.fault_injector
+        if injector is None:
+            with self._lock:
+                seq = self._seq
+                self._seq += 1
+                self._outbox.append((src, dst, seq, tag, payload))
+            return
+        messages = injector.on_post(src, dst, tag, payload)
         with self._lock:
-            seq = self._seq
-            self._seq += 1
-            self._outbox.append((src, dst, seq, tag, payload))
+            for m_src, m_dst, m_tag, m_payload in messages:
+                seq = self._seq
+                self._seq += 1
+                self._outbox.append((m_src, m_dst, seq, m_tag, m_payload))
 
     def pending(self) -> int:
         """Number of messages posted since the last exchange."""
@@ -129,7 +150,24 @@ class Network:
         source part come first, and messages from the same source arrive in
         the order it posted them — regardless of how posting interleaved
         across threads.
+
+        With a fault injector attached this is the superstep boundary: a
+        ``crash`` fault scheduled for the completing superstep raises
+        :class:`~repro.resilience.InjectedRankFailure` before anything is
+        delivered, and previously delayed messages whose release superstep
+        arrived join this delivery.
         """
+        injector = self.fault_injector
+        if injector is not None:
+            released = injector.on_exchange()  # may raise InjectedRankFailure
+            if released:
+                with self._lock:
+                    for m_src, m_dst, m_tag, m_payload in released:
+                        seq = self._seq
+                        self._seq += 1
+                        self._outbox.append(
+                            (m_src, m_dst, seq, m_tag, m_payload)
+                        )
         with self._lock:
             outbox = self._outbox
             self._outbox = []
@@ -166,6 +204,8 @@ class Network:
         self.counters.add("net.exchanges")
         if tracer is not None:
             tracer.end_superstep()
+        if injector is not None:
+            injector.end_superstep()
         return inboxes
 
     def neighbor_counts(self) -> Dict[int, int]:

@@ -14,7 +14,13 @@ from .dadapt import (
 from .distribute import distribute
 from .dmesh import DistributedMesh
 from .fieldsync import DistributedField, accumulate, synchronize
-from .io import load_dmesh, save_dmesh
+from .io import (
+    CorruptCheckpointError,
+    load_checkpoint,
+    load_dmesh,
+    read_manifest,
+    save_dmesh,
+)
 from .ghosting import delete_ghosts, ghost_layer
 from .migration import MigrationPlan, migrate, rebuild_links, surface_closure
 from .multipart import (
@@ -33,6 +39,7 @@ from .pmodel import (
 )
 
 __all__ = [
+    "CorruptCheckpointError",
     "DistributedAdaptStats",
     "DistributedField",
     "DistributedMesh",
@@ -48,7 +55,9 @@ __all__ = [
     "delete_ghosts",
     "distribute",
     "ghost_layer",
+    "load_checkpoint",
     "load_dmesh",
+    "read_manifest",
     "merge_parts",
     "migrate",
     "move_elements_to_new_part",

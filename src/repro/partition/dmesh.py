@@ -52,6 +52,12 @@ class DistributedMesh:
         #: installed default tracer (normally also ``None``); assign at any
         #: time — :meth:`router` re-propagates it to the cached networks.
         self.tracer = tracer if tracer is not None else current_tracer()
+        #: Fault-injection hook (:class:`~repro.resilience.FaultInjector`):
+        #: when assigned, the part networks route every post/exchange
+        #: through it (message drop/duplicate/corrupt/delay, scheduled rank
+        #: crashes).  Assign at any time — :meth:`router` re-propagates it
+        #: to the cached networks, like :attr:`tracer`.
+        self.fault_injector = None
         self._auto_topology = topology is None
         self.topology = topology if topology is not None else flat(nparts)
         self.counters = counters if counters is not None else GLOBAL
@@ -111,6 +117,7 @@ class DistributedMesh:
                 counters=self.counters,
                 sanitize=self.sanitize,
                 tracer=self.tracer,
+                fault_injector=self.fault_injector,
             )
             self._trusted_network = Network(
                 self.nparts,
@@ -119,12 +126,16 @@ class DistributedMesh:
                 copy_off_node=False,
                 sanitize=self.sanitize,
                 tracer=self.tracer,
+                fault_injector=self.fault_injector,
             )
         else:
-            # The tracer attribute may have been (re)assigned since the
-            # networks were built; keep them pointing at the current one.
+            # The tracer / fault-injector attributes may have been
+            # (re)assigned since the networks were built; keep them
+            # pointing at the current ones.
             self._network.tracer = self.tracer
             self._trusted_network.tracer = self.tracer
+            self._network.fault_injector = self.fault_injector
+            self._trusted_network.fault_injector = self.fault_injector
         return BufferedRouter(
             self._trusted_network if trusted else self._network
         )

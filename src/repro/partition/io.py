@@ -1,20 +1,44 @@
-"""Distributed-mesh checkpointing.
+"""Distributed-mesh checkpointing (``repro.dmesh/2`` format).
 
 Long adaptive simulations checkpoint the partitioned mesh so a run can
 restart without re-partitioning (PUMI's SMB file-per-part format).  This
 module snapshots a :class:`~repro.partition.dmesh.DistributedMesh` into a
 directory — one ``.npz`` per part holding coordinates, connectivity, vertex
-gids and vertex classification, plus a manifest — and restores it with all
-remote-copy links rebuilt from the vertex gids (the same rendezvous used
-after migration, so a reloaded mesh is verified-identical in structure).
-Tags, fields and ghosts are runtime state and are not checkpointed.
+gids, vertex classification, mesh tags and (optionally) distributed-field
+values, plus a hashed manifest — and restores it with all remote-copy links
+rebuilt from the vertex gids (the same rendezvous used after migration, so
+a reloaded mesh is verified-identical in structure).
+
+Format ``repro.dmesh/2`` closes the v1 "tags, fields and ghosts are runtime
+state and are not checkpointed" gap:
+
+* **tags** round-trip automatically, keyed by entity identity (sorted
+  vertex-gid tuples), so they survive restores at a different part count;
+* **field values** round-trip when the fields are passed to
+  :func:`save_dmesh` and recovered with :func:`load_checkpoint`;
+* **ghosts** are excluded from the snapshot (they are reconstructible —
+  re-run :func:`~repro.partition.ghosting.ghost_layer`; the
+  :class:`~repro.resilience.CheckpointManager` records the ghost
+  configuration in the manifest and re-applies it on restore).
+
+Durability: every file is written atomically (``*.tmp`` + fsync + rename),
+the manifest carries a SHA-256 per part file, and any integrity violation
+surfaces as a typed :class:`CorruptCheckpointError` instead of a cold
+``KeyError``/``BadZipFile``.  Restoring onto a *different* part count is
+supported via ``load_dmesh(path, nparts=K)``: elements are regrouped into
+contiguous global-id blocks and the remote-copy links rebuilt through the
+migration rendezvous.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io as _io
 import json
+import os
+import pickle
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,35 +48,145 @@ from ..mesh.entity import Ent
 from ..parallel.perf import PerfCounters
 from ..parallel.topology import MachineTopology
 from .dmesh import DistributedMesh
-from .migration import rebuild_links
+from .fieldsync import DistributedField
+from .migration import entity_key, rebuild_links
 from .part import Part
 
 _MANIFEST = "manifest.json"
+#: Current checkpoint format id, stored in every manifest.
+FORMAT = "repro.dmesh/2"
 
 
-def save_dmesh(dmesh: DistributedMesh, path: Union[str, Path]) -> Path:
-    """Write the distribution to ``path`` (a directory, created if needed)."""
+class CorruptCheckpointError(RuntimeError):
+    """A checkpoint failed integrity validation (hash, schema, or parse)."""
+
+
+# ---------------------------------------------------------------------------
+# atomic file primitives
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: tmp file, fsync, rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _pickle_blob(obj: Any) -> np.ndarray:
+    """Deterministically pickled object as a uint8 array for npz storage."""
+    return np.frombuffer(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
+    )
+
+
+def _unpickle_blob(arr: np.ndarray) -> Any:
+    return pickle.loads(arr.tobytes())
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+
+def _part_tags(part: Part) -> List[Tuple[str, List[Tuple[int, Tuple[int, ...], Any]]]]:
+    """Tag data of one part as ``[(name, [(dim, key, value), ...]), ...]``.
+
+    Entities are identified by :func:`~repro.partition.migration.entity_key`
+    (sorted vertex-gid tuples), which survives both the local-index
+    relabeling of a reload and restores at a different part count.  Ghost
+    entities' values are runtime state and are skipped.
+    """
+    out = []
+    for name in part.mesh.tags.names():
+        tag = part.mesh.tags.find(name)
+        entries = []
+        for ent, value in tag.items():
+            if ent in part.ghosts:
+                continue
+            entries.append((ent.dim, entity_key(part, ent), value))
+        out.append((name, entries))
+    return out
+
+
+def _part_fields(
+    part: Part, fields: Sequence[DistributedField]
+) -> Dict[str, List[Tuple[Tuple[int, ...], np.ndarray]]]:
+    """Field values of one part keyed by entity identity."""
+    out: Dict[str, List[Tuple[Tuple[int, ...], np.ndarray]]] = {}
+    for dfield in fields:
+        local = dfield.on(part.pid)
+        entries = []
+        for ent, value in local.items():
+            if ent in part.ghosts:
+                continue
+            entries.append((entity_key(part, ent), np.asarray(value)))
+        out[dfield.name] = entries
+    return out
+
+
+def save_dmesh(
+    dmesh: DistributedMesh,
+    path: Union[str, Path],
+    fields: Sequence[DistributedField] = (),
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write the distribution to ``path`` (a directory, created if needed).
+
+    Mesh tags ride along automatically; pass ``fields`` to include
+    distributed-field values.  Ghost entities are excluded (re-create them
+    with :func:`~repro.partition.ghosting.ghost_layer` after restore).
+    ``extra`` is embedded verbatim in the manifest (the checkpoint manager
+    stores the step number and ghost configuration there).
+
+    Every file is written atomically and the manifest records a SHA-256 per
+    part file, validated on load.
+    """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     dim = dmesh.element_dim()
-    manifest = {
+    manifest: Dict[str, Any] = {
+        "format": FORMAT,
         "nparts": dmesh.nparts,
         "element_dim": dim,
         "gid_next": list(dmesh._gid_next),
         "has_model": dmesh.model is not None,
+        "ghosted": any(part.ghosts for part in dmesh),
+        "fields": [
+            {
+                "name": f.name,
+                "entity_dim": f.entity_dim,
+                "shape": list(next(iter(f.fields.values())).shape),
+            }
+            for f in fields
+        ],
+        "files": {},
     }
     for part in dmesh:
         mesh = part.mesh
         store = mesh._stores[dim]
-        vert_map = mesh._stores[0].compact_map()
-        elements = list(store.indices())
+        elements = [
+            i for i in store.indices() if Ent(dim, i) not in part.ghosts
+        ]
+        vert_ids = [
+            i for i in mesh._stores[0].indices()
+            if Ent(0, i) not in part.ghosts
+        ]
+        vert_map = {idx: pos for pos, idx in enumerate(vert_ids)}
         etypes = sorted({store.etype(i) for i in elements})
         if len(etypes) > 1:
             raise ValueError(
                 "checkpointing supports single-element-type parts"
             )
-        coords = mesh.coords_view()[list(vert_map.keys())] if vert_map else (
-            np.zeros((0, 3))
+        coords = (
+            mesh.coords_view()[vert_ids] if vert_ids else np.zeros((0, 3))
         )
         conn = (
             np.asarray(
@@ -63,7 +197,7 @@ def save_dmesh(dmesh: DistributedMesh, path: Union[str, Path]) -> Path:
             else np.zeros((0, 1), dtype=np.int64)
         )
         vgids = np.asarray(
-            [part.gid(Ent(0, idx)) for idx in vert_map], dtype=np.int64
+            [part.gid(Ent(0, idx)) for idx in vert_ids], dtype=np.int64
         )
         egids = np.asarray(
             [part.gid(Ent(dim, i)) for i in elements], dtype=np.int64
@@ -78,21 +212,148 @@ def save_dmesh(dmesh: DistributedMesh, path: Union[str, Path]) -> Path:
                     if mesh.classification(Ent(0, idx)) is not None
                     else -1,
                 )
-                for idx in vert_map
+                for idx in vert_ids
             ],
             dtype=np.int64,
         ).reshape(-1, 2)
+        buffer = _io.BytesIO()
         np.savez_compressed(
-            path / f"part{part.pid}.npz",
+            buffer,
             coords=coords,
             conn=conn,
             vgids=vgids,
             egids=egids,
             vclass=vclass,
             etype=np.asarray(etypes or [-1], dtype=np.int64),
+            tag_blob=_pickle_blob(_part_tags(part)),
+            field_blob=_pickle_blob(_part_fields(part, fields)),
         )
-    (path / _MANIFEST).write_text(json.dumps(manifest))
+        data = buffer.getvalue()
+        name = f"part{part.pid}.npz"
+        manifest["files"][name] = _sha256(data)
+        _atomic_write_bytes(path / name, data)
+    if extra:
+        manifest["extra"] = extra
+    _atomic_write_bytes(
+        path / _MANIFEST,
+        json.dumps(manifest, indent=1, sort_keys=True).encode(),
+    )
     return path
+
+
+# ---------------------------------------------------------------------------
+# load
+# ---------------------------------------------------------------------------
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse and schema-check a checkpoint manifest.
+
+    Raises :class:`CorruptCheckpointError` on a missing file, invalid JSON,
+    or an unknown format id.
+    """
+    path = Path(path)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.is_file():
+        raise CorruptCheckpointError(f"{path}: missing {_MANIFEST}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CorruptCheckpointError(
+            f"{path}: unreadable manifest: {exc}"
+        ) from None
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT:
+        raise CorruptCheckpointError(
+            f"{path}: unsupported checkpoint format "
+            f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r} "
+            f"(expected {FORMAT!r})"
+        )
+    for key in ("nparts", "element_dim", "gid_next", "files"):
+        if key not in manifest:
+            raise CorruptCheckpointError(f"{path}: manifest misses {key!r}")
+    return manifest
+
+
+def _load_part_file(path: Path, name: str, expected_sha: str):
+    """Read, hash-validate and parse one part file."""
+    file_path = path / name
+    if not file_path.is_file():
+        raise CorruptCheckpointError(f"{path}: missing part file {name}")
+    data = file_path.read_bytes()
+    actual = _sha256(data)
+    if actual != expected_sha:
+        raise CorruptCheckpointError(
+            f"{path}: integrity failure on {name}: "
+            f"sha256 {actual[:12]}… != manifest {expected_sha[:12]}…"
+        )
+    try:
+        return np.load(_io.BytesIO(data), allow_pickle=True)
+    except Exception as exc:  # zipfile.BadZipFile, pickle errors, ...
+        raise CorruptCheckpointError(
+            f"{path}: unparseable part file {name}: {exc}"
+        ) from None
+
+
+def _key_index(part: Part, dims: Sequence[int]) -> Dict[Tuple[int, Tuple[int, ...]], Ent]:
+    """Map ``(dim, entity key)`` -> local entity for the requested dims."""
+    index: Dict[Tuple[int, Tuple[int, ...]], Ent] = {}
+    for d in dims:
+        for ent in part.mesh.entities(d):
+            index[(d, entity_key(part, ent))] = ent
+    return index
+
+
+def _apply_tags(part: Part, tags_data, index) -> None:
+    for name, entries in tags_data:
+        tag = part.mesh.tags.create(name)
+        for d, key, value in entries:
+            ent = index.get((d, tuple(key)))
+            if ent is not None:
+                tag[ent] = value
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    model: Optional[Model] = None,
+    topology: Optional[MachineTopology] = None,
+    counters: Optional[PerfCounters] = None,
+    nparts: Optional[int] = None,
+) -> Tuple[DistributedMesh, Dict[str, DistributedField], Dict[str, Any]]:
+    """Full-fidelity restore: mesh + tags + fields + manifest.
+
+    Returns ``(dmesh, fields_by_name, manifest)``.  ``nparts`` restores the
+    snapshot onto a different part count (see :func:`load_dmesh`).
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    saved_nparts = int(manifest["nparts"])
+    target = saved_nparts if nparts is None else int(nparts)
+    if target < 1:
+        raise ValueError(f"need at least one part, got {target}")
+    parts_data = [
+        _load_part_file(path, f"part{pid}.npz", manifest["files"].get(
+            f"part{pid}.npz", ""
+        ))
+        for pid in range(saved_nparts)
+    ]
+    try:
+        if target == saved_nparts:
+            dmesh = _restore_same_parts(
+                manifest, parts_data, model, topology, counters
+            )
+        else:
+            dmesh = _restore_regrouped(
+                manifest, parts_data, target, model, topology, counters
+            )
+        fields = _restore_fields(dmesh, manifest, parts_data)
+    except CorruptCheckpointError:
+        raise
+    except (KeyError, ValueError, IndexError, pickle.UnpicklingError) as exc:
+        raise CorruptCheckpointError(
+            f"{path}: inconsistent checkpoint contents: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    return dmesh, fields, manifest
 
 
 def load_dmesh(
@@ -100,22 +361,74 @@ def load_dmesh(
     model: Optional[Model] = None,
     topology: Optional[MachineTopology] = None,
     counters: Optional[PerfCounters] = None,
+    nparts: Optional[int] = None,
 ) -> DistributedMesh:
     """Restore a distribution written by :func:`save_dmesh`.
 
     Pass the original geometric ``model`` to restore classification (the
-    model itself is code, not data, so it is not serialized).
+    model itself is code, not data, so it is not serialized).  ``nparts``
+    restores onto a different part count: elements are regrouped into
+    contiguous global-id blocks across the new parts and all remote-copy
+    links are rebuilt through the migration rendezvous, so a checkpoint
+    written at 8 parts restarts cleanly at 4 or 16.
+
+    Use :func:`load_checkpoint` to also recover saved field values.
     """
-    path = Path(path)
-    manifest = json.loads((path / _MANIFEST).read_text())
+    dmesh, _fields, _manifest = load_checkpoint(
+        path, model=model, topology=topology, counters=counters, nparts=nparts
+    )
+    return dmesh
+
+
+def _restore_intermediate_gids(dmesh: DistributedMesh) -> None:
+    """Give every intermediate entity (0 < d < element dim) a global id.
+
+    The checkpoint persists gids only for vertices and elements; edges (and
+    faces, in 3D) are re-derived from connectivity.  Distributed services
+    assume *every* entity carries a gid — ghosting, for one, detects the
+    entities an element bundle created by diffing the gid table — so
+    restore must re-establish that invariant.  Gids are assigned from the
+    sorted vertex-gid keys: the same shared entity gets the same gid on
+    every holding part, distinct entities get distinct gids, and the result
+    is independent of part count and local numbering.
+    """
+    dim = dmesh.element_dim()
+    for d in range(1, dim):
+        keys = set()
+        for part in dmesh:
+            gid0 = part._gid[0]
+            for ent in part.mesh.entities(d):
+                keys.add(
+                    tuple(sorted(gid0[v.idx] for v in part.mesh.verts_of(ent)))
+                )
+        base = dmesh._gid_next[d]
+        gid_of = {key: base + i for i, key in enumerate(sorted(keys))}
+        for part in dmesh:
+            gid0 = part._gid[0]
+            for ent in part.mesh.entities(d):
+                if not part.has_gid(ent):
+                    key = tuple(
+                        sorted(gid0[v.idx] for v in part.mesh.verts_of(ent))
+                    )
+                    part.set_gid(ent, gid_of[key])
+        dmesh._gid_next[d] = base + len(keys)
+
+
+def _restore_same_parts(
+    manifest, parts_data, model, topology, counters
+) -> DistributedMesh:
+    """The v1 path: rebuild each saved part verbatim."""
     dmesh = DistributedMesh(
-        manifest["nparts"], model=model, topology=topology, counters=counters
+        int(manifest["nparts"]),
+        model=model,
+        topology=topology,
+        counters=counters,
     )
     dmesh._gid_next = list(manifest["gid_next"])
-    dim = manifest["element_dim"]
+    dim = int(manifest["element_dim"])
 
     for pid in range(dmesh.nparts):
-        data = np.load(path / f"part{pid}.npz")
+        data = parts_data[pid]
         part = dmesh.part(pid)
         etype = int(data["etype"][0])
         if etype < 0 or len(data["conn"]) == 0:
@@ -139,5 +452,158 @@ def load_dmesh(
             # (each element's closure covers every edge and face).
             for element in mesh.entities(mesh.dim()):
                 mesh.classify_closure_missing(element)
+        tags_data = _unpickle_blob(data["tag_blob"])
+        if tags_data:
+            dims = sorted({d for _n, entries in tags_data for d, _k, _v in entries})
+            _apply_tags(part, tags_data, _key_index(part, dims))
+    _restore_intermediate_gids(dmesh)
     rebuild_links(dmesh)
     return dmesh
+
+
+def _restore_regrouped(
+    manifest, parts_data, target, model, topology, counters
+) -> DistributedMesh:
+    """Restore onto ``target`` parts: contiguous gid blocks + rendezvous.
+
+    Element records from every saved part are merged, sorted by global id,
+    and dealt to the new parts in contiguous blocks (element ``j`` of ``M``
+    goes to part ``j * target // M``); each new part's serial mesh is built
+    from its block's closure and the remote-copy links are recomputed by
+    the same rendezvous migration uses.  Tags are re-attached afterwards by
+    entity identity (see :func:`load_checkpoint` for fields).
+    """
+    dim = int(manifest["element_dim"])
+    # Merge saved parts into global element / vertex records.
+    vert_coords: Dict[int, np.ndarray] = {}
+    vert_class: Dict[int, Tuple[int, int]] = {}
+    elements: Dict[int, Tuple[int, ...]] = {}  # egid -> vertex gid row
+    etype: Optional[int] = None
+    for data in parts_data:
+        part_etype = int(data["etype"][0])
+        if part_etype < 0 or len(data["conn"]) == 0:
+            continue
+        if etype is None:
+            etype = part_etype
+        elif etype != part_etype:
+            raise ValueError(
+                "restore at a different part count needs a single element "
+                f"type, found both {etype} and {part_etype}"
+            )
+        vgids = data["vgids"]
+        coords = data["coords"]
+        vclass = data["vclass"]
+        for row, gid in enumerate(vgids):
+            gid = int(gid)
+            if gid not in vert_coords:
+                vert_coords[gid] = coords[row]
+                vert_class[gid] = (int(vclass[row][0]), int(vclass[row][1]))
+        for row, egid in enumerate(data["egids"]):
+            elements[int(egid)] = tuple(
+                int(vgids[v]) for v in data["conn"][row]
+            )
+
+    dmesh = DistributedMesh(
+        target, model=model, topology=topology, counters=counters
+    )
+    dmesh._gid_next = list(manifest["gid_next"])
+    ordered = sorted(elements)
+    total = len(ordered)
+    if total and etype is not None:
+        from ..gmodel.model import ModelEntity
+
+        for pid in range(target):
+            block = [
+                egid for j, egid in enumerate(ordered)
+                if j * target // total == pid
+            ]
+            if not block:
+                continue
+            part = dmesh.part(pid)
+            local_of: Dict[int, int] = {}
+            conn_rows: List[List[int]] = []
+            for egid in block:
+                row = []
+                for vgid in elements[egid]:
+                    local = local_of.get(vgid)
+                    if local is None:
+                        local = local_of[vgid] = len(local_of)
+                    row.append(local)
+                conn_rows.append(row)
+            vgid_list = list(local_of)
+            coords = np.asarray([vert_coords[g] for g in vgid_list])
+            mesh = from_connectivity(
+                coords, np.asarray(conn_rows, dtype=np.int64), etype
+            )
+            mesh.model = model
+            part.mesh = mesh
+            for local, vgid in enumerate(vgid_list):
+                part.set_gid(Ent(0, local), vgid)
+            for local, egid in enumerate(block):
+                part.set_gid(Ent(dim, local), egid)
+            if model is not None:
+                for local, vgid in enumerate(vgid_list):
+                    gdim, gtag = vert_class[vgid]
+                    if gdim >= 0:
+                        mesh.set_classification(
+                            Ent(0, local), ModelEntity(gdim, gtag)
+                        )
+                for element in mesh.entities(mesh.dim()):
+                    mesh.classify_closure_missing(element)
+    _restore_intermediate_gids(dmesh)
+    rebuild_links(dmesh)
+
+    # Tags: first saved part wins on shared entities (deterministic).
+    merged: Dict[str, Dict[Tuple[int, Tuple[int, ...]], Any]] = {}
+    for data in parts_data:
+        for name, entries in _unpickle_blob(data["tag_blob"]):
+            bucket = merged.setdefault(name, {})
+            for d, key, value in entries:
+                bucket.setdefault((d, tuple(key)), value)
+    if merged:
+        dims = sorted({d for bucket in merged.values() for d, _k in bucket})
+        for part in dmesh:
+            index = _key_index(part, dims)
+            for name, bucket in sorted(merged.items()):
+                tag = part.mesh.tags.create(name)
+                for (d, key), value in bucket.items():
+                    ent = index.get((d, key))
+                    if ent is not None:
+                        tag[ent] = value
+    return dmesh
+
+
+def _restore_fields(
+    dmesh: DistributedMesh, manifest, parts_data
+) -> Dict[str, DistributedField]:
+    """Re-create saved distributed fields on the restored mesh.
+
+    Values are re-attached by entity identity; on shared entities the
+    lowest saved part's value wins (deterministic, and identical for any
+    synchronized field).
+    """
+    metas = manifest.get("fields", [])
+    if not metas:
+        return {}
+    merged: Dict[str, Dict[Tuple[int, ...], np.ndarray]] = {}
+    for data in parts_data:
+        for name, entries in _unpickle_blob(data["field_blob"]).items():
+            bucket = merged.setdefault(name, {})
+            for key, value in entries:
+                bucket.setdefault(tuple(key), value)
+    fields: Dict[str, DistributedField] = {}
+    for meta in metas:
+        name = meta["name"]
+        entity_dim = int(meta["entity_dim"])
+        bucket = merged.get(name, {})
+        shape = tuple(meta.get("shape", [1]))
+        dfield = DistributedField(dmesh, name, entity_dim, shape)
+        for part in dmesh:
+            index = _key_index(part, [entity_dim])
+            local = dfield.on(part.pid)
+            for key, value in bucket.items():
+                ent = index.get((entity_dim, key))
+                if ent is not None:
+                    local.set(ent, value)
+        fields[name] = dfield
+    return fields

@@ -1,0 +1,211 @@
+"""Checkpoint lifecycle management: rotation, validation, fallback restore.
+
+:class:`CheckpointManager` wraps the ``repro.dmesh/2`` on-disk format of
+:mod:`repro.partition.io` with the operational policy a long run needs:
+
+* **atomic epochs** — each checkpoint is staged in a ``*.tmp`` directory
+  and renamed into place only after every part file and the hashed
+  manifest are durably written, so a crash mid-checkpoint never leaves a
+  half-written "latest";
+* **rotation** — keep the last ``keep`` checkpoints, delete older ones;
+* **validated restore with fallback** — :meth:`restore` walks checkpoints
+  newest-first, skipping any that fail SHA-256 / schema validation
+  (:class:`CorruptCheckpointError`), and raises :class:`NoCheckpointError`
+  only when none survive;
+* **complete state** — mesh topology, tags and distributed-field values
+  round-trip through the checkpoint; the ghost configuration is recorded
+  in the manifest and re-applied after restore (ghosts themselves are
+  reconstructible runtime state);
+* **restart at a different scale** — ``restore(nparts=K)`` regroups the
+  snapshot onto ``K`` parts through the migration rendezvous, the DMPlex
+  result that makes checkpoint/restart independent of job width.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..gmodel.model import Model
+from ..parallel.perf import PerfCounters
+from ..parallel.topology import MachineTopology
+from ..partition.dmesh import DistributedMesh
+from ..partition.fieldsync import DistributedField
+from ..partition.ghosting import ghost_layer
+from ..partition.io import (
+    CorruptCheckpointError,
+    load_checkpoint,
+    read_manifest,
+    save_dmesh,
+)
+
+__all__ = [
+    "CheckpointInfo",
+    "CheckpointManager",
+    "CorruptCheckpointError",
+    "NoCheckpointError",
+]
+
+
+class NoCheckpointError(RuntimeError):
+    """No valid checkpoint is available to restore from."""
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One on-disk checkpoint: monotone index, workload step, location."""
+
+    index: int
+    step: int
+    path: Path
+
+
+class CheckpointManager:
+    """Owns a directory of rotated, hash-validated checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the checkpoints (created if needed).  Each
+        checkpoint is a subdirectory ``ckpt-<index>`` in ``repro.dmesh/2``
+        format.
+    keep:
+        Retain at most this many checkpoints; older ones are deleted after
+        each successful :meth:`save`.  ``0`` disables rotation.
+    ghost_config:
+        Optional ``ghost_layer`` keyword dict (``bridge_dim``, ``layers``,
+        ``tags``) recorded in every manifest and re-applied by
+        :meth:`restore`, so ghosted workloads resume with their halo
+        already rebuilt.
+    """
+
+    PREFIX = "ckpt-"
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        keep: int = 3,
+        ghost_config: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.ghost_config = dict(ghost_config) if ghost_config else None
+
+    # -- enumeration --------------------------------------------------------
+
+    def checkpoints(self) -> List[CheckpointInfo]:
+        """All checkpoints on disk, oldest first.
+
+        Steps are read from manifests; a checkpoint whose manifest is
+        unreadable is listed with ``step=-1`` (restore will skip it).
+        """
+        infos: List[CheckpointInfo] = []
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir() or not entry.name.startswith(self.PREFIX):
+                continue
+            if entry.name.endswith(".tmp"):
+                continue  # a crash mid-save left this; never valid
+            try:
+                index = int(entry.name[len(self.PREFIX):])
+            except ValueError:
+                continue
+            try:
+                manifest = read_manifest(entry)
+                step = int(manifest.get("extra", {}).get("step", -1))
+            except CorruptCheckpointError:
+                step = -1
+            infos.append(CheckpointInfo(index=index, step=step, path=entry))
+        infos.sort(key=lambda info: info.index)
+        return infos
+
+    def latest(self) -> Optional[CheckpointInfo]:
+        infos = self.checkpoints()
+        return infos[-1] if infos else None
+
+    # -- writing ------------------------------------------------------------
+
+    def save(
+        self,
+        dmesh: DistributedMesh,
+        step: int,
+        fields: Sequence[DistributedField] = (),
+    ) -> CheckpointInfo:
+        """Write one checkpoint of ``dmesh`` (plus ``fields``) atomically.
+
+        The checkpoint becomes visible only via the final directory rename;
+        rotation then prunes old checkpoints down to ``keep``.
+        """
+        latest = self.latest()
+        index = latest.index + 1 if latest is not None else 0
+        name = f"{self.PREFIX}{index:06d}"
+        final = self.root / name
+        staging = self.root / (name + ".tmp")
+        if staging.exists():
+            shutil.rmtree(staging)
+        extra: Dict[str, Any] = {"step": int(step), "index": index}
+        if self.ghost_config is not None:
+            extra["ghost_config"] = self.ghost_config
+        save_dmesh(dmesh, staging, fields=fields, extra=extra)
+        os.replace(staging, final)
+        self._rotate()
+        return CheckpointInfo(index=index, step=int(step), path=final)
+
+    def _rotate(self) -> None:
+        if self.keep <= 0:
+            return
+        infos = self.checkpoints()
+        for info in infos[: max(0, len(infos) - self.keep)]:
+            shutil.rmtree(info.path, ignore_errors=True)
+
+    # -- reading ------------------------------------------------------------
+
+    def validate(self, info: CheckpointInfo) -> bool:
+        """True when ``info`` passes full integrity validation."""
+        try:
+            load_checkpoint(info.path)
+        except CorruptCheckpointError:
+            return False
+        return True
+
+    def restore(
+        self,
+        model: Optional[Model] = None,
+        topology: Optional[MachineTopology] = None,
+        counters: Optional[PerfCounters] = None,
+        nparts: Optional[int] = None,
+    ) -> Tuple[DistributedMesh, Dict[str, DistributedField], CheckpointInfo]:
+        """Restore from the newest valid checkpoint.
+
+        Walks checkpoints newest-first and skips (does not delete) any that
+        fail validation, so one corrupt epoch costs one epoch of progress,
+        not the run.  Re-applies the recorded ghost configuration.  Returns
+        ``(dmesh, fields_by_name, info)``; raises :class:`NoCheckpointError`
+        when no checkpoint survives.
+        """
+        skipped: List[str] = []
+        for info in reversed(self.checkpoints()):
+            try:
+                dmesh, fields, manifest = load_checkpoint(
+                    info.path,
+                    model=model,
+                    topology=topology,
+                    counters=counters,
+                    nparts=nparts,
+                )
+            except CorruptCheckpointError as exc:
+                skipped.append(f"{info.path.name}: {exc}")
+                continue
+            ghost_config = manifest.get("extra", {}).get("ghost_config")
+            if ghost_config:
+                ghost_layer(dmesh, **ghost_config)
+            return dmesh, fields, info
+        detail = ("; skipped corrupt: " + ", ".join(skipped)) if skipped else ""
+        raise NoCheckpointError(
+            f"no valid checkpoint under {self.root}{detail}"
+        )

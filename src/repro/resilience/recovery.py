@@ -1,0 +1,310 @@
+"""Checkpoint/restart recovery driver for the simulated runtime.
+
+:func:`resilient_spmd` runs a step-structured workload over a
+:class:`~repro.partition.dmesh.DistributedMesh` in *checkpoint epochs*:
+execute a step, checkpoint every ``checkpoint_every`` steps, and when a
+step dies classify the failure —
+
+* **injected** — the exception is an
+  :class:`~repro.resilience.faults.InjectedFault` (or an
+  :class:`~repro.parallel.SpmdError` whose structured records are all
+  injected): the fault plan killed us on purpose;
+* **collateral** — an ordinary exception, but the fault injector recorded
+  at least one injection (drop/corrupt/delay) during the failed epoch, so
+  the crash is attributed to the plan;
+* **real** — no injection can explain it: re-raised immediately, exactly
+  as an unharnessed run would fail.
+
+Injected and collateral failures trigger recovery: restore from the newest
+valid checkpoint (the manager transparently falls back past corrupt ones),
+rewind the step counter to the checkpointed epoch, re-attach the tracer and
+the *same* fault injector (consumed one-shot faults do not re-fire, which
+is what makes re-execution converge), and retry with bounded attempts and
+optional exponential backoff.  Every fault and recovery lands in the
+:class:`RecoveryReport` — a deterministic, JSON-safe document — and on the
+attached :class:`~repro.obs.Tracer` as spans and timeline samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..obs.tracer import Tracer, current as current_tracer, trace_span
+from ..parallel.executor import SpmdError
+from ..partition.dmesh import DistributedMesh
+from .checkpoint import CheckpointManager, NoCheckpointError
+from .faults import FaultInjector, FaultPlan
+
+__all__ = [
+    "RecoveryEvent",
+    "RecoveryExhaustedError",
+    "RecoveryReport",
+    "classify_failure",
+    "resilient_spmd",
+]
+
+#: Failure classes returned by :func:`classify_failure`.
+INJECTED, COLLATERAL, REAL = "injected", "collateral", "real"
+
+
+class RecoveryExhaustedError(RuntimeError):
+    """Recovery gave up: the retry budget ran out."""
+
+    def __init__(self, message: str, report: "RecoveryReport") -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery: which step failed, how it was classified, the rewind."""
+
+    step: int
+    attempt: int
+    kind: str  # "injected" | "collateral"
+    exc_type: str
+    message: str
+    resumed_at: int  # step index execution resumed from (0 = cold restart)
+    checkpoint_index: int  # -1 when no checkpoint existed yet
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "resumed_at": self.resumed_at,
+            "checkpoint_index": self.checkpoint_index,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Deterministic summary of one resilient run (no wall-clock times)."""
+
+    steps: int = 0
+    step_attempts: int = 0
+    checkpoints_written: int = 0
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    final_entity_counts: List[List[int]] = field(default_factory=list)
+    final_owned_totals: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON document; byte-stable for identical runs."""
+        return {
+            "schema": "repro.resilience.report/1",
+            "steps": self.steps,
+            "step_attempts": self.step_attempts,
+            "checkpoints_written": self.checkpoints_written,
+            "recoveries": [event.to_dict() for event in self.recoveries],
+            "faults": list(self.faults),
+            "final_entity_counts": self.final_entity_counts,
+            "final_owned_totals": self.final_owned_totals,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"steps completed      {self.steps}"
+            f"  (attempts {self.step_attempts})",
+            f"checkpoints written  {self.checkpoints_written}",
+            f"faults injected      {len(self.faults)}",
+            f"recoveries           {len(self.recoveries)}",
+        ]
+        for event in self.recoveries:
+            lines.append(
+                f"  step {event.step} attempt {event.attempt}: "
+                f"{event.kind} {event.exc_type} -> resumed at step "
+                f"{event.resumed_at}"
+            )
+        if self.final_owned_totals:
+            v, e, f_, r = self.final_owned_totals
+            lines.append(
+                f"final owned entities Vtx {v}  Edge {e}  Face {f_}  Rgn {r}"
+            )
+        return "\n".join(lines)
+
+
+def classify_failure(
+    exc: BaseException,
+    injector: Optional[FaultInjector] = None,
+    records_before: int = 0,
+) -> str:
+    """Attribute a failure: ``injected``, ``collateral``, or ``real``.
+
+    ``records_before`` is the injector's record count at epoch start; any
+    injection since then makes an otherwise-ordinary exception collateral
+    damage of the plan (e.g. a corrupted payload blowing up downstream).
+    """
+    if getattr(exc, "injected_fault", False):
+        return INJECTED
+    if isinstance(exc, SpmdError) and exc.records and exc.injected_only:
+        return INJECTED
+    if injector is not None and injector.record_count() > records_before:
+        return COLLATERAL
+    return REAL
+
+
+def _attach(
+    dmesh: DistributedMesh,
+    injector: Optional[FaultInjector],
+    tracer: Optional[Tracer],
+) -> None:
+    dmesh.fault_injector = injector
+    if tracer is not None:
+        dmesh.tracer = tracer
+
+
+def resilient_spmd(
+    build: Callable[[], DistributedMesh],
+    step: Callable[[DistributedMesh, int], Any],
+    nsteps: int,
+    *,
+    checkpoints: CheckpointManager,
+    checkpoint_every: int = 1,
+    faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+    max_retries: int = 3,
+    backoff: float = 0.0,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[DistributedMesh, RecoveryReport]:
+    """Run ``step(dmesh, i)`` for ``i in range(nsteps)`` with recovery.
+
+    Parameters
+    ----------
+    build:
+        Zero-argument factory for the initial distributed mesh.  Also the
+        cold-restart path when a failure precedes the first checkpoint.
+    step:
+        One workload epoch.  Must be deterministic given the mesh state —
+        that is what makes recovery reproduce the fault-free result.
+    nsteps:
+        Number of epochs.
+    checkpoints:
+        The :class:`CheckpointManager` owning the checkpoint directory.
+    checkpoint_every:
+        Checkpoint cadence in epochs (the final epoch always checkpoints).
+    faults:
+        A :class:`FaultPlan` (an injector is built from it) or a live
+        :class:`FaultInjector`; attached to the mesh's part networks.
+        ``None`` runs fault-free under the identical code path.
+    max_retries:
+        Total recovery budget across the run.
+    backoff:
+        Base seconds for exponential backoff between retries
+        (``backoff * 2**(retry-1)``); 0 disables sleeping (deterministic
+        tests).
+    tracer:
+        Observability hook; ``None`` resolves to the installed default.
+        Epochs run inside ``resilience.epoch`` spans, recoveries inside
+        ``resilience.recover`` spans, and each recovery is sampled onto
+        the ``resilience.recoveries`` timeline.
+
+    Returns ``(final_dmesh, report)``.  Real failures propagate unchanged;
+    an exhausted retry budget raises :class:`RecoveryExhaustedError` with
+    the partial report attached.
+    """
+    if nsteps < 0:
+        raise ValueError(f"nsteps must be >= 0, got {nsteps}")
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if isinstance(faults, FaultPlan):
+        injector: Optional[FaultInjector] = FaultInjector(faults)
+    else:
+        injector = faults
+    tracer = tracer if tracer is not None else current_tracer()
+
+    dmesh = build()
+    model = dmesh.model
+    counters = dmesh.counters
+    # Observability counters go to the tracer's registry when it has one
+    # (that is the registry the metrics document reads); the mesh's own
+    # registry is used for the restore path either way.
+    obs_counters = (
+        tracer.counters
+        if tracer is not None and tracer.counters is not None
+        else counters
+    )
+    _attach(dmesh, injector, tracer)
+
+    report = RecoveryReport()
+    retries = 0
+    i = 0
+    while i < nsteps:
+        records_before = injector.record_count() if injector else 0
+        report.step_attempts += 1
+        try:
+            with trace_span(tracer, "resilience.epoch", step=i):
+                step(dmesh, i)
+                if (i + 1) % checkpoint_every == 0 or i + 1 == nsteps:
+                    checkpoints.save(dmesh, step=i)
+                    report.checkpoints_written += 1
+                    obs_counters.add("resilience.checkpoints")
+            i += 1
+        except Exception as exc:  # noqa: BLE001 - classified below
+            kind = classify_failure(exc, injector, records_before)
+            if kind == REAL:
+                raise
+            retries += 1
+            obs_counters.add("resilience.failures")
+            if retries > max_retries:
+                _finalize(report, dmesh, injector, nsteps_done=i)
+                raise RecoveryExhaustedError(
+                    f"recovery exhausted after {max_retries} retries; "
+                    f"last failure at step {i}: "
+                    f"{type(exc).__name__}: {exc}",
+                    report,
+                ) from exc
+            if backoff > 0:
+                time.sleep(backoff * (2 ** (retries - 1)))
+            with trace_span(
+                tracer, "resilience.recover", step=i, attempt=retries
+            ):
+                try:
+                    dmesh, _fields, info = checkpoints.restore(
+                        model=model, counters=counters
+                    )
+                    resumed_at = info.step + 1
+                    checkpoint_index = info.index
+                except NoCheckpointError:
+                    dmesh = build()
+                    resumed_at = 0
+                    checkpoint_index = -1
+                _attach(dmesh, injector, tracer)
+            report.recoveries.append(
+                RecoveryEvent(
+                    step=i,
+                    attempt=retries,
+                    kind=kind,
+                    exc_type=type(exc).__name__,
+                    message=str(exc),
+                    resumed_at=resumed_at,
+                    checkpoint_index=checkpoint_index,
+                )
+            )
+            obs_counters.add("resilience.recoveries")
+            if tracer is not None and tracer.enabled:
+                tracer.record_value("resilience.recoveries", retries)
+            i = resumed_at
+
+    _finalize(report, dmesh, injector, nsteps_done=nsteps)
+    return dmesh, report
+
+
+def _finalize(
+    report: RecoveryReport,
+    dmesh: DistributedMesh,
+    injector: Optional[FaultInjector],
+    nsteps_done: int,
+) -> None:
+    report.steps = nsteps_done
+    if injector is not None:
+        report.faults = [record.to_dict() for record in injector.records]
+    report.final_entity_counts = [
+        [int(c) for c in row] for row in dmesh.entity_counts()
+    ]
+    report.final_owned_totals = [dmesh.total_owned(d) for d in range(4)]

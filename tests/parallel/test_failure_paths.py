@@ -166,3 +166,58 @@ def test_abort_wakeup_leaves_results_for_successful_ranks_unreported():
     with pytest.raises(SpmdError) as info:
         spmd(2, prog, counters=PerfCounters(), timeout=30.0)
     assert "fail before entering the collective" in str(info.value)
+
+
+# -- structured per-rank failure records (SpmdError.records) -----------------
+
+
+def test_spmd_error_exposes_structured_records():
+    """Recovery layers classify via typed records, never by string-parsing."""
+    from repro.parallel import RankFailure
+
+    def prog(comm):
+        if comm.rank == 1:
+            raise KeyError("structured")
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=5.0)
+    (record,) = info.value.records
+    assert isinstance(record, RankFailure)
+    assert record.rank == 1
+    assert record.exc_type == "KeyError"
+    assert "structured" in record.message
+    assert "Traceback" in record.traceback
+    assert record.injected is False
+    assert isinstance(record.exception, KeyError)
+    # JSON-safe dict form carries no live exception object.
+    d = record.to_dict()
+    assert d["rank"] == 1 and d["exc_type"] == "KeyError"
+    assert "exception" not in d
+    # Legacy tuple view stays consistent with the records.
+    (rank, exc, tb) = info.value.failures[0]
+    assert (rank, exc, tb) == (record.rank, record.exception, record.traceback)
+
+
+def test_records_carry_superstep_of_failure():
+    def prog(comm):
+        comm.barrier()  # superstep 0
+        comm.barrier()  # superstep 1
+        if comm.rank == 0:
+            raise RuntimeError("after two collectives")
+        comm.barrier()
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=30.0)
+    record = info.value.records[0]
+    assert record.rank == 0
+    assert record.superstep == 2  # two collectives completed before death
+
+
+def test_injected_only_false_for_ordinary_failures():
+    def prog(comm):
+        raise RuntimeError("plain")
+
+    with pytest.raises(SpmdError) as info:
+        spmd(2, prog, counters=PerfCounters(), timeout=5.0)
+    assert info.value.injected_only is False
+    assert all(not r.injected for r in info.value.records)

@@ -5,7 +5,10 @@ import pytest
 
 from repro.mesh import box_tet, rect_tri
 from repro.partition import (
+    CorruptCheckpointError,
+    DistributedField,
     distribute,
+    load_checkpoint,
     load_dmesh,
     migrate,
     save_dmesh,
@@ -102,3 +105,194 @@ def test_checkpoint_after_adaptation(tmp_path):
     restored = load_dmesh(tmp_path / "c", model=mesh.model)
     restored.verify()
     assert np.array_equal(restored.entity_counts(), dm.entity_counts())
+
+
+# -- v2 format: tags, fields, ghosts ------------------------------------------
+
+
+def test_roundtrip_tags(tmp_path):
+    mesh = rect_tri(3)
+    dm = distribute(mesh, strips(mesh, 2))
+    for part in dm:
+        vtag = part.mesh.tag("vlabel")
+        for v in part.mesh.entities(0):
+            vtag.set(v, int(part.gid(v)) * 10)
+        etag = part.mesh.tag("region")
+        for e in part.mesh.entities(2):
+            etag.set(e, f"r{part.gid(e) % 3}")
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model)
+    for part in restored:
+        vtag = part.mesh.tags.find("vlabel")
+        assert vtag is not None
+        for v in part.mesh.entities(0):
+            assert vtag.get(v) == int(part.gid(v)) * 10
+        etag = part.mesh.tags.find("region")
+        assert etag is not None
+        for e in part.mesh.entities(2):
+            assert etag.get(e) == f"r{part.gid(e) % 3}"
+
+
+def test_roundtrip_fields(tmp_path):
+    mesh = rect_tri(3)
+    dm = distribute(mesh, strips(mesh, 3))
+    df = DistributedField(dm, "u")
+    df.set_from_coords(lambda x: x[0] + 2.0 * x[1])
+    save_dmesh(dm, tmp_path / "c", fields=[df])
+    restored, fields, manifest = load_checkpoint(tmp_path / "c", model=mesh.model)
+    assert manifest["format"] == "repro.dmesh/2"
+    assert set(fields) == {"u"}
+    ref = fields["u"]
+    for part in restored:
+        f = ref.fields[part.pid]
+        for v in part.mesh.entities(0):
+            x = part.mesh.coords(v)
+            assert f.get(v) == pytest.approx(x[0] + 2.0 * x[1])
+
+
+def test_all_entities_have_gids_after_restore(tmp_path):
+    """The all-entities-carry-gids invariant survives the round-trip."""
+    mesh = box_tet(2)
+    dm = distribute(mesh, strips(mesh, 2, axis=2))
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model)
+    for part in restored:
+        for dim in range(4):
+            for ent in part.mesh.entities(dim):
+                assert part.has_gid(ent), (part.pid, ent)
+    # Shared entities carry the same gid on every holder.
+    for part in restored:
+        for ent, copies in part.remotes.items():
+            for other_pid, other_ent in copies.items():
+                other = restored.part(other_pid)
+                assert other.gid(other_ent) == part.gid(ent)
+
+
+def test_ghosted_mesh_roundtrip_excludes_ghosts(tmp_path):
+    from repro.partition import ghost_layer
+
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 3))
+    pre_ghost = dm.entity_counts().copy()
+    ghost_layer(dm, bridge_dim=0, layers=1)
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model)
+    restored.verify()
+    # Ghosts are runtime state: the snapshot holds only real entities.
+    assert not any(part.ghosts for part in restored)
+    assert np.array_equal(restored.entity_counts(), pre_ghost)
+    # ...and ghosting is re-appliable on the restored mesh.
+    ghost_layer(restored, bridge_dim=0, layers=1)
+    restored.verify()
+    assert np.array_equal(restored.entity_counts(), pre_ghost)
+
+
+# -- restore at a different part count ----------------------------------------
+
+
+@pytest.mark.parametrize("target", [4, 16])
+def test_restore_8_parts_at_other_counts(tmp_path, target):
+    """Checkpoint at 8 parts, restart at 4 and 16 (the DMPlex property)."""
+    mesh = rect_tri(6)
+    dm = distribute(mesh, strips(mesh, 8))
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model, nparts=target)
+    restored.verify()
+    assert restored.nparts == target
+    for dim in range(3):
+        assert restored.total_owned(dim) == dm.total_owned(dim)
+    assert all(part.mesh.count(2) > 0 for part in restored)
+
+
+def test_restore_other_count_keeps_tags_and_fields(tmp_path):
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 4))
+    for part in dm:
+        tag = part.mesh.tag("mark")
+        for e in part.mesh.entities(2):
+            tag.set(e, int(part.gid(e)))
+    df = DistributedField(dm, "u")
+    df.set_from_coords(lambda x: 5.0 * x[0])
+    save_dmesh(dm, tmp_path / "c", fields=[df])
+    restored, fields, _ = load_checkpoint(
+        tmp_path / "c", model=mesh.model, nparts=2
+    )
+    restored.verify()
+    for part in restored:
+        tag = part.mesh.tags.find("mark")
+        for e in part.mesh.entities(2):
+            assert tag.get(e) == int(part.gid(e))
+        f = fields["u"].fields[part.pid]
+        for v in part.mesh.entities(0):
+            assert f.get(v) == pytest.approx(5.0 * part.mesh.coords(v)[0])
+
+
+def test_restored_regrouped_mesh_is_operational(tmp_path):
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 4))
+    save_dmesh(dm, tmp_path / "c")
+    restored = load_dmesh(tmp_path / "c", model=mesh.model, nparts=2)
+    element = next(restored.part(0).mesh.entities(2))
+    migrate(restored, {0: {element: 1}})
+    restored.verify()
+    assert restored.entity_counts()[:, 2].sum() == mesh.count(2)
+
+
+# -- integrity: typed corruption errors ---------------------------------------
+
+
+def make_checkpoint(tmp_path):
+    mesh = rect_tri(3)
+    dm = distribute(mesh, strips(mesh, 2))
+    save_dmesh(dm, tmp_path / "c")
+    return tmp_path / "c"
+
+
+def test_missing_manifest_is_typed(tmp_path):
+    path = make_checkpoint(tmp_path)
+    (path / "manifest.json").unlink()
+    with pytest.raises(CorruptCheckpointError, match="manifest"):
+        load_dmesh(path)
+
+
+def test_unparseable_manifest_is_typed(tmp_path):
+    path = make_checkpoint(tmp_path)
+    (path / "manifest.json").write_text("{nope")
+    with pytest.raises(CorruptCheckpointError):
+        load_dmesh(path)
+
+
+def test_unsupported_format_is_typed(tmp_path):
+    import json
+
+    path = make_checkpoint(tmp_path)
+    manifest = json.loads((path / "manifest.json").read_text())
+    manifest["format"] = "repro.dmesh/99"
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(CorruptCheckpointError, match="format"):
+        load_dmesh(path)
+
+
+def test_tampered_part_file_fails_hash_validation(tmp_path):
+    path = make_checkpoint(tmp_path)
+    part_file = path / "part0.npz"
+    data = bytearray(part_file.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    part_file.write_bytes(bytes(data))
+    with pytest.raises(CorruptCheckpointError, match="sha256"):
+        load_dmesh(path)
+
+
+def test_truncated_part_file_is_typed_not_badzipfile(tmp_path):
+    path = make_checkpoint(tmp_path)
+    part_file = path / "part1.npz"
+    part_file.write_bytes(part_file.read_bytes()[:20])
+    with pytest.raises(CorruptCheckpointError):
+        load_dmesh(path)
+
+
+def test_missing_part_file_is_typed(tmp_path):
+    path = make_checkpoint(tmp_path)
+    (path / "part0.npz").unlink()
+    with pytest.raises(CorruptCheckpointError, match="missing"):
+        load_dmesh(path)

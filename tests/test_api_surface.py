@@ -313,6 +313,55 @@ def test_top_level_stats_types():
         assert name in repro.__all__
 
 
+def test_top_level_resilience_surface():
+    """The resilience subsystem is part of the pinned public API."""
+    import repro
+    from repro import resilience
+
+    for name in (
+        "CheckpointManager",
+        "CorruptCheckpointError",
+        "FaultInjector",
+        "FaultPlan",
+        "InjectedRankFailure",
+        "resilient_spmd",
+    ):
+        assert getattr(repro, name) is getattr(resilience, name)
+        assert name in repro.__all__, name
+    assert "resilience" in repro.__all__
+    # CorruptCheckpointError is one class, wherever it is imported from.
+    from repro.partition import CorruptCheckpointError as from_partition
+
+    assert repro.CorruptCheckpointError is from_partition
+    # RankFailure (structured SpmdError records) is pinned too.
+    from repro.parallel import RankFailure
+
+    assert repro.RankFailure is RankFailure
+    assert "RankFailure" in repro.__all__
+
+
+def test_resilience_subpackage_all():
+    """Everything resilience.__all__ names resolves, and the core names are in."""
+    from repro import resilience
+
+    for name in resilience.__all__:
+        assert hasattr(resilience, name), name
+    for name in (
+        "FaultSpec",
+        "FaultPlanError",
+        "FaultRecord",
+        "InjectedFault",
+        "CorruptedPayload",
+        "NoCheckpointError",
+        "CheckpointInfo",
+        "RecoveryEvent",
+        "RecoveryExhaustedError",
+        "RecoveryReport",
+        "classify_failure",
+    ):
+        assert name in resilience.__all__, name
+
+
 def test_services_return_typed_stats():
     """No caller can depend on the old bare-int returns anymore."""
     from repro import (

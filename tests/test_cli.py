@@ -152,3 +152,105 @@ def test_balance_with_sanitize(capsys):
         == 0
     )
     assert "after ParMA" in capsys.readouterr().out
+
+
+# -- chaos ------------------------------------------------------------------
+
+
+CHAOS_SCRIPT = """
+from repro.mesh import rect_tri
+from repro.parallel import PerfCounters
+from repro.partition import distribute, migrate
+
+NPARTS = 3
+NSTEPS = 2
+
+
+def build():
+    m = rect_tri(4)
+    assignment = [
+        min(int(m.centroid(e)[0] * NPARTS), NPARTS - 1)
+        for e in m.entities(2)
+    ]
+    return distribute(m, assignment, counters=PerfCounters())
+
+
+def step(dmesh, i):
+    plan = {}
+    for part in dmesh:
+        moves = {}
+        for e in part.mesh.entities(2):
+            dest = min(
+                int(part.mesh.centroid(e)[i % 2] * NPARTS), NPARTS - 1
+            )
+            if dest != part.pid:
+                moves[e] = dest
+        plan[part.pid] = moves
+    migrate(dmesh, plan)
+"""
+
+
+def test_chaos_runs_workload_and_writes_report(tmp_path, capsys):
+    import json
+
+    script = tmp_path / "workload.py"
+    script.write_text(CHAOS_SCRIPT)
+    out_dir = tmp_path / "chaos-out"
+    assert main(["chaos", str(script), "--out", str(out_dir)]) == 0
+
+    report = json.loads((out_dir / "workload.resilience.json").read_text())
+    assert report["schema"] == "repro.resilience.report/1"
+    assert report["steps"] == 2 and report["recoveries"] == []
+    assert (out_dir / "checkpoints").is_dir()
+    assert (out_dir / "workload.metrics.json").exists()
+    assert "steps completed" in capsys.readouterr().out
+
+
+def test_chaos_recovers_from_fault_plan(tmp_path, capsys):
+    import json
+
+    script = tmp_path / "workload.py"
+    script.write_text(CHAOS_SCRIPT)
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps(
+        {"seed": 1, "faults": [{"kind": "crash", "rank": 1, "superstep": 3}]}
+    ))
+    out_dir = tmp_path / "out"
+    assert main([
+        "chaos", str(script), "--faults", str(plan), "--out", str(out_dir),
+    ]) == 0
+    report = json.loads((out_dir / "workload.resilience.json").read_text())
+    assert len(report["recoveries"]) == 1
+    assert report["recoveries"][0]["kind"] == "injected"
+    assert [f["kind"] for f in report["faults"]] == ["crash"]
+
+
+def test_chaos_missing_script_fails(tmp_path, capsys):
+    assert main(["chaos", str(tmp_path / "nope.py")]) == 2
+    assert "no such script" in capsys.readouterr().err
+
+
+def test_chaos_script_without_contract_fails(tmp_path, capsys):
+    script = tmp_path / "bad.py"
+    script.write_text("x = 1\n")
+    assert main(["chaos", str(script), "--steps", "1"]) == 2
+    assert "must define build()" in capsys.readouterr().err
+
+
+def test_chaos_requires_steps(tmp_path, capsys):
+    script = tmp_path / "nosteps.py"
+    script.write_text(
+        "def build():\n    pass\n\n"
+        "def step(dmesh, i):\n    pass\n"
+    )
+    assert main(["chaos", str(script)]) == 2
+    assert "NSTEPS" in capsys.readouterr().err
+
+
+def test_chaos_bad_plan_fails(tmp_path, capsys):
+    script = tmp_path / "workload.py"
+    script.write_text(CHAOS_SCRIPT)
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"faults": [{"kind": "teleport"}]}')
+    assert main(["chaos", str(script), "--faults", str(plan)]) == 2
+    assert "bad fault plan" in capsys.readouterr().err
