@@ -88,7 +88,7 @@ from .obs import (
     SyncStats,
     Tracer,
 )
-from .parallel import RankFailure, spmd
+from .parallel import CodecError, RankFailure, spmd
 from .partition import (
     DistributedField,
     DistributedMesh,
@@ -124,6 +124,7 @@ __all__ = [
     "workloads",
     "AccumulateStats",
     "CheckpointManager",
+    "CodecError",
     "CorruptCheckpointError",
     "DistributedField",
     "DistributedMesh",

@@ -127,7 +127,8 @@ def cmd_balance(args) -> int:
         mesh, args.parts, method=args.method, seed=args.seed, eps=args.eps
     )
     dmesh = distribute(
-        mesh, assignment, nparts=args.parts, sanitize=args.sanitize
+        mesh, assignment, nparts=args.parts, sanitize=args.sanitize,
+        codec=args.codec,
     )
     balancer = ParMA(dmesh)
     before = (imbalances(dmesh.entity_counts()) - 1) * 100
@@ -336,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="run with the runtime sanitizers on (alias freeze proxies)",
+    )
+    p_bal.add_argument(
+        "--codec",
+        choices=("binary", "pickle"),
+        default="binary",
+        help="wire codec for the part networks (pickle = A/B escape hatch)",
     )
     p_bal.set_defaults(fn=cmd_balance)
 

@@ -56,6 +56,14 @@ class CommProbe:
     def wire_bytes(self) -> int:
         return self._delta("net.bytes.off_node")
 
+    def encoded_bytes(self) -> int:
+        """Bytes of codec-encoded batch buffers built in the window."""
+        return self._delta("net.bytes.encoded")
+
+    def messages_coalesced(self) -> int:
+        """Logical records folded into batch buffers in the window."""
+        return self._delta("net.messages.coalesced")
+
     def supersteps(self) -> int:
         return self._delta("net.exchanges")
 
@@ -71,6 +79,11 @@ class CommStats:
     wire_bytes: int = 0
     supersteps: int = 0
     seconds: float = 0.0
+    #: Bytes of codec-encoded batch buffers the operation built (zero on
+    #: the pickle escape hatch, where no batches are encoded).
+    encoded_bytes: int = 0
+    #: Logical records coalesced into those batch buffers.
+    messages_coalesced: int = 0
 
     def to_dict(self) -> Dict:
         """Plain-dict form safe for ``json.dumps(..., allow_nan=False)``."""

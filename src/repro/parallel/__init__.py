@@ -11,6 +11,8 @@ from ..analysis.sanitizers import (
     PayloadAliasError,
     SanitizerError,
 )
+from . import codec
+from .codec import CodecError
 from .detect import detect, virtual
 from .comm import (
     ANY_SOURCE,
@@ -23,7 +25,7 @@ from .comm import (
 )
 from .executor import RankFailure, SpmdError, spmd
 from .neighbors import dense_exchange, neighbor_exchange
-from .network import Message, Network, wire_size
+from .network import CODECS, Message, Network, wire_size
 from .perf import GLOBAL, PerfCounters, TimerStat
 from .routing import BufferedRouter, NodeRouter
 from .topology import MachineTopology, flat, single_node
@@ -33,6 +35,8 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "BufferedRouter",
+    "CODECS",
+    "CodecError",
     "CollectiveMismatchError",
     "Comm",
     "CommAbortedError",
@@ -52,6 +56,7 @@ __all__ = [
     "SpmdError",
     "TimerStat",
     "TwoLevelComm",
+    "codec",
     "dense_exchange",
     "detect",
     "flat",

@@ -206,14 +206,13 @@ class CommWorld:
             self.counters.add("comm.messages.on_node")
         else:
             self.counters.add("comm.messages.off_node")
-            nbytes = len(
-                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-            )
+            # Serialize once; the buffer serves both the byte charge and
+            # the copy-isolated delivery.
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            nbytes = len(blob)
             self.counters.add("comm.bytes.off_node", nbytes)
             if self.copy_off_node:
-                payload = pickle.loads(
-                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-                )
+                payload = pickle.loads(blob)
                 by_reference = False
         if self.tracer is not None:
             # Rank-to-rank traffic lands in the tracer's in-progress

@@ -12,9 +12,13 @@ when built with a :class:`~repro.parallel.topology.MachineTopology`,
 classifies traffic as on-node (shared memory: implicit copies in the paper's
 architecture-aware representation) versus off-node (explicit, serialized
 messages in distributed memory).  Off-node messages are size-accounted by
-pickling — the same wire format mpi4py uses for generic objects — while
-on-node messages are passed by reference and charged zero wire bytes, which
-is precisely the memory/communication saving the two-level design targets.
+the network's wire codec — the compact binary format of
+:mod:`repro.parallel.codec` by default, or pickle (the wire format mpi4py
+uses for generic objects) behind the ``codec="pickle"`` escape hatch —
+while on-node messages are passed by reference and charged zero wire bytes,
+which is precisely the memory/communication saving the two-level design
+targets.  Pre-encoded ``bytes`` payloads (the services' coalesced batches)
+are charged their own length and never re-serialized.
 """
 
 from __future__ import annotations
@@ -25,15 +29,29 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.sanitizers import freeze, sanitize_default
 from ..obs.tracer import Tracer
+from . import codec as _codec
 from .perf import PerfCounters, GLOBAL
 from .topology import MachineTopology, flat
 
 #: A delivered message: (source part, tag, payload).
 Message = Tuple[int, int, Any]
 
+#: Wire codecs the network accepts.
+CODECS = ("binary", "pickle")
 
-def wire_size(payload: Any) -> int:
-    """Number of bytes ``payload`` occupies when serialized for the wire."""
+
+def wire_size(payload: Any, codec: str = "pickle") -> int:
+    """Number of bytes ``payload`` occupies when serialized for the wire.
+
+    Pre-encoded buffers (``bytes``/``bytearray``) are charged their own
+    length under either codec; other payloads are serialized with the
+    requested codec (``"pickle"``, the historical default, or ``"binary"``
+    for the compact :mod:`repro.parallel.codec` format).
+    """
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if codec == "binary":
+        return len(_codec.dumps(payload))
     return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
 
@@ -65,6 +83,13 @@ class Network:
         are wrapped in read-only freeze proxies that raise
         :class:`~repro.analysis.sanitizers.PayloadAliasError` on mutation.
         Defaults to the ``REPRO_SANITIZE`` environment variable.
+    codec:
+        Wire serialization used for off-node byte accounting and copy
+        isolation: ``"binary"`` (default) uses the compact
+        :mod:`repro.parallel.codec` format, ``"pickle"`` is the historical
+        escape hatch kept for A/B measurement.  Payloads that are already
+        ``bytes`` (pre-encoded batches) are charged their own length and
+        delivered as-is under either codec.
     tracer:
         Optional :class:`~repro.obs.Tracer`; when attached and enabled,
         every exchange closes one traced superstep and charges each
@@ -86,12 +111,15 @@ class Network:
         topology: Optional[MachineTopology] = None,
         counters: Optional[PerfCounters] = None,
         copy_off_node: bool = True,
+        codec: str = "binary",
         sanitize: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
         fault_injector: Optional[Any] = None,
     ) -> None:
         if nparts < 1:
             raise ValueError(f"need at least one part, got {nparts}")
+        if codec not in CODECS:
+            raise ValueError(f"unknown codec {codec!r} (expected {CODECS})")
         self.nparts = nparts
         self.topology = topology if topology is not None else flat(nparts)
         if self.topology.total_cores < nparts:
@@ -101,6 +129,7 @@ class Network:
             )
         self.counters = counters if counters is not None else GLOBAL
         self.copy_off_node = copy_off_node
+        self.codec = codec
         self.sanitize = sanitize_default() if sanitize is None else bool(sanitize)
         self.tracer = tracer
         self.fault_injector = fault_injector
@@ -186,13 +215,32 @@ class Network:
                 self.counters.add("net.messages.on_node")
             else:
                 self.counters.add("net.messages.off_node")
-                nbytes = wire_size(payload)
-                self.counters.add("net.bytes.off_node", nbytes)
-                if self.copy_off_node:
-                    payload = pickle.loads(
-                        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                # Serialize once; the same buffer provides the byte charge
+                # and (when copying) the isolated delivery object.
+                if isinstance(payload, (bytes, bytearray)):
+                    # Pre-encoded batch: charged at face value, delivered
+                    # as-is (bytes are immutable, so no aliasing hazard).
+                    nbytes = len(payload)
+                    self.counters.add("net.bytes.off_node", nbytes)
+                    if self.copy_off_node:
+                        payload = bytes(payload)
+                        by_reference = False
+                elif self.codec == "binary":
+                    blob = _codec.dumps(payload)
+                    nbytes = len(blob)
+                    self.counters.add("net.bytes.off_node", nbytes)
+                    if self.copy_off_node:
+                        payload = _codec.loads(blob)
+                        by_reference = False
+                else:
+                    blob = pickle.dumps(
+                        payload, protocol=pickle.HIGHEST_PROTOCOL
                     )
-                    by_reference = False
+                    nbytes = len(blob)
+                    self.counters.add("net.bytes.off_node", nbytes)
+                    if self.copy_off_node:
+                        payload = pickle.loads(blob)
+                        by_reference = False
             if tracer is not None:
                 tracer.on_message(src, dst, nbytes)
             if self.sanitize and by_reference:

@@ -24,6 +24,7 @@ from ..field.field import Field, Shape
 from ..mesh.entity import Ent
 from ..obs.stats import AccumulateStats, CommProbe, SyncStats
 from ..obs.tracer import trace_span
+from ..parallel.codec import decode_value_batch, encode_value_batch
 from .dmesh import DistributedMesh
 
 _TAG_SYNC = 21
@@ -95,9 +96,11 @@ def synchronize(dfield: DistributedField) -> SyncStats:
     """
     dmesh = dfield.dmesh
     probe = CommProbe(dmesh.counters)
+    binary = dmesh.codec == "binary"
     sent = 0
     with trace_span(dmesh.tracer, "synchronize", field=dfield.name):
         router = dmesh.router()
+        outbound: Dict[Tuple[int, int], list] = {}
         for part in dmesh:
             field = dfield.on(part.pid)
             for ent in sorted(part.remotes):
@@ -107,15 +110,31 @@ def synchronize(dfield: DistributedField) -> SyncStats:
                     continue
                 value = field.get(ent)
                 for other_pid, other_ent in sorted(part.remotes[ent].items()):
-                    router.post(
-                        part.pid, other_pid, _TAG_SYNC, (other_ent, value)
-                    )
+                    if binary:
+                        outbound.setdefault((part.pid, other_pid), []).append(
+                            (other_ent, value)
+                        )
+                    else:
+                        router.post(
+                            part.pid, other_pid, _TAG_SYNC, (other_ent, value)
+                        )
                     sent += 1
+        # One encoded value buffer per neighbor pair (binary codec).
+        for (src, dst), items in sorted(outbound.items()):
+            blob = encode_value_batch(items)
+            dmesh.counters.add("net.bytes.encoded", len(blob))
+            dmesh.counters.add("net.messages.coalesced", len(items))
+            router.post(src, dst, _TAG_SYNC, blob)
         inboxes = router.exchange()
         for pid in sorted(inboxes):
             field = dfield.on(pid)
-            for _src, _tag, (ent, value) in inboxes[pid]:
-                field.set(ent, value)
+            for _src, _tag, payload in inboxes[pid]:
+                if isinstance(payload, (bytes, bytearray)):
+                    for ent, value in decode_value_batch(payload):
+                        field.set(ent, value)
+                else:
+                    ent, value = payload
+                    field.set(ent, value)
     dmesh.counters.add("fieldsync.values", sent)
     return SyncStats(
         values_sent=sent,
@@ -124,6 +143,8 @@ def synchronize(dfield: DistributedField) -> SyncStats:
         wire_bytes=probe.wire_bytes(),
         supersteps=probe.supersteps(),
         seconds=probe.seconds(),
+        encoded_bytes=probe.encoded_bytes(),
+        messages_coalesced=probe.messages_coalesced(),
     )
 
 
@@ -137,9 +158,11 @@ def accumulate(dfield: DistributedField) -> AccumulateStats:
     """
     dmesh = dfield.dmesh
     probe = CommProbe(dmesh.counters)
+    binary = dmesh.codec == "binary"
     with trace_span(dmesh.tracer, "accumulate", field=dfield.name):
         router = dmesh.router()
         sent = 0
+        outbound: Dict[Tuple[int, int], list] = {}
         for part in dmesh:
             field = dfield.on(part.pid)
             for ent in sorted(part.remotes):
@@ -149,15 +172,31 @@ def accumulate(dfield: DistributedField) -> AccumulateStats:
                     continue
                 owner = part.owner(ent)
                 owner_ent = part.remotes[ent][owner]
-                router.post(
-                    part.pid, owner, _TAG_ACCUM, (owner_ent, field.get(ent))
-                )
+                if binary:
+                    outbound.setdefault((part.pid, owner), []).append(
+                        (owner_ent, field.get(ent))
+                    )
+                else:
+                    router.post(
+                        part.pid, owner, _TAG_ACCUM,
+                        (owner_ent, field.get(ent)),
+                    )
                 sent += 1
+        for (src, dst), items in sorted(outbound.items()):
+            blob = encode_value_batch(items)
+            dmesh.counters.add("net.bytes.encoded", len(blob))
+            dmesh.counters.add("net.messages.coalesced", len(items))
+            router.post(src, dst, _TAG_ACCUM, blob)
         inboxes = router.exchange()
         for pid in sorted(inboxes):
             field = dfield.on(pid)
-            for _src, _tag, (ent, value) in inboxes[pid]:
-                field.set(ent, field.get(ent) + value)
+            for _src, _tag, payload in inboxes[pid]:
+                if isinstance(payload, (bytes, bytearray)):
+                    for ent, value in decode_value_batch(payload):
+                        field.set(ent, field.get(ent) + value)
+                else:
+                    ent, value = payload
+                    field.set(ent, field.get(ent) + value)
         sync = synchronize(dfield)
     return AccumulateStats(
         contributions=sent,
@@ -167,4 +206,6 @@ def accumulate(dfield: DistributedField) -> AccumulateStats:
         wire_bytes=probe.wire_bytes(),
         supersteps=probe.supersteps(),
         seconds=probe.seconds(),
+        encoded_bytes=probe.encoded_bytes(),
+        messages_coalesced=probe.messages_coalesced(),
     )

@@ -28,8 +28,9 @@ from typing import Dict, List, Sequence, Set, Tuple
 from ..mesh.entity import Ent
 from ..obs.stats import CommProbe, GhostDeleteStats, GhostStats
 from ..obs.tracer import trace_span
+from ..parallel.codec import decode_element_batch, encode_element_batch
 from .dmesh import DistributedMesh
-from .migration import _pack_element, _unpack_element
+from .migration import _pack_element, _unpack_batch, _unpack_element
 from .part import Part
 
 _TAG_REQUEST = 10
@@ -77,6 +78,8 @@ def ghost_layer(
         wire_bytes=probe.wire_bytes(),
         supersteps=probe.supersteps(),
         seconds=probe.seconds(),
+        encoded_bytes=probe.encoded_bytes(),
+        messages_coalesced=probe.messages_coalesced(),
     )
 
 
@@ -110,10 +113,14 @@ def _one_layer(
     requests = router.exchange()
 
     # Phase 2: responses with element bundles (deduplicated per requester).
+    # Under the binary codec every (responder, requester) pair ships one
+    # encoded buffer instead of one pickled dict per element.
+    binary = dmesh.codec == "binary"
     router = dmesh.router()
     for pid in sorted(requests):
         part = dmesh.part(pid)
         queued: Dict[int, Set[Ent]] = {}
+        batches: Dict[int, List[dict]] = {}
         for src, _tag, (kind, ent) in requests[pid]:
             if not part.mesh.has(ent):
                 continue
@@ -133,15 +140,28 @@ def _one_layer(
                     if part.mesh.tags.find(name) is not None
                 }
                 bundle["home"] = (part.pid, element)
-                router.post(part.pid, src, _TAG_GHOST, bundle)
+                if binary:
+                    batches.setdefault(src, []).append(bundle)
+                else:
+                    router.post(part.pid, src, _TAG_GHOST, bundle)
+        for src, bundles in sorted(batches.items()):
+            blob = encode_element_batch(bundles)
+            dmesh.counters.add("net.bytes.encoded", len(blob))
+            dmesh.counters.add("net.messages.coalesced", len(bundles))
+            router.post(part.pid, src, _TAG_GHOST, blob)
 
     inboxes = router.exchange()
     created = 0
     per_dim = [0, 0, 0, 0]
     for pid in sorted(inboxes):
         part = dmesh.part(pid)
-        for _src, _tag, bundle in inboxes[pid]:
-            created += _unpack_ghost(part, bundle, per_dim)
+        for _src, _tag, payload in inboxes[pid]:
+            if isinstance(payload, (bytes, bytearray)):
+                created += _unpack_ghost_batch(
+                    part, decode_element_batch(payload), per_dim
+                )
+            else:
+                created += _unpack_ghost(part, payload, per_dim)
     dmesh.counters.add("ghosting.elements", created)
     return created, per_dim
 
@@ -174,6 +194,42 @@ def _unpack_ghost(part: Part, bundle: dict, per_dim: List[int]) -> int:
         if value is not None:
             mesh.tag(name).set(element, value)
     return 1
+
+
+def _unpack_ghost_batch(part: Part, bundles, per_dim: List[int]) -> int:
+    """Create one decoded ghost batch; returns how many ghosts appeared.
+
+    All bundles in a coalesced buffer come from the same owner part, so the
+    before/after ghost classification runs once for the whole batch and the
+    mesh surgery goes through the deduplicating :func:`_unpack_batch`.
+    """
+    fresh = [
+        b for b in bundles
+        if part.by_gid(b["element"][0], b["element"][1]) is None
+    ]
+    if not fresh:
+        return 0
+    before = [set(part._gid[d]) for d in range(4)]
+    elements = _unpack_batch(part, fresh)
+    element_home = {
+        element: bundle["home"]
+        for bundle, element in zip(fresh, elements)
+    }
+    home_pid = fresh[0]["home"][0]
+    for d in range(4):
+        for idx in part._gid[d].keys() - before[d]:
+            ghost = Ent(d, idx)
+            per_dim[d] += 1
+            part.ghosts.add(ghost)
+            part.ghost_home[ghost] = element_home.get(
+                ghost, (home_pid, None)
+            )
+    mesh = part.mesh
+    for bundle, element in zip(fresh, elements):
+        for name, value in bundle.get("tags", {}).items():
+            if value is not None:
+                mesh.tag(name).set(element, value)
+    return len(fresh)
 
 
 def delete_ghosts(dmesh: DistributedMesh) -> GhostDeleteStats:

@@ -21,9 +21,12 @@ state and are not checkpointed" gap:
   :class:`~repro.resilience.CheckpointManager` records the ghost
   configuration in the manifest and re-applies it on restore).
 
-Durability: every file is written atomically (``*.tmp`` + fsync + rename),
-the manifest carries a SHA-256 per part file, and any integrity violation
-surfaces as a typed :class:`CorruptCheckpointError` instead of a cold
+Tag and field blobs are stored in the :mod:`repro.parallel.codec` binary
+format (blobs from older checkpoints, which used raw pickle, are sniffed by
+magic and still load).  Durability: every file is written atomically
+(``*.tmp`` + fsync + rename), the manifest carries a SHA-256 per part file,
+and any integrity violation surfaces as a typed
+:class:`CorruptCheckpointError` instead of a cold
 ``KeyError``/``BadZipFile``.  Restoring onto a *different* part count is
 supported via ``load_dmesh(path, nparts=K)``: elements are regrouped into
 contiguous global-id blocks and the remote-copy links rebuilt through the
@@ -45,6 +48,7 @@ import numpy as np
 from ..gmodel.model import Model
 from ..mesh.build import from_connectivity
 from ..mesh.entity import Ent
+from ..parallel import codec
 from ..parallel.perf import PerfCounters
 from ..parallel.topology import MachineTopology
 from .dmesh import DistributedMesh
@@ -80,15 +84,17 @@ def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def _pickle_blob(obj: Any) -> np.ndarray:
-    """Deterministically pickled object as a uint8 array for npz storage."""
-    return np.frombuffer(
-        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
-    )
+def _encode_blob(obj: Any) -> np.ndarray:
+    """Codec-encoded object as a uint8 array for npz storage."""
+    return np.frombuffer(codec.dumps(obj), dtype=np.uint8)
 
 
-def _unpickle_blob(arr: np.ndarray) -> Any:
-    return pickle.loads(arr.tobytes())
+def _decode_blob(arr: np.ndarray) -> Any:
+    """Decode a stored blob; pre-codec checkpoints used raw pickle."""
+    data = arr.tobytes()
+    if data[: len(codec.MAGIC)] == codec.MAGIC:
+        return codec.loads(data)
+    return pickle.loads(data)
 
 
 # ---------------------------------------------------------------------------
@@ -225,8 +231,8 @@ def save_dmesh(
             egids=egids,
             vclass=vclass,
             etype=np.asarray(etypes or [-1], dtype=np.int64),
-            tag_blob=_pickle_blob(_part_tags(part)),
-            field_blob=_pickle_blob(_part_fields(part, fields)),
+            tag_blob=_encode_blob(_part_tags(part)),
+            field_blob=_encode_blob(_part_fields(part, fields)),
         )
         data = buffer.getvalue()
         name = f"part{part.pid}.npz"
@@ -452,7 +458,7 @@ def _restore_same_parts(
             # (each element's closure covers every edge and face).
             for element in mesh.entities(mesh.dim()):
                 mesh.classify_closure_missing(element)
-        tags_data = _unpickle_blob(data["tag_blob"])
+        tags_data = _decode_blob(data["tag_blob"])
         if tags_data:
             dims = sorted({d for _n, entries in tags_data for d, _k, _v in entries})
             _apply_tags(part, tags_data, _key_index(part, dims))
@@ -556,7 +562,7 @@ def _restore_regrouped(
     # Tags: first saved part wins on shared entities (deterministic).
     merged: Dict[str, Dict[Tuple[int, Tuple[int, ...]], Any]] = {}
     for data in parts_data:
-        for name, entries in _unpickle_blob(data["tag_blob"]):
+        for name, entries in _decode_blob(data["tag_blob"]):
             bucket = merged.setdefault(name, {})
             for d, key, value in entries:
                 bucket.setdefault((d, tuple(key)), value)
@@ -587,7 +593,7 @@ def _restore_fields(
         return {}
     merged: Dict[str, Dict[Tuple[int, ...], np.ndarray]] = {}
     for data in parts_data:
-        for name, entries in _unpickle_blob(data["field_blob"]).items():
+        for name, entries in _decode_blob(data["field_blob"]).items():
             bucket = merged.setdefault(name, {})
             for key, value in entries:
                 bucket.setdefault(tuple(key), value)

@@ -35,6 +35,12 @@ from ..mesh.entity import Ent
 from ..mesh.topology import type_info
 from ..obs.stats import CommProbe, MigrateStats
 from ..obs.tracer import trace_span
+from ..parallel.codec import (
+    decode_element_batch,
+    decode_int_rows,
+    encode_element_batch,
+    encode_int_rows,
+)
 from .dmesh import DistributedMesh
 from .part import Part
 
@@ -70,9 +76,12 @@ def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
     moved = 0
     packed = [0, 0, 0, 0]
 
+    binary = dmesh.codec == "binary"
+
     with trace_span(tracer, "migrate"):
         outgoing: List[Tuple[int, Ent, int]] = []
         with trace_span(tracer, "migrate.pack"):
+            batches: Dict[Tuple[int, int], List[dict]] = {}
             for pid in sorted(plan):
                 part = dmesh.part(pid)
                 for element in sorted(plan[pid]):
@@ -92,9 +101,19 @@ def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
                     for mid in bundle["mids"]:
                         packed[mid[0]] += 1
                     packed[dim] += 1
-                    router.post(pid, dest, _TAG_ELEMENT, bundle)
+                    if binary:
+                        batches.setdefault((pid, dest), []).append(bundle)
+                    else:
+                        router.post(pid, dest, _TAG_ELEMENT, bundle)
                     outgoing.append((pid, element, dest))
                     moved += 1
+            # Coalesce: one encoded buffer per (source, destination) pair
+            # instead of one pickled dict per element.
+            for (pid, dest), bundles in sorted(batches.items()):
+                blob = encode_element_batch(bundles)
+                dmesh.counters.add("net.bytes.encoded", len(blob))
+                dmesh.counters.add("net.messages.coalesced", len(bundles))
+                router.post(pid, dest, _TAG_ELEMENT, blob)
 
         # Only parts that send/receive elements — plus every part that
         # shares anything with them — can see their links change.  The
@@ -111,8 +130,11 @@ def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
             inboxes = router.exchange()
             for dest in sorted(inboxes):
                 part = dmesh.part(dest)
-                for _src, _tag, bundle in inboxes[dest]:
-                    _unpack_element(part, bundle)
+                for _src, _tag, payload in inboxes[dest]:
+                    if isinstance(payload, (bytes, bytearray)):
+                        _unpack_batch(part, decode_element_batch(payload))
+                    else:
+                        _unpack_element(part, payload)
 
         with trace_span(tracer, "migrate.remove"):
             for pid, element, _dest in outgoing:
@@ -128,6 +150,8 @@ def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
         wire_bytes=probe.wire_bytes(),
         supersteps=probe.supersteps(),
         seconds=probe.seconds(),
+        encoded_bytes=probe.encoded_bytes(),
+        messages_coalesced=probe.messages_coalesced(),
     )
 
 
@@ -179,6 +203,34 @@ def _model_entity(part: Part, ref):
     return ModelEntity(ref[0], ref[1])
 
 
+def _ensure_entity(part: Part, d: int, gid, etype: int, vert_gids,
+                   gclass) -> Ent:
+    """Find-or-create one non-vertex entity from its bundle row."""
+    mesh = part.mesh
+    local_verts = []
+    for vg in vert_gids:
+        lv = part.by_gid(0, vg)
+        assert lv is not None, f"bundle vertex gid {vg} missing"
+        local_verts.append(lv)
+    existing = mesh.find(d, local_verts)
+    if existing is not None:
+        # Identity is the vertex-gid tuple (already matched by find);
+        # intermediate-entity gids are advisory bookkeeping, so adopt
+        # the bundle's gid only when the local entity lacks one and the
+        # gid is still free.
+        if (
+            gid is not None
+            and not part.has_gid(existing)
+            and part.by_gid(d, gid) is None
+        ):
+            part.set_gid(existing, gid)
+        return existing
+    created = mesh.create(etype, local_verts, _model_entity(part, gclass))
+    if gid is not None and part.by_gid(d, gid) is None:
+        part.set_gid(created, gid)
+    return created
+
+
 def _unpack_element(part: Part, bundle: dict) -> Ent:
     """Find-or-create the bundle's entities on the destination part."""
     mesh = part.mesh
@@ -188,37 +240,46 @@ def _unpack_element(part: Part, bundle: dict) -> Ent:
             v = mesh.create_vertex(coords, _model_entity(part, gclass))
             part.set_gid(v, gid)
         # else: the vertex is already on this part (boundary copy).
-
-    def ensure(d: int, gid, etype: int, vert_gids, gclass) -> Ent:
-        local_verts = []
-        for vg in vert_gids:
-            lv = part.by_gid(0, vg)
-            assert lv is not None, f"bundle vertex gid {vg} missing"
-            local_verts.append(lv)
-        existing = mesh.find(d, local_verts)
-        if existing is not None:
-            # Identity is the vertex-gid tuple (already matched by find);
-            # intermediate-entity gids are advisory bookkeeping, so adopt
-            # the bundle's gid only when the local entity lacks one and the
-            # gid is still free.
-            if (
-                gid is not None
-                and not part.has_gid(existing)
-                and part.by_gid(d, gid) is None
-            ):
-                part.set_gid(existing, gid)
-            return existing
-        created = mesh.create(etype, local_verts, _model_entity(part, gclass))
-        if gid is not None and part.by_gid(d, gid) is None:
-            part.set_gid(created, gid)
-        return created
-
     for d, gid, etype, vert_gids, gclass in sorted(
         bundle["mids"], key=lambda m: (m[0], m[3])
     ):
-        ensure(d, gid, etype, vert_gids, gclass)
+        _ensure_entity(part, d, gid, etype, vert_gids, gclass)
     d, gid, etype, vert_gids, gclass = bundle["element"]
-    return ensure(d, gid, etype, vert_gids, gclass)
+    return _ensure_entity(part, d, gid, etype, vert_gids, gclass)
+
+
+def _unpack_batch(part: Part, bundles) -> List[Ent]:
+    """Apply one decoded element batch; returns the elements, bundle order.
+
+    Decoded batches intern shared closure rows (the codec ships each unique
+    vertex/edge/face once per buffer), so this path finds-or-creates each
+    unique row once per batch instead of once per element bundle — the
+    find/create surgery dominates unpack cost, and neighboring elements
+    migrated together share most of their closure.
+    """
+    mesh = part.mesh
+    seen_gids = set()
+    for bundle in bundles:
+        for gid, coords, gclass in bundle["verts"]:
+            if gid in seen_gids:
+                continue
+            seen_gids.add(gid)
+            if part.by_gid(0, gid) is None:
+                v = mesh.create_vertex(coords, _model_entity(part, gclass))
+                part.set_gid(v, gid)
+    seen_rows = set()
+    mids = []
+    for bundle in bundles:
+        for row in bundle["mids"]:
+            if row not in seen_rows:
+                seen_rows.add(row)
+                mids.append(row)
+    mids.sort(key=lambda m: (m[0], m[3]))
+    for d, gid, etype, vert_gids, gclass in mids:
+        _ensure_entity(part, d, gid, etype, vert_gids, gclass)
+    return [
+        _ensure_entity(part, *bundle["element"]) for bundle in bundles
+    ]
 
 
 def _remove_element(part: Part, element: Ent) -> None:
@@ -336,8 +397,9 @@ def rebuild_links(
     vertex-gid tuple — to the key's home part (sum of the key modulo
     nparts); home parts group arrivals and answer every holder of a
     multiply-held key with the full holder list.  Links of participating
-    parts are then rewritten wholesale.  Payloads are pure integer tuples,
-    so the trusted (no-copy) channel carries them.
+    parts are then rewritten wholesale.  Payloads are pure integers —
+    shipped as columnar int-row buffers under the binary codec, plain
+    tuples under pickle — so the trusted (no-copy) channel carries them.
 
     ``only_parts`` restricts the rebuild to a set of parts that is *closed
     under sharing* — every part that might share an entity with a member
@@ -345,6 +407,7 @@ def rebuild_links(
     their neighbors, which has that property).  ``None`` rebuilds all.
     """
     nparts = dmesh.nparts
+    binary = dmesh.codec == "binary"
     if only_parts is None:
         participants = list(range(nparts))
     else:
@@ -356,15 +419,30 @@ def rebuild_links(
         for d, idx, key in _surface_entity_ids(part):
             batches.setdefault(sum(key) % nparts, []).append((d, key, idx))
         for home, batch in batches.items():
-            router.post(part.pid, home, _TAG_CANDIDATE, batch)
+            if binary:
+                # Columnar int rows: (dim, local idx, *vertex-gid key).
+                blob = encode_int_rows(
+                    [(d, idx) + key for d, key, idx in batch]
+                )
+                dmesh.counters.add("net.bytes.encoded", len(blob))
+                dmesh.counters.add("net.messages.coalesced", len(batch))
+                router.post(part.pid, home, _TAG_CANDIDATE, blob)
+            else:
+                router.post(part.pid, home, _TAG_CANDIDATE, batch)
 
     inboxes = router.exchange()
     router = dmesh.router(trusted=True)
     for home in sorted(inboxes):
         groups: Dict[Tuple[int, Tuple[int, ...]], List[Tuple[int, int]]] = {}
         for src, _tag, batch in inboxes[home]:
-            for d, key, idx in batch:
-                groups.setdefault((d, key), []).append((src, idx))
+            if isinstance(batch, (bytes, bytearray)):
+                for row in decode_int_rows(batch):
+                    groups.setdefault(
+                        (row[0], row[2:]), []
+                    ).append((src, row[1]))
+            else:
+                for d, key, idx in batch:
+                    groups.setdefault((d, key), []).append((src, idx))
         answers: Dict[int, List[Tuple[int, int, List[Tuple[int, int]]]]] = {}
         for (d, _key), holders in sorted(groups.items()):
             if len(holders) < 2:
@@ -373,7 +451,21 @@ def rebuild_links(
                 others = [(q, j) for q, j in holders if q != pid]
                 answers.setdefault(pid, []).append((d, idx, others))
         for pid, batch in answers.items():
-            router.post(home, pid, _TAG_LINKS, batch)
+            if binary:
+                # Rows: (dim, local idx, holder pid/idx pairs flattened).
+                blob = encode_int_rows(
+                    [
+                        (d, idx) + tuple(
+                            value for pair in others for value in pair
+                        )
+                        for d, idx, others in batch
+                    ]
+                )
+                dmesh.counters.add("net.bytes.encoded", len(blob))
+                dmesh.counters.add("net.messages.coalesced", len(batch))
+                router.post(home, pid, _TAG_LINKS, blob)
+            else:
+                router.post(home, pid, _TAG_LINKS, batch)
 
     responses = router.exchange()
     participant_set = set(participants)
@@ -396,8 +488,15 @@ def rebuild_links(
     for pid in sorted(responses):
         part = dmesh.part(pid)
         for _src, _tag, batch in responses[pid]:
-            for d, idx, others in batch:
-                entry = part.remotes.setdefault(Ent(d, idx), {})
-                for q, j in others:
-                    entry[q] = Ent(d, j)
+            if isinstance(batch, (bytes, bytearray)):
+                for row in decode_int_rows(batch):
+                    d, idx = row[0], row[1]
+                    entry = part.remotes.setdefault(Ent(d, idx), {})
+                    for i in range(2, len(row), 2):
+                        entry[row[i]] = Ent(d, row[i + 1])
+            else:
+                for d, idx, others in batch:
+                    entry = part.remotes.setdefault(Ent(d, idx), {})
+                    for q, j in others:
+                        entry[q] = Ent(d, j)
     dmesh.counters.add("migration.relinks")

@@ -65,7 +65,32 @@ def test_traffic_classification():
     assert perf.get("net.messages.on_node") == 1
     assert perf.get("net.messages.off_node") == 1
     assert perf.get("net.messages.self") == 1
-    assert perf.get("net.bytes.off_node") == wire_size("off")
+    # The default network codec is binary; charged bytes match it exactly.
+    assert perf.get("net.bytes.off_node") == wire_size("off", codec="binary")
+
+
+def test_pickle_codec_escape_hatch_charges_pickle_bytes():
+    topo = MachineTopology(nodes=2, cores_per_node=1)
+    perf = PerfCounters()
+    net = Network(2, topology=topo, counters=perf, codec="pickle")
+    net.post(0, 1, 0, "off")
+    net.exchange()
+    assert perf.get("net.bytes.off_node") == wire_size("off", codec="pickle")
+
+
+def test_bytes_payloads_charged_at_face_value():
+    perf = PerfCounters()
+    net = Network(2, counters=perf)  # flat topology: off-node pair
+    blob = b"\x00" * 57
+    net.post(0, 1, 0, blob)
+    (_, _, received), = net.exchange()[1]
+    assert received == blob
+    assert perf.get("net.bytes.off_node") == len(blob)
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(ValueError):
+        Network(2, counters=PerfCounters(), codec="json")
 
 
 def test_stats_accumulate_across_exchanges():

@@ -362,6 +362,59 @@ def test_resilience_subpackage_all():
         assert name in resilience.__all__, name
 
 
+def test_wire_codec_surface():
+    """The binary wire codec knob is part of the pinned public API."""
+    import repro
+    from repro.parallel import CODECS, CodecError, Network, codec
+
+    # CodecError is one class, importable from the top level too.
+    assert repro.CodecError is CodecError
+    assert "CodecError" in repro.__all__
+    assert issubclass(CodecError, ValueError)
+    # The codec registry and defaults.
+    assert CODECS == ("binary", "pickle")
+    assert Network(2).codec == "binary"
+    # The knob threads from distribute through DistributedMesh.
+    mesh = rect_tri(2)
+    dm = distribute(mesh, strips(mesh, 2), codec="pickle")
+    assert dm.codec == "pickle"
+    with pytest.raises(ValueError):
+        distribute(mesh, strips(mesh, 2), codec="gzip")
+    # The wire-format module surface used by the services.
+    for name in (
+        "MAGIC",
+        "VERSION",
+        "dumps",
+        "loads",
+        "encode_element_batch",
+        "decode_element_batch",
+        "encode_value_batch",
+        "decode_value_batch",
+        "encode_int_rows",
+        "decode_int_rows",
+    ):
+        assert hasattr(codec, name), name
+
+
+def test_stats_carry_codec_counters():
+    """Every comm-bearing stats record reports the codec counters, and they
+    serialize through to_dict like the rest of the surface."""
+    from repro import DistributedField, migrate, synchronize
+
+    mesh = rect_tri(4)
+    dm = distribute(mesh, strips(mesh, 2))
+    element = next(dm.part(0).mesh.entities(2))
+    mstats = migrate(dm, {0: {element: 1}})
+    assert mstats.encoded_bytes > 0
+    assert mstats.messages_coalesced >= 1
+    df = DistributedField(dm, "u")
+    df.set_from_coords(lambda x: x[0])
+    sstats = synchronize(df)
+    d = sstats.to_dict()
+    assert d["encoded_bytes"] == sstats.encoded_bytes > 0
+    assert d["messages_coalesced"] == sstats.messages_coalesced > 0
+
+
 def test_services_return_typed_stats():
     """No caller can depend on the old bare-int returns anymore."""
     from repro import (
