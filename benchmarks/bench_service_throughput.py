@@ -1,0 +1,120 @@
+"""Service throughput: jobs/sec and tail latency vs machine concurrency.
+
+Pushes the same mixed job list through :class:`repro.svc.MeshJobService`
+on machines of 1, 4, and 8 processing units — i.e. 1, up-to-4, and
+up-to-8 jobs genuinely running concurrently per scheduling round — and
+reports:
+
+* sustained throughput (jobs completed / service wall seconds), and
+* per-job latency p50/p95 (:meth:`MeshJobService.latency_stats`).
+
+The service report itself stays byte-deterministic at every concurrency
+(that is CI-enforced elsewhere); throughput and latency are the wall-time
+observables and live here instead.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--quick]
+
+Results land in ``benchmarks/results/service_throughput.txt`` and the
+machine-readable ``BENCH_service_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import write_result
+
+from repro.parallel import MachineTopology
+from repro.svc import JobSpec, MeshJobService
+
+#: (nodes, cores_per_node) per measured concurrency level.
+MACHINES = {1: (1, 1), 4: (1, 4), 8: (2, 4)}
+
+QUICK = {"jobs": 8, "mesh_n": 8, "steps": 2}
+FULL = {"jobs": 24, "mesh_n": 24, "steps": 4}
+
+
+def job_list(p):
+    """A mixed single-core job stream: stencil sweeps + allreduce rounds."""
+    specs = []
+    for i in range(p["jobs"]):
+        workload = "stencil" if i % 3 else "allreduce"
+        specs.append(
+            JobSpec(
+                name=f"job-{i:03d}",
+                workload=workload,
+                parts=1,
+                mesh_n=p["mesh_n"],
+                steps=p["steps"],
+                tenant=f"tenant-{i % 4}",
+                priority=i % 5,
+            )
+        )
+    return specs
+
+
+def run_level(concurrency, p):
+    nodes, cores = MACHINES[concurrency]
+    service = MeshJobService(
+        MachineTopology(nodes=nodes, cores_per_node=cores), seed=0
+    )
+    start = time.perf_counter()
+    report = service.serve(job_list(p))
+    wall = time.perf_counter() - start
+    assert report.totals["completed"] == p["jobs"], report.summary()
+    stats = service.latency_stats()
+    return {
+        "concurrency": concurrency,
+        "machine": f"{nodes}x{cores}",
+        "jobs": p["jobs"],
+        "rounds": report.totals["rounds"],
+        "wall_seconds": wall,
+        "jobs_per_second": p["jobs"] / wall if wall else float("inf"),
+        "latency_p50": stats.p50,
+        "latency_p95": stats.p95,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for the CI smoke"
+    )
+    args = parser.parse_args(argv)
+    p = QUICK if args.quick else FULL
+
+    levels = [run_level(c, p) for c in sorted(MACHINES)]
+
+    lines = [
+        f"service throughput: {p['jobs']} single-core jobs "
+        f"(stencil/allreduce mix, mesh_n={p['mesh_n']}, steps={p['steps']})",
+        f"{'conc':>4} {'machine':>8} {'rounds':>6} {'jobs/s':>10} "
+        f"{'p50 ms':>8} {'p95 ms':>8}",
+    ]
+    for level in levels:
+        lines.append(
+            f"{level['concurrency']:>4} {level['machine']:>8} "
+            f"{level['rounds']:>6} {level['jobs_per_second']:>10.1f} "
+            f"{level['latency_p50'] * 1e3:>8.2f} "
+            f"{level['latency_p95'] * 1e3:>8.2f}"
+        )
+    speedup = levels[-1]["jobs_per_second"] / levels[0]["jobs_per_second"]
+    lines.append(f"throughput at 8 cores = {speedup:.2f}x the 1-core level")
+
+    path = write_result(
+        "service_throughput", lines, extra={"levels": levels}
+    )
+    print("\n".join(lines))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

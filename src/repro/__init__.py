@@ -51,6 +51,13 @@ Subpackages
     the network/executor hook points), rotated hash-validated checkpoints
     (``CheckpointManager``), and the ``resilient_spmd`` checkpoint/restart
     recovery driver behind ``python -m repro chaos``.
+``repro.svc``
+    The multi-tenant mesh-job serving tier: bounded admission with
+    backpressure and fair-share priority aging, locality-aware gang
+    scheduling of core-sets over the simulated machine, deterministic
+    rounds of concurrently executing world-isolated SPMD jobs with
+    deadlines and fault-classified retries, and the byte-deterministic
+    ``repro.svc/1`` service report behind ``python -m repro serve``.
 
 The one-true entry points are re-exported at the top level, so a driver
 script needs only ``import repro``:
@@ -77,6 +84,7 @@ from . import (
     partition,
     partitioners,
     resilience,
+    svc,
     workloads,
 )
 from .core import ParMA
@@ -88,7 +96,7 @@ from .obs import (
     SyncStats,
     Tracer,
 )
-from .parallel import CodecError, RankFailure, spmd
+from .parallel import CodecError, RankFailure, TopologyError, spmd
 from .partition import (
     DistributedField,
     DistributedMesh,
@@ -107,6 +115,15 @@ from .resilience import (
     InjectedRankFailure,
     resilient_spmd,
 )
+from .svc import (
+    AdmissionError,
+    JobFailure,
+    JobResult,
+    JobSpec,
+    MeshJobService,
+    RetryPolicy,
+    ServiceReport,
+)
 
 __version__ = "1.0.0"
 
@@ -121,8 +138,10 @@ __all__ = [
     "partition",
     "partitioners",
     "resilience",
+    "svc",
     "workloads",
     "AccumulateStats",
+    "AdmissionError",
     "CheckpointManager",
     "CodecError",
     "CorruptCheckpointError",
@@ -133,10 +152,17 @@ __all__ = [
     "GhostDeleteStats",
     "GhostStats",
     "InjectedRankFailure",
+    "JobFailure",
+    "JobResult",
+    "JobSpec",
+    "MeshJobService",
     "MigrateStats",
     "ParMA",
     "RankFailure",
+    "RetryPolicy",
+    "ServiceReport",
     "SyncStats",
+    "TopologyError",
     "Tracer",
     "accumulate",
     "delete_ghosts",

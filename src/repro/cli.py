@@ -28,6 +28,15 @@ release ships for quick experiments without writing a driver script:
     ``step(dmesh, i)``; an optional module-level ``NSTEPS`` sets the
     default epoch count.  Writes the deterministic recovery report (and a
     metrics JSON) to ``--out``.
+``serve``
+    Run a JSON job list through the multi-tenant mesh-job service
+    (:mod:`repro.svc`): bounded admission, locality-aware gang placement
+    over the declared machine, concurrent world-isolated execution with
+    deadlines and fault-classified retries.  Writes the deterministic
+    ``repro.svc/1`` service report plus a metrics JSON to ``--out``.
+``submit``
+    One-shot convenience over the same service: submit a single job
+    described by flags to a fresh service, run it, print the outcome.
 
 ``balance`` accepts ``--sanitize`` to run the distributed pipeline with the
 runtime sanitizers on (alias freeze proxies on the part network).
@@ -296,6 +305,98 @@ def cmd_chaos(args) -> int:
     return status
 
 
+def _build_service(args):
+    from repro.parallel import MachineTopology
+    from repro.svc import MeshJobService
+
+    machine = MachineTopology(
+        nodes=args.nodes, cores_per_node=args.cores_per_node
+    )
+    return MeshJobService(
+        machine,
+        capacity=args.capacity,
+        aging=args.aging,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+
+
+def cmd_serve(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.parallel import TopologyError
+    from repro.svc import JobSpecError, load_specs
+
+    jobs_path = Path(args.jobs)
+    if not jobs_path.exists():
+        print(f"repro serve: no such jobs file: {jobs_path}", file=sys.stderr)
+        return 2
+    try:
+        specs = load_specs(json.loads(jobs_path.read_text()))
+    except (json.JSONDecodeError, JobSpecError, ValueError) as exc:
+        print(f"repro serve: bad jobs file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        service = _build_service(args)
+    except TopologyError as exc:
+        print(f"repro serve: bad machine: {exc}", file=sys.stderr)
+        return 2
+
+    report = service.serve(specs)
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    report_path = outdir / "service_report.json"
+    report.write(report_path)
+    metrics_path = outdir / "service_metrics.json"
+    service.write_metrics(metrics_path)
+    print(report.summary())
+    print(service.latency_stats().summary())
+    print(f"service report: {report_path}")
+    print(f"metrics json:   {metrics_path}")
+    completed = report.totals.get("completed", 0)
+    return 0 if completed == report.totals.get("submitted", 0) else 1
+
+
+def cmd_submit(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.parallel import TopologyError
+    from repro.resilience import FaultPlan, FaultPlanError
+    from repro.svc import JobSpec, JobSpecError, PlacementError, RetryPolicy
+
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = FaultPlan.from_json(Path(args.faults))
+        except (OSError, FaultPlanError) as exc:
+            print(f"repro submit: bad fault plan: {exc}", file=sys.stderr)
+            return 2
+    try:
+        spec = JobSpec(
+            name=args.name,
+            workload=args.workload,
+            parts=args.parts,
+            mesh_n=args.n,
+            steps=args.steps,
+            tenant=args.tenant,
+            priority=args.priority,
+            deadline=args.deadline,
+            retry=RetryPolicy(max_retries=args.retries),
+            fault_plan=fault_plan,
+        )
+        service = _build_service(args)
+        service.submit(spec)
+    except (JobSpecError, PlacementError, TopologyError) as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+    service.run_until_idle()
+    outcome = service.outcome(spec.name)
+    print(json.dumps(outcome.to_dict(wall_free=False), indent=1, sort_keys=True))
+    return 0 if outcome.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -406,6 +507,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="chaos-out", help="output directory (created)"
     )
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    def add_service_args(p):
+        p.add_argument(
+            "--nodes", type=int, default=2, help="machine nodes (default: 2)"
+        )
+        p.add_argument(
+            "--cores-per-node",
+            type=int,
+            default=4,
+            help="cores per node (default: 4)",
+        )
+        p.add_argument(
+            "--capacity",
+            type=int,
+            default=64,
+            help="admission queue capacity (default: 64)",
+        )
+        p.add_argument(
+            "--aging",
+            type=int,
+            default=1,
+            help="priority aging per queued round (default: 1)",
+        )
+        p.add_argument(
+            "--seed", type=int, default=0, help="placement tie-break seed"
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=30.0,
+            help="per-rank SPMD watchdog seconds (default: 30)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve", help="run a JSON job list through the mesh-job service"
+    )
+    p_serve.add_argument("--jobs", required=True, help="jobs JSON file")
+    add_service_args(p_serve)
+    p_serve.add_argument(
+        "--out", default="serve-out", help="output directory (created)"
+    )
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="run one job through a fresh mesh-job service"
+    )
+    p_submit.add_argument("--name", default="job", help="job name")
+    p_submit.add_argument(
+        "--workload",
+        default="stencil",
+        help="registered workload name (see repro.workloads.job_workload_names)",
+    )
+    p_submit.add_argument(
+        "--parts", type=int, default=2, help="gang size (default: 2)"
+    )
+    p_submit.add_argument(
+        "--n", type=int, default=8, help="mesh resolution (default: 8)"
+    )
+    p_submit.add_argument(
+        "--steps", type=int, default=2, help="superstep count (default: 2)"
+    )
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall seconds per attempt (default: none)",
+    )
+    p_submit.add_argument(
+        "--retries", type=int, default=0, help="retry budget (default: 0)"
+    )
+    p_submit.add_argument(
+        "--faults", default=None, help="JSON fault-plan file (default: none)"
+    )
+    add_service_args(p_submit)
+    p_submit.set_defaults(fn=cmd_submit)
     return parser
 
 

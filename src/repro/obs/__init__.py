@@ -43,8 +43,10 @@ from .stats import (
     CommStats,
     GhostDeleteStats,
     GhostStats,
+    LatencyStats,
     MigrateStats,
     SyncStats,
+    percentile,
 )
 from .tracer import (
     CommMatrix,
@@ -63,6 +65,7 @@ __all__ = [
     "CommStats",
     "GhostDeleteStats",
     "GhostStats",
+    "LatencyStats",
     "MigrateStats",
     "Span",
     "SyncStats",
@@ -72,6 +75,7 @@ __all__ = [
     "current",
     "install",
     "metrics_dict",
+    "percentile",
     "text_report",
     "trace_span",
     "uninstall",

@@ -183,3 +183,69 @@ class AccumulateStats(CommStats):
             f"accumulate(dim={self.entity_dim}): {self.contributions} "
             f"contribution(s) + {self.synced} sync value(s) [{self._cost()}]"
         )
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    Deterministic given the sample multiset: sorts, then indexes at
+    ``ceil(q/100 * n)`` (nearest-rank convention).  Raises ``ValueError``
+    on an empty sample list or an out-of-range ``q``.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = -(-int(q * len(ordered)) // 100)  # ceil(q/100 * n) without floats
+    return ordered[max(rank, 1) - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution summary (count / mean / p50 / p95 / max).
+
+    Built from raw wall-clock samples by :meth:`from_samples`; the serving
+    tier reports job latencies this way and the throughput benchmark quotes
+    the same record, so "p95" always means the same nearest-rank estimate.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: "list[float]") -> "LatencyStats":
+        if not samples:
+            return cls()
+        values = [float(s) for s in samples]
+        total = sum(values)
+        return cls(
+            count=len(values),
+            total=total,
+            mean=total / len(values),
+            p50=percentile(values, 50.0),
+            p95=percentile(values, 95.0),
+            max=max(values),
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"latency: n={self.count} mean={self.mean:.4f}s "
+            f"p50={self.p50:.4f}s p95={self.p95:.4f}s max={self.max:.4f}s"
+        )

@@ -28,7 +28,15 @@ from .neighbors import dense_exchange, neighbor_exchange
 from .network import CODECS, Message, Network, wire_size
 from .perf import GLOBAL, PerfCounters, TimerStat
 from .routing import BufferedRouter, NodeRouter
-from .topology import MachineTopology, flat, single_node
+from .topology import (
+    CoreLedger,
+    CoreSlot,
+    MachineTopology,
+    PlacedTopology,
+    TopologyError,
+    flat,
+    single_node,
+)
 from .twolevel import TwoLevelComm
 
 __all__ = [
@@ -39,6 +47,8 @@ __all__ = [
     "CodecError",
     "CollectiveMismatchError",
     "Comm",
+    "CoreLedger",
+    "CoreSlot",
     "CommAbortedError",
     "CommTimeoutError",
     "CommWorld",
@@ -51,10 +61,12 @@ __all__ = [
     "Network",
     "NodeRouter",
     "PerfCounters",
+    "PlacedTopology",
     "RankFailure",
     "Request",
     "SpmdError",
     "TimerStat",
+    "TopologyError",
     "TwoLevelComm",
     "codec",
     "dense_exchange",

@@ -193,6 +193,11 @@ class CommWorld:
         for mailbox in self.mailboxes:
             mailbox.wake()
 
+    @property
+    def aborted(self) -> bool:
+        """True once :meth:`abort` has been called."""
+        return self._abort.is_set()
+
     def transmit(
         self, ctx: Hashable, src: int, dst: int, tag: Hashable, payload: Any
     ) -> None:

@@ -16,6 +16,7 @@ drivers can classify failures without parsing tracebacks.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Union
@@ -77,7 +78,13 @@ class SpmdError(RuntimeError):
 
     ``records`` holds :class:`RankFailure` entries sorted by rank;
     ``failures`` keeps the legacy ``(rank, exception, traceback)`` tuples.
+    ``leaked_threads`` counts rank worker threads that were still alive
+    when the executor gave up joining them (they are daemon threads, so
+    they cannot keep the process alive, but they indicate a rank program
+    stuck outside the communication layer).
     """
+
+    leaked_threads: int = 0
 
     def __init__(
         self, failures: Sequence[Union[RankFailure, tuple]]
@@ -114,6 +121,8 @@ def spmd(
     sanitize: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
     fault_injector: Optional[Any] = None,
+    cancel: Optional[threading.Event] = None,
+    join_grace: float = 5.0,
 ) -> List[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` threads; return results by rank.
 
@@ -147,6 +156,20 @@ def spmd(
         Optional :class:`~repro.resilience.FaultInjector`; ``crash`` faults
         without a superstep kill their rank's thread as it starts, and the
         resulting :class:`SpmdError` records mark the failure as injected.
+    cancel:
+        Cooperative cancellation hook: when this event is set, the world is
+        aborted — every rank blocked in the communication layer wakes with
+        :class:`~repro.parallel.comm.CommAbortedError` and the job fails
+        with an :class:`SpmdError` whose records are those aborts.  This is
+        how the serving tier (:mod:`repro.svc`) enforces job deadlines.
+    join_grace:
+        After an abort (a rank failure or a cancellation), how many seconds
+        to wait for the remaining rank threads to exit.  Threads still
+        alive afterwards are abandoned — they are daemon threads, so a
+        stuck rank cannot leak a non-daemon thread into the next job run in
+        the same process; the count is reported via
+        ``SpmdError.leaked_threads`` and the ``spmd.threads.leaked``
+        counter.
     """
     world = CommWorld(
         nranks,
@@ -196,20 +219,75 @@ def spmd(
             world.abort()
 
     threads = [
-        threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
+        threading.Thread(
+            target=runner,
+            args=(rank,),
+            name=f"spmd-rank-{rank}",
+            daemon=True,
+        )
         for rank in range(nranks)
     ]
     for thread in threads:
         thread.start()
-    for thread in threads:
-        thread.join()
 
-    if failures:
+    # Join with a poll so an external cancellation can abort the world, and
+    # with a bounded grace period once an abort happened: a rank stuck in
+    # pure computation (or a foreign sleep) never observes the abort, and an
+    # unbounded join would hang the caller forever.  Daemon threads make
+    # abandonment safe — a reaped rank cannot outlive the process.
+    pending = list(threads)
+    abort_seen: Optional[float] = None
+    leaked = 0
+    while pending:
+        head = pending[-1]
+        head.join(timeout=0.02 if (cancel is not None or abort_seen) else 0.2)
+        if not head.is_alive():
+            pending.pop()
+            continue
+        if cancel is not None and cancel.is_set():
+            world.abort()
+        if world.aborted:
+            now = time.monotonic()
+            if abort_seen is None:
+                abort_seen = now
+            elif now - abort_seen > join_grace:
+                leaked = sum(1 for t in pending if t.is_alive())
+                world.counters.add("spmd.threads.leaked", leaked)
+                break
+
+    # Abandoned threads may still append to ``failures`` later; work from a
+    # snapshot taken under the lock.
+    with failure_lock:
+        reported = list(failures)
+
+    if leaked and not reported:
+        # Cancellation (or a fault) aborted the world but no rank observed
+        # it: synthesize records for the abandoned ranks so the caller
+        # still gets a structured failure.
+        for rank, thread in enumerate(threads):
+            if thread.is_alive():
+                reported.append(
+                    RankFailure(
+                        rank=rank,
+                        exc_type="LeakedRankError",
+                        message=(
+                            "rank thread did not exit within the join "
+                            "grace period after abort; abandoned as a "
+                            "daemon thread"
+                        ),
+                        traceback="",
+                    )
+                )
+
+    if reported:
+        failures = reported
         failures.sort(key=lambda record: record.rank)
         # Secondary CommAbortedError failures are just ranks woken by the
         # abort; report the root cause(s) unless nothing else failed.
         primary = [
             f for f in failures if not isinstance(f.exception, CommAbortedError)
         ]
-        raise SpmdError(primary or failures)
+        error = SpmdError(primary or failures)
+        error.leaked_threads = leaked
+        raise error
     return results

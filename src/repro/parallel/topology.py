@@ -16,7 +16,19 @@ Every communication layer consults this object to classify traffic as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+#: One processing unit of the machine: ``(node index, core index)``.
+CoreSlot = Tuple[int, int]
+
+
+class TopologyError(ValueError):
+    """A machine specification or core reservation is invalid.
+
+    Raised for zero/negative node or core counts, out-of-range slots, and
+    over-subscribed reservations — the degenerate inputs that would
+    otherwise surface far downstream as nonsense placements.
+    """
 
 
 @dataclass(frozen=True)
@@ -33,10 +45,18 @@ class MachineTopology:
     cores_per_node: int
 
     def __post_init__(self) -> None:
+        if not isinstance(self.nodes, int) or isinstance(self.nodes, bool):
+            raise TopologyError(f"node count must be an int, got {self.nodes!r}")
+        if not isinstance(self.cores_per_node, int) or isinstance(
+            self.cores_per_node, bool
+        ):
+            raise TopologyError(
+                f"cores per node must be an int, got {self.cores_per_node!r}"
+            )
         if self.nodes < 1:
-            raise ValueError(f"need at least one node, got {self.nodes}")
+            raise TopologyError(f"need at least one node, got {self.nodes}")
         if self.cores_per_node < 1:
-            raise ValueError(
+            raise TopologyError(
                 f"need at least one core per node, got {self.cores_per_node}"
             )
 
@@ -92,6 +112,178 @@ class MachineTopology:
         """Iterate ``(node, ranks_on_node)`` pairs."""
         for node in range(self.nodes):
             yield node, self.ranks_on_node(node)
+
+    def ledger(self) -> "CoreLedger":
+        """A fresh :class:`CoreLedger` tracking this machine's free cores."""
+        return CoreLedger(self)
+
+
+class CoreLedger:
+    """Reservation tracking for a machine's processing units.
+
+    The serving tier (:mod:`repro.svc`) carves *core-sets* for concurrent
+    SPMD jobs out of one shared :class:`MachineTopology`, the way PUMI pins
+    one process per processing unit via hwloc.  The ledger records which
+    ``(node, core)`` slots are in use; reservations always hand out the
+    lowest-numbered free cores of a node so identical request sequences
+    yield identical slot lists.
+    """
+
+    def __init__(self, machine: MachineTopology) -> None:
+        self.machine = machine
+        self._free: Dict[int, List[int]] = {
+            node: list(range(machine.cores_per_node))
+            for node in range(machine.nodes)
+        }
+
+    @property
+    def total_cores(self) -> int:
+        return self.machine.total_cores
+
+    def free_cores(self) -> int:
+        """Total unreserved processing units across the machine."""
+        return sum(len(cores) for cores in self._free.values())
+
+    def used_cores(self) -> int:
+        return self.total_cores - self.free_cores()
+
+    def free_on(self, node: int) -> int:
+        """Unreserved processing units on ``node``."""
+        if node not in self._free:
+            raise TopologyError(
+                f"node {node} out of range [0, {self.machine.nodes})"
+            )
+        return len(self._free[node])
+
+    def reserve_on(self, node: int, count: int) -> List[CoreSlot]:
+        """Reserve ``count`` cores on ``node``; lowest core indices first."""
+        if count < 1:
+            raise TopologyError(f"reservation size must be >= 1, got {count}")
+        free = self._free.get(node)
+        if free is None:
+            raise TopologyError(
+                f"node {node} out of range [0, {self.machine.nodes})"
+            )
+        if len(free) < count:
+            raise TopologyError(
+                f"node {node} has {len(free)} free core(s), need {count}"
+            )
+        taken = free[:count]
+        del free[:count]
+        return [(node, core) for core in taken]
+
+    def release(self, slots: Sequence[CoreSlot]) -> None:
+        """Return previously reserved slots to the free pool."""
+        for node, core in slots:
+            free = self._free.get(node)
+            if free is None:
+                raise TopologyError(
+                    f"node {node} out of range [0, {self.machine.nodes})"
+                )
+            if not 0 <= core < self.machine.cores_per_node:
+                raise TopologyError(
+                    f"core {core} out of range "
+                    f"[0, {self.machine.cores_per_node}) on node {node}"
+                )
+            if core in free:
+                raise TopologyError(
+                    f"slot (node {node}, core {core}) is not reserved"
+                )
+            free.append(core)
+            free.sort()
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreLedger({self.machine.describe()}; "
+            f"{self.free_cores()}/{self.total_cores} free)"
+        )
+
+
+class PlacedTopology:
+    """A job-local machine view over an explicit reserved core-set.
+
+    Implements the :class:`MachineTopology` interface the communication
+    layers consult (``total_cores``, ``node_of``, ``same_node``, leader
+    queries), but maps job-local rank ``i`` to ``slots[i]`` instead of the
+    block rule — so a gang placed across arbitrary cores of the shared
+    machine still classifies its traffic by the *machine's* node boundaries.
+    """
+
+    def __init__(
+        self, machine: MachineTopology, slots: Sequence[CoreSlot]
+    ) -> None:
+        if not slots:
+            raise TopologyError("a placement needs at least one core slot")
+        seen = set()
+        for node, core in slots:
+            if not 0 <= node < machine.nodes:
+                raise TopologyError(
+                    f"node {node} out of range [0, {machine.nodes})"
+                )
+            if not 0 <= core < machine.cores_per_node:
+                raise TopologyError(
+                    f"core {core} out of range [0, {machine.cores_per_node})"
+                )
+            if (node, core) in seen:
+                raise TopologyError(
+                    f"slot (node {node}, core {core}) reserved twice"
+                )
+            seen.add((node, core))
+        self.machine = machine
+        self.slots: Tuple[CoreSlot, ...] = tuple(
+            (int(node), int(core)) for node, core in slots
+        )
+
+    @property
+    def total_cores(self) -> int:
+        return len(self.slots)
+
+    @property
+    def nodes(self) -> int:
+        return len({node for node, _core in self.slots})
+
+    def node_of(self, rank: int) -> int:
+        self._check(rank)
+        return self.slots[rank][0]
+
+    def core_of(self, rank: int) -> int:
+        self._check(rank)
+        return self.slots[rank][1]
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def ranks_on_node(self, node: int) -> List[int]:
+        """Job-local ranks whose slot lives on machine node ``node``."""
+        return [i for i, (n, _c) in enumerate(self.slots) if n == node]
+
+    def node_leader(self, node: int) -> int:
+        ranks = self.ranks_on_node(node)
+        if not ranks:
+            raise TopologyError(f"no ranks placed on node {node}")
+        return ranks[0]
+
+    def is_node_leader(self, rank: int) -> bool:
+        return self.node_leader(self.node_of(rank)) == rank
+
+    def leaders(self) -> List[int]:
+        nodes = sorted({node for node, _core in self.slots})
+        return [self.node_leader(node) for node in nodes]
+
+    def describe(self) -> str:
+        return (
+            f"placement: {self.total_cores} core(s) across "
+            f"{self.nodes} node(s) of [{self.machine.describe()}]"
+        )
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < len(self.slots):
+            raise TopologyError(
+                f"rank {rank} out of range [0, {len(self.slots)})"
+            )
+
+    def __repr__(self) -> str:
+        return f"PlacedTopology(slots={list(self.slots)})"
 
 
 def single_node(cores: int) -> MachineTopology:

@@ -1,0 +1,67 @@
+"""repro.svc — the multi-tenant mesh-job serving tier.
+
+The ROADMAP's north star is a system serving heavy concurrent traffic, but
+``spmd(...)`` runs exactly one workload at a time.  This subsystem is the
+missing layer between callers and the simulated machine:
+
+* :class:`JobSpec` / :class:`JobResult` / :class:`JobFailure` — typed job
+  descriptions (workload, gang size, tenant, priority, deadline,
+  :class:`RetryPolicy`, optional fault plan) and outcomes
+  (:mod:`repro.svc.job`);
+* :class:`AdmissionQueue` — bounded admission with typed
+  :class:`AdmissionError` backpressure, fair-share priority aging, and
+  cancellation (:mod:`repro.svc.queue`);
+* :class:`GangScheduler` — all-or-nothing, locality-aware core-set
+  placement over :class:`~repro.parallel.MachineTopology` (node-local
+  preferred, spanning fallback, seeded deterministic tie-breaks) with a
+  byte-stable placement trace (:mod:`repro.svc.placement`);
+* :class:`MeshJobService` — the service loop: deterministic scheduling
+  rounds of concurrently executing, world-isolated SPMD jobs, cooperative
+  deadline cancellation, fault-classified retries, and service gauges
+  (:mod:`repro.svc.runtime`);
+* :class:`ServiceReport` — the wall-time-free ``repro.svc/1`` JSON
+  document; identical submissions + seed produce byte-identical reports
+  (:mod:`repro.svc.report`).
+
+Operationally: ``python -m repro serve --jobs jobs.json`` runs a job file,
+``python -m repro submit --workload stencil --parts 4`` runs a one-shot
+job; see the README "Serving mesh jobs" quickstart.
+"""
+
+from .job import (
+    JobFailure,
+    JobResult,
+    JobSpec,
+    JobSpecError,
+    JobStats,
+    PlacementRecord,
+    RetryPolicy,
+    load_specs,
+)
+from .placement import GangScheduler, Placement, PlacementError
+from .queue import AdmissionError, AdmissionQueue, QueuedJob
+from .report import SCHEMA, RoundRecord, ServiceReport, load_report
+from .runtime import MeshJobService, default_machine
+
+__all__ = [
+    "SCHEMA",
+    "AdmissionError",
+    "AdmissionQueue",
+    "GangScheduler",
+    "JobFailure",
+    "JobResult",
+    "JobSpec",
+    "JobSpecError",
+    "JobStats",
+    "MeshJobService",
+    "Placement",
+    "PlacementError",
+    "PlacementRecord",
+    "QueuedJob",
+    "RetryPolicy",
+    "RoundRecord",
+    "ServiceReport",
+    "default_machine",
+    "load_report",
+    "load_specs",
+]

@@ -1,0 +1,327 @@
+"""Job specifications and typed outcomes for the mesh-job service.
+
+A :class:`JobSpec` is the unit of admission: everything the service needs
+to place, run, supervise, and retry one SPMD mesh job — the workload (a
+registered name from :mod:`repro.workloads.jobs` or a rank callable), the
+gang size (``parts``), the scheduling inputs (tenant, priority, deadline),
+the :class:`RetryPolicy`, and an optional deterministic
+:class:`~repro.resilience.FaultPlan` to execute the job under.
+
+Outcomes are typed: :class:`JobResult` for a completed job (with
+:class:`JobStats` communication accounting from the job's *private* counter
+registry) and :class:`JobFailure` for everything else.  Both serialize to
+strict-JSON dicts; wall-clock seconds are reported separately so the
+service report can stay byte-deterministic (see :mod:`repro.svc.report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..resilience.faults import FaultPlan
+
+__all__ = [
+    "JobFailure",
+    "JobResult",
+    "JobSpec",
+    "JobSpecError",
+    "JobStats",
+    "PlacementRecord",
+    "RetryPolicy",
+    "load_specs",
+]
+
+#: Terminal job states a service run can report.
+COMPLETED = "completed"
+FAILED = "failed"
+DEADLINE = "deadline"
+CANCELLED = "cancelled"
+
+
+class JobSpecError(ValueError):
+    """A job specification failed validation."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failures are retried.
+
+    ``max_retries`` bounds re-execution attempts beyond the first.  By
+    default only failures *attributable to the job's fault plan* (injected
+    or collateral, per :func:`repro.resilience.classify_failure`) are
+    retried — a genuine workload bug fails fast, exactly like
+    :func:`~repro.resilience.resilient_spmd`.  ``retry_real`` widens the
+    policy to any failure.
+    """
+
+    max_retries: int = 0
+    retry_real: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise JobSpecError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"max_retries": self.max_retries, "retry_real": self.retry_real}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RetryPolicy":
+        unknown = set(doc) - {"max_retries", "retry_real"}
+        if unknown:
+            raise JobSpecError(
+                f"unknown retry-policy field(s): {sorted(unknown)}"
+            )
+        return cls(
+            max_retries=int(doc.get("max_retries", 0)),
+            retry_real=bool(doc.get("retry_real", False)),
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One mesh job: workload, gang size, and scheduling inputs.
+
+    ``workload`` is a registered name (see
+    :func:`repro.workloads.job_workload_names`) or a rank callable
+    ``fn(comm, mesh_n, steps) -> dict``.  ``parts`` is the gang size: the
+    number of simulated ranks, each pinned to one reserved processing unit
+    of the service's machine.  ``deadline`` (wall seconds per attempt)
+    triggers cooperative cancellation; ``None`` means no deadline.
+    """
+
+    name: str
+    workload: Union[str, Callable[..., Any]]
+    parts: int = 1
+    mesh_n: int = 4
+    steps: int = 1
+    tenant: str = "default"
+    priority: int = 0
+    deadline: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise JobSpecError(f"job name must be a non-empty string, got {self.name!r}")
+        if not (isinstance(self.workload, str) or callable(self.workload)):
+            raise JobSpecError(
+                f"workload must be a registry name or callable, "
+                f"got {self.workload!r}"
+            )
+        if self.parts < 1:
+            raise JobSpecError(f"parts must be >= 1, got {self.parts}")
+        if self.mesh_n < 1:
+            raise JobSpecError(f"mesh_n must be >= 1, got {self.mesh_n}")
+        if self.steps < 1:
+            raise JobSpecError(f"steps must be >= 1, got {self.steps}")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise JobSpecError(
+                f"tenant must be a non-empty string, got {self.tenant!r}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise JobSpecError(
+                f"deadline must be positive seconds, got {self.deadline}"
+            )
+
+    @property
+    def workload_name(self) -> str:
+        """The workload's reportable name (registry key or qualname)."""
+        if isinstance(self.workload, str):
+            return self.workload
+        return getattr(self.workload, "__qualname__", repr(self.workload))
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "workload": self.workload_name,
+            "parts": self.parts,
+            "mesh_n": self.mesh_n,
+            "steps": self.steps,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "retry": self.retry.to_dict(),
+        }
+        if self.fault_plan is not None:
+            doc["fault_plan"] = self.fault_plan.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JobSpec":
+        known = {
+            "name", "workload", "parts", "mesh_n", "steps", "tenant",
+            "priority", "deadline", "retry", "fault_plan",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise JobSpecError(f"unknown job field(s): {sorted(unknown)}")
+        if "name" not in doc or "workload" not in doc:
+            raise JobSpecError("a job needs at least 'name' and 'workload'")
+        retry = doc.get("retry")
+        fault_plan = doc.get("fault_plan")
+        deadline = doc.get("deadline")
+        return cls(
+            name=str(doc["name"]),
+            workload=doc["workload"],
+            parts=int(doc.get("parts", 1)),
+            mesh_n=int(doc.get("mesh_n", 4)),
+            steps=int(doc.get("steps", 1)),
+            tenant=str(doc.get("tenant", "default")),
+            priority=int(doc.get("priority", 0)),
+            deadline=float(deadline) if deadline is not None else None,
+            retry=(
+                RetryPolicy.from_dict(retry)
+                if isinstance(retry, dict)
+                else (retry if isinstance(retry, RetryPolicy) else RetryPolicy())
+            ),
+            fault_plan=(
+                FaultPlan.from_dict(fault_plan)
+                if isinstance(fault_plan, dict)
+                else fault_plan
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class JobStats:
+    """Communication accounting of the job's *successful* attempt.
+
+    Sourced from the job's private counter registry so concurrent jobs
+    never contaminate each other, and only from the attempt that completed
+    — traffic posted by a crashing attempt before the abort propagates is
+    timing-dependent, so counting it would break report determinism.
+    """
+
+    messages_self: int = 0
+    messages_on_node: int = 0
+    messages_off_node: int = 0
+    off_node_bytes: int = 0
+
+    @property
+    def messages(self) -> int:
+        return self.messages_self + self.messages_on_node + self.messages_off_node
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "messages_self": self.messages_self,
+            "messages_on_node": self.messages_on_node,
+            "messages_off_node": self.messages_off_node,
+            "off_node_bytes": self.off_node_bytes,
+            "messages": self.messages,
+        }
+
+    @classmethod
+    def from_counters(cls, counters) -> "JobStats":
+        snap = counters.counters()
+        return cls(
+            messages_self=int(snap.get("comm.messages.self", 0)),
+            messages_on_node=int(snap.get("comm.messages.on_node", 0)),
+            messages_off_node=int(snap.get("comm.messages.off_node", 0)),
+            off_node_bytes=int(snap.get("comm.bytes.off_node", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class PlacementRecord:
+    """Where one attempt ran: the round it was scheduled in and its slots."""
+
+    round: int
+    slots: Tuple[Tuple[int, int], ...]
+    node_local: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.round,
+            "slots": [[node, core] for node, core in self.slots],
+            "node_local": self.node_local,
+        }
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A completed job: output, per-attempt placements, comm stats."""
+
+    name: str
+    attempts: int
+    placements: Tuple[PlacementRecord, ...]
+    stats: JobStats
+    output: Any = None
+    injected_faults: int = 0
+    seconds: float = 0.0  # wall clock; excluded from deterministic dicts
+
+    status: str = COMPLETED
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def to_dict(self, wall_free: bool = True) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "placements": [p.to_dict() for p in self.placements],
+            "stats": self.stats.to_dict(),
+            "output": self.output,
+            "injected_faults": self.injected_faults,
+        }
+        if not wall_free:
+            doc["seconds"] = self.seconds
+        return doc
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A job that did not complete: failed, cancelled, or past deadline."""
+
+    name: str
+    status: str  # FAILED | DEADLINE | CANCELLED
+    attempts: int
+    placements: Tuple[PlacementRecord, ...]
+    exc_type: str = ""
+    message: str = ""
+    injected_faults: int = 0
+    failed_ranks: Tuple[int, ...] = ()
+    seconds: float = 0.0  # wall clock; excluded from deterministic dicts
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def to_dict(self, wall_free: bool = True) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "placements": [p.to_dict() for p in self.placements],
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "injected_faults": self.injected_faults,
+            "failed_ranks": list(self.failed_ranks),
+        }
+        if not wall_free:
+            doc["seconds"] = self.seconds
+        return doc
+
+
+def load_specs(doc: Union[Dict[str, Any], List[Any]]) -> List[JobSpec]:
+    """Parse a jobs document: either ``[{...}, ...]`` or ``{"jobs": [...]}``."""
+    if isinstance(doc, dict):
+        jobs = doc.get("jobs")
+        if not isinstance(jobs, list):
+            raise JobSpecError("jobs document must contain a 'jobs' list")
+    elif isinstance(doc, list):
+        jobs = doc
+    else:
+        raise JobSpecError(
+            f"jobs document must be a list or mapping, got {type(doc).__name__}"
+        )
+    specs = [JobSpec.from_dict(entry) for entry in jobs]
+    names = [spec.name for spec in specs]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        raise JobSpecError(f"duplicate job name(s): {dupes}")
+    return specs

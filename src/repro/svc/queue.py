@@ -1,0 +1,188 @@
+"""Bounded admission queue with fair-share priority aging.
+
+Admission control is the service's backpressure valve: the queue holds at
+most ``capacity`` pending jobs and :meth:`AdmissionQueue.submit` raises a
+typed :class:`AdmissionError` once it is full — callers must drain (run a
+scheduling round) before resubmitting, exactly the contract a saturated
+multi-tenant service gives its clients.
+
+Scheduling order is deterministic and starvation-free:
+
+* each pending job's **effective priority** is its static priority plus
+  ``aging`` per scheduler tick spent waiting (priority aging), so a
+  low-priority job eventually outbids a stream of high-priority arrivals;
+* among equal effective priorities, the **fair-share** rule prefers the
+  tenant with the fewest jobs served so far;
+* remaining ties break by admission order (lowest ticket).
+
+Everything is driven by the service's logical tick counter — never wall
+time — which is what keeps two identical runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .job import JobSpec
+
+__all__ = ["AdmissionError", "AdmissionQueue", "QueuedJob"]
+
+
+class AdmissionError(RuntimeError):
+    """The admission queue is full; drain before resubmitting.
+
+    Carries ``capacity`` and ``depth`` so callers (and tests) can assert
+    the backpressure point.
+    """
+
+    def __init__(self, capacity: int, depth: int, job: str) -> None:
+        super().__init__(
+            f"admission queue full ({depth}/{capacity}); "
+            f"job {job!r} rejected — drain a scheduling round and resubmit"
+        )
+        self.capacity = capacity
+        self.depth = depth
+        self.job = job
+
+
+@dataclass(frozen=True)
+class QueuedJob:
+    """One pending entry: spec plus admission bookkeeping."""
+
+    ticket: int
+    spec: JobSpec
+    submitted_tick: int
+    attempt: int = 1  # 1 for fresh submissions, >1 for service retries
+
+    def effective_priority(self, tick: int, aging: int) -> int:
+        return self.spec.priority + aging * max(tick - self.submitted_tick, 0)
+
+
+class AdmissionQueue:
+    """Bounded, deterministic pending-job store (see module docstring)."""
+
+    def __init__(self, capacity: int = 64, aging: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        if aging < 0:
+            raise ValueError(f"aging must be >= 0, got {aging}")
+        self.capacity = capacity
+        self.aging = aging
+        self._lock = threading.Lock()
+        self._pending: List[QueuedJob] = []
+        self._next_ticket = 0
+        self._tick = 0
+        self._served: Dict[str, int] = {}  # tenant -> jobs handed out
+        self._rejections = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> int:
+        """Admit ``spec``; returns its ticket or raises :class:`AdmissionError`."""
+        with self._lock:
+            if len(self._pending) >= self.capacity:
+                self._rejections += 1
+                raise AdmissionError(self.capacity, len(self._pending), spec.name)
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._pending.append(
+                QueuedJob(ticket=ticket, spec=spec, submitted_tick=self._tick)
+            )
+            return ticket
+
+    def requeue(self, entry: QueuedJob, attempt: int) -> None:
+        """Re-admit a retried job, bypassing the capacity check.
+
+        A retry is not new demand — the job already holds an admission slot
+        conceptually — so backpressure never blocks recovery.  The original
+        ticket is kept (preserving the deterministic tie-break) while the
+        submission tick resets so aging restarts from the retry round.
+        """
+        with self._lock:
+            self._pending.append(
+                QueuedJob(
+                    ticket=entry.ticket,
+                    spec=entry.spec,
+                    submitted_tick=self._tick,
+                    attempt=attempt,
+                )
+            )
+
+    def cancel(self, name: str) -> bool:
+        """Drop a pending job by name; True when something was removed."""
+        with self._lock:
+            kept = [q for q in self._pending if q.spec.name != name]
+            removed = len(kept) != len(self._pending)
+            self._pending = kept
+            return removed
+
+    # -- scheduling --------------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance the logical scheduler clock (one per scheduling round)."""
+        with self._lock:
+            self._tick += 1
+            return self._tick
+
+    def pop_schedulable(
+        self, fits: Callable[[JobSpec], bool]
+    ) -> Optional[QueuedJob]:
+        """Remove and return the best pending job that currently fits.
+
+        Order: highest effective priority, then least-served tenant, then
+        lowest ticket.  Jobs that do not fit the free core-set right now
+        are skipped (they keep aging), so one giant job cannot block the
+        queue while smaller jobs could run — but aging guarantees it is
+        not starved forever, because once its effective priority leads,
+        ties cannot resurrect skipped competitors of lower priority.
+        """
+        with self._lock:
+            candidates: List[Tuple[Tuple[int, int, int], int]] = []
+            for index, entry in enumerate(self._pending):
+                if not fits(entry.spec):
+                    continue
+                rank = (
+                    -entry.effective_priority(self._tick, self.aging),
+                    self._served.get(entry.spec.tenant, 0),
+                    entry.ticket,
+                )
+                candidates.append((rank, index))
+            if not candidates:
+                return None
+            _rank, index = min(candidates)
+            entry = self._pending.pop(index)
+            self._served[entry.spec.tenant] = (
+                self._served.get(entry.spec.tenant, 0) + 1
+            )
+            return entry
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def rejections(self) -> int:
+        with self._lock:
+            return self._rejections
+
+    def pending_names(self) -> List[str]:
+        with self._lock:
+            return [entry.spec.name for entry in self._pending]
+
+    def served_by_tenant(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._served)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionQueue(depth={self.depth}/{self.capacity}, "
+            f"aging={self.aging})"
+        )

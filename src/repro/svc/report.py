@@ -1,0 +1,185 @@
+"""Deterministic service report: the ``repro.svc/1`` JSON document.
+
+The report is the service's reproducibility contract: it contains
+*everything decidable from the job list, the machine, and the seed* — job
+outcomes, per-attempt placements, the full placement trace, per-round
+utilization, queue counters — and **nothing wall-clock**.  Two runs of the
+same submissions on the same seed must produce byte-identical
+:meth:`ServiceReport.to_json` output; that property is CI-enforced.
+
+Wall-time observables (job latency percentiles, service wall time) are
+real and useful — they are exported through the metrics document
+(:func:`repro.obs.write_metrics`) and the throughput benchmark instead,
+where nondeterminism is expected.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+from ..parallel.topology import MachineTopology
+
+__all__ = ["SCHEMA", "RoundRecord", "ServiceReport", "load_report"]
+
+#: Schema tag of the report document.
+SCHEMA = "repro.svc/1"
+
+
+@dataclass
+class RoundRecord:
+    """One scheduling round: what ran and how full the machine was."""
+
+    index: int
+    placed: List[str] = field(default_factory=list)
+    cores_in_use: int = 0
+    total_cores: int = 0
+    queue_depth_after: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.index,
+            "placed": list(self.placed),
+            "cores_in_use": self.cores_in_use,
+            "total_cores": self.total_cores,
+            "queue_depth_after": self.queue_depth_after,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Wall-time-free summary of one service run (see module docstring)."""
+
+    seed: int = 0
+    machine: Dict[str, int] = field(default_factory=dict)
+    queue: Dict[str, int] = field(default_factory=dict)
+    jobs: List[Dict[str, Any]] = field(default_factory=list)
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+    placement_trace: List[Dict[str, Any]] = field(default_factory=list)
+    totals: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        seed: int,
+        machine: MachineTopology,
+        queue_capacity: int,
+        queue_aging: int,
+        rejections: int,
+        jobs: List[Dict[str, Any]],
+        rounds: List[RoundRecord],
+        placement_trace: List[Dict[str, Any]],
+    ) -> "ServiceReport":
+        totals = {
+            "submitted": len(jobs),
+            "completed": sum(1 for j in jobs if j["status"] == "completed"),
+            "failed": sum(1 for j in jobs if j["status"] == "failed"),
+            "deadline": sum(1 for j in jobs if j["status"] == "deadline"),
+            "cancelled": sum(1 for j in jobs if j["status"] == "cancelled"),
+            "retries": sum(max(j["attempts"] - 1, 0) for j in jobs),
+            "rejections": rejections,
+            "rounds": len(rounds),
+        }
+        return cls(
+            seed=seed,
+            machine={
+                "nodes": machine.nodes,
+                "cores_per_node": machine.cores_per_node,
+                "total_cores": machine.total_cores,
+            },
+            queue={"capacity": queue_capacity, "aging": queue_aging},
+            jobs=jobs,
+            rounds=[r.to_dict() for r in rounds],
+            placement_trace=list(placement_trace),
+            totals=totals,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "machine": dict(self.machine),
+            "queue": dict(self.queue),
+            "totals": dict(self.totals),
+            "rounds": list(self.rounds),
+            "jobs": list(self.jobs),
+            "placement_trace": list(self.placement_trace),
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable strict JSON (sorted keys, no NaN, trailing newline)."""
+        return (
+            json.dumps(
+                self.to_dict(), indent=1, sort_keys=True, allow_nan=False
+            )
+            + "\n"
+        )
+
+    def write(self, path) -> None:
+        from pathlib import Path
+
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json())
+
+    def job(self, name: str) -> Dict[str, Any]:
+        """The report entry for job ``name``."""
+        for entry in self.jobs:
+            if entry["name"] == name:
+                return entry
+        raise KeyError(f"no job {name!r} in report")
+
+    def summary(self) -> str:
+        lines = [
+            f"service run: {self.totals.get('submitted', 0)} job(s) over "
+            f"{self.totals.get('rounds', 0)} round(s) on "
+            f"{self.machine.get('nodes', '?')}x"
+            f"{self.machine.get('cores_per_node', '?')} cores "
+            f"(seed {self.seed})",
+            f"  completed {self.totals.get('completed', 0)}"
+            f"  failed {self.totals.get('failed', 0)}"
+            f"  deadline {self.totals.get('deadline', 0)}"
+            f"  cancelled {self.totals.get('cancelled', 0)}"
+            f"  retries {self.totals.get('retries', 0)}"
+            f"  rejections {self.totals.get('rejections', 0)}",
+        ]
+        for entry in self.jobs:
+            placements = entry.get("placements", [])
+            where = ""
+            if placements:
+                last = placements[-1]
+                kind = "node-local" if last["node_local"] else "spanning"
+                where = (
+                    f" [{kind} round {last['round']}, "
+                    f"{len(last['slots'])} core(s)]"
+                )
+            lines.append(
+                f"  {entry['name']}: {entry['status']} "
+                f"(attempt(s) {entry['attempts']}){where}"
+            )
+        return "\n".join(lines)
+
+
+def load_report(text_or_path: Union[str, "Any"]) -> ServiceReport:
+    """Parse a ``repro.svc/1`` JSON document back into a report."""
+    from pathlib import Path
+
+    if isinstance(text_or_path, (str, Path)) and str(text_or_path).lstrip().startswith("{"):
+        doc = json.loads(str(text_or_path))
+    else:
+        doc = json.loads(Path(text_or_path).read_text())
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a {SCHEMA} document: schema={doc.get('schema')!r}"
+        )
+    return ServiceReport(
+        seed=doc["seed"],
+        machine=doc["machine"],
+        queue=doc["queue"],
+        jobs=doc["jobs"],
+        rounds=doc["rounds"],
+        placement_trace=doc["placement_trace"],
+        totals=doc["totals"],
+    )

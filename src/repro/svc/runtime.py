@@ -1,0 +1,470 @@
+"""The mesh-job service: admission, gang scheduling, supervised execution.
+
+:class:`MeshJobService` is the serving tier over the simulated machine: it
+admits :class:`~repro.svc.JobSpec` submissions through a bounded
+:class:`~repro.svc.AdmissionQueue`, carves a core-set per job with the
+locality-aware :class:`~repro.svc.GangScheduler`, and executes jobs in
+deterministic **scheduling rounds**:
+
+1. advance the logical scheduler tick (priority aging);
+2. pop schedulable jobs (fair-share order) and place their gangs until the
+   machine is full or the queue is empty;
+3. run the whole wave concurrently — one thread per job, each job in its
+   **own isolated SPMD world** (private :class:`~repro.parallel.CommWorld`
+   built on the job's :class:`~repro.parallel.PlacedTopology`, private
+   counter registry, private tracer, optional private fault injector);
+4. join the wave, then release core-sets and settle outcomes in placement
+   order: completed jobs are finalized, retryable failures (classified via
+   :func:`repro.resilience.classify_failure` — injected/collateral faults
+   retry, real bugs fail fast unless the policy says otherwise) are
+   re-queued for a later round.
+
+The round barrier is what makes the service *reproducible*: which jobs run
+together, where each gang lands, and every retry decision depend only on
+the submission sequence and the seed — never on thread timing — so two
+identical runs produce byte-identical ``repro.svc/1`` reports.  Inside a
+round, jobs genuinely run concurrently.
+
+Deadlines are enforced by cooperative cancellation: each attempt arms a
+timer that sets the job's cancel event; the executor aborts the world and
+the blocked ranks wake with ``CommAbortedError`` (see
+``spmd(..., cancel=...)``).  Observability: service-level gauges (queue
+depth, running jobs, core utilization) land on the service tracer's
+timelines, ``svc.*`` counters on its registry, and job latencies are kept
+for :meth:`MeshJobService.latency_stats` / the metrics export.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..obs.stats import LatencyStats
+from ..obs.tracer import Tracer
+from ..parallel.executor import SpmdError, spmd
+from ..parallel.perf import PerfCounters
+from ..parallel.topology import MachineTopology
+from ..resilience.faults import FaultInjector
+from ..resilience.recovery import REAL, classify_failure
+from ..workloads.jobs import job_workload
+from .job import (
+    CANCELLED,
+    DEADLINE,
+    FAILED,
+    JobFailure,
+    JobResult,
+    JobSpec,
+    JobSpecError,
+    JobStats,
+    PlacementRecord,
+)
+from .placement import GangScheduler, Placement
+from .queue import AdmissionError, AdmissionQueue, QueuedJob
+from .report import RoundRecord, ServiceReport
+
+__all__ = ["MeshJobService", "default_machine"]
+
+
+def default_machine() -> MachineTopology:
+    """The default serving machine: 2 nodes x 4 cores (8 processing units)."""
+    return MachineTopology(nodes=2, cores_per_node=4)
+
+
+class MeshJobService:
+    """Multi-tenant gang-scheduled mesh-job service (see module docstring).
+
+    Parameters
+    ----------
+    machine:
+        The shared machine jobs are placed onto (default: 2x4 cores).
+    capacity:
+        Admission queue bound; submissions beyond it raise
+        :class:`~repro.svc.AdmissionError`.
+    aging:
+        Priority points a pending job gains per scheduling round waited
+        (fair-share aging; 0 disables).
+    seed:
+        Seed for the scheduler's deterministic tie-breaks.
+    timeout:
+        Per-receive deadlock timeout handed to each job's SPMD world.
+    join_grace:
+        Seconds the executor waits for rank threads after an abort before
+        abandoning them (see ``spmd(..., join_grace=...)``).
+    tracer:
+        Service-level observability hook; defaults to a fresh
+        :class:`~repro.obs.Tracer` over the service counter registry.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineTopology] = None,
+        *,
+        capacity: int = 64,
+        aging: int = 1,
+        seed: int = 0,
+        timeout: Optional[float] = 30.0,
+        join_grace: float = 2.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.machine = machine if machine is not None else default_machine()
+        self.seed = seed
+        self.timeout = timeout
+        self.join_grace = join_grace
+        self.counters = PerfCounters()
+        self.tracer = tracer if tracer is not None else Tracer(
+            counters=self.counters
+        )
+        self.scheduler = GangScheduler(self.machine, seed=seed)
+        self.queue = AdmissionQueue(capacity=capacity, aging=aging)
+        self._entries: Dict[str, QueuedJob] = {}
+        self._fns: Dict[str, Callable[..., Any]] = {}
+        self._injectors: Dict[str, Optional[FaultInjector]] = {}
+        self._placements: Dict[str, List[PlacementRecord]] = {}
+        self._seconds: Dict[str, float] = {}
+        self._order: List[str] = []  # submission order, for the report
+        self._outcomes: Dict[str, Union[JobResult, JobFailure]] = {}
+        self._rounds: List[RoundRecord] = []
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> int:
+        """Admit one job; returns its queue ticket.
+
+        Raises :class:`~repro.svc.job.JobSpecError` for duplicate names or
+        unknown workloads, :class:`~repro.svc.PlacementError` for gangs
+        larger than the machine, and :class:`~repro.svc.AdmissionError`
+        when the queue is full (nothing is recorded in that case — the
+        caller owns resubmission).
+        """
+        if spec.name in self._entries:
+            raise JobSpecError(
+                f"job name {spec.name!r} already submitted to this service"
+            )
+        self.scheduler.check(spec)
+        fn = (
+            spec.workload
+            if callable(spec.workload)
+            else self._resolve(spec.workload)
+        )
+        ticket = self.queue.submit(spec)  # may raise AdmissionError
+        self._entries[spec.name] = QueuedJob(
+            ticket=ticket, spec=spec, submitted_tick=0
+        )
+        self._fns[spec.name] = fn
+        self._injectors[spec.name] = (
+            FaultInjector(spec.fault_plan) if spec.fault_plan else None
+        )
+        self._placements[spec.name] = []
+        self._seconds[spec.name] = 0.0
+        self._order.append(spec.name)
+        self.counters.add("svc.jobs.submitted")
+        return ticket
+
+    @staticmethod
+    def _resolve(name: str) -> Callable[..., Any]:
+        try:
+            return job_workload(name)
+        except KeyError as exc:
+            raise JobSpecError(str(exc)) from None
+
+    def cancel(self, name: str) -> bool:
+        """Cancel a *pending* job; True when it was removed from the queue.
+
+        A cancelled job still appears in the report with status
+        ``cancelled``.  Jobs already running in the current round are not
+        interruptible from here — use a deadline for that.
+        """
+        if not self.queue.cancel(name):
+            return False
+        self.counters.add("svc.jobs.cancelled")
+        self._outcomes[name] = JobFailure(
+            name=name,
+            status=CANCELLED,
+            attempts=0,
+            placements=(),
+            message="cancelled while pending",
+        )
+        return True
+
+    # -- the service loop --------------------------------------------------
+
+    def run_round(self) -> Optional[RoundRecord]:
+        """Execute one scheduling round; None when the queue is empty."""
+        if self.queue.depth == 0:
+            return None
+        self.queue.tick()
+
+        # Build the wave: pop + place until the machine is full.  Placement
+        # grants happen in pop order, which is the deterministic fair-share
+        # order — this *is* the placement trace.
+        wave: List[Tuple[QueuedJob, Placement]] = []
+        while True:
+            entry = self.queue.pop_schedulable(self.scheduler.fits)
+            if entry is None:
+                break
+            placement = self.scheduler.place(entry.spec)
+            assert placement is not None  # fits() held under the round lock
+            self._placements[entry.spec.name].append(
+                PlacementRecord(
+                    round=len(self._rounds),
+                    slots=placement.slots,
+                    node_local=placement.node_local,
+                )
+            )
+            wave.append((entry, placement))
+
+        used, total = self.scheduler.utilization()
+        record = RoundRecord(
+            index=len(self._rounds),
+            placed=[entry.spec.name for entry, _p in wave],
+            cores_in_use=used,
+            total_cores=total,
+            queue_depth_after=self.queue.depth,
+        )
+        self._rounds.append(record)
+        self.counters.add("svc.rounds")
+        self.tracer.record_value("svc.queue.depth", self.queue.depth)
+        self.tracer.record_value("svc.running.jobs", len(wave))
+        self.tracer.record_value(
+            "svc.core.utilization", used / total if total else 0.0
+        )
+
+        # Run the wave concurrently: one supervisor thread per job, each
+        # job in its own isolated SPMD world.
+        outcomes: Dict[str, Tuple[str, Any]] = {}
+        lock = threading.Lock()
+
+        def supervise(entry: QueuedJob, placement: Placement) -> None:
+            outcome = self._run_attempt(entry, placement)
+            with lock:
+                outcomes[entry.spec.name] = outcome
+
+        threads = [
+            threading.Thread(
+                target=supervise,
+                args=(entry, placement),
+                name=f"svc-job-{entry.spec.name}",
+                daemon=True,
+            )
+            for entry, placement in wave
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Settle in placement order: release core-sets, finalize or retry.
+        for entry, placement in wave:
+            self.scheduler.release(placement)
+            self._settle(entry, outcomes[entry.spec.name])
+        return record
+
+    def run_until_idle(self, max_rounds: int = 10_000) -> int:
+        """Run rounds until the queue drains; returns rounds executed."""
+        executed = 0
+        while self.queue.depth > 0:
+            if executed >= max_rounds:
+                raise RuntimeError(
+                    f"service did not drain within {max_rounds} rounds"
+                )
+            if self.run_round() is None:
+                break
+            executed += 1
+        return executed
+
+    def serve(self, specs: List[JobSpec]) -> ServiceReport:
+        """Submit ``specs`` (draining on backpressure) and run to idle.
+
+        Convenience driver for the CLI and tests: when admission hits the
+        queue bound, a round is executed to drain capacity and the
+        submission is retried — so the outcome is deterministic even when
+        the job list exceeds the queue capacity.
+        """
+        for spec in specs:
+            while True:
+                try:
+                    self.submit(spec)
+                    break
+                except AdmissionError:
+                    if self.run_round() is None:  # pragma: no cover - guard
+                        raise
+        self.run_until_idle()
+        return self.report()
+
+    # -- one attempt -------------------------------------------------------
+
+    def _run_attempt(
+        self, entry: QueuedJob, placement: Placement
+    ) -> Tuple[str, Any]:
+        """Run one attempt of one job in its own world; classify the outcome.
+
+        Returns ``(kind, payload)`` where kind is ``"ok"``, ``"deadline"``,
+        or ``"failed"`` (payload: result / None / (exc, retryable)).
+        """
+        spec = entry.spec
+        fn = self._fns[spec.name]
+        injector = self._injectors[spec.name]
+        records_before = injector.record_count() if injector else 0
+        job_counters = PerfCounters()
+        job_tracer = Tracer(counters=job_counters)
+        cancel = threading.Event()
+        timer: Optional[threading.Timer] = None
+        if spec.deadline is not None:
+            timer = threading.Timer(spec.deadline, cancel.set)
+            timer.daemon = True
+            timer.start()
+        started = time.perf_counter()
+        try:
+            with self.tracer.span(
+                "svc.job", job=spec.name, attempt=entry.attempt
+            ):
+                results = spmd(
+                    spec.parts,
+                    fn,
+                    spec.mesh_n,
+                    spec.steps,
+                    topology=placement.topology(self.machine),
+                    counters=job_counters,
+                    timeout=self.timeout,
+                    tracer=job_tracer,
+                    fault_injector=injector,
+                    cancel=cancel,
+                    join_grace=self.join_grace,
+                )
+        except SpmdError as exc:
+            self._seconds[spec.name] += time.perf_counter() - started
+            if cancel.is_set():
+                return ("deadline", None)
+            kind = classify_failure(exc, injector, records_before)
+            retryable = kind != REAL or spec.retry.retry_real
+            return ("failed", (exc, retryable))
+        except Exception as exc:  # noqa: BLE001 - defensive: setup errors
+            self._seconds[spec.name] += time.perf_counter() - started
+            return ("failed", (exc, spec.retry.retry_real))
+        finally:
+            if timer is not None:
+                timer.cancel()
+        self._seconds[spec.name] += time.perf_counter() - started
+        stats = JobStats.from_counters(job_counters)
+        return ("ok", (results, stats))
+
+    def _settle(
+        self, entry: QueuedJob, outcome: Tuple[str, Any]
+    ) -> None:
+        """Finalize a completed/failed attempt or requeue a retryable one."""
+        spec = entry.spec
+        injector = self._injectors[spec.name]
+        injected = injector.record_count() if injector else 0
+        kind, payload = outcome
+        placements = tuple(self._placements[spec.name])
+        if kind == "ok":
+            results, stats = payload
+            self._outcomes[spec.name] = JobResult(
+                name=spec.name,
+                attempts=entry.attempt,
+                placements=placements,
+                stats=stats,
+                output=results[0] if results else None,
+                injected_faults=injected,
+                seconds=self._seconds[spec.name],
+            )
+            self.counters.add("svc.jobs.completed")
+            return
+        if kind == "deadline":
+            self._outcomes[spec.name] = JobFailure(
+                name=spec.name,
+                status=DEADLINE,
+                attempts=entry.attempt,
+                placements=placements,
+                exc_type="DeadlineExceeded",
+                message="deadline exceeded; job cancelled cooperatively",
+                injected_faults=injected,
+                seconds=self._seconds[spec.name],
+            )
+            self.counters.add("svc.jobs.deadline")
+            return
+        exc, retryable = payload
+        if retryable and entry.attempt <= spec.retry.max_retries:
+            self.counters.add("svc.jobs.retried")
+            self.queue.requeue(entry, attempt=entry.attempt + 1)
+            return
+        failed_ranks: Tuple[int, ...] = ()
+        message = f"{type(exc).__name__}: {exc}"
+        if isinstance(exc, SpmdError):
+            failed_ranks = tuple(r.rank for r in exc.records)
+            first = exc.records[0]
+            message = f"rank {first.rank} {first.exc_type}: {first.message}"
+        self._outcomes[spec.name] = JobFailure(
+            name=spec.name,
+            status=FAILED,
+            attempts=entry.attempt,
+            placements=placements,
+            exc_type=type(exc).__name__,
+            message=message,
+            injected_faults=injected,
+            failed_ranks=failed_ranks,
+            seconds=self._seconds[spec.name],
+        )
+        self.counters.add("svc.jobs.failed")
+
+    # -- results & reporting -----------------------------------------------
+
+    def outcome(self, name: str) -> Union[JobResult, JobFailure]:
+        """The finished outcome of job ``name`` (KeyError while pending)."""
+        return self._outcomes[name]
+
+    def outcomes(self) -> List[Union[JobResult, JobFailure]]:
+        """Finished outcomes in submission order."""
+        return [
+            self._outcomes[name]
+            for name in self._order
+            if name in self._outcomes
+        ]
+
+    def latencies(self) -> List[float]:
+        """Per-job total execution seconds (finished jobs, submission order)."""
+        return [
+            self._seconds[name]
+            for name in self._order
+            if name in self._outcomes
+        ]
+
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.latencies())
+
+    def report(self) -> ServiceReport:
+        """The deterministic ``repro.svc/1`` report for jobs settled so far."""
+        jobs = [
+            self._outcomes[name].to_dict(wall_free=True)
+            for name in self._order
+            if name in self._outcomes
+        ]
+        return ServiceReport.build(
+            seed=self.seed,
+            machine=self.machine,
+            queue_capacity=self.queue.capacity,
+            queue_aging=self.queue.aging,
+            rejections=self.queue.rejections,
+            jobs=jobs,
+            rounds=self._rounds,
+            placement_trace=self.scheduler.trace,
+        )
+
+    def write_metrics(self, path) -> None:
+        """Export the service tracer/counters plus latency percentiles."""
+        from ..obs import write_metrics
+
+        write_metrics(
+            path,
+            tracer=self.tracer,
+            counters=self.counters,
+            extra={"service_latency": self.latency_stats().to_dict()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MeshJobService({self.machine.describe()}; "
+            f"queue={self.queue.depth}/{self.queue.capacity}, "
+            f"finished={len(self._outcomes)})"
+        )

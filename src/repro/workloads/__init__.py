@@ -13,13 +13,17 @@ from .accelerator import (
     particle_size,
     track_particle,
 )
+from .jobs import JOB_WORKLOADS, job_workload, job_workload_names
 from .scramjet import scramjet_case, scramjet_mesh, shock_train
 from .wing import shock_size, wing_case, wing_mesh
 
 __all__ = [
+    "JOB_WORKLOADS",
     "TrackStats",
     "aaa_mesh",
     "accelerator_mesh",
+    "job_workload",
+    "job_workload_names",
     "particle_positions",
     "particle_size",
     "scramjet_case",

@@ -1,0 +1,165 @@
+"""Job-spec adapters: named SPMD rank programs the serving tier can run.
+
+The mesh-job service (:mod:`repro.svc`) accepts :class:`~repro.svc.JobSpec`
+entries from JSON, so workloads must be addressable by *name*.  This module
+is that registry: each entry maps a name to a rank program
+``fn(comm, mesh_n, steps) -> dict`` that runs on every rank of the job's
+gang and returns a JSON-safe, deterministic result (rank 0's return value
+becomes the job's ``output`` in the service report, so determinism here is
+what makes two identical service runs byte-identical).
+
+Registered workloads
+--------------------
+``stencil``
+    1-D Jacobi halo exchange: each rank owns ``mesh_n`` cells and trades
+    boundary values with its neighbours for ``steps`` sweeps — the
+    communication shape of a partitioned mesh smoothing pass.
+``allreduce``
+    ``steps`` rounds of global reduction over per-rank partial sums — the
+    collective-heavy load balancing control pattern.
+``mesh-stats``
+    Rank 0 generates a triangular mesh and partitions it across the gang
+    (RCB); counts are scattered and the gang computes the element
+    imbalance collectively — a miniature of the paper's Table-II pipeline.
+``noop``
+    Barrier and return; the minimal schedulable gang.
+``block``
+    Every rank blocks on a receive that never arrives.  Exists for
+    deadline/cancellation testing: only cooperative cancellation (or the
+    world's receive timeout) ends it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+__all__ = ["JOB_WORKLOADS", "job_workload", "job_workload_names"]
+
+#: A rank program: ``fn(comm, mesh_n, steps) -> JSON-safe dict``.
+JobWorkload = Callable[..., Dict[str, Any]]
+
+
+def stencil_job(comm, mesh_n: int, steps: int) -> Dict[str, Any]:
+    """1-D Jacobi sweeps with halo exchange between neighbouring ranks."""
+    rank, size = comm.rank, comm.size
+    cells: List[float] = [
+        float(rank * mesh_n + i) for i in range(max(mesh_n, 1))
+    ]
+    for sweep in range(max(steps, 1)):
+        left = rank - 1
+        right = rank + 1
+        if left >= 0:
+            comm.send(cells[0], left, tag=10 + sweep)
+        if right < size:
+            comm.send(cells[-1], right, tag=10 + sweep)
+        lo = comm.recv(source=left, tag=10 + sweep) if left >= 0 else cells[0]
+        hi = (
+            comm.recv(source=right, tag=10 + sweep)
+            if right < size
+            else cells[-1]
+        )
+        padded = [lo] + cells + [hi]
+        cells = [
+            (padded[i - 1] + padded[i] + padded[i + 1]) / 3.0
+            for i in range(1, len(padded) - 1)
+        ]
+    checksum = comm.allreduce(sum(cells))
+    return {
+        "workload": "stencil",
+        "cells_per_rank": len(cells),
+        "sweeps": max(steps, 1),
+        "checksum": round(checksum, 9),
+    }
+
+
+def allreduce_job(comm, mesh_n: int, steps: int) -> Dict[str, Any]:
+    """Repeated global reductions over per-rank partial sums."""
+    rank, size = comm.rank, comm.size
+    total = 0.0
+    for round_ in range(max(steps, 1)):
+        partial = sum(
+            float((rank + 1) * (i + round_ + 1)) for i in range(max(mesh_n, 1))
+        )
+        total += comm.allreduce(partial)
+    peak = comm.allreduce(total, op=max)
+    return {
+        "workload": "allreduce",
+        "rounds": max(steps, 1),
+        "ranks": size,
+        "total": round(total, 9),
+        "peak": round(peak, 9),
+    }
+
+
+def mesh_stats_job(comm, mesh_n: int, steps: int) -> Dict[str, Any]:
+    """Partition a generated mesh across the gang and score the balance."""
+    rank, size = comm.rank, comm.size
+    if rank == 0:
+        from ..mesh import rect_tri
+        from ..partitioners import partition
+
+        mesh = rect_tri(max(mesh_n, 2))
+        assignment = partition(mesh, size, method="rcb", seed=0)
+        counts = [0] * size
+        for part in assignment:
+            counts[int(part)] += 1
+        payload: Any = [
+            {"elements": mesh.count(2), "count": count} for count in counts
+        ]
+    else:
+        payload = None
+    mine = comm.scatter(payload, root=0)
+    local = int(mine["count"])
+    heaviest = comm.allreduce(local, op=max)
+    total = comm.allreduce(local)
+    mean = total / size
+    imbalance = heaviest / mean if mean else 1.0
+    return {
+        "workload": "mesh-stats",
+        "elements": int(mine["elements"]),
+        "parts": size,
+        "heaviest": heaviest,
+        "imbalance_pct": round((imbalance - 1.0) * 100.0, 4),
+    }
+
+
+def noop_job(comm, mesh_n: int, steps: int) -> Dict[str, Any]:
+    """The minimal gang: synchronize and report the world shape."""
+    comm.barrier()
+    return {"workload": "noop", "ranks": comm.size}
+
+
+def block_job(comm, mesh_n: int, steps: int) -> Dict[str, Any]:
+    """Block forever on a receive that never arrives (cancellation target).
+
+    Uses a wildcard-source receive so the deadlock sanitizer (which only
+    tracks concrete-source waits) lets it block under ``sanitize=True`` too.
+    """
+    comm.recv(tag=424242)
+    return {"workload": "block"}  # pragma: no cover - unreachable
+
+
+#: Name -> rank program registry consumed by :mod:`repro.svc`.
+JOB_WORKLOADS: Dict[str, JobWorkload] = {
+    "stencil": stencil_job,
+    "allreduce": allreduce_job,
+    "mesh-stats": mesh_stats_job,
+    "noop": noop_job,
+    "block": block_job,
+}
+
+
+def job_workload_names() -> List[str]:
+    """Registered workload names, sorted."""
+    return sorted(JOB_WORKLOADS)
+
+
+def job_workload(name: str) -> JobWorkload:
+    """Look up a registered rank program by name."""
+    try:
+        return JOB_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown job workload {name!r}; registered: "
+            f"{', '.join(job_workload_names())}"
+        ) from None

@@ -1,0 +1,94 @@
+"""Executor thread hygiene: failed jobs must not leak rank threads."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import spmd
+from repro.parallel.executor import SpmdError
+from repro.parallel.perf import PerfCounters
+
+
+def live_rank_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name.startswith("spmd-rank-") and t.is_alive()
+    ]
+
+
+def wait_for_rank_threads_to_exit(deadline=5.0):
+    end = time.monotonic() + deadline
+    while live_rank_threads() and time.monotonic() < end:
+        time.sleep(0.01)
+    return live_rank_threads()
+
+
+def test_failed_job_joins_all_rank_threads():
+    def crash(comm):
+        if comm.rank == 1:
+            raise RuntimeError("boom")
+        # The other ranks block in the comm layer and wake on abort.
+        comm.barrier()
+
+    baseline = len(live_rank_threads())
+    for _ in range(3):
+        with pytest.raises(SpmdError) as info:
+            spmd(4, crash, timeout=10.0)
+        assert info.value.leaked_threads == 0
+    leftovers = wait_for_rank_threads_to_exit()
+    assert len(leftovers) <= baseline, (
+        f"rank threads leaked across failed jobs: {leftovers}"
+    )
+
+
+def test_rank_threads_are_daemons():
+    seen = {}
+
+    def snoop(comm):
+        seen[comm.rank] = threading.current_thread().daemon
+
+    spmd(2, snoop)
+    assert seen == {0: True, 1: True}
+
+
+def test_stuck_rank_is_abandoned_after_join_grace():
+    release = threading.Event()
+
+    def stuck(comm):
+        if comm.rank == 1:
+            raise RuntimeError("boom")
+        # Rank 0 is busy outside the comm layer: it never observes the
+        # abort, so the executor must give up joining it.
+        release.wait(timeout=10.0)
+
+    counters = PerfCounters()
+    start = time.monotonic()
+    with pytest.raises(SpmdError) as info:
+        spmd(2, stuck, counters=counters, join_grace=0.2, timeout=10.0)
+    elapsed = time.monotonic() - start
+    try:
+        assert elapsed < 5.0, "executor hung instead of abandoning the rank"
+        assert info.value.leaked_threads == 1
+        assert counters.counters()["spmd.threads.leaked"] == 1
+        # The root cause is still the reported failure, not the leak.
+        assert info.value.records[0].exc_type == "RuntimeError"
+    finally:
+        release.set()
+    assert not wait_for_rank_threads_to_exit()
+
+
+def test_cancel_aborts_blocked_ranks_without_leaks():
+    def block(comm):
+        comm.recv(tag=424242)  # never sent
+
+    cancel = threading.Event()
+    timer = threading.Timer(0.2, cancel.set)
+    timer.daemon = True
+    timer.start()
+    with pytest.raises(SpmdError) as info:
+        spmd(2, block, cancel=cancel, timeout=10.0, join_grace=2.0)
+    timer.cancel()
+    assert info.value.leaked_threads == 0
+    assert all(r.exc_type == "CommAbortedError" for r in info.value.records)
+    assert not wait_for_rank_threads_to_exit()

@@ -1,0 +1,86 @@
+"""Typed validation for machine specs, the core ledger, and placements."""
+
+import pytest
+
+from repro.parallel import (
+    CoreLedger,
+    MachineTopology,
+    PlacedTopology,
+    TopologyError,
+)
+
+
+@pytest.mark.parametrize("nodes,cores", [
+    (0, 4), (-1, 4), (2, 0), (2, -3), (0, 0),
+])
+def test_degenerate_machine_specs_raise(nodes, cores):
+    with pytest.raises(TopologyError):
+        MachineTopology(nodes=nodes, cores_per_node=cores)
+
+
+@pytest.mark.parametrize("nodes,cores", [
+    (2.0, 4), ("2", 4), (2, 4.0), (True, 4), (2, True),
+])
+def test_non_int_machine_specs_raise(nodes, cores):
+    with pytest.raises(TopologyError):
+        MachineTopology(nodes=nodes, cores_per_node=cores)
+
+
+def test_topology_error_is_a_value_error():
+    # Callers that predate the typed error keep working.
+    with pytest.raises(ValueError):
+        MachineTopology(nodes=0, cores_per_node=1)
+
+
+def test_ledger_reservation_lifecycle():
+    ledger = MachineTopology(nodes=2, cores_per_node=3).ledger()
+    assert isinstance(ledger, CoreLedger)
+    assert ledger.free_cores() == 6
+    slots = ledger.reserve_on(1, 2)
+    assert slots == [(1, 0), (1, 1)]  # lowest cores first
+    assert ledger.free_on(1) == 1
+    assert ledger.used_cores() == 2
+    ledger.release(slots)
+    assert ledger.free_cores() == 6
+    # Reservations re-use the lowest freed cores deterministically.
+    assert ledger.reserve_on(1, 1) == [(1, 0)]
+
+
+def test_ledger_rejects_bad_reservations():
+    ledger = MachineTopology(nodes=2, cores_per_node=2).ledger()
+    with pytest.raises(TopologyError):
+        ledger.reserve_on(5, 1)  # no such node
+    with pytest.raises(TopologyError):
+        ledger.reserve_on(0, 3)  # over-subscribed
+    with pytest.raises(TopologyError):
+        ledger.reserve_on(0, 0)  # degenerate
+    with pytest.raises(TopologyError):
+        ledger.release([(0, 0)])  # never reserved
+    with pytest.raises(TopologyError):
+        ledger.free_on(9)
+
+
+def test_placed_topology_validates_slots():
+    machine = MachineTopology(nodes=2, cores_per_node=2)
+    with pytest.raises(TopologyError):
+        PlacedTopology(machine, [])
+    with pytest.raises(TopologyError):
+        PlacedTopology(machine, [(3, 0)])  # node out of range
+    with pytest.raises(TopologyError):
+        PlacedTopology(machine, [(0, 5)])  # core out of range
+    with pytest.raises(TopologyError):
+        PlacedTopology(machine, [(0, 0), (0, 0)])  # duplicate slot
+
+
+def test_placed_topology_maps_ranks_through_slots():
+    machine = MachineTopology(nodes=2, cores_per_node=2)
+    topo = PlacedTopology(machine, [(1, 1), (0, 0), (1, 0)])
+    assert topo.total_cores == 3
+    assert topo.nodes == 2
+    assert [topo.node_of(r) for r in range(3)] == [1, 0, 1]
+    assert topo.same_node(0, 2) and not topo.same_node(0, 1)
+    assert topo.ranks_on_node(1) == [0, 2]
+    assert topo.node_leader(1) == 0
+    assert topo.leaders() == [1, 0]
+    with pytest.raises(TopologyError):
+        topo.node_of(3)

@@ -1,0 +1,87 @@
+"""Gang scheduler: locality preference, spanning fallback, determinism."""
+
+import pytest
+
+from repro.parallel import MachineTopology, PlacedTopology
+from repro.svc import GangScheduler, JobSpec, PlacementError
+
+
+def spec(name, parts):
+    return JobSpec(name=name, workload="noop", parts=parts)
+
+
+def machine():
+    return MachineTopology(nodes=2, cores_per_node=4)
+
+
+def test_small_gang_is_node_local():
+    sched = GangScheduler(machine(), seed=0)
+    placement = sched.place(spec("j", 3))
+    assert placement.node_local
+    assert len(placement.slots) == 3
+    assert len(placement.nodes) == 1
+
+
+def test_best_fit_prefers_tightest_hosting_node():
+    sched = GangScheduler(machine(), seed=0)
+    first = sched.place(spec("first", 2))  # leaves one node with 2 free
+    tight_node = first.nodes[0]
+    second = sched.place(spec("second", 2))
+    # Best-fit: the 2-free node hosts it, keeping the 4-free hole open.
+    assert second.node_local
+    assert second.nodes == [tight_node]
+    third = sched.place(spec("third", 4))
+    assert third.node_local  # the preserved hole fits the big gang
+
+
+def test_spanning_fallback_when_no_node_fits():
+    sched = GangScheduler(machine(), seed=0)
+    placement = sched.place(spec("wide", 6))
+    assert not placement.node_local
+    assert placement.nodes == [0, 1]
+    assert len(placement.slots) == 6
+    assert len(set(placement.slots)) == 6
+
+
+def test_place_returns_none_when_full_and_release_restores():
+    sched = GangScheduler(machine(), seed=0)
+    big = sched.place(spec("big", 8))
+    assert sched.utilization() == (8, 8)
+    assert not sched.fits(spec("more", 1))
+    assert sched.place(spec("more", 1)) is None
+    sched.release(big)
+    assert sched.utilization() == (0, 8)
+    assert sched.fits(spec("more", 1))
+
+
+def test_impossible_gang_raises_placement_error():
+    sched = GangScheduler(machine(), seed=0)
+    with pytest.raises(PlacementError):
+        sched.check(spec("huge", 9))
+    with pytest.raises(PlacementError):
+        sched.place(spec("huge", 9))
+
+
+def test_identical_runs_produce_identical_traces():
+    jobs = [spec("a", 2), spec("b", 4), spec("c", 6), spec("d", 1)]
+
+    def run(seed):
+        sched = GangScheduler(machine(), seed=seed)
+        for job in jobs:
+            placement = sched.place(job)
+            if placement is not None and job.name == "b":
+                sched.release(placement)
+        return sched.trace
+
+    assert run(0) == run(0)
+    assert run(7) == run(7)
+
+
+def test_placement_topology_matches_slots():
+    sched = GangScheduler(machine(), seed=0)
+    placement = sched.place(spec("wide", 6))
+    topo = placement.topology(sched.machine)
+    assert isinstance(topo, PlacedTopology)
+    assert topo.total_cores == 6
+    for rank, (node, _core) in enumerate(placement.slots):
+        assert topo.node_of(rank) == node

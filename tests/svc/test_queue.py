@@ -1,0 +1,112 @@
+"""Admission queue: backpressure, priority aging, fair share, cancellation."""
+
+import pytest
+
+from repro.svc import AdmissionError, AdmissionQueue, JobSpec
+
+
+def spec(name, priority=0, tenant="default", parts=1):
+    return JobSpec(
+        name=name, workload="noop", parts=parts, priority=priority,
+        tenant=tenant,
+    )
+
+
+def fits_all(_spec):
+    return True
+
+
+def test_submit_returns_monotonic_tickets():
+    q = AdmissionQueue(capacity=4)
+    assert q.submit(spec("a")) == 0
+    assert q.submit(spec("b")) == 1
+    assert q.depth == 2
+
+
+def test_backpressure_raises_typed_admission_error():
+    q = AdmissionQueue(capacity=2)
+    q.submit(spec("a"))
+    q.submit(spec("b"))
+    with pytest.raises(AdmissionError) as info:
+        q.submit(spec("c"))
+    err = info.value
+    assert err.capacity == 2
+    assert err.depth == 2
+    assert err.job == "c"
+    assert "drain" in str(err)
+    assert q.rejections == 1
+    # The rejected job was not recorded; draining frees a slot.
+    q.pop_schedulable(fits_all)
+    assert q.submit(spec("c")) == 2
+
+
+def test_pop_prefers_highest_effective_priority():
+    q = AdmissionQueue(capacity=8)
+    q.submit(spec("low", priority=0))
+    q.submit(spec("high", priority=5))
+    q.tick()
+    assert q.pop_schedulable(fits_all).spec.name == "high"
+    assert q.pop_schedulable(fits_all).spec.name == "low"
+    assert q.pop_schedulable(fits_all) is None
+
+
+def test_aging_lets_old_low_priority_job_outbid():
+    q = AdmissionQueue(capacity=8, aging=1)
+    q.submit(spec("old-low", priority=0))
+    for _ in range(5):
+        q.tick()
+    # A fresh job 4 points higher still loses: 0 + 5 aging > 4 + 0 aging.
+    q.submit(spec("new-high", priority=4))
+    q.tick()
+    assert q.pop_schedulable(fits_all).spec.name == "old-low"
+
+
+def test_fair_share_prefers_least_served_tenant():
+    q = AdmissionQueue(capacity=8, aging=0)
+    q.submit(spec("a1", tenant="a"))
+    q.submit(spec("a2", tenant="a"))
+    q.submit(spec("b1", tenant="b"))
+    # Equal priorities: first pop goes by ticket (a1), after which tenant
+    # "a" has been served once so "b" wins the next tie.
+    assert q.pop_schedulable(fits_all).spec.name == "a1"
+    assert q.pop_schedulable(fits_all).spec.name == "b1"
+    assert q.pop_schedulable(fits_all).spec.name == "a2"
+    assert q.served_by_tenant() == {"a": 2, "b": 1}
+
+
+def test_pop_skips_jobs_that_do_not_fit():
+    q = AdmissionQueue(capacity=8)
+    q.submit(spec("giant", priority=9, parts=6))
+    q.submit(spec("small", priority=0, parts=1))
+    popped = q.pop_schedulable(lambda s: s.parts <= 2)
+    assert popped.spec.name == "small"
+    assert q.pending_names() == ["giant"]
+
+
+def test_cancel_removes_pending_job():
+    q = AdmissionQueue(capacity=8)
+    q.submit(spec("keep"))
+    q.submit(spec("drop"))
+    assert q.cancel("drop") is True
+    assert q.cancel("drop") is False
+    assert q.pending_names() == ["keep"]
+
+
+def test_requeue_bypasses_capacity_and_keeps_ticket():
+    q = AdmissionQueue(capacity=1)
+    q.submit(spec("job"))
+    entry = q.pop_schedulable(fits_all)
+    q.submit(spec("filler"))  # queue is full again
+    q.requeue(entry, attempt=2)  # retry is not new demand
+    assert q.depth == 2
+    names = {e.spec.name: e for e in [q.pop_schedulable(fits_all),
+                                      q.pop_schedulable(fits_all)]}
+    assert names["job"].ticket == entry.ticket
+    assert names["job"].attempt == 2
+
+
+def test_queue_validates_parameters():
+    with pytest.raises(ValueError):
+        AdmissionQueue(capacity=0)
+    with pytest.raises(ValueError):
+        AdmissionQueue(aging=-1)

@@ -1,0 +1,201 @@
+"""The service loop: determinism, retries, deadlines, backpressure, gauges."""
+
+import json
+
+import pytest
+
+from repro.parallel import MachineTopology
+from repro.resilience import FaultPlan
+from repro.svc import (
+    AdmissionError,
+    JobFailure,
+    JobResult,
+    JobSpec,
+    MeshJobService,
+    RetryPolicy,
+    load_report,
+)
+
+
+def crash_plan(rank=1):
+    return FaultPlan.from_dict(
+        {"seed": 11, "faults": [{"kind": "crash", "rank": rank}]}
+    )
+
+
+def mixed_jobs():
+    """Eight mixed-priority, mixed-tenant jobs; one fault-injected."""
+    return [
+        JobSpec(name="halo-a", workload="stencil", parts=4, mesh_n=16,
+                steps=2, tenant="cfd", priority=2),
+        JobSpec(name="halo-b", workload="stencil", parts=4, mesh_n=16,
+                steps=2, tenant="cfd", priority=1),
+        JobSpec(name="red-lo", workload="allreduce", parts=2, mesh_n=8,
+                steps=2, tenant="batch", priority=0),
+        JobSpec(name="red-hi", workload="allreduce", parts=2, mesh_n=8,
+                steps=2, tenant="batch", priority=5),
+        JobSpec(name="scan", workload="mesh-stats", parts=4, mesh_n=6,
+                tenant="adapt", priority=3),
+        JobSpec(name="wide", workload="mesh-stats", parts=6, mesh_n=6,
+                tenant="adapt", priority=0),
+        JobSpec(name="warmup", workload="noop", parts=1, priority=9,
+                tenant="ops"),
+        JobSpec(name="flaky", workload="stencil", parts=2, mesh_n=12,
+                steps=2, tenant="cfd", priority=4,
+                retry=RetryPolicy(max_retries=2), fault_plan=crash_plan()),
+    ]
+
+
+def service(**kwargs):
+    kwargs.setdefault("timeout", 20.0)
+    return MeshJobService(MachineTopology(nodes=2, cores_per_node=4), **kwargs)
+
+
+def test_mixed_wave_completes_with_fault_recovery():
+    svc = service()
+    report = svc.serve(mixed_jobs())
+    assert report.totals["submitted"] == 8
+    assert report.totals["completed"] == 8
+    assert report.totals["failed"] == 0
+    assert report.totals["retries"] == 1
+    flaky = svc.outcome("flaky")
+    assert isinstance(flaky, JobResult)
+    assert flaky.attempts == 2
+    assert flaky.injected_faults == 1
+    # The spanning job really spanned, and its stats saw off-node traffic.
+    wide = svc.outcome("wide")
+    assert any(not p.node_local for p in wide.placements)
+
+
+def test_same_seed_runs_are_byte_identical():
+    first = service(seed=0).serve(mixed_jobs()).to_json()
+    second = service(seed=0).serve(mixed_jobs()).to_json()
+    assert first == second
+    # And the document round-trips through the loader.
+    report = load_report(first)
+    assert report.totals["completed"] == 8
+
+
+def test_deadline_cancels_blocked_job():
+    svc = service()
+    svc.submit(JobSpec(name="stuck", workload="block", parts=2, deadline=0.3))
+    svc.run_until_idle()
+    outcome = svc.outcome("stuck")
+    assert isinstance(outcome, JobFailure)
+    assert outcome.status == "deadline"
+    assert outcome.exc_type == "DeadlineExceeded"
+    assert svc.report().totals["deadline"] == 1
+
+
+def test_real_failure_is_not_retried_by_default():
+    def buggy(comm, _n, _steps):
+        if comm.rank == 1:
+            raise RuntimeError("genuine bug")
+        comm.barrier()
+
+    svc = service()
+    svc.submit(JobSpec(name="bug", workload=buggy, parts=2,
+                       retry=RetryPolicy(max_retries=3)))
+    svc.run_until_idle()
+    outcome = svc.outcome("bug")
+    assert outcome.status == "failed"
+    assert outcome.attempts == 1  # REAL failures fail fast
+    assert 1 in outcome.failed_ranks
+
+
+def test_retry_real_widens_the_policy():
+    calls = []
+
+    def flaky_once(comm, _n, _steps):
+        if comm.rank == 0:
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+        comm.barrier()
+
+    svc = service()
+    svc.submit(JobSpec(name="transient", workload=flaky_once, parts=2,
+                       retry=RetryPolicy(max_retries=1, retry_real=True)))
+    svc.run_until_idle()
+    outcome = svc.outcome("transient")
+    assert outcome.ok
+    assert outcome.attempts == 2
+
+
+def test_backpressure_then_resubmit_after_drain():
+    svc = service(capacity=2)
+    svc.submit(JobSpec(name="a", workload="noop"))
+    svc.submit(JobSpec(name="b", workload="noop"))
+    with pytest.raises(AdmissionError) as info:
+        svc.submit(JobSpec(name="c", workload="noop"))
+    assert info.value.capacity == 2
+    svc.run_round()  # drain
+    svc.submit(JobSpec(name="c", workload="noop"))
+    svc.run_until_idle()
+    report = svc.report()
+    assert report.totals["completed"] == 3
+    assert report.totals["rejections"] == 1
+
+
+def test_serve_drains_automatically_on_backpressure():
+    jobs = [JobSpec(name=f"j{i}", workload="noop") for i in range(6)]
+    report = service(capacity=2).serve(jobs)
+    assert report.totals["completed"] == 6
+    assert report.totals["rejections"] >= 1
+
+
+def test_cancel_pending_job():
+    svc = service()
+    svc.submit(JobSpec(name="doomed", workload="noop"))
+    assert svc.cancel("doomed") is True
+    assert svc.cancel("doomed") is False
+    svc.run_until_idle()
+    assert svc.outcome("doomed").status == "cancelled"
+    assert svc.report().totals["cancelled"] == 1
+
+
+def test_duplicate_names_and_unknown_workloads_rejected():
+    from repro.svc import JobSpecError
+
+    svc = service()
+    svc.submit(JobSpec(name="one", workload="noop"))
+    with pytest.raises(JobSpecError):
+        svc.submit(JobSpec(name="one", workload="noop"))
+    with pytest.raises(JobSpecError):
+        svc.submit(JobSpec(name="two", workload="no-such-workload"))
+
+
+def test_service_gauges_and_metrics_export(tmp_path):
+    svc = service()
+    svc.serve(mixed_jobs())
+    timelines = svc.tracer.timelines()
+    for series in ("svc.queue.depth", "svc.running.jobs",
+                   "svc.core.utilization"):
+        assert series in timelines and timelines[series]
+    counters = svc.counters.counters()
+    assert counters["svc.jobs.submitted"] == 8
+    assert counters["svc.jobs.completed"] == 8
+    assert counters["svc.jobs.retried"] == 1
+
+    path = tmp_path / "metrics.json"
+    svc.write_metrics(path)
+    doc = json.loads(path.read_text())
+    assert "svc.queue.depth" in doc["timelines"]
+    assert doc["service_latency"]["count"] == 8
+
+
+def test_jobs_in_one_round_are_isolated():
+    svc = service()
+    svc.submit(JobSpec(name="quiet", workload="noop", parts=2))
+    svc.submit(JobSpec(name="chatty", workload="stencil", parts=2,
+                       mesh_n=16, steps=3))
+    svc.run_round()
+    quiet = svc.outcome("quiet")
+    chatty = svc.outcome("chatty")
+    assert chatty.stats.messages > quiet.stats.messages
+    # Private per-job counter registries: running next to the chatty
+    # stencil job charges the quiet job exactly what a solo run would.
+    solo = service()
+    solo.submit(JobSpec(name="quiet", workload="noop", parts=2))
+    solo.run_round()
+    assert solo.outcome("quiet").stats == quiet.stats

@@ -362,6 +362,70 @@ def test_resilience_subpackage_all():
         assert name in resilience.__all__, name
 
 
+def test_top_level_svc_surface():
+    """The serving tier is part of the pinned public API."""
+    import repro
+    from repro import svc
+
+    for name in (
+        "AdmissionError",
+        "JobFailure",
+        "JobResult",
+        "JobSpec",
+        "MeshJobService",
+        "RetryPolicy",
+        "ServiceReport",
+    ):
+        assert getattr(repro, name) is getattr(svc, name)
+        assert name in repro.__all__, name
+    assert "svc" in repro.__all__
+    # The typed machine-validation error rides along at the top level.
+    from repro.parallel import TopologyError
+
+    assert repro.TopologyError is TopologyError
+    assert "TopologyError" in repro.__all__
+
+
+def test_svc_subpackage_all():
+    """Everything svc.__all__ names resolves, and the core names are in."""
+    from repro import svc
+
+    for name in svc.__all__:
+        assert hasattr(svc, name), name
+    for name in (
+        "SCHEMA",
+        "AdmissionQueue",
+        "GangScheduler",
+        "JobSpecError",
+        "JobStats",
+        "Placement",
+        "PlacementError",
+        "PlacementRecord",
+        "QueuedJob",
+        "RoundRecord",
+        "default_machine",
+        "load_report",
+        "load_specs",
+    ):
+        assert name in svc.__all__, name
+    assert svc.SCHEMA == "repro.svc/1"
+
+
+def test_parallel_placement_surface():
+    """The core-reservation API is exported from repro.parallel."""
+    from repro import parallel
+
+    for name in (
+        "CoreLedger",
+        "CoreSlot",
+        "MachineTopology",
+        "PlacedTopology",
+        "TopologyError",
+    ):
+        assert hasattr(parallel, name), name
+        assert name in parallel.__all__, name
+
+
 def test_wire_codec_surface():
     """The binary wire codec knob is part of the pinned public API."""
     import repro
