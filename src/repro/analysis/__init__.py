@@ -1,14 +1,21 @@
-"""SPMD correctness tooling: AST lint + runtime sanitizers.
+"""SPMD correctness tooling: AST lint, flow analysis, runtime sanitizers.
 
 The paper's infrastructure leans on ``apf::verify``-style invariant checking
 after every distributed operation.  This package is the analogous correctness
 net for the *communication* layer of the reproduction: a custom AST lint that
 knows the hazard classes of thread-based SPMD programs (collective mismatch,
-unordered message posting, on-node payload aliasing), and runtime sanitizers
+unordered message posting, on-node payload aliasing), an interprocedural
+rank-taint dataflow analysis for the hazards pattern matching cannot see
+(aliased collectives, divergent early exits, cross-function divergence,
+stale ghost reads, nondeterministic wire payloads), and runtime sanitizers
 that catch the same classes dynamically while the simulated runtime executes.
 
 * :mod:`repro.analysis.lint` — the lint engine (``python -m repro lint``).
 * :mod:`repro.analysis.rules` — the SPMD001..SPMD006 rule visitors.
+* :mod:`repro.analysis.flow` — CFG + call-graph dataflow, the SPMD101..
+  SPMD105 rules, and the baseline machinery (``python -m repro analyze``).
+* :mod:`repro.analysis.suppress` — the shared ``# noqa`` policy (justified
+  suppressions, ``# repro: noqa`` file opt-out, SPMD007).
 * :mod:`repro.analysis.sanitizers` — freeze proxies and sanitizer errors used
   by :mod:`repro.parallel` when sanitize mode is on.
 """

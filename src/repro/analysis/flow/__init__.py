@@ -1,0 +1,52 @@
+"""SPMD flow analysis: CFG + call-graph dataflow over the rank-taint lattice.
+
+Where :mod:`repro.analysis.lint` pattern-matches single statements, this
+package computes *dataflow*: a control-flow graph per function
+(:mod:`.cfg`), a whole-program call graph (:mod:`.callgraph`), a token-set
+taint lattice with interprocedural summaries (:mod:`.taint`), and the
+SPMD1xx rule family evaluated over the results (:mod:`.rules`), all driven
+by the fixpoint engine in :mod:`.engine`.
+
+| Code    | Hazard                                                          |
+|---------|-----------------------------------------------------------------|
+| SPMD101 | collective under rank-divergent control flow (aliases, early    |
+|         | exits, and cross-function divergence included)                  |
+| SPMD102 | rank-dependent branch arms with different collective sequences  |
+| SPMD103 | nondeterminism source reaching a wire or report path            |
+| SPMD104 | ghost/copy read after owner mutation with no synchronize on a   |
+|         | path                                                            |
+| SPMD105 | rank-tainted value escaping into shared module/class state      |
+
+Entry points: :func:`analyze_source` (one string),
+:func:`analyze_paths` (trees), and ``python -m repro analyze``.
+"""
+
+from .engine import (
+    FlowAnalyzer,
+    SCHEMA,
+    analyze_paths,
+    analyze_source,
+    format_json,
+    format_sarif,
+    format_text,
+    load_baseline,
+    main,
+    split_baselined,
+    write_baseline,
+)
+from .rules import HINTS
+
+__all__ = [
+    "FlowAnalyzer",
+    "SCHEMA",
+    "HINTS",
+    "analyze_paths",
+    "analyze_source",
+    "format_json",
+    "format_sarif",
+    "format_text",
+    "load_baseline",
+    "main",
+    "split_baselined",
+    "write_baseline",
+]

@@ -1,0 +1,201 @@
+"""Whole-program model for the SPMD flow analysis.
+
+The analyzer works on a *set* of modules at once (every file handed to
+``python -m repro analyze``), so taint can follow calls across files.  This
+module builds the program model the dataflow consumes:
+
+* :class:`FunctionInfo` — one ``def`` (module function or method) with its
+  parameter list and owning class;
+* :class:`ClassInfo` — class-level mutable attributes (state shared by every
+  rank thread touching the class) and ``self.x = <collective>`` aliases;
+* :class:`Program` — the registry, with *name-based* call resolution: a call
+  to ``helper(...)`` or ``obj.helper(...)`` resolves to every analyzed
+  function named ``helper`` (methods match attribute calls only).  That is
+  deliberately the same precision class as a class-hierarchy-less call graph
+  — sound for taint union, cheap to build, and stable to iterate.
+
+Function *summaries* (return-taint, collective sequences, divergence-prone
+parameters) are computed by the engine's fixpoint in
+:mod:`repro.analysis.flow.taint`; this module only answers "which defs can
+this call reach".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed ``def`` and where it lives."""
+
+    path: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name  # type: ignore[attr-defined]
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def param_names(self) -> List[str]:
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [a.arg for a in args.posonlyargs + args.args]
+        names += [a.arg for a in args.kwonlyargs]
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """Shared-state surface of one class."""
+
+    path: str
+    name: str
+    #: Class-body names bound to mutable literals (``cache = {}``): state
+    #: shared across every rank thread unless shadowed per instance.
+    mutable_attrs: Set[str] = field(default_factory=set)
+    #: ``self.<attr>`` names assigned a collective bound-method anywhere in
+    #: the class (``self._bcast = world.bcast``), mapped to the op name.
+    collective_attrs: Dict[str, str] = field(default_factory=dict)
+
+
+def _is_mutable_literal(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("list", "dict", "set", "bytearray")
+    )
+
+
+class Program:
+    """Registry of every function, class, and module in the analyzed set."""
+
+    def __init__(self, collective_calls: Set[str]) -> None:
+        self._collective_calls = collective_calls
+        self.modules: List[Tuple[str, ast.Module]] = []
+        self.functions: List[FunctionInfo] = []
+        self.classes: Dict[str, ClassInfo] = {}
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        self._method_names: Set[str] = set()
+        #: Module-level mutable globals per path: name -> line of binding.
+        self.module_globals: Dict[str, Dict[str, int]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_module(self, path: str, tree: ast.Module) -> None:
+        self.modules.append((path, tree))
+        self.module_globals[path] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(path, stmt, None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(path, stmt)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.module_globals[path].setdefault(
+                            target.id, stmt.lineno
+                        )
+
+    def _add_function(
+        self, path: str, node: ast.AST, class_name: Optional[str]
+    ) -> None:
+        qual = f"{class_name}.{node.name}" if class_name else node.name  # type: ignore[attr-defined]
+        info = FunctionInfo(
+            path=path, qualname=qual, node=node, class_name=class_name
+        )
+        self.functions.append(info)
+        self._by_name.setdefault(info.name, []).append(info)
+        if class_name is not None:
+            self._method_names.add(info.name)
+        # Nested defs are analyzed too (their bodies can hold hazards), but
+        # they are not call-resolution targets by outer name collision.
+        for sub in ast.walk(node):
+            if sub is node:
+                continue
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                pass  # analyzed through the enclosing function's traversal
+
+    def _add_class(self, path: str, node: ast.ClassDef) -> None:
+        info = ClassInfo(path=path, name=node.name)
+        assigned_plain: Set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(path, stmt, node.name)
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                assigned_plain.add(target.attr)
+                                op = self._collective_attr(sub.value)
+                                if op is not None:
+                                    info.collective_attrs[target.attr] = op
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and _is_mutable_literal(
+                        stmt.value
+                    ):
+                        info.mutable_attrs.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.value is not None
+                    and _is_mutable_literal(stmt.value)
+                ):
+                    info.mutable_attrs.add(stmt.target.id)
+        # A per-instance rebinding in __init__ etc. shadows the class var for
+        # that instance; drop those from the shared-state surface.
+        info.mutable_attrs -= assigned_plain
+        self.classes[node.name] = info
+
+    def _collective_attr(self, value: ast.AST) -> Optional[str]:
+        """``<expr>.bcast`` (unCalled) names a collective bound method."""
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr in self._collective_calls
+        ):
+            return value.attr
+        return None
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call(self, call: ast.Call) -> List[FunctionInfo]:
+        """Every analyzed ``def`` a call could reach, by name."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            # Bare-name call: module functions only (an unbound method would
+            # need an explicit class qualifier we don't track).
+            return [
+                f for f in self._by_name.get(func.id, []) if not f.is_method
+            ]
+        if isinstance(func, ast.Attribute):
+            candidates = self._by_name.get(func.attr, [])
+            if isinstance(func.value, ast.Name) and func.value.id in (
+                "self",
+                "cls",
+            ):
+                return list(candidates)
+            return [f for f in candidates if f.is_method]
+        return []
+
+    def class_of(self, info: FunctionInfo) -> Optional[ClassInfo]:
+        if info.class_name is None:
+            return None
+        return self.classes.get(info.class_name)

@@ -1,0 +1,229 @@
+"""Control-flow graphs over Python function bodies.
+
+A :class:`CFG` is the substrate of the SPMD flow analyses: basic blocks of
+statements connected by control edges, built from the structured AST of one
+function (or a module body treated as a zero-argument function).  Compound
+statements appear *in* a block as their own header — an ``If`` node ends the
+block that evaluates its test, a ``While``/``For`` node forms a loop header
+block — and their bodies live in successor blocks.  Transfer functions
+therefore apply only the header effect of a compound node (e.g. the loop
+target binding of a ``For``), never its body, which flows through the graph.
+
+``Try`` is approximated coarsely: every handler is reachable from the start
+of the protected body (an exception may fire before any statement ran), and
+``finally`` joins all outcomes.  That is the standard over-approximation for
+dataflow soundness; it never hides a path.
+
+:func:`dataflow` runs a forward worklist fixpoint with a caller-supplied
+per-statement transfer and set-union join, then returns the state observed
+*before* every statement — the per-statement environments the rule layer
+consumes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Statements that terminate a block without a fall-through edge.
+_JUMPS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+class Block:
+    """One basic block: a statement list plus control edges."""
+
+    __slots__ = ("bid", "stmts", "succs", "preds")
+
+    def __init__(self, bid: int) -> None:
+        self.bid = bid
+        self.stmts: List[ast.stmt] = []
+        self.succs: List[int] = []
+        self.preds: List[int] = []
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self._new()
+        self.exit = self._new()
+
+    def _new(self) -> int:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block.bid
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+
+class _Builder:
+    """Structured-statement walk producing blocks and edges."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.current = self.cfg.entry
+        # Stack of (break target, continue target) for enclosing loops.
+        self._loops: List[Tuple[int, int]] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _start(self) -> int:
+        """Open a fresh block and fall through to it from the current one."""
+        block = self.cfg._new()
+        self.cfg._edge(self.current, block)
+        self.current = block
+        return block
+
+    def _fresh(self) -> int:
+        """Open a fresh block with no implicit fall-through edge."""
+        block = self.cfg._new()
+        self.current = block
+        return block
+
+    # -- statement dispatch ------------------------------------------------
+
+    def body(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            self._loop(node)
+        elif isinstance(node, ast.Try):
+            self._try(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self.cfg.blocks[self.current].stmts.append(node)
+            self.body(node.body)
+        elif isinstance(node, _JUMPS):
+            self.cfg.blocks[self.current].stmts.append(node)
+            if isinstance(node, ast.Break) and self._loops:
+                self.cfg._edge(self.current, self._loops[-1][0])
+            elif isinstance(node, ast.Continue) and self._loops:
+                self.cfg._edge(self.current, self._loops[-1][1])
+            else:
+                self.cfg._edge(self.current, self.cfg.exit)
+            self._fresh()  # anything after a jump is unreachable
+        else:
+            # Simple statement (incl. nested def/class headers: their bodies
+            # are separate CFGs analyzed on their own).
+            self.cfg.blocks[self.current].stmts.append(node)
+
+    def _if(self, node: ast.If) -> None:
+        self.cfg.blocks[self.current].stmts.append(node)
+        head = self.current
+        join = self.cfg._new()
+        self._fresh()
+        self.cfg._edge(head, self.current)
+        self.body(node.body)
+        self.cfg._edge(self.current, join)
+        self._fresh()
+        self.cfg._edge(head, self.current)
+        self.body(node.orelse)
+        self.cfg._edge(self.current, join)
+        self.current = join
+
+    def _loop(self, node: ast.stmt) -> None:
+        header = self._start()
+        self.cfg.blocks[header].stmts.append(node)
+        after = self.cfg._new()
+        self.cfg._edge(header, after)  # zero-iteration / test-false exit
+        self._loops.append((after, header))
+        self._fresh()
+        self.cfg._edge(header, self.current)
+        self.body(node.body)  # type: ignore[attr-defined]
+        self.cfg._edge(self.current, header)  # back edge
+        self._loops.pop()
+        if getattr(node, "orelse", None):
+            self._fresh()
+            self.cfg._edge(header, self.current)
+            self.body(node.orelse)  # type: ignore[attr-defined]
+            self.cfg._edge(self.current, after)
+        self.current = after
+
+    def _try(self, node: ast.Try) -> None:
+        before = self.current
+        body_entry = self._start()
+        self.body(node.body)
+        body_exit = self.current
+        join = self.cfg._new()
+        if node.orelse:
+            self._fresh()
+            self.cfg._edge(body_exit, self.current)
+            self.body(node.orelse)
+            self.cfg._edge(self.current, join)
+        else:
+            self.cfg._edge(body_exit, join)
+        for handler in node.handlers:
+            self._fresh()
+            # Coarse: the handler can fire before any protected statement.
+            self.cfg._edge(before, self.current)
+            self.cfg._edge(body_entry, self.current)
+            self.cfg.blocks[self.current].stmts.append(handler)  # type: ignore[arg-type]
+            self.body(handler.body)
+            self.cfg._edge(self.current, join)
+        self.current = join
+        if node.finalbody:
+            self.body(node.finalbody)
+
+
+def build_cfg(body: List[ast.stmt]) -> CFG:
+    """Build the CFG of a statement list (function or module body)."""
+    builder = _Builder()
+    builder.body(body)
+    builder.cfg._edge(builder.current, builder.cfg.exit)
+    return builder.cfg
+
+
+def dataflow(
+    cfg: CFG,
+    initial: Dict[str, frozenset],
+    transfer: Callable[[ast.stmt, Dict[str, frozenset]], Dict[str, frozenset]],
+) -> Dict[int, Dict[str, frozenset]]:
+    """Forward fixpoint; returns the environment before each statement.
+
+    States are ``name -> token set`` maps joined by per-name union.  The
+    returned map is keyed by ``id(stmt)`` (AST nodes are not hashable by
+    value), covering every statement placed in a block, including compound
+    headers.
+    """
+    states: Dict[int, Optional[Dict[str, frozenset]]] = {
+        block.bid: None for block in cfg.blocks
+    }
+    states[cfg.entry] = dict(initial)
+    work = [cfg.entry]
+    while work:
+        bid = work.pop()
+        env = dict(states[bid] or {})
+        for stmt in cfg.blocks[bid].stmts:
+            env = transfer(stmt, env)
+        for succ in cfg.blocks[bid].succs:
+            old = states[succ]
+            joined = _join(old, env)
+            if old is None or joined != old:
+                states[succ] = joined
+                if succ not in work:
+                    work.append(succ)
+    at: Dict[int, Dict[str, frozenset]] = {}
+    for block in cfg.blocks:
+        env = dict(states[block.bid] or {})
+        for stmt in block.stmts:
+            at[id(stmt)] = env
+            env = transfer(stmt, env)
+    return at
+
+
+def _join(
+    old: Optional[Dict[str, frozenset]], new: Dict[str, frozenset]
+) -> Dict[str, frozenset]:
+    if old is None:
+        return dict(new)
+    joined = dict(old)
+    for name, tokens in new.items():
+        joined[name] = joined.get(name, frozenset()) | tokens
+    return joined

@@ -1,0 +1,543 @@
+"""Rank-taint lattice and transfer functions for the SPMD flow analysis.
+
+The abstract domain is a *token set* per name — the powerset lattice over a
+small token universe, joined by union:
+
+``RANK``
+    the value derives from the calling rank's identity (``world.rank``,
+    ``comm.rank``, ``Get_rank()``, asymmetric collective results like
+    ``scatter``/``gather``/``scan``, or any ``*_rank`` name);
+``ND:<kind>``
+    the value is nondeterministic across runs (wall clock, unseeded
+    ``random``, ``id()``, ``hash()``, iteration order of a set);
+``SET``
+    the value is an unordered container (iterating it yields ``ND:set``);
+``COLL:<op>``
+    the value is a bound collective method (``b = world.bcast``) — calling
+    it is calling the collective;
+``P:<i>``
+    the value derives from parameter *i* of the enclosing function.  These
+    symbolic tokens are how summaries stay polymorphic: a function is
+    analyzed once with each parameter bound to its own token, and call
+    sites substitute actual argument tokens for ``P:<i>``.
+``DIRTY:<line>``
+    carried by a *field-like* object after an owner-side mutation at
+    ``<line>`` with no ``synchronize``/``accumulate`` yet on this path
+    (the SPMD104 state, riding the same dataflow).
+
+Taint propagates through assignments, arithmetic, containers, f-strings,
+attribute loads, and — via :class:`Summary` substitution — interprocedural
+call arguments and returns.  Order-insensitive reductions (``sorted``,
+``len``, ``min``/``max``/``sum``) strip the order tokens; symmetric
+collectives (``bcast``, ``allreduce``, ``allgather``, ``alltoall``) return
+*clean* values because every rank receives the same result.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..rules.communication import COLLECTIVE_CALLS
+from .callgraph import ClassInfo, FunctionInfo, Program
+
+Tokens = FrozenSet[str]
+EMPTY: Tokens = frozenset()
+RANK = "RANK"
+
+#: Collectives whose *result* is identical on every rank (replicated data).
+SYMMETRIC_COLLECTIVES: Set[str] = {
+    "barrier",
+    "bcast",
+    "allreduce",
+    "allgather",
+    "alltoall",
+}
+
+#: Collectives whose result differs per rank (root-only or prefix results).
+ASYMMETRIC_COLLECTIVES: Set[str] = {
+    "scatter",
+    "gather",
+    "reduce",
+    "scan",
+    "exscan",
+}
+
+#: Rank-identity producing calls.
+RANK_CALLS: Set[str] = {"Get_rank", "world_rank_of"}
+
+#: ``module.attr`` call patterns that yield nondeterministic values.
+_ND_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "now",
+    "utcnow",
+    "today",
+}
+_ND_MODULES = {"random"}  # module-level RNG calls: random.random(), ...
+
+#: Constructors / set methods producing unordered containers.
+SET_PRODUCERS: Set[str] = {
+    "set",
+    "frozenset",
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "keys",  # only flagged when the receiver is itself a SET — see _call
+}
+
+#: Order-insensitive consumers: strip SET / ND:set from their argument.
+ORDER_INSENSITIVE: Set[str] = {"sorted", "len", "min", "max", "sum", "any", "all"}
+
+#: Sequencing constructors: freeze a SET's (arbitrary) order into a value.
+SEQUENCING: Set[str] = {"list", "tuple"}
+
+#: Owner-side field mutators (mark the receiver DIRTY for SPMD104).
+FIELD_MUTATORS: Set[str] = {
+    "set",
+    "set_all",
+    "set_from_coords",
+    "set_owned",
+    "zero_all",
+    "assign",
+    "axpy",
+    "add_local",
+}
+
+#: Ghost/copy synchronizers (clear DIRTY on their field argument/receiver).
+SYNC_CALLS: Set[str] = {
+    "synchronize",
+    "accumulate",
+    "sync",
+    "sync_ghosts",
+    "update_ghosts",
+}
+
+
+def _rank_named(name: str) -> bool:
+    return name in ("rank", "vrank") or name.endswith("_rank")
+
+
+@dataclass
+class Summary:
+    """Interprocedural facts about one function, computed to fixpoint."""
+
+    #: Tokens of the return value (``P:<i>`` still symbolic).
+    ret: Tokens = EMPTY
+    #: Flat collective-op sequence the function body performs.
+    seq: Tuple[str, ...] = ()
+    #: Parameter indices that, when rank-tainted at a call site, guard
+    #: collectives behind divergent control flow inside this function.
+    divergence_params: FrozenSet[int] = frozenset()
+
+    def key(self) -> Tuple:
+        return (self.ret, self.seq, self.divergence_params)
+
+
+class Evaluator:
+    """Expression-token evaluation for one function's body."""
+
+    def __init__(
+        self,
+        program: Program,
+        summaries: Dict[int, Summary],
+        info: FunctionInfo,
+    ) -> None:
+        self.program = program
+        self.summaries = summaries
+        self.info = info
+        self.cls: Optional[ClassInfo] = program.class_of(info)
+
+    # -- entry point -------------------------------------------------------
+
+    def tokens(self, expr: Optional[ast.AST], env: Dict[str, Tokens]) -> Tokens:
+        if expr is None:
+            return EMPTY
+        method = getattr(self, "_eval_" + type(expr).__name__, None)
+        if method is not None:
+            return method(expr, env)
+        # Default: union over child expressions (BoolOp, BinOp, Compare,
+        # UnaryOp, IfExp, Starred, JoinedStr, FormattedValue, Slice, ...).
+        out: Tokens = EMPTY
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                out |= self.tokens(child, env)
+        return out
+
+    # -- atoms -------------------------------------------------------------
+
+    def _eval_Constant(self, expr: ast.Constant, env) -> Tokens:
+        return EMPTY
+
+    def _eval_Name(self, expr: ast.Name, env) -> Tokens:
+        out = env.get(expr.id, EMPTY)
+        if _rank_named(expr.id):
+            out |= {RANK}
+        return out
+
+    def _eval_Attribute(self, expr: ast.Attribute, env) -> Tokens:
+        out = self.tokens(expr.value, env)
+        if _rank_named(expr.attr):
+            return out | {RANK}
+        if (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            key = f"self.{expr.attr}"
+            out |= env.get(key, EMPTY)
+            if self.cls is not None and expr.attr in self.cls.collective_attrs:
+                out |= {f"COLL:{self.cls.collective_attrs[expr.attr]}"}
+        if expr.attr in COLLECTIVE_CALLS:
+            # An *unCalled* collective attribute is a bound collective.
+            out |= {f"COLL:{expr.attr}"}
+        return out
+
+    def _eval_Lambda(self, expr: ast.Lambda, env) -> Tokens:
+        return EMPTY
+
+    # -- containers --------------------------------------------------------
+
+    def _eval_Set(self, expr: ast.Set, env) -> Tokens:
+        out: Tokens = frozenset({"SET"})
+        for elt in expr.elts:
+            out |= self.tokens(elt, env)
+        return out
+
+    def _eval_SetComp(self, expr: ast.SetComp, env) -> Tokens:
+        return self._comprehension(expr, env, [expr.elt]) | {"SET"}
+
+    def _eval_ListComp(self, expr: ast.ListComp, env) -> Tokens:
+        return self._comprehension(expr, env, [expr.elt])
+
+    def _eval_GeneratorExp(self, expr: ast.GeneratorExp, env) -> Tokens:
+        return self._comprehension(expr, env, [expr.elt])
+
+    def _eval_DictComp(self, expr: ast.DictComp, env) -> Tokens:
+        return self._comprehension(expr, env, [expr.key, expr.value])
+
+    def _comprehension(self, expr, env, elts: List[ast.expr]) -> Tokens:
+        out: Tokens = EMPTY
+        inner = dict(env)
+        for gen in expr.generators:
+            iter_tokens = self.tokens(gen.iter, inner)
+            bound = iter_tokens - {"SET"}
+            if "SET" in iter_tokens:
+                # Iterating an unordered container injects its hash order.
+                bound |= {"ND:set"}
+                out |= {"ND:set"}
+            for name in _target_names(gen.target):
+                inner[name] = bound
+        for elt in elts:
+            out |= self.tokens(elt, inner)
+        return out
+
+    def _eval_Subscript(self, expr: ast.Subscript, env) -> Tokens:
+        return (
+            self.tokens(expr.value, env) - {"SET"}
+        ) | self.tokens(expr.slice, env)
+
+    # -- calls -------------------------------------------------------------
+
+    def _collective_op(
+        self, call: ast.Call, env: Dict[str, Tokens]
+    ) -> Optional[str]:
+        """The collective op a call invokes, through aliases if needed."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in COLLECTIVE_CALLS:
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in COLLECTIVE_CALLS:
+            return func.id
+        for token in self.tokens(func, env):
+            if token.startswith("COLL:"):
+                return token[5:]
+        return None
+
+    def _arg_tokens(self, call: ast.Call, env) -> List[Tokens]:
+        return [self.tokens(arg, env) for arg in call.args] + [
+            self.tokens(kw.value, env) for kw in call.keywords
+        ]
+
+    def _eval_Call(self, expr: ast.Call, env) -> Tokens:
+        func = expr.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+
+        args = self._arg_tokens(expr, env)
+        merged: Tokens = EMPTY
+        for tokens in args:
+            merged |= tokens
+
+        # Nondeterminism sources.
+        nd = self._nondet_kind(expr)
+        if nd is not None:
+            return merged | {f"ND:{nd}"}
+        # Rank identity.
+        if name in RANK_CALLS:
+            return merged | {RANK}
+        # Collectives (incl. aliased): symmetric results are clean.
+        op = self._collective_op(expr, env)
+        if op is not None:
+            payload = merged - {"SET"}
+            if op in ASYMMETRIC_COLLECTIVES:
+                return payload | {RANK}
+            if op in SYMMETRIC_COLLECTIVES:
+                return payload - {RANK}
+            return payload
+        # Order-insensitive reductions launder set order (and sorted() also
+        # launders a previously frozen arbitrary order).
+        if name in ORDER_INSENSITIVE:
+            return merged - {"SET", "ND:set"}
+        if name in SEQUENCING:
+            if any("SET" in tokens for tokens in args):
+                return (merged - {"SET"}) | {"ND:set"}
+            return merged
+        if name in SET_PRODUCERS:
+            receiver = (
+                self.tokens(func.value, env)
+                if isinstance(func, ast.Attribute)
+                else EMPTY
+            )
+            if name == "keys" and "SET" not in receiver:
+                return merged | receiver  # dict order is insertion order
+            return merged | receiver | {"SET"}
+        # Analyzed functions: substitute argument tokens into the summary.
+        resolved = self.program.resolve_call(expr)
+        if resolved:
+            out: Tokens = EMPTY
+            for target in resolved:
+                out |= self._substitute(target, expr, env)
+            return out
+        # Unknown call: taint flows args+receiver -> result, but a result is
+        # neither a bound collective nor (without evidence) an unordered set.
+        if isinstance(func, ast.Attribute):
+            merged |= self.tokens(func.value, env)
+        return frozenset(
+            t for t in merged if not t.startswith(("COLL:", "DIRTY:"))
+        ) - {"SET"}
+
+    def _substitute(
+        self, target: FunctionInfo, call: ast.Call, env
+    ) -> Tokens:
+        summary = self.summaries.get(id(target.node))
+        if summary is None:
+            return EMPTY
+        actuals = self.call_arg_tokens(target, call, env)
+        out: Set[str] = set()
+        for token in summary.ret:
+            if token.startswith("P:"):
+                index = int(token[2:])
+                if 0 <= index < len(actuals):
+                    out |= actuals[index]
+            else:
+                out.add(token)
+        return frozenset(out)
+
+    def call_arg_tokens(
+        self, target: FunctionInfo, call: ast.Call, env
+    ) -> List[Tokens]:
+        """Actual tokens per *parameter index* of ``target`` for this call."""
+        params = target.param_names()
+        actuals: List[Tokens] = [EMPTY] * len(params)
+        offset = 0
+        if target.is_method and isinstance(call.func, ast.Attribute):
+            if params:
+                actuals[0] = self.tokens(call.func.value, env)
+            offset = 1
+        for i, arg in enumerate(call.args):
+            index = i + offset
+            if index < len(actuals):
+                actuals[index] = self.tokens(arg, env)
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in params:
+                actuals[params.index(kw.arg)] = self.tokens(kw.value, env)
+        return actuals
+
+    def _nondet_kind(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "id":
+                return "id"
+            if func.id == "hash":
+                return "hash"
+            if func.id in ("perf_counter", "monotonic", "time_ns"):
+                return "time"
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            base = func.value.id
+            if base in ("time", "datetime") and func.attr in _ND_TIME_ATTRS:
+                return "time"
+            if base in _ND_MODULES:
+                return "random"
+            if base == "os" and func.attr == "urandom":
+                return "random"
+            if base == "uuid" and func.attr in ("uuid1", "uuid4"):
+                return "random"
+            if base == "secrets":
+                return "random"
+        return None
+
+
+def _target_names(target: ast.AST):
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+
+
+def _bind(
+    target: ast.AST,
+    value_tokens: Tokens,
+    env: Dict[str, Tokens],
+) -> None:
+    if isinstance(target, ast.Name):
+        env[target.id] = value_tokens
+    elif isinstance(target, ast.Attribute):
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            env[f"self.{target.attr}"] = value_tokens
+    elif isinstance(target, ast.Starred):
+        _bind(target.value, value_tokens, env)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _bind(elt, value_tokens, env)
+    # Subscript stores do not rebind the container's tokens.
+
+
+def _receiver_name(func: ast.AST) -> Optional[str]:
+    """Base name of a method receiver (``f.x.m`` -> ``f``)."""
+    expr = func.value if isinstance(func, ast.Attribute) else None
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _effect_roots(stmt: ast.stmt) -> List[ast.AST]:
+    """The expressions a statement evaluates *itself*.
+
+    Compound statements contribute only their headers — their bodies flow
+    through the CFG as separate blocks, so walking them here would apply
+    body effects unconditionally (e.g. a ``synchronize`` under ``if`` would
+    wrongly clear DIRTY on the skip path too).
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.Try, ast.ExceptHandler)):
+        return []
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    return [stmt]
+
+
+def _field_effects(stmt: ast.stmt, env: Dict[str, Tokens]) -> None:
+    """Apply DIRTY/sync effects of calls a statement itself evaluates."""
+    for root in _effect_roots(stmt):
+        _field_effects_expr(root, env)
+
+
+def _field_effects_expr(root: ast.AST, env: Dict[str, Tokens]) -> None:
+    for call in ast.walk(root):
+        if not isinstance(call, ast.Call):
+            continue
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            receiver = _receiver_name(func)
+        elif isinstance(func, ast.Name):
+            name = func.id
+            receiver = None
+        else:
+            continue
+        if name in SYNC_CALLS:
+            targets = [receiver] if receiver is not None else []
+            targets += [
+                arg.id for arg in call.args if isinstance(arg, ast.Name)
+            ]
+            for target in targets:
+                if target in env:
+                    env[target] = frozenset(
+                        t for t in env[target] if not t.startswith("DIRTY:")
+                    )
+        elif name in FIELD_MUTATORS and receiver is not None:
+            env[receiver] = env.get(receiver, EMPTY) | {
+                f"DIRTY:{call.lineno}"
+            }
+
+
+def make_transfer(evaluator: Evaluator):
+    """Per-statement transfer for :func:`repro.analysis.flow.cfg.dataflow`."""
+
+    def transfer(
+        stmt: ast.stmt, env: Dict[str, Tokens]
+    ) -> Dict[str, Tokens]:
+        env = dict(env)
+        if isinstance(stmt, ast.Assign):
+            tokens = evaluator.tokens(stmt.value, env)
+            if (
+                isinstance(stmt.value, (ast.Tuple, ast.List))
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], (ast.Tuple, ast.List))
+                and len(stmt.targets[0].elts) == len(stmt.value.elts)
+            ):
+                for tgt, val in zip(
+                    stmt.targets[0].elts, stmt.value.elts
+                ):
+                    _bind(tgt, evaluator.tokens(val, env), env)
+            else:
+                for target in stmt.targets:
+                    _bind(target, tokens, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            _bind(stmt.target, evaluator.tokens(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            extra = evaluator.tokens(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = env.get(stmt.target.id, EMPTY) | extra
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_tokens = evaluator.tokens(stmt.iter, env)
+            bound = iter_tokens - {"SET"}
+            if "SET" in iter_tokens:
+                bound |= {"ND:set"}
+            for name in _target_names(stmt.target):
+                env[name] = bound
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    _bind(
+                        item.optional_vars,
+                        evaluator.tokens(item.context_expr, env),
+                        env,
+                    )
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                env[stmt.name] = EMPTY
+        _field_effects(stmt, env)
+        return env
+
+    return transfer
+
+
+def initial_env(info: FunctionInfo) -> Dict[str, Tokens]:
+    """Parameter environment: each parameter bound to its symbolic token."""
+    env: Dict[str, Tokens] = {}
+    for index, name in enumerate(info.param_names()):
+        tokens: Set[str] = {f"P:{index}"}
+        if _rank_named(name):
+            tokens.add(RANK)
+        env[name] = frozenset(tokens)
+    return env

@@ -9,40 +9,23 @@ Entry points:
   :mod:`repro.cli`; with no paths it lints the installed ``repro`` package,
   which is ``src/repro`` in a checkout.
 
-Suppression follows the flake8 convention: a ``# noqa`` comment on the
-offending line suppresses everything, ``# noqa: SPMD003`` suppresses one
-code (a justification after the code is encouraged and ignored by the
-parser).
+Suppression policy lives in :mod:`repro.analysis.suppress`, shared with the
+flow analyzer: ``# noqa`` on the offending line (blanket) or
+``# noqa: SPMD003 — justification`` per code, ``# repro: noqa`` in the file
+header for whole-file opt-out.  A code-listing suppression without a
+justification is itself reported as SPMD007.
 """
 
 from __future__ import annotations
 
 import ast
 import json
-import re
 from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Type
 
+from . import suppress
 from .rules import ALL_RULES, Finding, Rule
-
-_NOQA_RE = re.compile(
-    r"#\s*noqa(?!\w)(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
-    re.IGNORECASE,
-)
-
-
-def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
-    if not 0 < finding.line <= len(lines):
-        return False
-    match = _NOQA_RE.search(lines[finding.line - 1])
-    if match is None:
-        return False
-    codes = match.group("codes")
-    if codes is None:
-        return True  # blanket "# noqa"
-    allowed = {code.strip().upper() for code in codes.split(",")}
-    return finding.code in allowed
 
 
 def lint_source(
@@ -69,8 +52,7 @@ def lint_source(
         visitor = rule_cls(path)
         visitor.visit(tree)
         findings.extend(visitor.findings)
-    lines = source.splitlines()
-    findings = [f for f in findings if not _suppressed(f, lines)]
+    findings = suppress.apply(findings, source, path)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
 

@@ -8,8 +8,13 @@
 | SPMD004 | MutableDefaultArg           | cross-rank shared mutable default     |
 | SPMD005 | BareExcept                  | swallowed abort, job hangs            |
 | SPMD006 | ImplicitOptionalAnnotation  | lying annotation (`x: bool = None`)   |
+| SPMD007 | (from repro.analysis.suppress) | unjustified ``# noqa: CODE``       |
 
-Suppress a finding with ``# noqa: SPMD00N — justification`` on the line.
+The SPMD101..SPMD105 *flow* rules (interprocedural rank-taint dataflow)
+live in :mod:`repro.analysis.flow` and run under ``python -m repro
+analyze``.  Suppress a finding with ``# noqa: SPMD00N — justification`` on
+the line; the justification is required (see
+:mod:`repro.analysis.suppress`).
 """
 
 from .aliasing import ReceivedPayloadMutation

@@ -32,7 +32,7 @@ class Finding:
 class Rule(ast.NodeVisitor):
     """Base class: one instance per (rule, file) pair."""
 
-    #: Stable rule identifier, e.g. ``SPMD001``; used in ``# noqa: SPMD001``.
+    #: Stable rule identifier, e.g. ``SPMD001``; the code noqa comments list.
     code: str = "SPMD000"
     #: Default finding message (rules may pass a specific one to report()).
     message: str = ""

@@ -13,7 +13,7 @@ These are the two hazards an SPMD *simulator* shares with real MPI codes:
 from __future__ import annotations
 
 import ast
-from typing import List, Set
+from typing import List, Optional, Set
 
 from .base import Rule, call_name
 
@@ -74,8 +74,24 @@ def _mentions_rank(test: ast.AST) -> bool:
     return False
 
 
+def _collective_value(value: ast.AST) -> bool:
+    """``<expr>.bcast`` (unCalled) is a bound collective method."""
+    return (
+        isinstance(value, ast.Attribute) and value.attr in COLLECTIVE_CALLS
+    )
+
+
 class CollectiveInRankBranch(Rule):
-    """SPMD001: collective/exchange call inside a rank-dependent branch."""
+    """SPMD001: collective/exchange call inside a rank-dependent branch.
+
+    Beyond direct calls (``comm.barrier()``), two aliasing forms count as
+    collective calls — both were precision gaps of the original rule:
+
+    * a local alias of a bound collective: ``b = world.bcast; b(x)``;
+    * a collective stored on the instance anywhere in the class
+      (``self._sync = world.barrier`` in ``__init__``), then called as
+      ``self._sync()`` from any method.
+    """
 
     code = "SPMD001"
     hint = (
@@ -86,6 +102,8 @@ class CollectiveInRankBranch(Rule):
     def __init__(self, path: str) -> None:
         super().__init__(path)
         self._branch_lines: List[int] = []
+        self._aliases: List[Set[str]] = [set()]
+        self._self_aliases: List[Set[str]] = [set()]
 
     def _visit_branch(self, node: ast.AST, test: ast.AST) -> None:
         if _mentions_rank(test):
@@ -101,11 +119,38 @@ class CollectiveInRankBranch(Rule):
     def visit_While(self, node: ast.While) -> None:
         self._visit_branch(node, node.test)
 
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Class pre-pass: every `self.X = <expr>.collective` in any method
+        # makes `self.X(...)` a collective call throughout the class.
+        attrs: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and _collective_value(sub.value):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        self._self_aliases.append(attrs)
+        self.generic_visit(node)
+        self._self_aliases.pop()
+
     def _visit_function(self, node: ast.AST) -> None:
         # A nested function defined inside a rank branch is not necessarily
-        # *called* there; analyze its body with a fresh branch stack.
+        # *called* there; analyze its body with a fresh branch stack.  The
+        # alias pre-pass is flow-insensitive within the function, the same
+        # precision class as SPMD002's set-name pre-pass.
+        aliases: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and _collective_value(sub.value):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
         saved, self._branch_lines = self._branch_lines, []
+        self._aliases.append(aliases)
         self.generic_visit(node)
+        self._aliases.pop()
         self._branch_lines = saved
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -117,9 +162,26 @@ class CollectiveInRankBranch(Rule):
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._visit_function(node)
 
-    def visit_Call(self, node: ast.Call) -> None:
+    def _collective_name(self, node: ast.Call) -> Optional[str]:
+        """The collective a call invokes, directly or through an alias."""
         name = call_name(node)
-        if name in COLLECTIVE_CALLS and self._branch_lines:
+        if name in COLLECTIVE_CALLS:
+            return name
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._aliases[-1]:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in self._self_aliases[-1]
+        ):
+            return f"self.{func.attr}"
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._collective_name(node)
+        if name is not None and self._branch_lines:
             self.report(
                 node,
                 f"collective '{name}' called inside a rank-dependent branch "

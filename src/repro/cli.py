@@ -16,6 +16,11 @@ release ships for quick experiments without writing a driver script:
 ``lint``
     Run the SPMD correctness lint (:mod:`repro.analysis`) over the package
     source (or explicit paths); exits nonzero on findings.
+``analyze``
+    Run the SPMD *flow* analysis (:mod:`repro.analysis.flow`): CFG +
+    call-graph rank-taint dataflow with the SPMD101..SPMD105 rule family,
+    ``--format=text|json|sarif`` output, and a committed-findings
+    ``--baseline`` so CI fails only on *new* findings.
 ``trace``
     Run a workload script under an installed :class:`repro.obs.Tracer` and
     write a Chrome trace (``about:tracing`` / Perfetto loadable) plus a
@@ -181,6 +186,18 @@ def cmd_lint(args) -> int:
     formatter = format_json if args.format == "json" else format_text
     print(formatter(findings))
     return 1 if findings else 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis.flow import main as analyze_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    return analyze_main(argv)
 
 
 def cmd_trace(args) -> int:
@@ -456,6 +473,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--format", choices=("text", "json"), default="text")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_an = sub.add_parser(
+        "analyze", help="SPMD flow analysis (SPMD101..SPMD105)"
+    )
+    p_an.add_argument(
+        "paths", nargs="*", help="files/dirs (default: the repro package)"
+    )
+    p_an.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    p_an.add_argument(
+        "--baseline",
+        default=None,
+        help="accepted-findings file (repro.analysis/1)",
+    )
+    p_an.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings",
+    )
+    p_an.set_defaults(fn=cmd_analyze)
 
     p_trace = sub.add_parser(
         "trace", help="run a workload script under the tracer"

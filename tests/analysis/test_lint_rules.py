@@ -66,6 +66,46 @@ def test_spmd001_point_to_point_in_branch_is_fine():
     assert "SPMD001" not in codes(clean)
 
 
+def test_spmd001_local_alias_of_collective():
+    # `b = world.bcast; b(x)` is the aliasing pattern that defeated the
+    # original attribute-name match.
+    buggy = """
+    def prog(comm, data):
+        b = comm.bcast
+        if comm.rank == 0:
+            b(data)
+    """
+    assert "SPMD001" in codes(buggy)
+
+
+def test_spmd001_self_attribute_collective_alias():
+    # A collective stashed on the instance in __init__ and called from a
+    # different method.
+    buggy = """
+    class Runner:
+        def __init__(self, world):
+            self._sync = world.barrier
+
+        def step(self, world):
+            if world.rank == 0:
+                self._sync()
+    """
+    assert "SPMD001" in codes(buggy)
+
+
+def test_spmd001_plain_method_call_is_not_an_alias():
+    clean = """
+    class Runner:
+        def __init__(self, world):
+            self._log = world.logger
+
+        def step(self, world):
+            if world.rank == 0:
+                self._log()
+    """
+    assert "SPMD001" not in codes(clean)
+
+
 def test_spmd001_nested_function_resets_branch_context():
     clean = """
     def prog(comm):
@@ -252,6 +292,47 @@ def test_noqa_other_code_does_not_suppress():
             comm.barrier()  # noqa: SPMD999
     """
     assert "SPMD001" in codes(buggy)
+
+
+def test_bare_code_suppression_is_reported_as_spmd007():
+    buggy = """
+    def prog(comm):
+        if comm.rank == 0:
+            comm.barrier()  # noqa: SPMD001
+    """
+    result = codes(buggy)
+    assert "SPMD001" not in result
+    assert "SPMD007" in result
+
+
+def test_justified_suppression_has_no_spmd007():
+    suppressed = """
+    def prog(comm):
+        if comm.rank == 0:
+            comm.barrier()  # noqa: SPMD001 - fixture exercises the hang path
+    """
+    assert codes(suppressed) == []
+
+
+def test_file_level_noqa_header_suppresses_whole_file():
+    suppressed = """\
+    # repro: noqa - generated fixture file
+    def prog(comm, cache={}):
+        if comm.rank == 0:
+            comm.barrier()
+    """
+    assert codes(suppressed) == []
+
+
+def test_repro_noqa_below_header_window_does_not_suppress():
+    buggy = "\n" * 6 + textwrap.dedent(
+        """
+        # repro: noqa - too late, not in the header
+        def prog(comm, cache={}):
+            pass
+        """
+    )
+    assert "SPMD004" in [f.code for f in lint_source(buggy)]
 
 
 def test_syntax_error_becomes_finding():
