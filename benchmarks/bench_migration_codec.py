@@ -84,7 +84,7 @@ def run_codec(codec: str, p: dict) -> dict:
         elements_moved += mstats.elements_moved
     migrate_bytes = dm.counters.get("net.bytes.off_node") - distribute_bytes
 
-    gstats = ghost_layer(dm, bridge_dim=0)
+    gstats = ghost_layer(dm)
     field = DistributedField(dm, "u")
     field.set_from_coords(lambda x: x[0] + 2.0 * x[1])
     sstats = synchronize(field)

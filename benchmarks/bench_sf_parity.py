@@ -1,0 +1,188 @@
+"""A/B parity gate: star-forest services vs the frozen legacy exchanges.
+
+The migrate/ghost/sync/accumulate services were re-expressed over the
+:class:`repro.parallel.sf.StarForest` primitive; the hand-rolled
+implementations they replaced live on, verbatim, in
+:mod:`repro.partition.legacy`.  This benchmark runs the same workload —
+one ghost layer plus field synchronize + accumulate on identical meshes —
+through both paths and asserts the redesign is free:
+
+* **identical results** — owned-entity invariants and field checksums
+  match bit-for-bit;
+* **no more supersteps** — the SF path's exchange count is <= legacy's;
+* **no more encoded wire bytes** — the SF path's coalesced buffers are
+  byte-for-byte no larger (in fact identical: the forest's sorted
+  traversal reproduces the legacy batch layouts exactly).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sf_parity.py [--quick]
+
+Results land in ``benchmarks/results/sf_parity.txt`` and the
+machine-readable ``BENCH_sf_parity.json`` (uploaded by the CI ``sf-parity``
+job, which fails the build on any regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import write_result
+
+from repro.mesh import box_tet, rect_tri
+from repro.obs.stats import CommProbe
+from repro.parallel import PerfCounters
+from repro.partition import (
+    DistributedField,
+    accumulate,
+    distribute,
+    ghost_layer,
+    synchronize,
+)
+from repro.partition.legacy import (
+    legacy_accumulate,
+    legacy_ghost_layer,
+    legacy_synchronize,
+)
+
+QUICK = {"mesh": "rect_tri", "n": 8, "parts": 4}
+FULL = {"mesh": "box_tet", "n": 4, "parts": 8}
+
+
+def strip(mesh, nparts, axis=0):
+    return [
+        min(int(mesh.centroid(e)[axis] * nparts), nparts - 1)
+        for e in mesh.entities(mesh.dim())
+    ]
+
+
+def build(p):
+    if p["mesh"] == "rect_tri":
+        return rect_tri(p["n"])
+    return box_tet(p["n"])
+
+
+def checksum(dm, dfield):
+    values = []
+    for part in dm:
+        field = dfield.on(part.pid)
+        for v in part.mesh.entities(0):
+            if part.owns(v) and not part.is_ghost(v) and field.has(v):
+                values.append(field.get_scalar(v))
+    return math.fsum(values)
+
+
+def run_arm(arm: str, p: dict) -> dict:
+    """One measurement arm on a fresh mesh and counter registry.
+
+    The legacy path only supports depth-1 regions exactly (deeper rings
+    truncate at part corners), so the A/B compares depth 1.
+    """
+    mesh = build(p)
+    counters = PerfCounters()
+    dm = distribute(mesh, strip(mesh, p["parts"]), counters=counters)
+    probe = CommProbe(counters)
+
+    if arm == "sf":
+        gstats = ghost_layer(dm)
+    else:
+        gstats = legacy_ghost_layer(dm, bridge_dim=0, layers=1)
+    dm.verify()
+
+    field = DistributedField(dm, "u")
+    field.set_from_coords(lambda x: 1.0 + x[0] + 2.0 * x[1])
+    if arm == "sf":
+        sstats = synchronize(field)
+        astats = accumulate(field)
+    else:
+        sstats = legacy_synchronize(field)
+        astats = legacy_accumulate(field)
+    assert field.max_copy_disagreement() == 0
+
+    return {
+        "arm": arm,
+        "ghosts_created": int(gstats.ghosts_created),
+        "values_sent": int(sstats.values_sent + astats.values_sent),
+        "checksum": checksum(dm, field),
+        "supersteps": int(probe.supersteps()),
+        "encoded_bytes": int(probe.encoded_bytes()),
+        "wire_bytes": int(probe.wire_bytes()),
+        "messages": int(probe.messages()),
+        "sf_ops": int(gstats.sf_ops + sstats.sf_ops + astats.sf_ops),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small mesh for the CI parity gate",
+    )
+    args = parser.parse_args(argv)
+    p = QUICK if args.quick else FULL
+
+    sf = run_arm("sf", p)
+    legacy = run_arm("legacy", p)
+
+    rows = ["arm,supersteps,encoded_bytes,wire_bytes,messages,ghosts,checksum"]
+    for r in (sf, legacy):
+        rows.append(
+            f"{r['arm']},{r['supersteps']},{r['encoded_bytes']},"
+            f"{r['wire_bytes']},{r['messages']},{r['ghosts_created']},"
+            f"{r['checksum']:.12g}"
+        )
+    rows.append("")
+    rows.append(
+        f"supersteps: sf={sf['supersteps']} legacy={legacy['supersteps']}"
+    )
+    rows.append(
+        f"encoded bytes: sf={sf['encoded_bytes']} "
+        f"legacy={legacy['encoded_bytes']}"
+    )
+    rows.append(f"sf path executed {sf['sf_ops']} star-forest op(s)")
+
+    failures = []
+    if sf["ghosts_created"] != legacy["ghosts_created"]:
+        failures.append(
+            f"ghost regions differ: sf={sf['ghosts_created']} "
+            f"legacy={legacy['ghosts_created']}"
+        )
+    if sf["checksum"] != legacy["checksum"]:
+        failures.append(
+            f"field checksums differ: sf={sf['checksum']!r} "
+            f"legacy={legacy['checksum']!r}"
+        )
+    if sf["supersteps"] > legacy["supersteps"]:
+        failures.append(
+            f"sf path costs more supersteps: {sf['supersteps']} > "
+            f"{legacy['supersteps']}"
+        )
+    if sf["encoded_bytes"] > legacy["encoded_bytes"]:
+        failures.append(
+            f"sf path encodes more bytes: {sf['encoded_bytes']} > "
+            f"{legacy['encoded_bytes']}"
+        )
+
+    write_result(
+        "sf_parity",
+        rows + [f"FAIL: {f}" for f in failures],
+        extra={
+            "params": p,
+            "sf": sf,
+            "legacy": legacy,
+            "parity_ok": not failures,
+        },
+    )
+    print("\n".join(rows))
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,11 +64,11 @@ script needs only ``import repro``:
 
     ``spmd``, ``DistributedMesh``, ``distribute``, ``migrate``,
     ``ghost_layer``, ``delete_ghosts``, ``synchronize``, ``accumulate``,
-    ``DistributedField``, ``ParMA``, ``Tracer``
+    ``DistributedField``, ``ParMA``, ``Tracer``, ``StarForest``, ``Overlap``
 
 plus the typed statistics each distributed service returns
 (``MigrateStats``, ``GhostStats``, ``GhostDeleteStats``, ``SyncStats``,
-``AccumulateStats``) and the resilience surface (``FaultPlan``,
+``AccumulateStats``, ``SFStats``) and the resilience surface (``FaultPlan``,
 ``FaultInjector``, ``InjectedRankFailure``, ``CheckpointManager``,
 ``CorruptCheckpointError``, ``resilient_spmd``, ``RankFailure``).
 """
@@ -93,13 +93,21 @@ from .obs import (
     GhostDeleteStats,
     GhostStats,
     MigrateStats,
+    SFStats,
     SyncStats,
     Tracer,
 )
-from .parallel import CodecError, RankFailure, TopologyError, spmd
+from .parallel import (
+    CodecError,
+    RankFailure,
+    StarForest,
+    TopologyError,
+    spmd,
+)
 from .partition import (
     DistributedField,
     DistributedMesh,
+    Overlap,
     accumulate,
     delete_ghosts,
     distribute,
@@ -157,10 +165,13 @@ __all__ = [
     "JobSpec",
     "MeshJobService",
     "MigrateStats",
+    "Overlap",
     "ParMA",
     "RankFailure",
     "RetryPolicy",
+    "SFStats",
     "ServiceReport",
+    "StarForest",
     "SyncStats",
     "TopologyError",
     "Tracer",

@@ -45,6 +45,7 @@ from .stats import (
     GhostStats,
     LatencyStats,
     MigrateStats,
+    SFStats,
     SyncStats,
     percentile,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "GhostStats",
     "LatencyStats",
     "MigrateStats",
+    "SFStats",
     "Span",
     "SyncStats",
     "Tracer",

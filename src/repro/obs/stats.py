@@ -84,6 +84,9 @@ class CommStats:
     encoded_bytes: int = 0
     #: Logical records coalesced into those batch buffers.
     messages_coalesced: int = 0
+    #: Star-forest operations (bcast/reduce/fetch_and_op) the service
+    #: executed; zero for purely local services.
+    sf_ops: int = 0
 
     def to_dict(self) -> Dict:
         """Plain-dict form safe for ``json.dumps(..., allow_nan=False)``."""
@@ -182,6 +185,29 @@ class AccumulateStats(CommStats):
         return (
             f"accumulate(dim={self.entity_dim}): {self.contributions} "
             f"contribution(s) + {self.synced} sync value(s) [{self._cost()}]"
+        )
+
+
+@dataclass(frozen=True)
+class SFStats(CommStats):
+    """Outcome of one :class:`~repro.parallel.sf.StarForest` operation."""
+
+    #: Which operation ran: ``"bcast"``, ``"reduce.<op>"``,
+    #: ``"fetch_and_op.<op>"``.
+    op: str = ""
+    #: The forest's name (spans and counters quote the same string).
+    forest: str = ""
+    nroots: int = 0
+    nleaves: int = 0
+    #: Payload records processed (delivered leaf/root items, both
+    #: directions for fetch_and_op).
+    records: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"sf.{self.op}[{self.forest}]: {self.nroots} root(s) / "
+            f"{self.nleaves} leaf(ves), {self.records} record(s) "
+            f"[{self._cost()}]"
         )
 
 

@@ -28,6 +28,16 @@ from .neighbors import dense_exchange, neighbor_exchange
 from .network import CODECS, Message, Network, wire_size
 from .perf import GLOBAL, PerfCounters, TimerStat
 from .routing import BufferedRouter, NodeRouter
+from .sf import (
+    BUNDLES,
+    GENERIC,
+    INT_ROWS,
+    OPS,
+    VALUES,
+    SFComm,
+    SFDatatype,
+    StarForest,
+)
 from .topology import (
     CoreLedger,
     CoreSlot,
@@ -42,6 +52,7 @@ from .twolevel import TwoLevelComm
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "BUNDLES",
     "BufferedRouter",
     "CODECS",
     "CodecError",
@@ -53,6 +64,9 @@ __all__ = [
     "CommTimeoutError",
     "CommWorld",
     "DeadlockError",
+    "GENERIC",
+    "INT_ROWS",
+    "OPS",
     "PayloadAliasError",
     "SanitizerError",
     "GLOBAL",
@@ -64,7 +78,11 @@ __all__ = [
     "PlacedTopology",
     "RankFailure",
     "Request",
+    "SFComm",
+    "SFDatatype",
     "SpmdError",
+    "StarForest",
+    "VALUES",
     "TimerStat",
     "TopologyError",
     "TwoLevelComm",

@@ -21,7 +21,7 @@ from .io import (
     read_manifest,
     save_dmesh,
 )
-from .ghosting import delete_ghosts, ghost_layer
+from .ghosting import Overlap, delete_ghosts, ghost_layer
 from .migration import MigrationPlan, migrate, rebuild_links, surface_closure
 from .multipart import (
     merge_parts,
@@ -44,6 +44,7 @@ __all__ = [
     "DistributedField",
     "DistributedMesh",
     "MigrationPlan",
+    "Overlap",
     "Part",
     "PartitionEntity",
     "PartitionModel",

@@ -10,13 +10,20 @@ patterns:
 * :func:`accumulate` — copies' values are summed on the owner and the total
   redistributed (finite-element assembly of shared dofs).
 
+Both are one-liner applications of the star-forest primitive
+(:class:`~repro.parallel.sf.StarForest`): the ownership relation *is* a
+star forest — roots are owner copies, leaves the other copies — so
+``synchronize`` is ``bcast`` over that forest and ``accumulate`` is
+``reduce(op="sum")`` over its transpose followed by the same ``bcast``.
+Values ride the coalesced value-batch codec via the ``VALUES`` datatype.
+
 :class:`DistributedField` bundles one :class:`~repro.field.field.Field` per
 part under one name so callers can treat the distributed field as a unit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
@@ -24,11 +31,8 @@ from ..field.field import Field, Shape
 from ..mesh.entity import Ent
 from ..obs.stats import AccumulateStats, CommProbe, SyncStats
 from ..obs.tracer import trace_span
-from ..parallel.codec import decode_value_batch, encode_value_batch
+from ..parallel.sf import VALUES, StarForest
 from .dmesh import DistributedMesh
-
-_TAG_SYNC = 21
-_TAG_ACCUM = 22
 
 
 class DistributedField:
@@ -88,57 +92,71 @@ class DistributedField:
         return worst
 
 
+def _ownership_forest(dfield: DistributedField) -> StarForest:
+    """The owner→copy star forest of the field's shared entities.
+
+    Roots are the owner copies holding a value; leaves every other copy of
+    the same entity.  ``bcast`` over this forest is exactly owner→copy
+    synchronization.
+    """
+    dmesh = dfield.dmesh
+    forest = StarForest(dmesh, name=f"sync.{dfield.name}")
+    for part in dmesh:
+        field = dfield.on(part.pid)
+        for ent in sorted(part.remotes):
+            if ent.dim != dfield.entity_dim or not part.owns(ent):
+                continue
+            if not field.has(ent):
+                continue
+            for other_pid, other_ent in sorted(part.remotes[ent].items()):
+                forest.add_leaf(other_pid, other_ent, part.pid, ent)
+    return forest
+
+
+def _contribution_forest(dfield: DistributedField) -> StarForest:
+    """The copy→owner star forest: non-owner copies rooted at the owner.
+
+    The transpose of :func:`_ownership_forest`, restricted to copies that
+    actually hold a value.  ``reduce(op="sum")`` over it is finite-element
+    assembly of the shared dofs.
+    """
+    dmesh = dfield.dmesh
+    forest = StarForest(dmesh, name=f"accum.{dfield.name}")
+    for part in dmesh:
+        field = dfield.on(part.pid)
+        for ent in sorted(part.remotes):
+            if ent.dim != dfield.entity_dim or part.owns(ent):
+                continue
+            if not field.has(ent):
+                continue
+            owner = part.owner(ent)
+            owner_ent = part.remotes[ent][owner]
+            forest.add_leaf(part.pid, ent, owner, owner_ent)
+    return forest
+
+
 def synchronize(dfield: DistributedField) -> SyncStats:
     """Overwrite every copy with the owner's value.
 
     Returns a :class:`SyncStats` record; ``stats.values_sent`` is the number
-    of owner-to-copy values shipped.
+    of owner-to-copy values shipped and ``stats.sf_ops`` the star-forest
+    operations executed (always one broadcast).
     """
     dmesh = dfield.dmesh
     probe = CommProbe(dmesh.counters)
-    binary = dmesh.codec == "binary"
-    sent = 0
     with trace_span(dmesh.tracer, "synchronize", field=dfield.name):
-        router = dmesh.router()
-        outbound: Dict[Tuple[int, int], list] = {}
-        for part in dmesh:
-            field = dfield.on(part.pid)
-            for ent in sorted(part.remotes):
-                if ent.dim != dfield.entity_dim or not part.owns(ent):
-                    continue
-                if not field.has(ent):
-                    continue
-                value = field.get(ent)
-                for other_pid, other_ent in sorted(part.remotes[ent].items()):
-                    if binary:
-                        outbound.setdefault((part.pid, other_pid), []).append(
-                            (other_ent, value)
-                        )
-                    else:
-                        router.post(
-                            part.pid, other_pid, _TAG_SYNC, (other_ent, value)
-                        )
-                    sent += 1
-        # One encoded value buffer per neighbor pair (binary codec).
-        for (src, dst), items in sorted(outbound.items()):
-            blob = encode_value_batch(items)
-            dmesh.counters.add("net.bytes.encoded", len(blob))
-            dmesh.counters.add("net.messages.coalesced", len(items))
-            router.post(src, dst, _TAG_SYNC, blob)
-        inboxes = router.exchange()
-        for pid in sorted(inboxes):
-            field = dfield.on(pid)
-            for _src, _tag, payload in inboxes[pid]:
-                if isinstance(payload, (bytes, bytearray)):
-                    for ent, value in decode_value_batch(payload):
-                        field.set(ent, value)
-                else:
-                    ent, value = payload
-                    field.set(ent, value)
+        forest = _ownership_forest(dfield)
+        forest.bcast(
+            lambda rpid, ent: dfield.on(rpid).get(ent),
+            lambda lpid, ent, value: dfield.on(lpid).set(ent, value),
+            datatype=VALUES,
+        )
+        sent = forest.nleaves
     dmesh.counters.add("fieldsync.values", sent)
     return SyncStats(
         values_sent=sent,
         entity_dim=dfield.entity_dim,
+        sf_ops=1,
         messages=probe.messages(),
         wire_bytes=probe.wire_bytes(),
         supersteps=probe.supersteps(),
@@ -154,54 +172,31 @@ def accumulate(dfield: DistributedField) -> AccumulateStats:
     The finite-element assembly pattern: each part contributes its local
     portion of a shared dof; afterwards every copy holds the global sum.
     Returns an :class:`AccumulateStats` record whose ``contributions`` is
-    the copy-to-owner value count and ``synced`` the redistribution count.
+    the copy-to-owner value count and ``synced`` the redistribution count;
+    ``sf_ops`` counts the reduce plus the broadcast.
     """
     dmesh = dfield.dmesh
     probe = CommProbe(dmesh.counters)
-    binary = dmesh.codec == "binary"
     with trace_span(dmesh.tracer, "accumulate", field=dfield.name):
-        router = dmesh.router()
-        sent = 0
-        outbound: Dict[Tuple[int, int], list] = {}
-        for part in dmesh:
-            field = dfield.on(part.pid)
-            for ent in sorted(part.remotes):
-                if ent.dim != dfield.entity_dim or part.owns(ent):
-                    continue
-                if not field.has(ent):
-                    continue
-                owner = part.owner(ent)
-                owner_ent = part.remotes[ent][owner]
-                if binary:
-                    outbound.setdefault((part.pid, owner), []).append(
-                        (owner_ent, field.get(ent))
-                    )
-                else:
-                    router.post(
-                        part.pid, owner, _TAG_ACCUM,
-                        (owner_ent, field.get(ent)),
-                    )
-                sent += 1
-        for (src, dst), items in sorted(outbound.items()):
-            blob = encode_value_batch(items)
-            dmesh.counters.add("net.bytes.encoded", len(blob))
-            dmesh.counters.add("net.messages.coalesced", len(items))
-            router.post(src, dst, _TAG_ACCUM, blob)
-        inboxes = router.exchange()
-        for pid in sorted(inboxes):
-            field = dfield.on(pid)
-            for _src, _tag, payload in inboxes[pid]:
-                if isinstance(payload, (bytes, bytearray)):
-                    for ent, value in decode_value_batch(payload):
-                        field.set(ent, field.get(ent) + value)
-                else:
-                    ent, value = payload
-                    field.set(ent, field.get(ent) + value)
+        forest = _contribution_forest(dfield)
+
+        def fold(rpid: int, ent: Ent, combined) -> None:
+            field = dfield.on(rpid)
+            field.set(ent, field.get(ent) + combined)
+
+        forest.reduce(
+            lambda lpid, ent: dfield.on(lpid).get(ent),
+            fold,
+            op="sum",
+            datatype=VALUES,
+        )
+        sent = forest.nleaves
         sync = synchronize(dfield)
     return AccumulateStats(
         contributions=sent,
         synced=sync.values_sent,
         entity_dim=dfield.entity_dim,
+        sf_ops=1 + sync.sf_ops,
         messages=probe.messages(),
         wire_bytes=probe.wire_bytes(),
         supersteps=probe.supersteps(),

@@ -1,79 +1,211 @@
-"""Ghosting: read-only off-part element copies along the part boundary.
+"""Ghosting: read-only off-part element copies in a depth-k overlap.
 
 "Ghosting: a procedure to localize off-part mesh entities to avoid off-node
 communications for computations.  A ghost is a read-only, duplicated,
 off-part internal entity copy including tag data" (paper, Section II-C).
 
-:func:`ghost_layer` gives every part a copy of the off-part elements
-adjacent (through a chosen bridge dimension) to its part-boundary entities.
-Layers are built with a pull protocol: parts request the elements adjacent
-to entities they share (first layer) or adjacent to their existing ghosts'
-home elements (subsequent layers), and the owning parts respond with
-self-contained element bundles.  Ghost elements and the boundary entities
-created for them are marked on the receiving part: they are excluded from
-load accounting, never own anything, and are stripped wholesale by
-:func:`delete_ghosts` (required before any migration).  Requested tag values
-travel with the copies.
+:func:`ghost_layer` gives every part a copy of the off-part elements within
+``depth`` rings of its boundary, where one ring is adjacency through a
+chosen bridge dimension.  The whole procedure is expressed over the
+:class:`~repro.parallel.sf.StarForest` primitive: each ring, a discovery
+pass builds the forest whose roots are owned elements and whose leaves are
+the parts that need copies of them, and one ``bcast`` of element-closure
+bundles materializes the ring.  Iterating discovery over the previous
+ring's new elements is star-forest composition in action — the depth-k
+overlap forest is the product of k one-ring forests.
 
-Limitation (documented): layers beyond the first pull only from each ghost's
-home part, so a ring that wraps around a third part in one step is truncated
-there — the same locality approximation typical ghosting implementations
-make between re-ghosting calls.
+Ring discovery, in supersteps:
+
+1. **ring 0** — each part asks every co-holder of a shared bridge entity
+   for the elements adjacent to it (1 exchange), then the bundles arrive
+   via ``bcast`` (1 exchange);
+2. **rings ≥ 1** — the *front* is the set of bridge entities in the
+   closure of the previous ring's new ghost elements.  A ghost front
+   entity is queried at its home part by global id; a real shared front
+   entity at every co-holder (1 exchange).  With
+   ``Overlap(include_closure=True)`` (the default) a home part also
+   *refers* the request to every other real holder of the entity
+   (1 exchange) — that referral is what makes the depth-k region exact
+   when a ring wraps around a part corner onto a third part.  Bundles
+   again arrive via one ``bcast``.
+
+With ``include_closure=False`` the referral pass is skipped: each ring
+costs one less superstep and pulls only from parts the requester already
+knows, truncating rings that wrap corners — the locality approximation
+the pre-SF implementation always made (see
+:mod:`repro.partition.legacy`).
+
+Ghost elements and the closure entities created for them are marked on the
+receiving part: they are excluded from load accounting, never own
+anything, and are stripped wholesale by :func:`delete_ghosts` (required
+before any migration).  Requested tag values travel with the copies.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..mesh.entity import Ent
 from ..obs.stats import CommProbe, GhostDeleteStats, GhostStats
 from ..obs.tracer import trace_span
-from ..parallel.codec import decode_element_batch, encode_element_batch
+from ..parallel.sf import BUNDLES, StarForest
 from .dmesh import DistributedMesh
-from .migration import _pack_element, _unpack_batch, _unpack_element
+from .migration import _pack_element, _unpack_batch
 from .part import Part
 
 _TAG_REQUEST = 10
-_TAG_GHOST = 11
+_TAG_REFER = 12
+
+
+@dataclass(frozen=True)
+class Overlap:
+    """Configuration of a depth-k ghost overlap.
+
+    ``depth`` rings of elements are ghosted, each ring being adjacency
+    through ``bridge_dim`` (vertices give the widest ring, faces the
+    narrowest).  ``include_closure`` keeps the region exact across part
+    corners via the referral pass; switching it off trades exactness at
+    corners for one fewer superstep per ring beyond the first.
+    """
+
+    depth: int = 1
+    bridge_dim: int = 0
+    include_closure: bool = True
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise ValueError(f"overlap depth must be >= 0, got {self.depth}")
+        if not 0 <= self.bridge_dim <= 2:
+            raise ValueError(
+                f"bridge dimension must be in [0, 2], got {self.bridge_dim}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "depth": self.depth,
+            "bridge_dim": self.bridge_dim,
+            "include_closure": self.include_closure,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Overlap":
+        return cls(
+            depth=int(payload.get("depth", 1)),
+            bridge_dim=int(payload.get("bridge_dim", 0)),
+            include_closure=bool(payload.get("include_closure", True)),
+        )
+
+    @classmethod
+    def coerce(cls, value: Any) -> "Overlap":
+        """Accept an :class:`Overlap` or its dict form."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TypeError(
+            f"expected an Overlap or a dict, got {type(value).__name__}"
+        )
+
+
+_legacy_warned = False
+
+
+def _resolve_overlap(
+    bridge_dim: Optional[int],
+    layers: Optional[int],
+    overlap: Optional[Any],
+    depth: Optional[int],
+) -> Overlap:
+    """Map the accepted argument spellings onto one :class:`Overlap`."""
+    global _legacy_warned
+    legacy = bridge_dim is not None or layers is not None
+    if overlap is not None:
+        if legacy or depth is not None:
+            raise ValueError(
+                "pass either overlap= or the bridge_dim/layers/depth "
+                "arguments, not both"
+            )
+        return Overlap.coerce(overlap)
+    if depth is not None:
+        if legacy:
+            raise ValueError(
+                "pass either depth= or the legacy bridge_dim/layers "
+                "arguments, not both"
+            )
+        return Overlap(depth=depth)
+    if legacy:
+        if not _legacy_warned:
+            _legacy_warned = True
+            warnings.warn(
+                "ghost_layer(bridge_dim=..., layers=...) is deprecated; "
+                "pass overlap=Overlap(depth=..., bridge_dim=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return Overlap(
+            depth=1 if layers is None else layers,
+            bridge_dim=0 if bridge_dim is None else bridge_dim,
+        )
+    return Overlap()
 
 
 def ghost_layer(
     dmesh: DistributedMesh,
-    bridge_dim: int = 0,
-    layers: int = 1,
+    bridge_dim: Optional[int] = None,
+    layers: Optional[int] = None,
     tags: Sequence[str] = (),
+    *,
+    overlap: Optional[Any] = None,
+    depth: Optional[int] = None,
 ) -> GhostStats:
-    """Create ``layers`` ghost layers; returns a :class:`GhostStats` record.
+    """Create a depth-k ghost overlap; returns a :class:`GhostStats` record.
 
-    ``bridge_dim`` selects the adjacency that defines the layer: vertices
-    (0) give the widest layer, faces (dim-1) the narrowest.  ``tags`` lists
+    The overlap is configured with ``overlap=Overlap(...)`` (or the
+    ``depth=k`` shortcut for ``Overlap(depth=k)``); the positional
+    ``bridge_dim``/``layers`` spelling is a deprecated shim that warns once
+    per process and maps onto the same :class:`Overlap`.  ``tags`` lists
     tag names whose element values are copied along.
 
     ``stats.ghosts_created`` counts ghost *elements*; ``per_dimension``
     additionally counts the closure entities (vertices, edges, faces) the
-    copies brought along.
+    copies brought along; ``stats.layers`` echoes the overlap depth and
+    ``stats.sf_ops`` the star-forest broadcasts executed (one per ring).
     """
+    ov = _resolve_overlap(bridge_dim, layers, overlap, depth)
     dim = dmesh.element_dim()
-    if not 0 <= bridge_dim < dim:
+    if not 0 <= ov.bridge_dim < dim:
         raise ValueError(
             f"bridge dimension must be below the element dimension {dim}"
         )
     probe = CommProbe(dmesh.counters)
     total = 0
     per_dim = [0, 0, 0, 0]
-    with trace_span(dmesh.tracer, "ghost_layer", bridge_dim=bridge_dim):
-        for layer in range(layers):
-            with trace_span(dmesh.tracer, f"ghost_layer.layer{layer}"):
-                created, created_per_dim = _one_layer(
-                    dmesh, bridge_dim, tags, first=(layer == 0)
+    sf_ops = 0
+    with trace_span(
+        dmesh.tracer, "ghost_layer",
+        depth=ov.depth, bridge_dim=ov.bridge_dim,
+        include_closure=ov.include_closure,
+    ):
+        prev_new: Dict[int, List[Ent]] = {}
+        for ring in range(ov.depth):
+            with trace_span(dmesh.tracer, f"ghost_layer.layer{ring}"):
+                forest = _ring_forest(
+                    dmesh, ov, ring, first=(ring == 0), prev_new=prev_new
                 )
+                created, created_per_dim, prev_new = _fill_ring(
+                    dmesh, forest, tags
+                )
+            sf_ops += 1
             total += created
             for d in range(4):
                 per_dim[d] += created_per_dim[d]
     return GhostStats(
         ghosts_created=total,
-        layers=layers,
+        layers=ov.depth,
         per_dimension=tuple(per_dim),
+        sf_ops=sf_ops,
         messages=probe.messages(),
         wire_bytes=probe.wire_bytes(),
         supersteps=probe.supersteps(),
@@ -83,132 +215,203 @@ def ghost_layer(
     )
 
 
-def _one_layer(
-    dmesh: DistributedMesh, bridge_dim: int, tags, first: bool
-) -> Tuple[int, List[int]]:
+def _ring_front(
+    part: Part, new_elems: List[Ent], bridge_dim: int, dim: int
+) -> List[Ent]:
+    """Bridge entities in the closure of the previous ring's new elements."""
+    front: Set[Ent] = set()
+    for element in new_elems:
+        if element.dim != dim:
+            continue
+        front.update(part.mesh.adjacent(element, bridge_dim))
+    return sorted(front)
+
+
+def _queue_adjacent(
+    part: Part,
+    ent: Ent,
+    dim: int,
+    requester: int,
+    have: frozenset,
+    queues: Dict[Tuple[int, int], List[Ent]],
+    seen: Dict[Tuple[int, int], Set[Ent]],
+) -> None:
+    """Queue ``ent``'s adjacent owned elements for ``requester``.
+
+    ``have`` is the requester's set of already-held element gids — those
+    are marked seen without queueing, so repeat rings do not re-ship what
+    the requester materialized earlier.
+    """
+    key = (part.pid, requester)
+    bucket = seen.setdefault(key, set())
+    queue = queues.setdefault(key, [])
+    for element in part.mesh.adjacent(ent, dim):
+        if part.is_ghost(element) or element in bucket:
+            continue
+        bucket.add(element)
+        if part.gid(element) in have:
+            continue
+        queue.append(element)
+
+
+def _ring_forest(
+    dmesh: DistributedMesh,
+    ov: Overlap,
+    ring: int,
+    first: bool,
+    prev_new: Dict[int, List[Ent]],
+) -> StarForest:
+    """Discovery pass: build the star forest of one overlap ring.
+
+    Roots are ``(owner part, element)``; leaves are
+    ``(requester part, (owner part, ordinal))`` where the ordinal is the
+    element's position in the owner→requester queue — which makes the
+    ``bcast`` batch layout bundle-for-bundle identical to the pre-SF
+    pull protocol's on ring 0.
+    """
     dim = dmesh.element_dim()
+    bdim = ov.bridge_dim
     router = dmesh.router()
 
-    # Phase 1: requests.  First layer: "send me the elements adjacent to the
-    # entity we share".  Later layers: "send me the neighbors of the element
-    # my ghost mirrors".
-    for part in dmesh:
-        if first:
+    if first:
+        # Ring 0: ask every co-holder of a shared bridge entity for the
+        # elements adjacent to it (all holders are known: remote-copy
+        # links are complete among real copies).
+        for part in dmesh:
             for ent in sorted(part.remotes):
-                if ent.dim != bridge_dim:
+                if ent.dim != bdim:
                     continue
                 for dest, dest_ent in sorted(part.remotes[ent].items()):
                     router.post(
-                        part.pid, dest, _TAG_REQUEST, ("bridge", dest_ent)
+                        part.pid, dest, _TAG_REQUEST,
+                        ("bridge", dest_ent, ()),
                     )
-        else:
-            for ghost in sorted(part.ghosts):
-                if ghost.dim != dim:
-                    continue
-                home_pid, home_ent = part.ghost_home[ghost]
-                router.post(
-                    part.pid, home_pid, _TAG_REQUEST, ("ring", home_ent)
-                )
+    else:
+        # Rings >= 1: query the front.  Ghost front entities are resolved
+        # at their home part by gid; real shared ones at every co-holder.
+        # Interior front entities need no query — every element adjacent
+        # to them is already local.
+        for part in dmesh:
+            mesh = part.mesh
+            for b in _ring_front(part, prev_new.get(part.pid, []), bdim, dim):
+                have = tuple(sorted(
+                    part.gid(e) for e in mesh.adjacent(b, dim)
+                ))
+                if part.is_ghost(b):
+                    home_pid = part.ghost_home[b][0]
+                    router.post(
+                        part.pid, home_pid, _TAG_REQUEST,
+                        ("front", part.gid(b), have),
+                    )
+                elif part.remotes.get(b):
+                    for dest, dest_ent in sorted(part.remotes[b].items()):
+                        router.post(
+                            part.pid, dest, _TAG_REQUEST,
+                            ("bridge", dest_ent, have),
+                        )
 
     requests = router.exchange()
 
-    # Phase 2: responses with element bundles (deduplicated per requester).
-    # Under the binary codec every (responder, requester) pair ships one
-    # encoded buffer instead of one pickled dict per element.
-    binary = dmesh.codec == "binary"
-    router = dmesh.router()
+    queues: Dict[Tuple[int, int], List[Ent]] = {}
+    seen: Dict[Tuple[int, int], Set[Ent]] = {}
+    refer = ov.include_closure and not first
+    if refer:
+        router = dmesh.router()
     for pid in sorted(requests):
         part = dmesh.part(pid)
-        queued: Dict[int, Set[Ent]] = {}
-        batches: Dict[int, List[dict]] = {}
-        for src, _tag, (kind, ent) in requests[pid]:
-            if not part.mesh.has(ent):
-                continue
+        for src, _tag, (kind, ref, have) in requests[pid]:
+            have_set = frozenset(have)
             if kind == "bridge":
-                elements = part.mesh.adjacent(ent, dim)
-            else:
-                elements = part.mesh.second_adjacent(ent, bridge_dim, dim)
-            bucket = queued.setdefault(src, set())
-            for element in elements:
-                if part.is_ghost(element) or element in bucket:
+                ent = ref
+                if not part.mesh.has(ent):
                     continue
-                bucket.add(element)
-                bundle = _pack_element(part, element)
-                bundle["tags"] = {
-                    name: part.mesh.tag(name).get(element)
-                    for name in tags
-                    if part.mesh.tags.find(name) is not None
-                }
-                bundle["home"] = (part.pid, element)
-                if binary:
-                    batches.setdefault(src, []).append(bundle)
-                else:
-                    router.post(part.pid, src, _TAG_GHOST, bundle)
-        for src, bundles in sorted(batches.items()):
-            blob = encode_element_batch(bundles)
-            dmesh.counters.add("net.bytes.encoded", len(blob))
-            dmesh.counters.add("net.messages.coalesced", len(bundles))
-            router.post(part.pid, src, _TAG_GHOST, blob)
+            else:  # "front": resolve the requester's ghost by gid
+                ent = part.by_gid(bdim, ref)
+                if ent is None or not part.mesh.has(ent):
+                    continue
+                if refer:
+                    for q_pid, q_ent in sorted(
+                        part.remotes.get(ent, {}).items()
+                    ):
+                        if q_pid == src:
+                            continue
+                        router.post(
+                            part.pid, q_pid, _TAG_REFER,
+                            ("refer", q_ent, src, have),
+                        )
+            _queue_adjacent(part, ent, dim, src, have_set, queues, seen)
 
-    inboxes = router.exchange()
-    created = 0
-    per_dim = [0, 0, 0, 0]
-    for pid in sorted(inboxes):
-        part = dmesh.part(pid)
-        for _src, _tag, payload in inboxes[pid]:
-            if isinstance(payload, (bytes, bytearray)):
-                created += _unpack_ghost_batch(
-                    part, decode_element_batch(payload), per_dim
+    if refer:
+        # Referral pass: home parts forwarded corner-wrapping requests to
+        # the other real holders; those holders queue their elements for
+        # the *original* requester.
+        referrals = router.exchange()
+        for pid in sorted(referrals):
+            part = dmesh.part(pid)
+            for _src, _tag, (_kind, ent, requester, have) in referrals[pid]:
+                if not part.mesh.has(ent) or part.is_ghost(ent):
+                    continue
+                _queue_adjacent(
+                    part, ent, dim, requester, frozenset(have), queues, seen
                 )
-            else:
-                created += _unpack_ghost(part, payload, per_dim)
-    dmesh.counters.add("ghosting.elements", created)
-    return created, per_dim
+
+    forest = StarForest(dmesh, name=f"ghost.ring{ring}")
+    for (owner, requester) in sorted(queues):
+        for ordinal, element in enumerate(queues[(owner, requester)]):
+            forest.add_leaf(requester, (owner, ordinal), owner, element)
+    return forest
 
 
-def _unpack_ghost(part: Part, bundle: dict, per_dim: List[int]) -> int:
-    """Create a ghost element bundle; returns 1 if a new ghost appeared.
+def _fill_ring(
+    dmesh: DistributedMesh, forest: StarForest, tags: Sequence[str]
+) -> Tuple[int, List[int], Dict[int, List[Ent]]]:
+    """One ``bcast`` of element-closure bundles materializes the ring."""
+    per_dim = [0, 0, 0, 0]
+    created_total = 0
+    new_elements: Dict[int, List[Ent]] = {}
 
-    ``per_dim`` accumulates the count of entities created per dimension.
-    """
-    mesh = part.mesh
-    home_pid, home_ent = bundle["home"]
-    element_gid = bundle["element"][1]
-    if part.by_gid(bundle["element"][0], element_gid) is not None:
-        return 0  # already present (real element or earlier ghost copy)
+    def pack(owner: int, element: Ent) -> dict:
+        part = dmesh.part(owner)
+        bundle = _pack_element(part, element)
+        bundle["tags"] = {
+            name: part.mesh.tag(name).get(element)
+            for name in tags
+            if part.mesh.tags.find(name) is not None
+        }
+        bundle["home"] = (owner, element)
+        return bundle
 
-    before = [set(part._gid[d]) for d in range(4)]
-    element = _unpack_element(part, bundle)
-    # Everything that just appeared is a ghost entity homed off-part;
-    # entities that already existed (part-boundary copies) stay as they are.
-    for d in range(4):
-        for idx in part._gid[d].keys() - before[d]:
-            ghost = Ent(d, idx)
-            per_dim[d] += 1
-            part.ghosts.add(ghost)
-            if ghost == element:
-                part.ghost_home[ghost] = (home_pid, home_ent)
-            else:
-                part.ghost_home[ghost] = (home_pid, None)
-    for name, value in bundle.get("tags", {}).items():
-        if value is not None:
-            mesh.tag(name).set(element, value)
-    return 1
+    def unpack(requester: int, _owner: int, items) -> None:
+        nonlocal created_total
+        part = dmesh.part(requester)
+        bundles = [bundle for _handle, bundle in items]
+        created, fresh = _unpack_ghost_batch(part, bundles, per_dim)
+        created_total += created
+        new_elements.setdefault(requester, []).extend(fresh)
+
+    forest.bcast(pack, batch_set=unpack, datatype=BUNDLES)
+    dmesh.counters.add("ghosting.elements", created_total)
+    return created_total, per_dim, new_elements
 
 
-def _unpack_ghost_batch(part: Part, bundles, per_dim: List[int]) -> int:
-    """Create one decoded ghost batch; returns how many ghosts appeared.
+def _unpack_ghost_batch(
+    part: Part, bundles, per_dim: List[int]
+) -> Tuple[int, List[Ent]]:
+    """Create one decoded ghost batch.
 
+    Returns ``(ghost elements created, their local handles)``; ``per_dim``
+    accumulates every created entity (elements plus closure) per dimension.
     All bundles in a coalesced buffer come from the same owner part, so the
     before/after ghost classification runs once for the whole batch and the
-    mesh surgery goes through the deduplicating :func:`_unpack_batch`.
+    mesh surgery goes through the deduplicating
+    :func:`~repro.partition.migration._unpack_batch`.
     """
     fresh = [
         b for b in bundles
         if part.by_gid(b["element"][0], b["element"][1]) is None
     ]
     if not fresh:
-        return 0
+        return 0, []
     before = [set(part._gid[d]) for d in range(4)]
     elements = _unpack_batch(part, fresh)
     element_home = {
@@ -229,7 +432,7 @@ def _unpack_ghost_batch(part: Part, bundles, per_dim: List[int]) -> int:
         for name, value in bundle.get("tags", {}).items():
             if value is not None:
                 mesh.tag(name).set(element, value)
-    return len(fresh)
+    return len(fresh), elements
 
 
 def delete_ghosts(dmesh: DistributedMesh) -> GhostDeleteStats:

@@ -8,14 +8,16 @@ operation.
 
 :func:`migrate` executes a migration plan in four bulk-synchronous phases:
 
-1. **pack & send** — each source part packages every migrated element's
+1. **pack** — each source part packages every migrated element's
    downward closure (vertices with coordinates, intermediate entities, the
    element itself, all with global ids, types and geometric classification)
-   and posts it to the destination;
-2. **unpack** — destinations find-or-create the received entities, matching
-   vertices by global id and higher entities by local vertices, so entities
-   arriving from several sources (or already present on the part boundary)
-   are created exactly once;
+   and registers the destination as a leaf of a
+   :class:`~repro.parallel.sf.StarForest` rooted at the element;
+2. **unpack** — one forest ``bcast`` ships the bundles (coalesced per part
+   pair by the element-batch codec) and destinations find-or-create the
+   received entities, matching vertices by global id and higher entities by
+   local vertices, so entities arriving from several sources (or already
+   present on the part boundary) are created exactly once;
 3. **remove** — sources destroy the moved elements and any boundary entities
    left bounding nothing (their copies may live on, on other parts);
 4. **relink** — remote-copy links are rebuilt from scratch by a rendezvous
@@ -35,19 +37,14 @@ from ..mesh.entity import Ent
 from ..mesh.topology import type_info
 from ..obs.stats import CommProbe, MigrateStats
 from ..obs.tracer import trace_span
-from ..parallel.codec import (
-    decode_element_batch,
-    decode_int_rows,
-    encode_element_batch,
-    encode_int_rows,
-)
+from ..parallel.codec import decode_int_rows, encode_int_rows
+from ..parallel.sf import BUNDLES, StarForest
 from .dmesh import DistributedMesh
 from .part import Part
 
 #: A migration plan: for each source part, the elements it sends away.
 MigrationPlan = Dict[int, Dict[Ent, int]]
 
-_TAG_ELEMENT = 1
 _TAG_CANDIDATE = 2
 _TAG_LINKS = 3
 
@@ -72,16 +69,18 @@ def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
     probe = CommProbe(dmesh.counters)
     tracer = dmesh.tracer
     dim = dmesh.element_dim()
-    router = dmesh.router()
     moved = 0
     packed = [0, 0, 0, 0]
 
-    binary = dmesh.codec == "binary"
-
     with trace_span(tracer, "migrate"):
         outgoing: List[Tuple[int, Ent, int]] = []
+        bundles: Dict[Tuple[int, Ent], dict] = {}
+        forest = StarForest(dmesh, name="migrate")
         with trace_span(tracer, "migrate.pack"):
-            batches: Dict[Tuple[int, int], List[dict]] = {}
+            # Leaf handles are per-(source, dest) ordinals minted in sorted
+            # element order, which pins the exact bundle layout of each
+            # coalesced wire buffer (element batches intern by first use).
+            ordinals: Dict[Tuple[int, int], int] = {}
             for pid in sorted(plan):
                 part = dmesh.part(pid)
                 for element in sorted(plan[pid]):
@@ -101,19 +100,12 @@ def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
                     for mid in bundle["mids"]:
                         packed[mid[0]] += 1
                     packed[dim] += 1
-                    if binary:
-                        batches.setdefault((pid, dest), []).append(bundle)
-                    else:
-                        router.post(pid, dest, _TAG_ELEMENT, bundle)
+                    bundles[(pid, element)] = bundle
+                    ordinal = ordinals.get((pid, dest), 0)
+                    ordinals[(pid, dest)] = ordinal + 1
+                    forest.add_leaf(dest, (pid, ordinal), pid, element)
                     outgoing.append((pid, element, dest))
                     moved += 1
-            # Coalesce: one encoded buffer per (source, destination) pair
-            # instead of one pickled dict per element.
-            for (pid, dest), bundles in sorted(batches.items()):
-                blob = encode_element_batch(bundles)
-                dmesh.counters.add("net.bytes.encoded", len(blob))
-                dmesh.counters.add("net.messages.coalesced", len(bundles))
-                router.post(pid, dest, _TAG_ELEMENT, blob)
 
         # Only parts that send/receive elements — plus every part that
         # shares anything with them — can see their links change.  The
@@ -127,14 +119,13 @@ def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
             affected.update(dmesh.part(pid).neighbors())
 
         with trace_span(tracer, "migrate.unpack"):
-            inboxes = router.exchange()
-            for dest in sorted(inboxes):
-                part = dmesh.part(dest)
-                for _src, _tag, payload in inboxes[dest]:
-                    if isinstance(payload, (bytes, bytearray)):
-                        _unpack_batch(part, decode_element_batch(payload))
-                    else:
-                        _unpack_element(part, payload)
+            forest.bcast(
+                lambda rpid, element: bundles[(rpid, element)],
+                batch_set=lambda lpid, rpid, items: _unpack_batch(
+                    dmesh.part(lpid), [b for _handle, b in items]
+                ),
+                datatype=BUNDLES,
+            )
 
         with trace_span(tracer, "migrate.remove"):
             for pid, element, _dest in outgoing:
@@ -146,6 +137,7 @@ def migrate(dmesh: DistributedMesh, plan: MigrationPlan) -> MigrateStats:
     return MigrateStats(
         elements_moved=moved,
         per_dimension=tuple(packed),
+        sf_ops=1,
         messages=probe.messages(),
         wire_bytes=probe.wire_bytes(),
         supersteps=probe.supersteps(),

@@ -34,7 +34,7 @@ from ..parallel.perf import PerfCounters
 from ..parallel.topology import MachineTopology
 from ..partition.dmesh import DistributedMesh
 from ..partition.fieldsync import DistributedField
-from ..partition.ghosting import ghost_layer
+from ..partition.ghosting import Overlap, ghost_layer
 from ..partition.io import (
     CorruptCheckpointError,
     load_checkpoint,
@@ -52,6 +52,42 @@ __all__ = [
 
 class NoCheckpointError(RuntimeError):
     """No valid checkpoint is available to restore from."""
+
+
+def _normalize_ghost_config(config: Any) -> Dict[str, Any]:
+    """Canonicalize any accepted ghost-config spelling.
+
+    Returns ``{"overlap": <overlap dict>, "tags": [names...]}`` — the only
+    form written to manifests.  Legacy manifests/configs with
+    ``bridge_dim``/``layers`` keys map onto the same shape, so restoring an
+    old checkpoint never trips the :func:`ghost_layer` deprecation shim.
+    """
+    if isinstance(config, Overlap):
+        return {"overlap": config.to_dict(), "tags": []}
+    if not isinstance(config, dict):
+        raise TypeError(
+            f"ghost_config must be an Overlap or a dict, "
+            f"got {type(config).__name__}"
+        )
+    config = dict(config)
+    tags = list(config.pop("tags", ()))
+    if "overlap" in config:
+        overlap = Overlap.coerce(config.pop("overlap"))
+        if config:
+            raise ValueError(
+                f"unexpected ghost_config keys: {sorted(config)}"
+            )
+    else:
+        unknown = set(config) - {"bridge_dim", "layers"}
+        if unknown:
+            raise ValueError(
+                f"unexpected ghost_config keys: {sorted(unknown)}"
+            )
+        overlap = Overlap(
+            depth=int(config.get("layers", 1)),
+            bridge_dim=int(config.get("bridge_dim", 0)),
+        )
+    return {"overlap": overlap.to_dict(), "tags": tags}
 
 
 @dataclass(frozen=True)
@@ -76,10 +112,13 @@ class CheckpointManager:
         Retain at most this many checkpoints; older ones are deleted after
         each successful :meth:`save`.  ``0`` disables rotation.
     ghost_config:
-        Optional ``ghost_layer`` keyword dict (``bridge_dim``, ``layers``,
-        ``tags``) recorded in every manifest and re-applied by
-        :meth:`restore`, so ghosted workloads resume with their halo
-        already rebuilt.
+        Optional ghost configuration recorded in every manifest and
+        re-applied by :meth:`restore`, so ghosted workloads resume with
+        their halo already rebuilt.  Accepts an
+        :class:`~repro.partition.ghosting.Overlap`, a dict
+        ``{"overlap": Overlap | overlap-dict, "tags": [...]}``, or the
+        legacy keyword dict (``bridge_dim``, ``layers``, ``tags``); all
+        forms are normalized to the overlap form in the manifest.
     """
 
     PREFIX = "ckpt-"
@@ -88,14 +127,16 @@ class CheckpointManager:
         self,
         root: Union[str, Path],
         keep: int = 3,
-        ghost_config: Optional[Dict[str, Any]] = None,
+        ghost_config: Optional[Any] = None,
     ) -> None:
         if keep < 0:
             raise ValueError(f"keep must be >= 0, got {keep}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.keep = keep
-        self.ghost_config = dict(ghost_config) if ghost_config else None
+        self.ghost_config = (
+            _normalize_ghost_config(ghost_config) if ghost_config else None
+        )
 
     # -- enumeration --------------------------------------------------------
 
@@ -203,7 +244,12 @@ class CheckpointManager:
                 continue
             ghost_config = manifest.get("extra", {}).get("ghost_config")
             if ghost_config:
-                ghost_layer(dmesh, **ghost_config)
+                normalized = _normalize_ghost_config(ghost_config)
+                ghost_layer(
+                    dmesh,
+                    overlap=Overlap.from_dict(normalized["overlap"]),
+                    tags=tuple(normalized["tags"]),
+                )
             return dmesh, fields, info
         detail = ("; skipped corrupt: " + ", ".join(skipped)) if skipped else ""
         raise NoCheckpointError(

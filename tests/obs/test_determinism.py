@@ -22,7 +22,7 @@ def run_workload():
     assignment = partition(mesh, 4, method="hypergraph", seed=3)
     dm = distribute(mesh, assignment, counters=perf, tracer=tracer)
     ParMA(dm).improve("Vtx > Rgn", tol=0.05)
-    ghost_layer(dm, bridge_dim=0)
+    ghost_layer(dm)
     delete_ghosts(dm)
     df = DistributedField(dm, "u")
     df.set_from_coords(lambda x: x[0] + x[1])

@@ -137,7 +137,7 @@ def test_adapt_distributed_full_cycle():
 
 
 def test_refine_rejects_ghosts(dm2d):
-    ghost_layer(dm2d, bridge_dim=0)
+    ghost_layer(dm2d)
     with pytest.raises(ValueError):
         refine_distributed(dm2d, UniformSize(0.1))
     delete_ghosts(dm2d)

@@ -24,6 +24,7 @@ import pytest
 from repro.mesh import rect_tri
 from repro.partition import (
     DistributedField,
+    Overlap,
     accumulate,
     delete_ghosts,
     distribute,
@@ -86,7 +87,7 @@ def run_workload(nparts, codec):
     migrate(dm, plan)
     dm.verify()
 
-    ghost_layer(dm, bridge_dim=0)
+    ghost_layer(dm)
     dm.verify()
     delete_ghosts(dm)
     dm.verify()
@@ -148,6 +149,81 @@ def test_serial_counts_match_source_mesh(serial_baseline):
     ) + (0,)
 
 
+def run_overlap_workload(nparts, codec, depth):
+    """Distribute → depth-k ghost overlap → sync/accumulate *with* ghosts.
+
+    Unlike :func:`run_workload`, the overlap stays in place while the field
+    services run, so a wrong or truncated depth-k region that corrupts
+    bookkeeping (remote links, ownership, gids) breaks the invariants.
+    """
+    mesh = rect_tri(8)
+    if nparts == 1:
+        assignment = [0] * mesh.count(2)
+    else:
+        assignment = strip(mesh, nparts)
+    dm = distribute(mesh, assignment, codec=codec)
+
+    gstats = ghost_layer(dm, overlap=Overlap(depth=depth))
+    dm.verify()
+    assert gstats.layers == depth and gstats.sf_ops == depth
+    if nparts > 1:
+        assert gstats.ghosts_created > 0
+
+    sync_field = DistributedField(dm, "u")
+    sync_field.set_from_coords(_coord_value)
+    synchronize(sync_field)
+    assert sync_field.max_copy_disagreement() == 0
+
+    # Assembly over *real* elements only: ghosts are read-only copies of
+    # elements assembled on their home part, counting them would double up.
+    accum_field = DistributedField(dm, "a")
+    for part in dm:
+        field = accum_field.on(part.pid)
+        for v in part.mesh.entities(0):
+            field.set(v, 0.0)
+        for e in part.mesh.entities(2):
+            if part.is_ghost(e):
+                continue
+            for v in part.mesh.verts_of(e):
+                field.set(v, field.get(v) + 1.0)
+    accumulate(accum_field)
+    assert accum_field.max_copy_disagreement() == 0
+
+    counts = dm.owned_counts().sum(axis=0)
+    return {
+        "owned_counts": tuple(int(c) for c in counts),
+        "owned_gids": owned_gids(dm),
+        "sync_checksum": owned_field_checksum(dm, sync_field),
+        "accum_checksum": owned_field_checksum(dm, accum_field),
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_overlap_baseline():
+    return run_overlap_workload(1, "binary", depth=1)
+
+
+@pytest.mark.parametrize("depth", (1, 2, 3))
+@pytest.mark.parametrize("codec", CODECS)
+@pytest.mark.parametrize("nparts", PART_COUNTS)
+def test_overlap_matches_serial(nparts, codec, depth, serial_overlap_baseline):
+    result = run_overlap_workload(nparts, codec, depth)
+    assert result["owned_counts"] == serial_overlap_baseline["owned_counts"]
+    assert result["owned_gids"] == serial_overlap_baseline["owned_gids"]
+    assert result["sync_checksum"] == serial_overlap_baseline["sync_checksum"]
+    assert (
+        result["accum_checksum"] == serial_overlap_baseline["accum_checksum"]
+    )
+
+
+@pytest.mark.parametrize("depth", (2, 3))
+def test_overlap_codecs_agree(depth):
+    """Depth-k ghosting must be codec-invisible too."""
+    assert run_overlap_workload(4, "binary", depth) == run_overlap_workload(
+        4, "pickle", depth
+    )
+
+
 def test_binary_codec_actually_engaged():
     """Guard against silently running pickle everywhere: the binary run must
     report coalesced batches and encoded bytes through the stats plumbing."""
@@ -158,7 +234,7 @@ def test_binary_codec_actually_engaged():
     stats = migrate(dm, plan)
     assert stats.encoded_bytes > 0
     assert stats.messages_coalesced >= 2
-    gstats = ghost_layer(dm, bridge_dim=0)
+    gstats = ghost_layer(dm)
     assert gstats.encoded_bytes > 0
     assert gstats.messages_coalesced > 0
     delete_ghosts(dm)

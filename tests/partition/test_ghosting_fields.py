@@ -6,6 +6,7 @@ import pytest
 from repro.mesh import box_tet, rect_tri
 from repro.partition import (
     DistributedField,
+    Overlap,
     accumulate,
     delete_ghosts,
     distribute,
@@ -34,7 +35,7 @@ def dm():
 
 def test_ghost_layer_counts_excluded_from_load(dm):
     before = dm.entity_counts().copy()
-    stats = ghost_layer(dm, bridge_dim=0)
+    stats = ghost_layer(dm)
     created = stats.ghosts_created
     assert created > 0
     assert stats.per_dimension[2] == created  # 2D: faces are the elements
@@ -47,7 +48,7 @@ def test_ghost_layer_counts_excluded_from_load(dm):
 
 
 def test_ghost_elements_mirror_their_home(dm):
-    ghost_layer(dm, bridge_dim=0)
+    ghost_layer(dm)
     for part in dm:
         for ghost in part.ghosts:
             if ghost.dim != 2:
@@ -61,9 +62,9 @@ def test_ghost_elements_mirror_their_home(dm):
 
 
 def test_ghost_layer_via_edges_smaller_than_via_vertices(dm):
-    created_vtx = ghost_layer(dm, bridge_dim=0).ghosts_created
+    created_vtx = ghost_layer(dm).ghosts_created
     delete_ghosts(dm)
-    created_edge = ghost_layer(dm, bridge_dim=1).ghosts_created
+    created_edge = ghost_layer(dm, overlap=Overlap(bridge_dim=1)).ghosts_created
     delete_ghosts(dm)
     assert created_edge <= created_vtx
     dm.verify()
@@ -71,7 +72,7 @@ def test_ghost_layer_via_edges_smaller_than_via_vertices(dm):
 
 def test_delete_ghosts_restores_meshes(dm):
     raw_before = [part.mesh.count(2) for part in dm]
-    created = ghost_layer(dm, bridge_dim=0)
+    created = ghost_layer(dm)
     removed = delete_ghosts(dm)
     # Deletion is purely local and removes at least every ghost element
     # that survived as a ghost (shared closure entities may stay).
@@ -86,9 +87,9 @@ def test_two_ghost_layers():
     # Strips two cells wide, so a second ring exists within the home part.
     mesh = rect_tri(8)
     dmesh = distribute(mesh, strip(mesh, 4))
-    one = ghost_layer(dmesh, bridge_dim=0, layers=1)
+    one = ghost_layer(dmesh, depth=1)
     delete_ghosts(dmesh)
-    two = ghost_layer(dmesh, bridge_dim=0, layers=2)
+    two = ghost_layer(dmesh, depth=2)
     assert two.ghosts_created > one.ghosts_created
     assert two.layers == 2 and one.layers == 1
     delete_ghosts(dmesh)
@@ -100,7 +101,7 @@ def test_ghost_tag_data_travels(dm):
         tag = part.mesh.tag("load")
         for e in part.mesh.entities(2):
             tag.set(e, part.pid * 100 + e.idx)
-    ghost_layer(dm, bridge_dim=0, tags=("load",))
+    ghost_layer(dm, tags=("load",))
     checked = 0
     for part in dm:
         tag = part.mesh.tag("load")
@@ -116,13 +117,13 @@ def test_ghost_tag_data_travels(dm):
 
 def test_ghost_bridge_dim_validated(dm):
     with pytest.raises(ValueError):
-        ghost_layer(dm, bridge_dim=2)
+        ghost_layer(dm, overlap=Overlap(bridge_dim=2))
 
 
 def test_ghosting_3d():
     mesh = box_tet(2)
     dmesh = distribute(mesh, strip(mesh, 2, axis=2))
-    created = ghost_layer(dmesh, bridge_dim=2)
+    created = ghost_layer(dmesh, overlap=Overlap(bridge_dim=2))
     assert created.ghosts_created > 0
     assert created.per_dimension[3] == created.ghosts_created
     dmesh.verify()

@@ -174,7 +174,7 @@ def test_ghosted_mesh_roundtrip_excludes_ghosts(tmp_path):
     mesh = rect_tri(4)
     dm = distribute(mesh, strips(mesh, 3))
     pre_ghost = dm.entity_counts().copy()
-    ghost_layer(dm, bridge_dim=0, layers=1)
+    ghost_layer(dm)
     save_dmesh(dm, tmp_path / "c")
     restored = load_dmesh(tmp_path / "c", model=mesh.model)
     restored.verify()
@@ -182,7 +182,7 @@ def test_ghosted_mesh_roundtrip_excludes_ghosts(tmp_path):
     assert not any(part.ghosts for part in restored)
     assert np.array_equal(restored.entity_counts(), pre_ghost)
     # ...and ghosting is re-appliable on the restored mesh.
-    ghost_layer(restored, bridge_dim=0, layers=1)
+    ghost_layer(restored)
     restored.verify()
     assert np.array_equal(restored.entity_counts(), pre_ghost)
 

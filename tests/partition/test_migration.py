@@ -120,7 +120,7 @@ def test_migrate_rejects_bad_destination(dm):
 def test_migrate_rejects_with_ghosts(dm):
     from repro.partition import ghost_layer
 
-    ghost_layer(dm, bridge_dim=0)
+    ghost_layer(dm)
     element = next(
         e for e in dm.part(0).mesh.entities(2)
         if not dm.part(0).is_ghost(e)

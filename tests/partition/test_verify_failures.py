@@ -86,7 +86,7 @@ def test_detects_link_from_dead_entity(dm):
 
 
 def test_detects_dead_ghost(dm):
-    ghost_layer(dm, bridge_dim=0)
+    ghost_layer(dm)
     part0 = dm.part(0)
     ghost = next(g for g in part0.ghosts if g.dim == 2)
     # Destroy the ghost element but leave the registry entry behind.

@@ -129,14 +129,18 @@ def test_fields_roundtrip_through_manager(tmp_path):
 
 
 def test_ghost_config_reapplied_on_restore(tmp_path):
-    from repro.partition import ghost_layer
+    from repro.partition import Overlap, ghost_layer
 
     dm, mesh = make_dmesh()
-    ghost_layer(dm, bridge_dim=0, layers=1)
+    ghost_layer(dm, overlap=Overlap(depth=1, bridge_dim=0))
     ghosted_counts = dm.entity_counts().copy()
     manager = CheckpointManager(
-        tmp_path / "ck", ghost_config={"bridge_dim": 0, "layers": 1}
+        tmp_path / "ck", ghost_config=Overlap(depth=1, bridge_dim=0)
     )
+    assert manager.ghost_config == {
+        "overlap": {"depth": 1, "bridge_dim": 0, "include_closure": True},
+        "tags": [],
+    }
     manager.save(dm, step=0)
     restored, _, _ = manager.restore(model=mesh.model)
     restored.verify()
@@ -147,6 +151,35 @@ def test_ghost_config_reapplied_on_restore(tmp_path):
     assert total(restored) == total(dm)
     assert any(part.ghosts for part in restored)
     assert np.array_equal(restored.entity_counts(), ghosted_counts)
+
+
+def test_legacy_ghost_config_manifest_still_restores(tmp_path):
+    """Manifests written before the Overlap API restore without warnings."""
+    import warnings
+
+    from repro.partition import ghost_layer
+
+    dm, mesh = make_dmesh()
+    ghost_layer(dm)
+    manager = CheckpointManager(
+        tmp_path / "ck", ghost_config={"bridge_dim": 0, "layers": 1}
+    )
+    # The legacy dict is normalized to the overlap form at construction.
+    assert manager.ghost_config["overlap"]["depth"] == 1
+    manager.save(dm, step=0)
+    # Rewrite the manifest's ghost_config back to the legacy spelling, as an
+    # old on-disk checkpoint would carry it.
+    import json
+
+    ckpt = manager.latest().path
+    manifest_path = ckpt / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["extra"]["ghost_config"] = {"bridge_dim": 0, "layers": 1}
+    manifest_path.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        restored, _, _ = manager.restore(model=mesh.model)
+    assert any(part.ghosts for part in restored)
 
 
 def test_restore_at_different_part_count(tmp_path):

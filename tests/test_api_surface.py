@@ -288,6 +288,8 @@ def test_top_level_entry_points():
         "accumulate",
         "ParMA",
         "Tracer",
+        "StarForest",
+        "Overlap",
     ):
         assert hasattr(repro, name), name
         assert name in repro.__all__, name
@@ -308,6 +310,7 @@ def test_top_level_stats_types():
         "GhostDeleteStats",
         "SyncStats",
         "AccumulateStats",
+        "SFStats",
     ):
         assert getattr(repro, name) is getattr(obs, name)
         assert name in repro.__all__
@@ -506,7 +509,7 @@ def test_services_return_typed_stats():
     assert mstats.seconds >= 0.0
     assert "migrate" in mstats.summary()
 
-    gstats = ghost_layer(dm, bridge_dim=0)
+    gstats = ghost_layer(dm)
     assert isinstance(gstats, GhostStats)
     assert gstats.ghosts_created > 0 and gstats.layers == 1
     dstats = delete_ghosts(dm)
@@ -525,3 +528,60 @@ def test_services_return_typed_stats():
     for stats in (mstats, gstats, dstats, sstats, astats):
         d = stats.to_dict()
         assert isinstance(d, dict) and "messages" in d
+
+
+def test_star_forest_surface():
+    """StarForest, Overlap and SFStats are pinned, and every distributed
+    service routes through the forest (sf_ops > 0 on its stats)."""
+    import repro
+    from repro import DistributedField, Overlap, SFStats, StarForest
+    from repro.parallel import StarForest as p_StarForest
+    from repro.parallel.sf import OPS, SFComm
+    from repro.partition import Overlap as pt_Overlap
+
+    assert StarForest is p_StarForest
+    assert Overlap is pt_Overlap
+    assert "StarForest" in repro.__all__ and "Overlap" in repro.__all__
+    assert OPS == ("replace", "sum", "min", "max")
+
+    # Overlap is frozen and validated.
+    ov = Overlap(depth=2, bridge_dim=1, include_closure=False)
+    with pytest.raises(Exception):
+        ov.depth = 3
+    with pytest.raises(ValueError):
+        Overlap(depth=-1)
+    assert Overlap.from_dict(ov.to_dict()) == ov
+
+    # A depth-2 overlap builds and verifies, and every service reports the
+    # star-forest operations it executed.
+    from repro import (
+        accumulate,
+        delete_ghosts,
+        distribute,
+        ghost_layer,
+        migrate,
+        synchronize,
+    )
+
+    mesh = rect_tri(6)
+    dm = distribute(mesh, strips(mesh, 3))
+    gstats = ghost_layer(dm, overlap=Overlap(depth=2))
+    dm.verify()
+    assert gstats.layers == 2 and gstats.sf_ops == 2
+    assert gstats.to_dict()["sf_ops"] == 2
+    delete_ghosts(dm)
+    element = next(dm.part(0).mesh.entities(2))
+    assert migrate(dm, {0: {element: 1}}).sf_ops == 1
+    df = DistributedField(dm, "u")
+    df.set_from_coords(lambda x: x[0])
+    assert synchronize(df).sf_ops == 1
+    assert accumulate(df).sf_ops == 2
+
+    # The raw primitive works standalone over SFComm, and returns SFStats.
+    comm = SFComm(2)
+    forest = StarForest(comm, name="t")
+    forest.add_leaf(1, "a", 0, "r")
+    got = {}
+    stats = forest.bcast(lambda pid, h: 7, lambda pid, h, v: got.update({h: v}))
+    assert isinstance(stats, SFStats)
+    assert got == {"a": 7} and stats.nleaves == 1 and stats.supersteps == 1

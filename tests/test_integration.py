@@ -17,6 +17,7 @@ from repro.mesh.quality import measure
 from repro.mesh.verify import verify
 from repro.partition import (
     DistributedField,
+    Overlap,
     accumulate,
     adapt_distributed,
     build_partition_model,
@@ -52,7 +53,7 @@ def test_analysis_step_workflow_2d():
     assert pmodel.count() > 0
 
     # One ghost layer for element loops, a dof field, an assembly pass.
-    ghost_layer(dm, bridge_dim=0, layers=1)
+    ghost_layer(dm, overlap=Overlap(depth=1, bridge_dim=0))
     dm.verify()
     dof = DistributedField(dm, "u")
     for part in dm:
