@@ -1,0 +1,210 @@
+"""Snapshot I/O: full vs differential epochs, cold vs warm svc starts.
+
+Three measurements:
+
+* **full vs differential save** — after a small migration plus a sparse
+  field update, the delta epoch must persist well under a quarter of the
+  full epoch's payload bytes (the incremental-I/O gate).
+* **repartition-on-load** — one snapshot written at 4 parts is loaded at
+  1, 2 and 8; owned element-gid sets and field checksums must agree at
+  every width.
+* **svc warm start** — a ``mesh-warm`` job run cold (geometry generated,
+  snapshot published) and then warm (snapshot loaded from the cache);
+  the warm path must actually hit the cache and skip generation.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_snapshot_io.py [--quick]
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import write_result
+
+from repro.mesh import rect_tri
+from repro.parallel import GLOBAL, MachineTopology
+from repro.partition import DistributedField, distribute, migrate
+from repro.partitioners import partition
+from repro.store import (
+    SnapshotCache,
+    SnapshotStore,
+    field_checksum,
+    owned_gid_set,
+)
+from repro.svc import JobSpec, MeshJobService
+
+FULL = {"n": 24, "chunk_records": 256, "warm_n": 20}
+QUICK = {"n": 10, "chunk_records": 64, "warm_n": 8}
+
+
+def build(n, nparts=4):
+    mesh = rect_tri(n)
+    dm = distribute(mesh, partition(mesh, nparts, method="rcb", seed=0))
+    f = DistributedField(dm, "u", 0, 1)
+    for part in dm:
+        local = f.on(part.pid)
+        for v in part.mesh.entities(0):
+            if not part.is_ghost(v):
+                local.set(v, np.array([float(part.gid(v))]))
+    return mesh, dm, f
+
+
+def dirty_some(dm, f, count=8):
+    """A small migration plus a sparse field update — the delta source."""
+    part0 = dm.part(0)
+    elems = list(part0.mesh.entities(2))[:2]
+    migrate(dm, {0: {e: 1 for e in elems}})
+    part = dm.part(1)
+    local = f.on(1)
+    touched = 0
+    for v in part.mesh.entities(0):
+        if part.owns(v) and not part.is_ghost(v):
+            local.set(v, np.array([-1.0 * part.gid(v)]))
+            touched += 1
+            if touched >= count:
+                break
+    return touched
+
+
+def bench_epochs(root, p, failures):
+    mesh, dm, f = build(p["n"])
+    store = SnapshotStore(root, chunk_records=p["chunk_records"])
+    t0 = time.perf_counter()
+    full = store.save(dm, [f])
+    full_s = time.perf_counter() - t0
+    touched = dirty_some(dm, f)
+    t0 = time.perf_counter()
+    delta = store.save(dm, [f])
+    delta_s = time.perf_counter() - t0
+    ratio = delta.payload_bytes / full.payload_bytes
+    if not (delta.kind == "delta" and ratio < 0.25):
+        failures.append(
+            f"FAIL delta epoch {delta.payload_bytes}B is "
+            f"{100 * ratio:.1f}% of full {full.payload_bytes}B (gate 25%)"
+        )
+    want = (owned_gid_set(dm, 2), round(field_checksum(dm, f), 9))
+    widths = {}
+    for target in (1, 2, 8):
+        t0 = time.perf_counter()
+        dm2, fields, stats = store.load_at(nparts=target, model=mesh.model)
+        load_s = time.perf_counter() - t0
+        got = (owned_gid_set(dm2, 2), round(field_checksum(dm2, fields["u"]), 9))
+        if got != want:
+            failures.append(f"FAIL load parity broken at nparts={target}")
+        widths[target] = {
+            "seconds": load_s,
+            "records": stats.records,
+            "wire_bytes": stats.wire_bytes,
+            "supersteps": stats.supersteps,
+        }
+    return {
+        "elements": len(want[0]),
+        "full_bytes": full.payload_bytes,
+        "full_chunks": full.chunks,
+        "full_seconds": full_s,
+        "delta_bytes": delta.payload_bytes,
+        "delta_records": delta.records,
+        "delta_seconds": delta_s,
+        "delta_ratio": ratio,
+        "dirtied": touched,
+        "loads": widths,
+    }
+
+
+def bench_warm_start(root, p, failures):
+    svc = MeshJobService(
+        MachineTopology(nodes=2, cores_per_node=4),
+        timeout=60.0,
+        snapshot_cache=SnapshotCache(root),
+    )
+    timings = {}
+    for phase, name in (("cold", "io-cold"), ("warm", "io-warm")):
+        spec = JobSpec(
+            name=name, workload="mesh-warm", parts=4,
+            mesh_n=p["warm_n"], tenant="bench",
+        )
+        t0 = time.perf_counter()
+        svc.submit(spec)
+        svc.run_until_idle()
+        timings[phase] = time.perf_counter() - t0
+    outputs = {
+        job["name"]: job["output"]
+        for job in svc.report().to_dict()["jobs"]
+    }
+    hits = svc.counters.get("store.cache.hits")
+    if outputs["io-cold"]["warm"] or not outputs["io-warm"]["warm"]:
+        failures.append(
+            "FAIL warm-start flags wrong: "
+            f"cold={outputs['io-cold']['warm']} "
+            f"warm={outputs['io-warm']['warm']}"
+        )
+    if hits < 1:
+        failures.append(f"FAIL store.cache.hits = {hits}, expected >= 1")
+    from repro.store import uninstall_cache
+
+    uninstall_cache()
+    return {
+        "cold_seconds": timings["cold"],
+        "warm_seconds": timings["warm"],
+        "speedup": timings["cold"] / max(timings["warm"], 1e-9),
+        "cache_hits": hits,
+        "cache_misses": svc.counters.get("store.cache.misses"),
+        "elements": outputs["io-warm"]["elements"],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for the CI smoke"
+    )
+    args = parser.parse_args(argv)
+    p = QUICK if args.quick else FULL
+
+    failures = []
+    with tempfile.TemporaryDirectory() as td:
+        epochs = bench_epochs(Path(td) / "store", p, failures)
+        warm = bench_warm_start(Path(td) / "cache", p, failures)
+
+    lines = [
+        f"snapshot io: rect_tri(n={p['n']}) at 4 parts, "
+        f"chunk_records={p['chunk_records']}",
+        f"full epoch:  {epochs['full_bytes']:>9} B in "
+        f"{epochs['full_chunks']} chunks ({epochs['full_seconds']:.3f}s)",
+        f"delta epoch: {epochs['delta_bytes']:>9} B, "
+        f"{epochs['delta_records']} records after migration + "
+        f"{epochs['dirtied']} dirty values "
+        f"= {100 * epochs['delta_ratio']:.2f}% of full (gate < 25%)",
+        f"{'load':>6} {'seconds':>9} {'records':>8} {'wire B':>9} "
+        f"{'steps':>6}",
+    ]
+    for target, load in sorted(epochs["loads"].items()):
+        lines.append(
+            f"{target:>6} {load['seconds']:>9.3f} {load['records']:>8} "
+            f"{load['wire_bytes']:>9} {load['supersteps']:>6}"
+        )
+    lines.append(
+        f"svc mesh-warm (n={p['warm_n']}, 4 parts): "
+        f"cold {warm['cold_seconds']:.3f}s -> warm "
+        f"{warm['warm_seconds']:.3f}s ({warm['speedup']:.2f}x), "
+        f"cache hits={warm['cache_hits']} misses={warm['cache_misses']}"
+    )
+    lines.extend(failures)
+
+    path = write_result(
+        "snapshot_io", lines,
+        extra={"epochs": epochs, "warm_start": warm,
+               "failures": failures},
+    )
+    print("\n".join(lines))
+    print(f"wrote {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,13 @@ Subpackages
     the network/executor hook points), rotated hash-validated checkpoints
     (``CheckpointManager``), and the ``resilient_spmd`` checkpoint/restart
     recovery driver behind ``python -m repro chaos``.
+``repro.store``
+    Parallel incremental snapshot I/O: the chunked, part-count-agnostic
+    ``repro.store/1`` epoch format with SHA-256 chunk manifests,
+    differential epochs with deterministic compaction, star-forest
+    repartition-on-load (``SnapshotStore``), and the content-addressed
+    ``SnapshotCache`` the serving tier uses to warm-start jobs from a
+    shared base mesh (``python -m repro snapshot``).
 ``repro.svc``
     The multi-tenant mesh-job serving tier: bounded admission with
     backpressure and fair-share priority aging, locality-aware gang
@@ -84,6 +91,7 @@ from . import (
     partition,
     partitioners,
     resilience,
+    store,
     svc,
     workloads,
 )
@@ -123,6 +131,11 @@ from .resilience import (
     InjectedRankFailure,
     resilient_spmd,
 )
+from .store import (
+    SnapshotCache,
+    SnapshotStore,
+    StoreStats,
+)
 from .svc import (
     AdmissionError,
     JobFailure,
@@ -146,6 +159,7 @@ __all__ = [
     "partition",
     "partitioners",
     "resilience",
+    "store",
     "svc",
     "workloads",
     "AccumulateStats",
@@ -171,7 +185,10 @@ __all__ = [
     "RetryPolicy",
     "SFStats",
     "ServiceReport",
+    "SnapshotCache",
+    "SnapshotStore",
     "StarForest",
+    "StoreStats",
     "SyncStats",
     "TopologyError",
     "Tracer",

@@ -33,6 +33,13 @@ release ships for quick experiments without writing a driver script:
     ``step(dmesh, i)``; an optional module-level ``NSTEPS`` sets the
     default epoch count.  Writes the deterministic recovery report (and a
     metrics JSON) to ``--out``.
+``snapshot``
+    Save, parallel-load, or inspect a ``repro.store/1`` snapshot store
+    (:mod:`repro.store`): ``save`` partitions a generated mesh and writes
+    a chunked epoch (differential when the store has a tip), ``load``
+    restores it at any ``--parts`` via the star-forest redistribution and
+    prints a deterministic parity signature (owned-gid digest + field
+    checksums), ``inspect`` dumps the epoch chain.
 ``serve``
     Run a JSON job list through the multi-tenant mesh-job service
     (:mod:`repro.svc`): bounded admission, locality-aware gang placement
@@ -285,7 +292,9 @@ def cmd_chaos(args) -> int:
     ckdir = Path(args.checkpoint_dir) if args.checkpoint_dir else (
         outdir / "checkpoints"
     )
-    manager = CheckpointManager(ckdir, keep=args.keep)
+    manager = CheckpointManager(
+        ckdir, keep=args.keep, backend=getattr(args, "backend", "dmesh")
+    )
 
     tracer = obs.Tracer(counters=GLOBAL)
     obs.install(tracer)
@@ -322,6 +331,71 @@ def cmd_chaos(args) -> int:
     return status
 
 
+def cmd_snapshot(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.store import (
+        CorruptSnapshotError,
+        SnapshotStore,
+        field_checksum,
+        owned_gid_set,
+    )
+
+    store = SnapshotStore(Path(args.store), chunk_records=args.chunk_records)
+    if args.action == "save":
+        from repro.partition import DistributedField, distribute
+        from repro.partitioners import partition
+
+        mesh = _build_mesh(args)
+        nparts = args.parts if args.parts else 4
+        assignment = partition(
+            mesh, nparts, method=args.method, seed=args.seed
+        )
+        dmesh = distribute(mesh, [int(a) for a in assignment])
+        coord = DistributedField(dmesh, "coord", 0, 3)
+        for part in dmesh:
+            local = coord.on(part.pid)
+            for v in part.mesh.entities(0):
+                local.set(v, part.mesh.coords(v))
+        info = store.save(dmesh, [coord], full=args.full)
+        print(
+            json.dumps(
+                {"saved": info.to_dict(), "store": str(store.root)},
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if args.action == "load":
+        try:
+            dmesh, fields, stats = store.load_at(
+                nparts=args.parts, epoch=args.epoch
+            )
+            dmesh.verify()
+        except CorruptSnapshotError as exc:
+            print(f"repro snapshot: {exc}", file=sys.stderr)
+            return 1
+        dim = dmesh.element_dim()
+        signature = {
+            "nparts": dmesh.nparts,
+            "elements": len(owned_gid_set(dmesh, dim)),
+            "owned_gids_sha256": __import__("hashlib").sha256(
+                json.dumps(sorted(owned_gid_set(dmesh, dim))).encode()
+            ).hexdigest(),
+            "fields": {
+                name: round(field_checksum(dmesh, dfield), 9)
+                for name, dfield in sorted(fields.items())
+            },
+            "stats": stats.to_dict(),
+        }
+        print(json.dumps(signature, indent=1, sort_keys=True))
+        return 0
+    # inspect
+    print(json.dumps(store.inspect(), indent=1, sort_keys=True))
+    return 0
+
+
 def _build_service(args):
     from repro.parallel import MachineTopology
     from repro.svc import MeshJobService
@@ -335,6 +409,7 @@ def _build_service(args):
         aging=args.aging,
         seed=args.seed,
         timeout=args.timeout,
+        snapshot_cache=args.snapshot_cache,
     )
 
 
@@ -542,9 +617,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="recovery budget before giving up (default: 3)",
     )
     p_chaos.add_argument(
+        "--backend",
+        choices=("dmesh", "store"),
+        default="dmesh",
+        help="checkpoint epoch format (store = chunked differential "
+        "repro.store/1 epochs; default: dmesh)",
+    )
+    p_chaos.add_argument(
         "--out", default="chaos-out", help="output directory (created)"
     )
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="save/load/inspect a repro.store/1 snapshot store",
+    )
+    p_snap.add_argument("action", choices=("save", "load", "inspect"))
+    p_snap.add_argument(
+        "--store", required=True, help="snapshot store directory"
+    )
+    p_snap.add_argument(
+        "--kind", default="rect", choices=("rect", "box", "aaa", "wing")
+    )
+    p_snap.add_argument("--n", type=int, default=8, help="mesh resolution")
+    p_snap.add_argument(
+        "--parts",
+        type=int,
+        default=None,
+        help="part count: writer parts for save (default 4), target parts "
+        "for load (default: as saved)",
+    )
+    p_snap.add_argument(
+        "--method",
+        default="rcb",
+        choices=("hypergraph", "graph", "rcb", "rib"),
+        help="partitioner for save (default: rcb)",
+    )
+    p_snap.add_argument("--seed", type=int, default=0)
+    p_snap.add_argument(
+        "--chunk-records",
+        type=int,
+        default=256,
+        help="records per chunk file (default: 256)",
+    )
+    p_snap.add_argument(
+        "--full",
+        action="store_true",
+        help="force a full epoch on save (default: delta when possible)",
+    )
+    p_snap.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help="epoch index to load (default: the tip)",
+    )
+    p_snap.set_defaults(fn=cmd_snapshot)
 
     def add_service_args(p):
         p.add_argument(
@@ -576,6 +703,13 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=30.0,
             help="per-rank SPMD watchdog seconds (default: 30)",
+        )
+        p.add_argument(
+            "--snapshot-cache",
+            default=None,
+            metavar="DIR",
+            help="warm-start snapshot cache directory (enables mesh-warm "
+            "cache hits; default: off)",
         )
 
     p_serve = sub.add_parser(

@@ -261,22 +261,24 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     path = Path(path)
     manifest_path = path / _MANIFEST
     if not manifest_path.is_file():
-        raise CorruptCheckpointError(f"{path}: missing {_MANIFEST}")
+        raise CorruptCheckpointError(f"{manifest_path}: missing manifest")
     try:
         manifest = json.loads(manifest_path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise CorruptCheckpointError(
-            f"{path}: unreadable manifest: {exc}"
+            f"{manifest_path}: unreadable manifest: {exc}"
         ) from None
     if not isinstance(manifest, dict) or manifest.get("format") != FORMAT:
         raise CorruptCheckpointError(
-            f"{path}: unsupported checkpoint format "
+            f"{manifest_path}: unsupported checkpoint format "
             f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r} "
             f"(expected {FORMAT!r})"
         )
     for key in ("nparts", "element_dim", "gid_next", "files"):
         if key not in manifest:
-            raise CorruptCheckpointError(f"{path}: manifest misses {key!r}")
+            raise CorruptCheckpointError(
+                f"{manifest_path}: manifest misses {key!r}"
+            )
     return manifest
 
 
@@ -288,9 +290,11 @@ def _load_part_file(path: Path, name: str, expected_sha: str):
     data = file_path.read_bytes()
     actual = _sha256(data)
     if actual != expected_sha:
+        # Full hashes: operators diff these against mirror copies and
+        # backup manifests, so truncation costs real debugging time.
         raise CorruptCheckpointError(
-            f"{path}: integrity failure on {name}: "
-            f"sha256 {actual[:12]}… != manifest {expected_sha[:12]}…"
+            f"{file_path}: integrity failure: "
+            f"sha256 {actual} != manifest {expected_sha}"
         )
     try:
         return np.load(_io.BytesIO(data), allow_pickle=True)

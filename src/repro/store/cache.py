@@ -1,0 +1,201 @@
+"""`SnapshotCache`: content-addressed warm-start snapshots for svc jobs.
+
+Every `repro.svc` mesh job historically regenerated its geometry from
+scratch — rank 0 meshes the rectangle, partitions it, scatters the parts
+— before doing any real work.  For a multi-tenant service running many
+jobs over the *same* base geometry that is pure waste.  The cache keys a
+one-epoch :class:`~repro.store.snapshot.SnapshotStore` by the SHA-256 of
+the canonical ``(workload, geometry params)`` JSON; the first job to need
+a given base mesh builds and publishes it, and every later job — at *any*
+gang size, thanks to repartition-on-load — restores it with one parallel
+load instead of regenerating.
+
+Cache hits and misses are charged to ``store.cache.hits`` /
+``store.cache.misses`` on the cache's counter registry, so a service that
+constructs the cache with its own counters surfaces warm-start rates in
+its reports.  :func:`install_cache` / :func:`current_cache` give
+workloads (which are resolved by name and run deep inside the service
+runtime) a process-wide discovery point, mirroring the tracer's
+``install``/``current`` convention.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
+
+from ..obs.tracer import Tracer
+from ..parallel.perf import GLOBAL, PerfCounters
+from ..partition.dmesh import DistributedMesh
+from ..partition.fieldsync import DistributedField
+from .format import DEFAULT_CHUNK_RECORDS, CorruptSnapshotError
+from .snapshot import EpochInfo, SnapshotStore, StoreStats
+
+__all__ = [
+    "SnapshotCache",
+    "current_cache",
+    "install_cache",
+    "uninstall_cache",
+]
+
+
+def cache_key(workload: str, params: Dict[str, Any]) -> str:
+    """Content address of a base mesh: SHA-256 of the canonical JSON.
+
+    ``params`` must be JSON-serializable; key order never matters
+    (``sort_keys``), so logically-equal parameter dicts share an entry.
+    """
+    blob = json.dumps(
+        {"params": params, "workload": workload},
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SnapshotCache:
+    """A directory of content-addressed snapshot stores (see module doc)."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        counters: Optional[PerfCounters] = None,
+        tracer: Optional[Tracer] = None,
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.counters = counters if counters is not None else GLOBAL
+        self.tracer = tracer
+        self.chunk_records = chunk_records
+        # Concurrent jobs in one scheduling wave may warm-start the same
+        # key; the lock makes "first builds, the rest hit" atomic.
+        self._lock = threading.Lock()
+
+    def _store(self, key: str) -> SnapshotStore:
+        return SnapshotStore(
+            self.root / key,
+            chunk_records=self.chunk_records,
+            counters=self.counters,
+            tracer=self.tracer,
+        )
+
+    def has(self, workload: str, params: Dict[str, Any]) -> bool:
+        store_root = self.root / cache_key(workload, params)
+        return store_root.is_dir() and self._store(
+            cache_key(workload, params)
+        ).tip() is not None
+
+    def put(
+        self,
+        workload: str,
+        params: Dict[str, Any],
+        dmesh: DistributedMesh,
+        fields: Sequence[DistributedField] = (),
+    ) -> EpochInfo:
+        """Publish a base mesh under its content address (one full epoch)."""
+        store = self._store(cache_key(workload, params))
+        tip = store.tip()
+        if tip is not None:
+            return tip  # content-addressed: an existing entry is the answer
+        return store.save(
+            dmesh, fields, full=True,
+            extra={"workload": workload, "params": params},
+        )
+
+    def fetch(
+        self,
+        workload: str,
+        params: Dict[str, Any],
+        nparts: Optional[int] = None,
+        **load_kwargs: Any,
+    ) -> Optional[
+        Tuple[DistributedMesh, Dict[str, DistributedField], StoreStats]
+    ]:
+        """Restore the cached base mesh at ``nparts``, or ``None`` on a miss.
+
+        Charges ``store.cache.hits`` / ``store.cache.misses``; a corrupt
+        entry counts as a miss (the caller rebuilds and re-publishes).
+        """
+        store = self._store(cache_key(workload, params))
+        if store.tip() is None:
+            self.counters.add("store.cache.misses")
+            return None
+        try:
+            result = store.load_at(nparts=nparts, **load_kwargs)
+        except CorruptSnapshotError:
+            self.counters.add("store.cache.misses")
+            return None
+        self.counters.add("store.cache.hits")
+        return result
+
+    def warm_start(
+        self,
+        workload: str,
+        params: Dict[str, Any],
+        nparts: int,
+        build: Callable[
+            [], Tuple[DistributedMesh, Sequence[DistributedField]]
+        ],
+        **load_kwargs: Any,
+    ) -> Tuple[DistributedMesh, Dict[str, DistributedField], bool]:
+        """The whole protocol: hit -> load, miss -> build + publish.
+
+        Returns ``(dmesh, fields_by_name, warm)``.  On a miss, ``build()``
+        runs (it must produce the mesh at ``nparts``) and its result is
+        published for the next caller; on a hit the builder is skipped
+        entirely — that skip is the warm-start speedup the benchmark
+        measures.  Serialized per cache, so one scheduling wave of
+        identical jobs builds the geometry exactly once.
+        """
+        with self._lock:
+            cached = self.fetch(workload, params, nparts=nparts, **load_kwargs)
+            if cached is not None:
+                dmesh, fields, _stats = cached
+                return dmesh, fields, True
+            dmesh, built_fields = build()
+            self.put(workload, params, dmesh, built_fields)
+            fields = {f.name: f for f in built_fields}
+            return dmesh, fields, False
+
+    def entries(self) -> Dict[str, Dict[str, Any]]:
+        """Per-key summary: workload/params metadata plus epoch totals."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir():
+                continue
+            store = self._store(entry.name)
+            tip = store.tip()
+            if tip is None:
+                continue
+            info = tip.to_dict()
+            out[entry.name] = info
+        return out
+
+
+_INSTALL_LOCK = threading.Lock()
+_CURRENT: Optional[SnapshotCache] = None
+
+
+def install_cache(cache: SnapshotCache) -> SnapshotCache:
+    """Make ``cache`` discoverable via :func:`current_cache`; returns it."""
+    global _CURRENT
+    with _INSTALL_LOCK:
+        _CURRENT = cache
+    return cache
+
+
+def uninstall_cache() -> None:
+    global _CURRENT
+    with _INSTALL_LOCK:
+        _CURRENT = None
+
+
+def current_cache() -> Optional[SnapshotCache]:
+    """The installed cache, or ``None`` when warm-starting is off."""
+    with _INSTALL_LOCK:
+        return _CURRENT

@@ -106,6 +106,7 @@ class MeshJobService:
         timeout: Optional[float] = 30.0,
         join_grace: float = 2.0,
         tracer: Optional[Tracer] = None,
+        snapshot_cache: Optional[Any] = None,
     ) -> None:
         self.machine = machine if machine is not None else default_machine()
         self.seed = seed
@@ -115,6 +116,25 @@ class MeshJobService:
         self.tracer = tracer if tracer is not None else Tracer(
             counters=self.counters
         )
+        # Warm-start support: a SnapshotCache (or a directory path to
+        # build one over) charged to this service's counters, installed
+        # process-wide so cache-aware workloads (``mesh-warm``) discover
+        # it.  ``store.cache.hits``/``.misses`` then land in this
+        # service's report counters.
+        self.snapshot_cache = None
+        if snapshot_cache is not None:
+            from ..store.cache import SnapshotCache, install_cache
+
+            if isinstance(snapshot_cache, SnapshotCache):
+                self.snapshot_cache = snapshot_cache
+                # Adopt the cache: hit/miss counters must show up in this
+                # service's report regardless of who built the instance.
+                self.snapshot_cache.counters = self.counters
+            else:
+                self.snapshot_cache = SnapshotCache(
+                    snapshot_cache, counters=self.counters
+                )
+            install_cache(self.snapshot_cache)
         self.scheduler = GangScheduler(self.machine, seed=seed)
         self.queue = AdmissionQueue(capacity=capacity, aging=aging)
         self._entries: Dict[str, QueuedJob] = {}

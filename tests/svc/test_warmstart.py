@@ -1,0 +1,92 @@
+"""svc warm-starts: snapshot cache wiring and the ``mesh-warm`` workload."""
+
+import pytest
+
+from repro.parallel import MachineTopology
+from repro.store import SnapshotCache, current_cache, uninstall_cache
+from repro.svc import JobSpec, MeshJobService
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_cache():
+    yield
+    uninstall_cache()
+
+
+def service(**kwargs):
+    kwargs.setdefault("timeout", 20.0)
+    return MeshJobService(
+        MachineTopology(nodes=2, cores_per_node=4), **kwargs
+    )
+
+
+def warm_spec(name, parts=4, n=8):
+    return JobSpec(
+        name=name, workload="mesh-warm", parts=parts, mesh_n=n,
+        tenant="cfd",
+    )
+
+
+def job_outputs(svc):
+    return {
+        job["name"]: job["output"]
+        for job in svc.report().to_dict()["jobs"]
+    }
+
+
+def test_service_installs_cache_from_path(tmp_path):
+    svc = service(snapshot_cache=tmp_path / "cache")
+    assert isinstance(svc.snapshot_cache, SnapshotCache)
+    assert current_cache() is svc.snapshot_cache
+
+
+def test_cold_then_warm_job(tmp_path):
+    svc = service(snapshot_cache=SnapshotCache(tmp_path / "cache"))
+    # Separate scheduling rounds: the first job must publish its snapshot
+    # before the second resolves the cache.
+    svc.submit(warm_spec("cold"))
+    svc.run_until_idle()
+    svc.submit(warm_spec("warm"))
+    svc.run_until_idle()
+    outputs = job_outputs(svc)
+    assert outputs["cold"]["warm"] is False
+    assert outputs["warm"]["warm"] is True
+    assert outputs["cold"]["elements"] == outputs["warm"]["elements"]
+    assert svc.counters.get("store.cache.misses") >= 1
+    assert svc.counters.get("store.cache.hits") >= 1
+
+
+def test_warm_start_crosses_gang_sizes(tmp_path):
+    """A snapshot published at one gang size warms a different one —
+    that is the whole point of repartition-on-load."""
+    svc = service(snapshot_cache=SnapshotCache(tmp_path / "cache"))
+    svc.submit(warm_spec("seed4", parts=4))
+    svc.run_until_idle()
+    svc.submit(warm_spec("reuse2", parts=2))
+    svc.run_until_idle()
+    outputs = job_outputs(svc)
+    assert outputs["seed4"]["warm"] is False
+    assert outputs["reuse2"]["warm"] is True
+    assert outputs["reuse2"]["parts"] == 2
+    assert outputs["seed4"]["elements"] == outputs["reuse2"]["elements"]
+
+
+def test_mesh_warm_runs_cold_without_cache():
+    svc = service()
+    assert svc.snapshot_cache is None
+    svc.submit(warm_spec("solo"))
+    svc.run_until_idle()
+    outputs = job_outputs(svc)
+    assert outputs["solo"]["warm"] is False
+    assert outputs["solo"]["elements"] > 0
+
+
+def test_distinct_params_do_not_collide(tmp_path):
+    svc = service(snapshot_cache=SnapshotCache(tmp_path / "cache"))
+    svc.submit(warm_spec("a8", n=8))
+    svc.run_until_idle()
+    svc.submit(warm_spec("b6", n=6))
+    svc.run_until_idle()
+    outputs = job_outputs(svc)
+    assert outputs["b6"]["warm"] is False
+    assert outputs["a8"]["elements"] != outputs["b6"]["elements"]

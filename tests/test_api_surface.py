@@ -389,6 +389,43 @@ def test_top_level_svc_surface():
     assert "TopologyError" in repro.__all__
 
 
+def test_store_surface():
+    """Snapshot-store entry points re-export from the top level."""
+    import repro
+    from repro import store
+
+    for name in ("SnapshotStore", "SnapshotCache", "StoreStats"):
+        assert getattr(repro, name) is getattr(store, name)
+        assert name in repro.__all__, name
+    assert "store" in repro.__all__
+
+
+def test_store_subpackage_all():
+    """Everything store.__all__ names resolves, and the core names are in."""
+    from repro import store
+
+    for name in store.__all__:
+        assert hasattr(store, name), name
+    for name in (
+        "FORMAT",
+        "CorruptSnapshotError",
+        "SnapshotCache",
+        "SnapshotState",
+        "SnapshotStore",
+        "StoreStats",
+        "cache_key",
+        "current_cache",
+        "diff_states",
+        "field_checksum",
+        "install_cache",
+        "owned_gid_set",
+        "state_from_dmesh",
+        "uninstall_cache",
+    ):
+        assert name in store.__all__, name
+    assert store.FORMAT == "repro.store/1"
+
+
 def test_svc_subpackage_all():
     """Everything svc.__all__ names resolves, and the core names are in."""
     from repro import svc
