@@ -1,0 +1,195 @@
+"""A/B microbenchmark: SoA/CSR mesh core vs the legacy object store.
+
+Builds one mesh, mirrors its topology into the legacy per-entity
+``EntityStore`` (Python lists of tuples), and times three microkernels both
+ways:
+
+* ``entity_iteration`` — enumerate every live entity of every dimension and
+  fold its id into a checksum;
+* ``down_adjacency`` — for every element, walk its vertex tuple (the
+  downward closure hot path of migration and IO);
+* ``up_adjacency`` — for every element, count the elements sharing each of
+  its vertices (the vertex→element second-adjacency kernel of ghosting).
+
+Each kernel computes the same integer checksum on both cores, asserted
+equal, so the speedup compares equivalent work.  The refactor's acceptance
+gate is a >=2x speedup on the iteration and adjacency kernels.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mesh_core.py [--quick]
+
+Results land in ``benchmarks/results/mesh_core.txt`` plus the
+machine-readable ``BENCH_mesh_core.json`` (consumed by the CI perf gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import write_result
+
+from repro.mesh import box_tet, rect_tri
+from repro.mesh.store import EntityStore
+
+QUICK = {"mesh": "rect_tri", "n": 24, "reps": 3}
+FULL = {"mesh": "box_tet", "n": 12, "reps": 5}
+
+GATE_SPEEDUP = 2.0
+
+
+def build(p):
+    if p["mesh"] == "rect_tri":
+        return rect_tri(p["n"])
+    return box_tet(p["n"])
+
+
+def legacy_mirror(mesh):
+    """Replay the mesh's topology into legacy per-entity object stores."""
+    core = mesh.core
+    stores = [EntityStore(d) for d in range(4)]
+    for dim in range(4):
+        ids = core.live_ids(dim).tolist()
+        # Legacy ids are dense appends; fresh meshes have dense handles too,
+        # so the mirror shares the core's numbering.
+        for idx in ids:
+            assert idx == len(stores[dim]._etype), "mirror needs dense ids"
+            stores[dim].create(
+                int(core.etype[dim][idx]),
+                core.verts_row(dim, idx),
+                core.down_row(dim, idx),
+            )
+        for idx in ids:
+            for upper in core.up_row(dim, idx):
+                stores[dim].add_up(idx, upper)
+    return stores
+
+
+def best_of(fn, reps):
+    best = float("inf")
+    value = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+# -- kernels: legacy object-store versions ----------------------------------
+
+
+def legacy_entity_iteration(stores):
+    acc = 0
+    for dim in range(4):
+        for idx in stores[dim].indices():
+            acc += idx
+    return acc
+
+
+def legacy_down_adjacency(stores, dim):
+    acc = 0
+    store = stores[dim]
+    for idx in store.indices():
+        for v in store.verts(idx):
+            acc += v
+    return acc
+
+
+def legacy_up_adjacency(stores, dim):
+    acc = 0
+    store = stores[dim]
+    verts = stores[0]
+    for idx in store.indices():
+        for v in store.verts(idx):
+            acc += verts.up_count(v)
+    return acc
+
+
+# -- kernels: SoA core versions ---------------------------------------------
+
+
+def core_entity_iteration(core):
+    acc = 0
+    for dim in range(4):
+        acc += int(core.live_ids(dim).sum(dtype="int64"))
+    return acc
+
+
+def core_down_adjacency(core, dim):
+    ids = core.live_ids(dim)
+    return int(core.verts_matrix(dim, ids).sum(dtype="int64"))
+
+
+def core_up_adjacency(core, dim):
+    ids = core.live_ids(dim)
+    vmat = core.verts_matrix(dim, ids)
+    return int(core.nup[0][vmat].sum(dtype="int64"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    p = QUICK if args.quick else FULL
+
+    mesh = build(p)
+    core = mesh.core
+    dim = mesh.dim()
+    stores = legacy_mirror(mesh)
+    reps = p["reps"]
+
+    kernels = [
+        ("entity_iteration",
+         lambda: legacy_entity_iteration(stores),
+         lambda: core_entity_iteration(core)),
+        ("down_adjacency",
+         lambda: legacy_down_adjacency(stores, dim),
+         lambda: core_down_adjacency(core, dim)),
+        ("up_adjacency",
+         lambda: legacy_up_adjacency(stores, dim),
+         lambda: core_up_adjacency(core, dim)),
+    ]
+
+    counts = {d: len(core.live_ids(d)) for d in range(4)}
+    lines = [
+        f"mesh={p['mesh']} n={p['n']} entities=" +
+        "/".join(str(counts[d]) for d in range(4)),
+    ]
+    extra = {"params": dict(p), "entities": {str(d): counts[d] for d in range(4)},
+             "gate_speedup": GATE_SPEEDUP, "kernels": {}}
+
+    ok = True
+    for name, legacy_fn, core_fn in kernels:
+        t_legacy, chk_legacy = best_of(legacy_fn, reps)
+        t_core, chk_core = best_of(core_fn, reps)
+        assert chk_legacy == chk_core, (
+            f"{name}: checksum mismatch {chk_legacy} != {chk_core}"
+        )
+        speedup = t_legacy / t_core if t_core > 0 else float("inf")
+        ok = ok and speedup >= GATE_SPEEDUP
+        lines.append(
+            f"{name}: legacy={t_legacy * 1e3:.3f}ms soa={t_core * 1e3:.3f}ms "
+            f"speedup={speedup:.1f}x checksum={chk_core}"
+        )
+        extra["kernels"][name] = {
+            "legacy_seconds": t_legacy,
+            "soa_seconds": t_core,
+            "speedup": speedup,
+            "checksum": chk_core,
+        }
+
+    lines.append(f"gate: all kernels >= {GATE_SPEEDUP}x -> "
+                 f"{'PASS' if ok else 'FAIL'}")
+    extra["gate_pass"] = ok
+    write_result("mesh_core", lines, extra=extra)
+    print("\n".join(lines))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,13 @@ entities" (paper, Section II).  A :class:`Field` associates a fixed-shape
 NumPy value with entities of one dimension of one mesh — most commonly
 scalars or vectors on vertices (linear Lagrange dofs), but any entity
 dimension works (e.g. per-region material ids, per-edge fluxes).
+
+Storage is structure-of-arrays: one ``(capacity, ncomp)`` value matrix
+indexed by entity handle plus a set-mask, so batch reads/writes
+(:meth:`Field.get_many` / :meth:`Field.set_many`) are single NumPy gathers
+and the owner→copy sync path can ship whole columns.  The field registers a
+destroy listener on its mesh: when an entity dies its value is evicted
+immediately, so a recycled handle never inherits a stale value.
 """
 
 from __future__ import annotations
@@ -38,11 +45,32 @@ class Field:
         self.shape: Tuple[int, ...] = (
             (shape,) if isinstance(shape, int) else tuple(shape)
         )
-        self._data: Dict[Ent, np.ndarray] = {}
+        self._values = np.zeros((16, self.ncomp), dtype=float)
+        self._mask = np.zeros(16, dtype=bool)
+        self._count = 0
+        mesh.add_destroy_listener(self._entity_destroyed)
 
     @property
     def ncomp(self) -> int:
         return int(np.prod(self.shape))
+
+    # -- storage -----------------------------------------------------------
+
+    def _ensure(self, idx: int) -> None:
+        if idx >= len(self._mask):
+            cap = max(2 * len(self._mask), idx + 1)
+            values = np.zeros((cap, self.ncomp), dtype=float)
+            values[: len(self._mask)] = self._values
+            mask = np.zeros(cap, dtype=bool)
+            mask[: len(self._mask)] = self._mask
+            self._values = values
+            self._mask = mask
+
+    def _entity_destroyed(self, ent: Ent) -> None:
+        if ent.dim == self.entity_dim and ent.idx < len(self._mask):
+            if self._mask[ent.idx]:
+                self._mask[ent.idx] = False
+                self._count -= 1
 
     def _coerce(self, value) -> np.ndarray:
         arr = np.asarray(value, dtype=float)
@@ -53,7 +81,7 @@ class Field:
                 f"field {self.name!r} expects shape {self.shape}, "
                 f"got {arr.shape}"
             )
-        return arr.copy()
+        return arr
 
     def _check_ent(self, ent: Ent) -> None:
         if ent.dim != self.entity_dim:
@@ -64,18 +92,21 @@ class Field:
         if not self.mesh.has(ent):
             raise KeyError(f"{ent} is not a live entity of the field's mesh")
 
+    # -- per-entity access -------------------------------------------------
+
     def set(self, ent: Ent, value) -> None:
         self._check_ent(ent)
-        self._data[ent] = self._coerce(value)
+        self._ensure(ent.idx)
+        self._values[ent.idx] = self._coerce(value).reshape(-1)
+        if not self._mask[ent.idx]:
+            self._mask[ent.idx] = True
+            self._count += 1
 
     def get(self, ent: Ent) -> np.ndarray:
         self._check_ent(ent)
-        try:
-            return self._data[ent].copy()
-        except KeyError:
-            raise KeyError(
-                f"field {self.name!r} has no value on {ent}"
-            ) from None
+        if ent.idx >= len(self._mask) or not self._mask[ent.idx]:
+            raise KeyError(f"field {self.name!r} has no value on {ent}")
+        return self._values[ent.idx].reshape(self.shape).copy()
 
     def get_scalar(self, ent: Ent) -> float:
         """Value of a 1-component field as a plain float."""
@@ -84,43 +115,108 @@ class Field:
         return float(self.get(ent)[0])
 
     def has(self, ent: Ent) -> bool:
-        return ent in self._data
+        return (
+            ent.dim == self.entity_dim
+            and ent.idx < len(self._mask)
+            and bool(self._mask[ent.idx])
+        )
 
     def remove(self, ent: Ent) -> None:
-        self._data.pop(ent, None)
+        if ent.dim == self.entity_dim and ent.idx < len(self._mask):
+            if self._mask[ent.idx]:
+                self._mask[ent.idx] = False
+                self._count -= 1
+
+    # -- batch access ------------------------------------------------------
+
+    def set_many(self, ids: np.ndarray, values: np.ndarray) -> None:
+        """Assign ``values[k]`` (flattened components) to handle ``ids[k]``.
+
+        Vectorized: one scatter into the value matrix.  Callers are trusted
+        to pass live handles of the field's dimension.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            return
+        self._ensure(int(ids.max()))
+        values = np.asarray(values, dtype=float).reshape(len(ids), self.ncomp)
+        self._values[ids] = values
+        fresh = ~self._mask[ids]
+        if fresh.any():
+            self._mask[ids] = True
+            # Recount exactly: ids may contain duplicates.
+            self._count = int(self._mask.sum())
+
+    def get_many(self, ids: np.ndarray) -> np.ndarray:
+        """``(len(ids), ncomp)`` value matrix for an array of handles."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            return np.empty((0, self.ncomp), dtype=float)
+        if int(ids.max()) >= len(self._mask) or not self._mask[ids].all():
+            missing = next(
+                i for i in ids.tolist()
+                if i >= len(self._mask) or not self._mask[i]
+            )
+            raise KeyError(
+                f"field {self.name!r} has no value on "
+                f"{Ent(self.entity_dim, missing)}"
+            )
+        return self._values[ids].copy()
+
+    def set_ids(self) -> np.ndarray:
+        """Handles currently carrying a value, ascending."""
+        return np.nonzero(self._mask)[0]
+
+    # -- whole-field assignment --------------------------------------------
 
     def zero_all(self) -> None:
         """Set the field to zero on every live entity of its dimension."""
-        zero = np.zeros(self.shape)
-        for ent in self.mesh.entities(self.entity_dim):
-            self._data[ent] = zero.copy()
+        ids = self.mesh.entity_ids(self.entity_dim)
+        if len(ids) == 0:
+            return
+        self._ensure(int(ids.max()))
+        self._values[ids] = 0.0
+        self._mask[ids] = True
+        self._count = int(self._mask.sum())
 
     def set_all(self, fn) -> None:
         """Assign ``fn(ent) -> value`` on every live entity."""
         for ent in self.mesh.entities(self.entity_dim):
-            self._data[ent] = self._coerce(fn(ent))
+            self.set(ent, fn(ent))
 
     def set_from_coords(self, fn) -> None:
         """Assign ``fn(xyz) -> value`` on every vertex (vertex fields only)."""
         if self.entity_dim != 0:
             raise ValueError("set_from_coords applies to vertex fields")
-        for v in self.mesh.entities(0):
-            self._data[v] = self._coerce(fn(self.mesh.coords(v)))
+        ids = self.mesh.entity_ids(0)
+        if len(ids) == 0:
+            return
+        self._ensure(int(ids.max()))
+        coords = self.mesh._coords
+        for i in ids.tolist():
+            self._values[i] = self._coerce(fn(coords[i].copy())).reshape(-1)
+        self._mask[ids] = True
+        self._count = int(self._mask.sum())
+
+    # -- iteration / aggregates --------------------------------------------
 
     def items(self) -> Iterator[Tuple[Ent, np.ndarray]]:
-        return iter(sorted(self._data.items()))
+        dim = self.entity_dim
+        for idx in self.set_ids().tolist():
+            yield Ent(dim, idx), self._values[idx].reshape(self.shape).copy()
 
     def entities(self) -> Iterator[Ent]:
-        return iter(sorted(self._data))
+        dim = self.entity_dim
+        return iter(Ent(dim, idx) for idx in self.set_ids().tolist())
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._count
 
     def norm(self, kind: str = "l2") -> float:
         """Aggregate norm over all stored values (``l2`` or ``max``)."""
-        if not self._data:
+        if not self._count:
             return 0.0
-        stacked = np.stack(list(self._data.values()))
+        stacked = self._values[self._mask]
         if kind == "l2":
             return float(np.sqrt((stacked ** 2).sum()))
         if kind == "max":
@@ -130,7 +226,7 @@ class Field:
     def __repr__(self) -> str:
         return (
             f"Field({self.name!r}, dim={self.entity_dim}, "
-            f"shape={self.shape}, {len(self._data)} values)"
+            f"shape={self.shape}, {self._count} values)"
         )
 
 

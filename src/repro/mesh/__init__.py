@@ -17,6 +17,7 @@ from .generate import (
 )
 from .io import load_native, save_native, write_vtk
 from .iterator import boundary_entities, classified_on, count, iterate
+from .core import MeshCore, first_occurrence_unique
 from .mesh import Mesh
 from .quality import (
     mean_ratio_tet,
@@ -55,6 +56,7 @@ __all__ = [
     "Ent",
     "EntitySet",
     "EntityStore",
+    "MeshCore",
     "HEX",
     "Mesh",
     "MeshInvalidError",
@@ -85,6 +87,7 @@ __all__ = [
     "extrude_to_prisms",
     "face",
     "face_type_for_verts",
+    "first_occurrence_unique",
     "from_connectivity",
     "iterate",
     "load_native",

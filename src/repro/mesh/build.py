@@ -5,9 +5,9 @@ is the right interface for mesh *modification*, but constructing a
 multi-hundred-thousand-element mesh that way is dominated by per-entity
 Python overhead.  :func:`from_connectivity` instead derives all intermediate
 entities (unique edges, unique faces) with NumPy ``sort``/``unique`` passes —
-the guide-recommended vectorization — and then fills the entity stores in
-bulk, producing a mesh identical to the incremental path (verified by the
-test suite).
+the guide-recommended vectorization — and block-appends them into the SoA
+core (:class:`repro.mesh.core.MeshCore`), producing a mesh identical to the
+incremental path (verified by the test suite).
 
 Orientation note: the canonical vertex order of each auto-derived edge/face
 is taken from its first occurrence in element order, matching what the
@@ -60,16 +60,11 @@ def from_connectivity(
         raise ValueError("element connectivity references unknown vertices")
 
     mesh = Mesh(model)
+    core = mesh.core
 
-    # Vertices: bulk-fill store 0 and the coordinate array.
+    # Vertices: one block append plus the coordinate columns.
     nverts = len(coords)
-    store0 = mesh._stores[0]
-    store0._etype.extend([VERTEX] * nverts)
-    store0._verts.extend((i,) for i in range(nverts))
-    store0._down.extend(() for _ in range(nverts))
-    store0._up.extend([] for _ in range(nverts))
-    store0._alive.extend([True] * nverts)
-    store0._n_alive += nverts
+    core.append_block(0, np.full(nverts, VERTEX, dtype=np.int16), None, None)
     mesh._coords = np.zeros((max(nverts, 1), 3), dtype=float)
     mesh._coords[:nverts, : coords.shape[1]] = coords
 
@@ -86,28 +81,33 @@ def from_connectivity(
     )
     edge_canonical = flat_edges[first_occurrence]  # orientation of first use
 
-    store1 = mesh._stores[1]
-    n_edges = len(unique_edge_keys)
-    store1._etype.extend([EDGE] * n_edges)
-    store1._verts.extend(map(tuple, edge_canonical.tolist()))
-    store1._down.extend(map(tuple, edge_canonical.tolist()))
-    store1._up.extend([] for _ in range(n_edges))
-    store1._alive.extend([True] * n_edges)
-    store1._n_alive += n_edges
+    edge_ids = core.append_block(
+        1,
+        np.full(len(unique_edge_keys), EDGE, dtype=np.int16),
+        edge_canonical,
+        edge_canonical,
+    )
     lookup_edges = mesh._lookup[0]
     for eid, key in enumerate(map(tuple, unique_edge_keys.tolist())):
         lookup_edges[key] = eid
-    for eid, (va, vb) in enumerate(edge_canonical.tolist()):
-        store0._up[va].append(eid)
-        store0._up[vb].append(eid)
+    core.bulk_add_up(0, edge_canonical.reshape(-1), np.repeat(edge_ids, 2))
 
     if info.dim == 2:
         # Elements are the faces; their downward entities are the edges.
         elem_edges = edge_inverse.reshape(len(elements), -1)
-        _fill_cells(mesh, 2, etype, elements, elem_edges)
-        for fid, edges in enumerate(elem_edges.tolist()):
-            for eid in edges:
-                store1._up[eid].append(fid)
+        face_ids = core.append_block(
+            2,
+            np.full(len(elements), etype, dtype=np.int16),
+            elements,
+            elem_edges,
+        )
+        lookup_faces = mesh._lookup[1]
+        face_keys = np.sort(elements, axis=1)
+        for fid, key in enumerate(map(tuple, face_keys.tolist())):
+            lookup_faces[key] = fid
+        core.bulk_add_up(
+            1, elem_edges.reshape(-1), np.repeat(face_ids, elem_edges.shape[1])
+        )
     else:
         # Unique faces across all elements (tets: all faces are triangles;
         # mixed-face cells like prisms use a per-face-type pass).
@@ -128,65 +128,53 @@ def from_connectivity(
         )
         face_canonical = flat_faces[first_face]
 
-        # Each unique face's downward edges via the edge lookup.
+        # Each unique face's downward edges: a sorted join against the
+        # lexicographically-sorted unique edge keys (no per-key dict walk).
         finfo = type_info(ftype)
         face_edge_locals = np.asarray(finfo.edges, dtype=np.int64)
         face_edge_verts = face_canonical[:, face_edge_locals]  # (nf, fe, 2)
         fe_keys = np.sort(face_edge_verts, axis=2).reshape(-1, 2)
-        face_edge_ids = np.fromiter(
-            (lookup_edges[key] for key in map(tuple, fe_keys.tolist())),
-            dtype=np.int64,
-            count=len(fe_keys),
+        span = np.int64(len(coords))
+        edge_codes = unique_edge_keys[:, 0] * span + unique_edge_keys[:, 1]
+        face_edge_ids = np.searchsorted(
+            edge_codes, fe_keys[:, 0] * span + fe_keys[:, 1]
         ).reshape(len(face_canonical), -1)
 
-        store2 = mesh._stores[2]
-        n_faces = len(unique_face_keys)
-        store2._etype.extend([ftype] * n_faces)
-        store2._verts.extend(map(tuple, face_canonical.tolist()))
-        store2._down.extend(map(tuple, face_edge_ids.tolist()))
-        store2._up.extend([] for _ in range(n_faces))
-        store2._alive.extend([True] * n_faces)
-        store2._n_alive += n_faces
+        face_ids = core.append_block(
+            2,
+            np.full(len(unique_face_keys), ftype, dtype=np.int16),
+            face_canonical,
+            face_edge_ids,
+        )
         lookup_faces = mesh._lookup[1]
         for fid, key in enumerate(map(tuple, unique_face_keys.tolist())):
             lookup_faces[key] = fid
-        for fid, edges in enumerate(face_edge_ids.tolist()):
-            for eid in edges:
-                store1._up[eid].append(fid)
+        core.bulk_add_up(
+            1,
+            face_edge_ids.reshape(-1),
+            np.repeat(face_ids, face_edge_ids.shape[1]),
+        )
 
         elem_faces = face_inverse.reshape(len(elements), -1)
-        _fill_cells(mesh, 3, etype, elements, elem_faces)
-        for rid, faces in enumerate(elem_faces.tolist()):
-            for fid in faces:
-                store2._up[fid].append(rid)
+        region_ids = core.append_block(
+            3,
+            np.full(len(elements), etype, dtype=np.int16),
+            elements,
+            elem_faces,
+        )
+        lookup_regions = mesh._lookup[2]
+        region_keys = np.sort(elements, axis=1)
+        for rid, key in enumerate(map(tuple, region_keys.tolist())):
+            lookup_regions[key] = rid
+        core.bulk_add_up(
+            2, elem_faces.reshape(-1), np.repeat(region_ids, elem_faces.shape[1])
+        )
 
     if classify:
         if model is None:
             raise ValueError("classify=True requires a geometric model")
         classify_cheap(mesh, model)
     return mesh
-
-
-def _fill_cells(
-    mesh: Mesh,
-    dim: int,
-    etype: int,
-    elements: np.ndarray,
-    downward: np.ndarray,
-) -> None:
-    store = mesh._stores[dim]
-    ne = len(elements)
-    store._etype.extend([etype] * ne)
-    store._verts.extend(map(tuple, elements.tolist()))
-    store._down.extend(map(tuple, downward.tolist()))
-    store._up.extend([] for _ in range(ne))
-    store._alive.extend([True] * ne)
-    store._n_alive += ne
-    if dim == 2:
-        lookup = mesh._lookup[1]
-        keys = np.sort(elements, axis=1)
-        for fid, key in enumerate(map(tuple, keys.tolist())):
-            lookup[key] = fid
 
 
 def _from_connectivity_mixed_faces(mesh, info, etype, elements):

@@ -34,41 +34,39 @@ def write_vtk(
     """
     path = Path(path)
     dim = mesh.dim()
-    vert_map = mesh._stores[0].compact_map()
-    elements = list(mesh.entities(dim))
+    core = mesh.core
+    live_verts = core.live_ids(0)
+    local_of = np.zeros(max(core.top[0], 1), dtype=np.int64)
+    local_of[live_verts] = np.arange(len(live_verts))
+    elem_ids = core.live_ids(dim)
 
     lines = [
         "# vtk DataFile Version 3.0",
         "repro mesh",
         "ASCII",
         "DATASET UNSTRUCTURED_GRID",
-        f"POINTS {len(vert_map)} double",
+        f"POINTS {len(live_verts)} double",
     ]
-    coords = mesh.coords_view()
-    for idx in mesh._stores[0].indices():
-        x, y, z = coords[idx]
+    for x, y, z in mesh.coords_view()[live_verts].tolist():
         lines.append(f"{x} {y} {z}")
 
-    total_ints = sum(
-        1 + len(mesh._stores[dim].verts(e.idx)) for e in elements
-    )
-    lines.append(f"CELLS {len(elements)} {total_ints}")
-    for ent in elements:
-        verts = mesh._stores[dim].verts(ent.idx)
-        lines.append(
-            f"{len(verts)} " + " ".join(str(vert_map[v]) for v in verts)
-        )
-    lines.append(f"CELL_TYPES {len(elements)}")
-    for ent in elements:
-        lines.append(str(VTK_TYPES[mesh.etype(ent)]))
+    nverts = core.nverts[dim][elem_ids]
+    total_ints = int(len(elem_ids) + nverts.sum(dtype=np.int64))
+    mapped = local_of[core.verts[dim][elem_ids]].tolist()
+    lines.append(f"CELLS {len(elem_ids)} {total_ints}")
+    for n, row in zip(nverts.tolist(), mapped):
+        lines.append(f"{n} " + " ".join(str(v) for v in row[:n]))
+    lines.append(f"CELL_TYPES {len(elem_ids)}")
+    for etype in core.etype[dim][elem_ids].tolist():
+        lines.append(str(VTK_TYPES[etype]))
 
     if cell_data:
-        lines.append(f"CELL_DATA {len(elements)}")
+        lines.append(f"CELL_DATA {len(elem_ids)}")
         for name, values in cell_data.items():
             lines.append(f"SCALARS {name} double 1")
             lines.append("LOOKUP_TABLE default")
-            for ent in elements:
-                lines.append(str(float(values.get(ent, 0.0))))
+            for idx in elem_ids.tolist():
+                lines.append(str(float(values.get(Ent(dim, idx), 0.0))))
 
     path.write_text("\n".join(lines) + "\n")
     return path
@@ -78,23 +76,27 @@ def save_native(mesh: Mesh, path: Union[str, Path]) -> Path:
     """Snapshot the mesh (single element type) to a ``.npz`` file."""
     path = Path(path)
     dim = mesh.dim()
-    store = mesh._stores[dim]
-    elements = list(store.indices())
-    etypes = {store.etype(i) for i in elements}
+    core = mesh.core
+    elem_ids = core.live_ids(dim)
+    etypes = np.unique(core.etype[dim][elem_ids])
     if len(etypes) > 1:
         raise ValueError("native format supports single-element-type meshes")
-    etype = etypes.pop() if etypes else None
+    etype = int(etypes[0]) if len(etypes) else None
 
-    vert_map = mesh._stores[0].compact_map()
-    coords = mesh.coords_view()[list(vert_map.keys())]
-    conn = np.asarray(
-        [[vert_map[v] for v in store.verts(i)] for i in elements],
-        dtype=np.int64,
-    )
+    live_verts = core.live_ids(0)
+    local_of = np.zeros(max(core.top[0], 1), dtype=np.int64)
+    local_of[live_verts] = np.arange(len(live_verts))
+    alive = np.zeros(max(core.top[0], 1), dtype=bool)
+    alive[live_verts] = True
+    coords = mesh.coords_view()[live_verts]
+    if len(elem_ids):
+        conn = local_of[core.verts_matrix(dim, elem_ids)].astype(np.int64)
+    else:
+        conn = np.empty((0, 0), dtype=np.int64)
     gclass = [
-        (vert_map[idx], gent.dim, gent.tag)
+        (int(local_of[idx]), gent.dim, gent.tag)
         for idx, gent in sorted(mesh._gclass[0].items())
-        if idx in vert_map
+        if idx < len(alive) and alive[idx]
     ]
     meta = {"etype": etype, "dim": dim, "has_model": mesh.model is not None}
     np.savez_compressed(

@@ -3,7 +3,8 @@
 "The minimal requirement of any such mesh representation is complete
 representation with which the complexity of any mesh adjacency interrogation
 is O(1) (i.e., not a function of mesh size)" (paper, Section I).
-:class:`Mesh` satisfies this with four per-dimension entity stores holding
+:class:`Mesh` satisfies this over an array-native core
+(:class:`repro.mesh.core.MeshCore`): per-dimension SoA arrays holding
 one-level downward and upward adjacencies plus canonical vertex tuples;
 every adjacency query — any (d, d') pair, upward or downward, one or many
 levels — resolves by walking only the entities local to the query.
@@ -17,21 +18,24 @@ The mesh also carries the other per-entity state PUMI maintains:
   (edge splits, collapses, migration), with upward users checked so the
   representation can never dangle.
 
-Entity ids are never reused (see :mod:`repro.mesh.store`), so handles held
-across modification either stay valid or refer to provably-dead entities.
+Entity ids ARE reused (the core keeps a free-list per dimension), so any
+component that keys external state by handle must register a destroy
+listener via :meth:`Mesh.add_destroy_listener` to evict stale entries the
+moment an entity dies — the partition and field layers do exactly that.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+import weakref
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..gmodel.classify import classify_from_closure, classify_point
 from ..gmodel.model import Model, ModelEntity
+from .core import MeshCore, first_occurrence_unique
 from .entity import Ent
 from .sets import SetManager
-from .store import EntityStore
 from .tag import TagManager
 from .topology import (
     EDGE,
@@ -54,15 +58,50 @@ class Mesh:
     def __init__(self, model: Optional[Model] = None) -> None:
         #: The geometric model this mesh discretizes (may be None).
         self.model = model
-        self._stores = [EntityStore(d) for d in range(4)]
+        #: Array-native topology storage (SoA/CSR; see repro.mesh.core).
+        self.core = MeshCore()
+        #: EntityStore-compatible per-dimension views over the core.
+        self._stores = self.core.stores()
         self._coords = np.zeros((_INITIAL_VERTEX_CAPACITY, 3), dtype=float)
-        #: find-by-vertices lookup for edges and faces (sorted vert tuples).
-        self._lookup: Tuple[Dict[Tuple[int, ...], int], ...] = ({}, {})
+        #: find-by-vertices lookup for edges/faces/regions (sorted vert tuples).
+        self._lookup: Tuple[Dict[Tuple[int, ...], int], ...] = ({}, {}, {})
         self._gclass: List[Dict[int, ModelEntity]] = [{}, {}, {}, {}]
         #: Tag component (arbitrary user data per entity).
         self.tags = TagManager()
         #: Set component (named entity groups).
         self.sets = SetManager()
+        self._destroy_listeners: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # destroy listeners (handle-reuse safety)
+    # ------------------------------------------------------------------
+
+    def add_destroy_listener(self, fn: Callable[[Ent], None]) -> None:
+        """Call ``fn(ent)`` whenever an entity is destroyed.
+
+        Because the core free-list reuses handles, any map keyed by
+        :class:`Ent` outside the mesh (partition gids, field columns) must
+        evict entries eagerly or a recycled handle would alias stale state.
+        Bound methods are held weakly so listeners never keep their owner
+        alive.
+        """
+        try:
+            self._destroy_listeners.append(weakref.WeakMethod(fn))
+        except TypeError:
+            self._destroy_listeners.append(lambda: fn)
+
+    def _notify_destroy(self, ent: Ent) -> None:
+        dead = False
+        for ref in self._destroy_listeners:
+            fn = ref()
+            if fn is None:
+                dead = True
+            else:
+                fn(ent)
+        if dead:
+            self._destroy_listeners = [
+                ref for ref in self._destroy_listeners if ref() is not None
+            ]
 
     # ------------------------------------------------------------------
     # creation
@@ -74,13 +113,13 @@ class Mesh:
         classification: Optional[ModelEntity] = None,
     ) -> Ent:
         """Create a vertex at ``xyz`` (2D points get z=0)."""
-        store = self._stores[0]
-        idx = store.create(VERTEX, (store.capacity,), ())
+        idx = self.core.create(0, VERTEX, (), ())
         if idx >= len(self._coords):
             grown = np.zeros((max(2 * len(self._coords), idx + 1), 3))
             grown[: len(self._coords)] = self._coords
             self._coords = grown
         point = np.asarray(xyz, dtype=float)
+        self._coords[idx] = 0.0
         self._coords[idx, : point.shape[0]] = point
         ent = Ent(0, idx)
         if classification is not None:
@@ -111,17 +150,16 @@ class Mesh:
             )
         if len(set(vert_ids)) != len(vert_ids):
             raise ValueError(f"{info.name} has repeated vertices: {vert_ids}")
-        existing = self.find(info.dim, verts)
+        key = tuple(sorted(vert_ids))
+        existing = self._lookup[info.dim - 1].get(key)
         if existing is not None:
-            return existing
+            return Ent(info.dim, existing)
         down_ids = self._build_downward(info, vert_ids)
-        store = self._stores[info.dim]
-        idx = store.create(etype, vert_ids, down_ids)
-        below = self._stores[info.dim - 1]
+        idx = self.core.create(info.dim, etype, vert_ids, down_ids)
+        core = self.core
         for down_idx in down_ids:
-            below.add_up(down_idx, idx)
-        if info.dim <= 2:
-            self._lookup[info.dim - 1][tuple(sorted(vert_ids))] = idx
+            core.add_up(info.dim - 1, down_idx, idx)
+        self._lookup[info.dim - 1][key] = idx
         ent = Ent(info.dim, idx)
         if classification is not None:
             self.set_classification(ent, classification)
@@ -154,27 +192,28 @@ class Mesh:
         Raises if higher-dimension entities still use ``ent`` — the complete
         representation must never dangle.
         """
-        store = self._stores[ent.dim]
-        if store.up_count(ent.idx):
+        core = self.core
+        core.check(ent.dim, ent.idx)
+        if core.nup[ent.dim][ent.idx]:
             raise ValueError(f"cannot destroy {ent}: higher entities remain")
-        down_ids = store.down(ent.idx)
-        if ent.dim in (1, 2):
+        down_ids = core.down_row(ent.dim, ent.idx)
+        if ent.dim >= 1:
             self._lookup[ent.dim - 1].pop(
-                tuple(sorted(store.verts(ent.idx))), None
+                tuple(sorted(core.verts_row(ent.dim, ent.idx))), None
             )
-        store.destroy(ent.idx)
+        core.destroy(ent.dim, ent.idx)
         self._gclass[ent.dim].pop(ent.idx, None)
         self.tags.drop_entity(ent)
         self.sets.drop_entity(ent)
+        self._notify_destroy(ent)
         if ent.dim > 0:
-            below = self._stores[ent.dim - 1]
+            below = ent.dim - 1
             for down_idx in down_ids:
-                below.remove_up(down_idx, ent.idx)
+                core.remove_up(below, down_idx, ent.idx)
             if cascade:
                 for down_idx in down_ids:
-                    lower = Ent(ent.dim - 1, down_idx)
-                    if below.alive(down_idx) and below.up_count(down_idx) == 0:
-                        self.destroy(lower, cascade=True)
+                    if core.is_alive(below, down_idx) and not core.nup[below][down_idx]:
+                        self.destroy(Ent(below, down_idx), cascade=True)
 
     # ------------------------------------------------------------------
     # queries
@@ -182,34 +221,36 @@ class Mesh:
 
     def has(self, ent: Ent) -> bool:
         """Whether ``ent`` refers to a live entity of this mesh."""
-        return 0 <= ent.dim <= 3 and self._stores[ent.dim].alive(ent.idx)
+        return 0 <= ent.dim <= 3 and self.core.is_alive(ent.dim, ent.idx)
 
     def find(self, dim: int, verts: Sequence[Ent]) -> Optional[Ent]:
-        """The live entity of ``dim`` on exactly these vertices, or None."""
+        """The live entity of ``dim`` on exactly these vertices, or None.
+
+        O(1): every non-vertex dimension keeps a sorted-vertex-tuple lookup
+        (regions included — no neighbourhood scan).
+        """
+        if not 1 <= dim <= 3:
+            raise ValueError(f"find() supports dims 1..3, got {dim}")
         vert_ids = tuple(sorted(self._vert_id(v) for v in verts))
-        if dim in (1, 2):
-            idx = self._lookup[dim - 1].get(vert_ids)
-            return Ent(dim, idx) if idx is not None else None
-        if dim == 3:
-            # Regions have no lookup table; search the first vertex's regions.
-            first = Ent(0, vert_ids[0])
-            for reg in self.adjacent(first, 3):
-                if tuple(sorted(self._stores[3].verts(reg.idx))) == vert_ids:
-                    return reg
-            return None
-        raise ValueError(f"find() supports dims 1..3, got {dim}")
+        idx = self._lookup[dim - 1].get(vert_ids)
+        return Ent(dim, idx) if idx is not None else None
 
     def count(self, dim: int) -> int:
         """Number of live entities of dimension ``dim`` — O(1)."""
-        return len(self._stores[dim])
+        return self.core.n_alive[dim]
 
     def entities(self, dim: int) -> Iterator[Ent]:
         """Live entities of one dimension in ascending id order."""
-        for idx in self._stores[dim].indices():
+        for idx in self.core.live_ids(dim).tolist():
             yield Ent(dim, idx)
 
+    def entity_ids(self, dim: int) -> np.ndarray:
+        """Live entity ids of one dimension, ascending (array fast path)."""
+        return self.core.live_ids(dim)
+
     def etype(self, ent: Ent) -> int:
-        return self._stores[ent.dim].etype(ent.idx)
+        self.core.check(ent.dim, ent.idx)
+        return int(self.core.etype[ent.dim][ent.idx])
 
     def type_name(self, ent: Ent) -> str:
         return type_info(self.etype(ent)).name
@@ -217,7 +258,7 @@ class Mesh:
     def dim(self) -> int:
         """The mesh dimension: highest dimension with live entities."""
         for dim in (3, 2, 1, 0):
-            if self.count(dim):
+            if self.core.n_alive[dim]:
                 return dim
         return 0
 
@@ -226,45 +267,69 @@ class Mesh:
     def verts_of(self, ent: Ent) -> List[Ent]:
         """Canonical-order bounding vertices of ``ent``."""
         if ent.dim == 0:
-            self._stores[0]._check(ent.idx)
+            self.core.check(0, ent.idx)
             return [ent]
-        return [Ent(0, v) for v in self._stores[ent.dim].verts(ent.idx)]
+        self.core.check(ent.dim, ent.idx)
+        return [Ent(0, v) for v in self.core.verts_row(ent.dim, ent.idx)]
 
     def down(self, ent: Ent) -> List[Ent]:
         """One-level downward adjacency in canonical order."""
         if ent.dim == 0:
             return []
-        return [Ent(ent.dim - 1, i) for i in self._stores[ent.dim].down(ent.idx)]
+        self.core.check(ent.dim, ent.idx)
+        return [Ent(ent.dim - 1, i) for i in self.core.down_row(ent.dim, ent.idx)]
 
     def up(self, ent: Ent) -> List[Ent]:
-        """One-level upward adjacency."""
+        """One-level upward adjacency (ascending id order)."""
         if ent.dim == 3:
             return []
-        return [Ent(ent.dim + 1, i) for i in self._stores[ent.dim].up(ent.idx)]
+        self.core.check(ent.dim, ent.idx)
+        return [Ent(ent.dim + 1, i) for i in self.core.up_row(ent.dim, ent.idx)]
 
     def adjacent(self, ent: Ent, dim: int) -> List[Ent]:
         """All entities of dimension ``dim`` adjacent to ``ent``.
 
         Complexity is proportional to the local neighbourhood only — the
         complete-representation guarantee.  ``dim == ent.dim`` returns
-        ``[ent]`` for uniformity.
+        ``[ent]`` for uniformity.  Order is first-occurrence of the
+        frontier walk, hop by hop.
         """
         if dim == ent.dim:
             return [ent]
+        return [Ent(dim, i) for i in self._adjacent_ids(ent, dim)]
+
+    def _adjacent_ids(self, ent: Ent, dim: int) -> List[int]:
+        """Integer-handle adjacency walk (no Ent churn in the hops)."""
+        core = self.core
+        core.check(ent.dim, ent.idx)
         if dim < ent.dim:
             if dim == 0:
-                return self.verts_of(ent)
-            frontier = self.down(ent)
-            while frontier and frontier[0].dim != dim:
-                frontier = _ordered_unique(
-                    lower for item in frontier for lower in self.down(item)
-                )
+                return list(core.verts_row(ent.dim, ent.idx))
+            frontier = list(core.down_row(ent.dim, ent.idx))
+            at = ent.dim - 1
+            while frontier and at != dim:
+                nxt: List[int] = []
+                seen = set()
+                for idx in frontier:
+                    for lower in core.down_row(at, idx):
+                        if lower not in seen:
+                            seen.add(lower)
+                            nxt.append(lower)
+                frontier = nxt
+                at -= 1
             return frontier
-        frontier = self.up(ent)
-        while frontier and frontier[0].dim != dim:
-            frontier = _ordered_unique(
-                upper for item in frontier for upper in self.up(item)
-            )
+        frontier = core.up_row(ent.dim, ent.idx)
+        at = ent.dim + 1
+        while frontier and at != dim:
+            nxt = []
+            seen = set()
+            for idx in frontier:
+                for upper in core.up_row(at, idx):
+                    if upper not in seen:
+                        seen.add(upper)
+                        nxt.append(upper)
+            frontier = nxt
+            at += 1
         return frontier
 
     def second_adjacent(self, ent: Ent, bridge_dim: int, target_dim: int) -> List[Ent]:
@@ -273,14 +338,23 @@ class Mesh:
         The classic second-order adjacency, e.g. face-neighbour regions via
         ``bridge_dim=2``; ``ent`` itself is excluded.
         """
-        result: List[Ent] = []
-        seen = {ent}
-        for bridge in self.adjacent(ent, bridge_dim):
-            for other in self.adjacent(bridge, target_dim):
+        if bridge_dim == ent.dim:
+            bridges = [ent.idx]
+        else:
+            bridges = self._adjacent_ids(ent, bridge_dim)
+        out: List[int] = []
+        seen = {ent.idx} if target_dim == ent.dim else set()
+        for bridge in bridges:
+            targets = (
+                [bridge]
+                if target_dim == bridge_dim
+                else self._adjacent_ids(Ent(bridge_dim, bridge), target_dim)
+            )
+            for other in targets:
                 if other not in seen:
                     seen.add(other)
-                    result.append(other)
-        return result
+                    out.append(other)
+        return [Ent(target_dim, i) for i in out]
 
     # -- coordinates ---------------------------------------------------------
 
@@ -288,24 +362,27 @@ class Mesh:
         """Coordinates of a vertex (copy; 3-vector, z=0 for 2D meshes)."""
         if ent.dim != 0:
             raise ValueError(f"only vertices carry coordinates, got {ent}")
-        self._stores[0]._check(ent.idx)
+        self.core.check(0, ent.idx)
         return self._coords[ent.idx].copy()
 
     def set_coords(self, ent: Ent, xyz: Sequence[float]) -> None:
         if ent.dim != 0:
             raise ValueError(f"only vertices carry coordinates, got {ent}")
-        self._stores[0]._check(ent.idx)
+        self.core.check(0, ent.idx)
         point = np.asarray(xyz, dtype=float)
         self._coords[ent.idx, : point.shape[0]] = point
 
     def centroid(self, ent: Ent) -> np.ndarray:
         """Average of ``ent``'s vertex coordinates."""
-        ids = [v.idx for v in self.verts_of(ent)]
+        if ent.dim == 0:
+            return self.coords(ent)
+        self.core.check(ent.dim, ent.idx)
+        ids = self.core.verts[ent.dim][ent.idx, : self.core.nverts[ent.dim][ent.idx]]
         return self._coords[ids].mean(axis=0)
 
     def coords_view(self) -> np.ndarray:
         """Read-only view of the raw coordinate array (rows = vertex ids)."""
-        view = self._coords[: self._stores[0].capacity]
+        view = self._coords[: self.core.top[0]]
         view.flags.writeable = False
         return view
 
@@ -320,7 +397,7 @@ class Mesh:
             raise ValueError(
                 f"{ent} cannot be classified on lower-dimension {gent}"
             )
-        self._stores[ent.dim]._check(ent.idx)
+        self.core.check(ent.dim, ent.idx)
         self._gclass[ent.dim][ent.idx] = gent
 
     def classify_against(self, model: Optional[Model] = None, tol: float = 1e-9) -> None:
@@ -383,13 +460,16 @@ class Mesh:
         if isinstance(v, Ent):
             if v.dim != 0:
                 raise ValueError(f"expected a vertex handle, got {v}")
-            if not self._stores[0].alive(v.idx):
+            if not self.core.is_alive(0, v.idx):
                 raise KeyError(f"vertex {v.idx} does not exist")
             return v.idx
         raise TypeError(f"expected an Ent vertex handle, got {type(v).__name__}")
 
 
 def _ordered_unique(items: Iterator[Ent]) -> List[Ent]:
+    """First-occurrence dedupe; array inputs take the vectorized path."""
+    if isinstance(items, np.ndarray):
+        return first_occurrence_unique(items).tolist()
     seen: set = set()
     out: List[Ent] = []
     for item in items:

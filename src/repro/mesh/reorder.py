@@ -2,8 +2,9 @@
 
 Two pressures motivate rebuilding a mesh's storage:
 
-* this representation never reuses entity ids (a safety choice, see
-  :mod:`repro.mesh.store`), so long adaptation runs accumulate dead slots;
+* destroyed handles are recycled through the core's free-list, but the
+  high-water mark only grows — long adaptation runs still accumulate
+  capacity and lose creation-order locality;
 * iteration order follows creation order, which after heavy modification
   correlates poorly with spatial locality — the cache issue the
   algorithm-oriented mesh database literature the paper cites addresses.

@@ -19,9 +19,8 @@ import numpy as np
 from .entity import Ent
 from .mesh import Mesh
 
-#: Estimated bytes per stored integer id in the entity stores (Python list
-#: of tuples of ints — dominated by object headers, measured empirically).
-_BYTES_PER_ID = 32
+#: Bytes per stored integer id in the SoA core arrays (int32 columns).
+_BYTES_PER_ID = 4
 #: Bytes per vertex coordinate row (3 float64).
 _BYTES_PER_COORD = 24
 
@@ -33,13 +32,14 @@ def memory_estimate(mesh: Mesh) -> Dict[str, int]:
     tuples) plus the coordinate array; tags/sets/fields are excluded (they
     are user data, not representation).
     """
+    core = mesh.core
     ids = 0
     for dim in range(4):
-        store = mesh._stores[dim]
-        for idx in store.indices():
-            ids += len(store.verts(idx))
-            ids += len(store.down(idx))
-            ids += store.up_count(idx)
+        live = core.live_ids(dim)
+        if len(live):
+            ids += int(core.nverts[dim][live].sum(dtype=np.int64))
+            ids += int(core.ndown[dim][live].sum(dtype=np.int64))
+            ids += int(core.nup[dim][live].sum(dtype=np.int64))
     coords = mesh.count(0) * _BYTES_PER_COORD
     adjacency = ids * _BYTES_PER_ID
     return {
@@ -76,21 +76,18 @@ class MeshStats:
 
 def mesh_stats(mesh: Mesh) -> MeshStats:
     """Compute the structural summary (O(mesh size))."""
-    valences = [
-        mesh._stores[0].up_count(idx) for idx in mesh._stores[0].indices()
-    ]
-    lengths = []
+    core = mesh.core
+    valences = core.nup[0][core.live_ids(0)]
     coords = mesh.coords_view()
-    for idx in mesh._stores[1].indices():
-        a, b = mesh._stores[1].verts(idx)
-        lengths.append(float(np.linalg.norm(coords[a] - coords[b])))
+    edges = core.verts[1][core.live_ids(1), :2]
+    lengths = np.linalg.norm(coords[edges[:, 0]] - coords[edges[:, 1]], axis=1)
     return MeshStats(
         counts=mesh.entity_counts(),
-        mean_vertex_valence=float(np.mean(valences)) if valences else 0.0,
-        max_vertex_valence=int(np.max(valences)) if valences else 0,
-        mean_edge_length=float(np.mean(lengths)) if lengths else 0.0,
-        min_edge_length=float(np.min(lengths)) if lengths else 0.0,
-        max_edge_length=float(np.max(lengths)) if lengths else 0.0,
+        mean_vertex_valence=float(np.mean(valences)) if len(valences) else 0.0,
+        max_vertex_valence=int(np.max(valences)) if len(valences) else 0,
+        mean_edge_length=float(np.mean(lengths)) if len(lengths) else 0.0,
+        min_edge_length=float(np.min(lengths)) if len(lengths) else 0.0,
+        max_edge_length=float(np.max(lengths)) if len(lengths) else 0.0,
         memory_bytes=memory_estimate(mesh)["total_bytes"],
     )
 
@@ -98,12 +95,10 @@ def mesh_stats(mesh: Mesh) -> MeshStats:
 def edge_length_histogram(mesh: Mesh, bins: int = 10) -> Dict[str, list]:
     """Histogram of edge lengths: {'edges': [...bin edges...], 'counts': [...]}."""
     coords = mesh.coords_view()
-    lengths = [
-        float(np.linalg.norm(coords[a] - coords[b]))
-        for idx in mesh._stores[1].indices()
-        for a, b in [mesh._stores[1].verts(idx)]
-    ]
-    if not lengths:
+    core = mesh.core
+    edges = core.verts[1][core.live_ids(1), :2]
+    lengths = np.linalg.norm(coords[edges[:, 0]] - coords[edges[:, 1]], axis=1)
+    if not len(lengths):
         return {"edges": [], "counts": []}
     counts, edges = np.histogram(lengths, bins=bins)
     return {"edges": edges.tolist(), "counts": counts.tolist()}

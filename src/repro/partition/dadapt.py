@@ -90,12 +90,9 @@ def _split_local(
 def _drop_dead_bookkeeping(part: Part) -> None:
     """Purge gid/remote entries whose entities modification destroyed."""
     for dim in range(4):
-        dead = [
-            idx for idx in part._gid[dim]
-            if not part.mesh.has(Ent(dim, idx))
-        ]
-        for idx in dead:
-            part.drop_gid(Ent(dim, idx))
+        for idx in sorted(part.gid_index_set(dim)):
+            if not part.mesh.has(Ent(dim, idx)):
+                part.drop_gid(Ent(dim, idx))
     for ent in [e for e in part.remotes if not part.mesh.has(e)]:
         del part.remotes[ent]
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..mesh.build import from_connectivity
+from ..mesh.core import first_occurrence_unique
 from ..mesh.entity import Ent
 from ..mesh.mesh import Mesh
 from ..obs.tracer import Tracer, trace_span
@@ -125,26 +126,34 @@ def distribute(
 def _build_part(mesh, dmesh, part, local_elements, single_type, holders):
     """Construct one part's serial mesh and record gid holders."""
     dim = mesh.dim()
-    # Compact global vertex ids used by this part.
-    global_verts: List[int] = []
-    seen: Dict[int, int] = {}
-    conn_rows: List[List[int]] = []
-    for element in local_elements:
-        row = []
-        for v in mesh.verts_of(element):
-            local = seen.get(v.idx)
-            if local is None:
-                local = seen[v.idx] = len(global_verts)
-                global_verts.append(v.idx)
-            row.append(local)
-        conn_rows.append(row)
-
-    coords = mesh.coords_view()[global_verts]
+    # Compact global vertex ids used by this part: first-occurrence order
+    # over the row-major element connectivity, extracted in one gather.
+    element_ids = np.fromiter(
+        (e.idx for e in local_elements), dtype=np.int64, count=len(local_elements)
+    )
     if single_type is not None:
-        local_mesh = from_connectivity(
-            coords, np.asarray(conn_rows, dtype=np.int64), single_type
-        )
+        vmat = mesh.core.verts_matrix(dim, element_ids)
+        global_verts_arr = first_occurrence_unique(vmat.reshape(-1))
+        local_of = np.zeros(mesh.core.top[0], dtype=np.int64)
+        local_of[global_verts_arr] = np.arange(len(global_verts_arr))
+        conn = local_of[vmat]
+        global_verts: List[int] = global_verts_arr.tolist()
+        coords = mesh.coords_view()[global_verts_arr]
+        local_mesh = from_connectivity(coords, conn, single_type)
     else:
+        global_verts = []
+        seen: Dict[int, int] = {}
+        conn_rows: List[List[int]] = []
+        for element in local_elements:
+            row = []
+            for v in mesh.verts_of(element):
+                local = seen.get(v.idx)
+                if local is None:
+                    local = seen[v.idx] = len(global_verts)
+                    global_verts.append(v.idx)
+                row.append(local)
+            conn_rows.append(row)
+        coords = mesh.coords_view()[global_verts]
         local_mesh = Mesh()
         vhandles = [local_mesh.create_vertex(c) for c in coords]
         for element, row in zip(local_elements, conn_rows):

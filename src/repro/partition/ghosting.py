@@ -412,7 +412,7 @@ def _unpack_ghost_batch(
     ]
     if not fresh:
         return 0, []
-    before = [set(part._gid[d]) for d in range(4)]
+    before = [part.gid_index_set(d) for d in range(4)]
     elements = _unpack_batch(part, fresh)
     element_home = {
         element: bundle["home"]
@@ -420,7 +420,7 @@ def _unpack_ghost_batch(
     }
     home_pid = fresh[0]["home"][0]
     for d in range(4):
-        for idx in part._gid[d].keys() - before[d]:
+        for idx in part.gid_index_set(d) - before[d]:
             ghost = Ent(d, idx)
             per_dim[d] += 1
             part.ghosts.add(ghost)

@@ -406,7 +406,7 @@ def _restore_intermediate_gids(dmesh: DistributedMesh) -> None:
     for d in range(1, dim):
         keys = set()
         for part in dmesh:
-            gid0 = part._gid[0]
+            gid0 = part.gid_array(0)
             for ent in part.mesh.entities(d):
                 keys.add(
                     tuple(sorted(gid0[v.idx] for v in part.mesh.verts_of(ent)))
@@ -414,7 +414,7 @@ def _restore_intermediate_gids(dmesh: DistributedMesh) -> None:
         base = dmesh._gid_next[d]
         gid_of = {key: base + i for i, key in enumerate(sorted(keys))}
         for part in dmesh:
-            gid0 = part._gid[0]
+            gid0 = part.gid_array(0)
             for ent in part.mesh.entities(d):
                 if not part.has_gid(ent):
                     key = tuple(

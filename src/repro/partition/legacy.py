@@ -167,10 +167,10 @@ def _unpack_ghost(part: Part, bundle: dict, per_dim: List[int]) -> int:
     if part.by_gid(bundle["element"][0], element_gid) is not None:
         return 0  # already present (real element or earlier ghost copy)
 
-    before = [set(part._gid[d]) for d in range(4)]
+    before = [part.gid_index_set(d) for d in range(4)]
     element = _unpack_element(part, bundle)
     for d in range(4):
-        for idx in part._gid[d].keys() - before[d]:
+        for idx in part.gid_index_set(d) - before[d]:
             ghost = Ent(d, idx)
             per_dim[d] += 1
             part.ghosts.add(ghost)

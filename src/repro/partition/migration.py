@@ -349,33 +349,41 @@ def _surface_entity_ids(part: Part) -> List[Tuple[int, int, Tuple[int, ...]]]:
     dim = mesh.dim()
     if dim == 0:
         return []
-    gid0 = part._gid[0]
-    stores = mesh._stores
-    facet_store = stores[dim - 1]
+    core = mesh.core
+    fdim = dim - 1
+    facets = core.live_ids(fdim)
+    surf = facets[core.nup[fdim][facets] == 1]
+    gid0 = part.gid_array(0).tolist()
     out: List[Tuple[int, int, Tuple[int, ...]]] = []
     seen = [set() for _ in range(dim)]
     ghost_idx = [
         {g.idx for g in part.ghosts if g.dim == d} for d in range(dim)
     ]
+    # Bulk row extraction: one tolist per array instead of per-entity calls.
+    surf_list = surf.tolist()
+    fvert_counts = core.nverts[fdim][surf].tolist()
+    fvert_rows = core.verts[fdim][surf].tolist()
+    if fdim == 2:
+        fdown_counts = core.ndown[2][surf].tolist()
+        fdown_rows = core.down[2][surf].tolist()
+        edge_verts = core.verts[1][: core.top[1], :2].tolist()
 
-    def emit(d: int, idx: int) -> None:
+    def emit(d: int, idx: int, verts) -> None:
         if idx in seen[d] or idx in ghost_idx[d]:
             return
         seen[d].add(idx)
-        verts = stores[d].verts(idx)
         key = tuple(sorted(gid0[v] for v in verts))
         out.append((d, idx, key))
 
-    for fidx in facet_store.indices():
-        if facet_store.up_count(fidx) != 1:
-            continue
-        emit(dim - 1, fidx)
-        if dim - 1 >= 1:
-            for v in facet_store.verts(fidx):
-                emit(0, v)
-        if dim - 1 == 2:
-            for eidx in facet_store.down(fidx):
-                emit(1, eidx)
+    for i, fidx in enumerate(surf_list):
+        fverts = fvert_rows[i][: fvert_counts[i]]
+        emit(fdim, fidx, fverts)
+        if fdim >= 1:
+            for v in fverts:
+                emit(0, v, (v,))
+        if fdim == 2:
+            for eidx in fdown_rows[i][: fdown_counts[i]]:
+                emit(1, eidx, edge_verts[eidx])
     return out
 
 

@@ -8,7 +8,10 @@ Each part is a full serial :class:`~repro.mesh.mesh.Mesh` plus the extra
 bookkeeping the distributed representation needs:
 
 * **global ids** — every entity carries a gid unique across the whole
-  distributed mesh within its dimension, used to match copies across parts;
+  distributed mesh within its dimension, used to match copies across parts.
+  Gids are stored as a per-dimension int64 column indexed by entity handle
+  (-1 = unset) with a gid→handle reverse dict, so single lookups stay O(1)
+  and batch lookups (:meth:`gids_of`) are one vectorized gather;
 * **remote copies** — for part-boundary entities, the map
   ``{other part id: remote entity handle}`` (the paper's duplicated
   entities);
@@ -19,14 +22,23 @@ Residence parts and ownership are derived, not stored: the residence part set
 of an entity is its own part plus its remote-copy parts, and the owning part
 is the smallest id in that set (the standard deterministic rule; the
 partition model can impose others).
+
+Because the mesh core reuses destroyed handles (free-list allocation), the
+part registers a destroy listener on its mesh and evicts gid/remote/ghost
+entries the moment their entity dies — a recycled handle can therefore never
+alias stale bookkeeping.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..mesh.entity import Ent
 from ..mesh.mesh import Mesh
+
+_UNSET = np.int64(-1)
 
 
 class Part:
@@ -34,49 +46,113 @@ class Part:
 
     def __init__(self, pid: int, mesh: Optional[Mesh] = None) -> None:
         self.pid = pid
-        self.mesh = mesh if mesh is not None else Mesh()
         #: remote copies: local entity -> {remote pid: remote entity}.
         self.remotes: Dict[Ent, Dict[int, Ent]] = {}
         #: ghost entities (read-only off-part copies) present locally.
         self.ghosts: Set[Ent] = set()
         #: for each ghost, the (owner pid, owner-local entity) it mirrors.
         self.ghost_home: Dict[Ent, Tuple[int, Ent]] = {}
-        self._gid: List[Dict[int, int]] = [{}, {}, {}, {}]
+        #: per-dim gid columns indexed by entity handle; -1 = unset.
+        self._gid_arr: List[np.ndarray] = [
+            np.full(16, _UNSET, dtype=np.int64) for _ in range(4)
+        ]
         self._by_gid: List[Dict[int, int]] = [{}, {}, {}, {}]
+        self.mesh = mesh if mesh is not None else Mesh()
+
+    # -- mesh attachment -----------------------------------------------------
+
+    @property
+    def mesh(self) -> Mesh:
+        return self._mesh
+
+    @mesh.setter
+    def mesh(self, mesh: Mesh) -> None:
+        self._mesh = mesh
+        mesh.add_destroy_listener(self._entity_destroyed)
+
+    def _entity_destroyed(self, ent: Ent) -> None:
+        """Eagerly evict all bookkeeping for a destroyed entity.
+
+        Handle reuse makes lazy cleanup unsound: by the time a sweep runs,
+        the handle may already name a different live entity.
+        """
+        self.drop_gid(ent)
+        self.remotes.pop(ent, None)
+        self.ghosts.discard(ent)
+        self.ghost_home.pop(ent, None)
 
     # -- global ids ----------------------------------------------------------
 
+    def _gid_col(self, dim: int, idx: int) -> np.ndarray:
+        col = self._gid_arr[dim]
+        if idx >= len(col):
+            grown = np.full(max(2 * len(col), idx + 1), _UNSET, dtype=np.int64)
+            grown[: len(col)] = col
+            self._gid_arr[dim] = col = grown
+        return col
+
     def set_gid(self, ent: Ent, gid: int) -> None:
         """Assign ``ent``'s global id (one per dimension, unique per mesh)."""
-        old = self._gid[ent.dim].get(ent.idx)
-        if old is not None:
-            del self._by_gid[ent.dim][old]
+        col = self._gid_col(ent.dim, ent.idx)
+        old = col[ent.idx]
+        if old != _UNSET:
+            del self._by_gid[ent.dim][int(old)]
         existing = self._by_gid[ent.dim].get(gid)
         if existing is not None and existing != ent.idx:
             raise ValueError(
                 f"part {self.pid}: gid {gid} (dim {ent.dim}) already taken "
                 f"by entity {existing}"
             )
-        self._gid[ent.dim][ent.idx] = gid
+        col[ent.idx] = gid
         self._by_gid[ent.dim][gid] = ent.idx
 
     def gid(self, ent: Ent) -> int:
-        try:
-            return self._gid[ent.dim][ent.idx]
-        except KeyError:
-            raise KeyError(f"part {self.pid}: {ent} has no global id") from None
+        col = self._gid_arr[ent.dim]
+        if ent.idx < len(col):
+            gid = col[ent.idx]
+            if gid != _UNSET:
+                return int(gid)
+        raise KeyError(f"part {self.pid}: {ent} has no global id")
 
     def has_gid(self, ent: Ent) -> bool:
-        return ent.idx in self._gid[ent.dim]
+        col = self._gid_arr[ent.dim]
+        return ent.idx < len(col) and col[ent.idx] != _UNSET
 
     def by_gid(self, dim: int, gid: int) -> Optional[Ent]:
         idx = self._by_gid[dim].get(gid)
         return Ent(dim, idx) if idx is not None else None
 
     def drop_gid(self, ent: Ent) -> None:
-        gid = self._gid[ent.dim].pop(ent.idx, None)
-        if gid is not None:
-            self._by_gid[ent.dim].pop(gid, None)
+        col = self._gid_arr[ent.dim]
+        if ent.idx < len(col):
+            gid = col[ent.idx]
+            if gid != _UNSET:
+                col[ent.idx] = _UNSET
+                self._by_gid[ent.dim].pop(int(gid), None)
+
+    # -- batch gid access ------------------------------------------------------
+
+    def gid_array(self, dim: int) -> np.ndarray:
+        """The raw gid column for ``dim`` (handle-indexed; -1 = unset)."""
+        need = self.mesh.core.top[dim]
+        if need > len(self._gid_arr[dim]):
+            self._gid_col(dim, need - 1)
+        return self._gid_arr[dim]
+
+    def gids_of(self, dim: int, ids: np.ndarray) -> np.ndarray:
+        """Vectorized gid lookup for an array of entity handles."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        col = self._gid_arr[dim]
+        if len(ids) and int(ids.max()) >= len(col):
+            col = self._gid_col(dim, int(ids.max()))
+        return col[ids]
+
+    def gid_index_set(self, dim: int) -> Set[int]:
+        """Handles of dimension ``dim`` that currently carry a gid."""
+        col = self._gid_arr[dim]
+        return set(np.nonzero(col != _UNSET)[0].tolist())
 
     # -- residence / ownership -------------------------------------------------
 

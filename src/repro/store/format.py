@@ -139,36 +139,61 @@ def state_from_dmesh(
     state = SnapshotState(element_dim=dim, gid_next=list(dmesh._gid_next))
     for part in dmesh:
         mesh = part.mesh
-        store = mesh._stores[dim]
-        for idx in store.indices():
-            ent = Ent(dim, idx)
-            if ent in part.ghosts:
-                continue
-            etype = store.etype(idx)
-            if state.etype < 0:
-                state.etype = etype
-            elif state.etype != etype:
-                raise ValueError(
-                    "repro.store snapshots support single-element-type "
-                    f"meshes, found both {state.etype} and {etype}"
+        core = mesh.core
+
+        # Elements: one gid gather for the connectivity columns per part.
+        ids = core.live_ids(dim)
+        if len(ids):
+            ghost_ids = sorted(g.idx for g in part.ghosts if g.dim == dim)
+            if ghost_ids:
+                ids = ids[~np.isin(ids, np.asarray(ghost_ids, dtype=ids.dtype))]
+        if len(ids):
+            etypes = np.unique(core.etype[dim][ids])
+            for etype in etypes.tolist():
+                if state.etype < 0:
+                    state.etype = etype
+                elif state.etype != etype:
+                    raise ValueError(
+                        "repro.store snapshots support single-element-type "
+                        f"meshes, found both {state.etype} and {etype}"
+                    )
+            egids = part.gids_of(dim, ids)
+            vert_gids = part.gid_array(0)[core.verts_matrix(dim, ids)]
+            if (egids < 0).any() or (vert_gids < 0).any():
+                missing = ids[egids < 0] if (egids < 0).any() else ids
+                raise KeyError(
+                    f"part {part.pid}: M{dim}_{int(missing[0])} has no global id"
                 )
-            egid = part.gid(ent)
-            if egid not in state.elems:
-                state.elems[egid] = tuple(
-                    part.gid(Ent(0, v)) for v in store.verts(idx)
+            elems = state.elems
+            for egid, row in zip(egids.tolist(), vert_gids.tolist()):
+                if egid not in elems:
+                    elems[egid] = tuple(row)
+
+        # Vertices: coordinates and classification, batch-gathered.
+        vids = core.live_ids(0)
+        if len(vids):
+            ghost_ids = sorted(g.idx for g in part.ghosts if g.dim == 0)
+            if ghost_ids:
+                vids = vids[
+                    ~np.isin(vids, np.asarray(ghost_ids, dtype=vids.dtype))
+                ]
+        if len(vids):
+            vgids = part.gids_of(0, vids)
+            if (vgids < 0).any():
+                raise KeyError(
+                    f"part {part.pid}: M0_{int(vids[vgids < 0][0])} "
+                    "has no global id"
                 )
-        for idx in mesh._stores[0].indices():
-            vert = Ent(0, idx)
-            if vert in part.ghosts:
-                continue
-            vgid = part.gid(vert)
-            if vgid not in state.verts:
-                xyz = mesh.coords(vert)
-                cls = mesh.classification(vert)
-                state.verts[vgid] = (
-                    (float(xyz[0]), float(xyz[1]), float(xyz[2])),
-                    (cls.dim, cls.tag) if cls is not None else (-1, -1),
-                )
+            xyz_rows = mesh._coords[vids].tolist()
+            gclass = mesh._gclass[0]
+            verts = state.verts
+            for idx, vgid, xyz in zip(vids.tolist(), vgids.tolist(), xyz_rows):
+                if vgid not in verts:
+                    cls = gclass.get(idx)
+                    verts[vgid] = (
+                        (float(xyz[0]), float(xyz[1]), float(xyz[2])),
+                        (cls.dim, cls.tag) if cls is not None else (-1, -1),
+                    )
         for name in part.mesh.tags.names():
             tag = part.mesh.tags.find(name)
             for ent, value in tag.items():

@@ -1,0 +1,129 @@
+"""Golden-topology differential: adjacency tables pinned as strict JSON.
+
+The SoA/CSR core must reproduce the exact entity numbering, canonical
+vertex orderings, downward/upward adjacency contents *and order*, and the
+derived ``adjacent`` / ``second_adjacent`` answers of the reference build.
+Each fixture mesh's full topology is serialized to a canonical table and
+compared byte-for-byte against a committed JSON file, so any storage-layer
+change that silently perturbs ordering or numbering fails loudly here.
+
+Regenerate the fixtures (after an *intentional* ordering change) with::
+
+    PYTHONPATH=src python tests/mesh/test_golden_topology.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.mesh import Mesh, PRISM, PYRAMID, TYPE_NAMES, rect_tri
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def simplex_mesh():
+    """Small all-triangle mesh: rect_tri(2) — 9 verts, 16 edges, 8 tris."""
+    return rect_tri(2)
+
+
+def mixed_mesh():
+    """A prism and a pyramid glued on a shared quad face."""
+    mesh = Mesh()
+    v = [
+        mesh.create_vertex([0, 0, 0]),
+        mesh.create_vertex([1, 0, 0]),
+        mesh.create_vertex([0, 1, 0]),
+        mesh.create_vertex([0, 0, 1]),
+        mesh.create_vertex([1, 0, 1]),
+        mesh.create_vertex([0, 1, 1]),
+        mesh.create_vertex([0.5, -1, 0.5]),
+    ]
+    mesh.create(PRISM, [v[0], v[1], v[2], v[3], v[4], v[5]])
+    # Pyramid whose base is the prism's (0,1,4,3) quad face.
+    mesh.create(PYRAMID, [v[0], v[1], v[4], v[3], v[6]])
+    return mesh
+
+
+FIXTURES = {
+    "simplex_rect_tri_2": simplex_mesh,
+    "mixed_prism_pyramid": mixed_mesh,
+}
+
+
+def topology_table(mesh):
+    """Canonical JSON-ready table of the mesh's full topology."""
+    mesh_dim = mesh.dim()
+    table = {"counts": list(mesh.entity_counts()), "dims": {}}
+    for dim in range(4):
+        rows = {}
+        for ent in mesh.entities(dim):
+            rows[str(ent.idx)] = {
+                "type": TYPE_NAMES[mesh.etype(ent)],
+                "verts": [v.idx for v in mesh.verts_of(ent)],
+                "down": [d.idx for d in mesh.down(ent)],
+                "up": [u.idx for u in mesh.up(ent)],
+            }
+        table["dims"][str(dim)] = rows
+    # Derived traversals: every entity against every target dimension.
+    adjacent = {}
+    for dim in range(mesh_dim + 1):
+        for ent in mesh.entities(dim):
+            adjacent[f"{dim}.{ent.idx}"] = {
+                str(target): [a.idx for a in mesh.adjacent(ent, target)]
+                for target in range(mesh_dim + 1)
+            }
+    table["adjacent"] = adjacent
+    # Element neighbors through vertices and facets (the ghosting and
+    # migration bridge patterns).
+    second = {}
+    for ent in mesh.entities(mesh_dim):
+        second[str(ent.idx)] = {
+            "via_verts": [
+                a.idx for a in mesh.second_adjacent(ent, 0, mesh_dim)
+            ],
+            "via_facets": [
+                a.idx
+                for a in mesh.second_adjacent(ent, mesh_dim - 1, mesh_dim)
+            ],
+        }
+    table["second_adjacent"] = second
+    return table
+
+
+def canonical_json(table) -> str:
+    return json.dumps(table, indent=1, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_topology_matches_golden(name):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    assert golden_path.exists(), (
+        f"missing fixture {golden_path}; regenerate with --regen"
+    )
+    expected = golden_path.read_text()
+    # The committed file must itself be canonical strict JSON.
+    assert canonical_json(json.loads(expected)) == expected
+    actual = canonical_json(topology_table(FIXTURES[name]()))
+    assert actual == expected, (
+        f"{name}: topology diverged from the golden table; if the change "
+        "is intentional, regenerate with --regen"
+    )
+
+
+def test_golden_dir_has_no_strays():
+    committed = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert committed == {f"{name}.json" for name in FIXTURES}
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for name, build in FIXTURES.items():
+            path = GOLDEN_DIR / f"{name}.json"
+            path.write_text(canonical_json(topology_table(build())))
+            print(f"wrote {path}")
+    else:
+        print(__doc__)

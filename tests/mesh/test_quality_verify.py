@@ -131,9 +131,8 @@ def test_verify_detects_inverted_element():
 def test_verify_detects_corrupted_upward_link():
     mesh = rect_tri(1)
     # Break an upward link behind the store API's back.
-    store1 = mesh._stores[1]
-    first_edge = next(store1.indices())
-    store1._up[first_edge].clear()
+    first_edge = int(mesh.core.live_ids(1)[0])
+    mesh.core.nup[1][first_edge] = 0
     with pytest.raises(MeshInvalidError):
         verify(mesh)
 

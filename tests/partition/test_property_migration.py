@@ -182,3 +182,197 @@ def test_emptying_and_refilling_part_through_chain():
         do_migrate(dm, {0: {e: 1 for e in elements}})
         dm.verify()
     assert dm.part(1).mesh.count(2) == 8
+
+
+# -- randomized op-sequence differential vs serial replay -------------------
+#
+# Each seed draws one sequence of mesh-service operations — element destroy
+# (with cascade of its unused closure), re-create of a destroyed element,
+# migration, ghost layering, field synchronization — and replays it at 1, 2
+# and 4 parts.  Operations are phrased in global ids, so the same sequence
+# is meaningful at every part count; after the run the distributed states
+# must agree with the 1-part replay on the owned gid sets (vertices and
+# elements) and on a field checksum over owned vertices, and must pass
+# ``verify`` after every step.  This is the behavioral lock on the SoA core:
+# handle recycling, destroy listeners, lookup maintenance and batch sync all
+# sit under these ops.
+
+from repro.partition import DistributedField, delete_ghosts, ghost_layer
+from repro.partition import synchronize as sync_field
+from repro.partition.migration import _remove_element, rebuild_links
+
+OPS_MESH_N = 3
+OPS_PER_SEQ = 6
+N_SEEDS = 34  # x3 part counts = 102 sequences
+
+
+def _field_fn(xyz):
+    return float(xyz[0] + 2.0 * xyz[1] + 0.5)
+
+
+def _ops_dmesh(nparts):
+    mesh = rect_tri(OPS_MESH_N)
+    nelems = mesh.count(2)
+    assignment = [i % nparts for i in range(nelems)]
+    dm = distribute(mesh, assignment, nparts=nparts)
+    dfield = DistributedField(dm, "u", entity_dim=0)
+    dfield.set_from_coords(_field_fn)
+    return dm, dfield
+
+
+def _fill_missing_values(dm, dfield):
+    # Migration and re-creation make vertex copies with no field value yet;
+    # values are coordinate-determined, so refilling keeps replicas aligned.
+    for part in dm:
+        field = dfield.on(part.pid)
+        mesh = part.mesh
+        for v in mesh.entities(0):
+            if not field.has(v):
+                field.set(v, _field_fn(mesh.coords(v)))
+
+
+def _global_element_gids(dm):
+    dim = dm.element_dim()
+    gids = set()
+    for part in dm:
+        for e in part.mesh.entities(dim):
+            if not part.is_ghost(e):
+                gids.add(part.gid(e))
+    return sorted(gids)
+
+
+def _holder_of(dm, gid):
+    dim = dm.element_dim()
+    for part in dm:
+        ent = part.by_gid(dim, gid)
+        if ent is not None and not part.is_ghost(ent):
+            return part, ent
+    raise AssertionError(f"element gid {gid} held nowhere")
+
+
+def _apply_ops(nparts, seed):
+    """Replay seed's op sequence at ``nparts``; return the final signature."""
+    rng = np.random.default_rng(seed)
+    dm, dfield = _ops_dmesh(nparts)
+    graveyard = []  # records of destroyed elements, most recent last
+
+    for _step in range(OPS_PER_SEQ):
+        # All draws happen unconditionally and identically at every part
+        # count, so the sequences stay comparable.
+        op = ["destroy", "create", "migrate", "ghost", "sync"][
+            int(rng.integers(5))
+        ]
+        pick = int(rng.integers(1_000_000))
+        dest_draw = int(rng.integers(4))
+
+        if op == "destroy":
+            delete_ghosts(dm)
+            gids = _global_element_gids(dm)
+            if len(gids) <= 2:  # keep the mesh alive
+                continue
+            part, element = _holder_of(dm, gids[pick % len(gids)])
+            verts = part.mesh.verts_of(element)
+            edge_gids = {}
+            for edge in part.mesh.down(element):
+                key = tuple(sorted(
+                    part.gid(v) for v in part.mesh.verts_of(edge)
+                ))
+                edge_gids[key] = part.gid(edge)
+            graveyard.append({
+                "etype": part.mesh.etype(element),
+                "gid": part.gid(element),
+                "vgids": [part.gid(v) for v in verts],
+                "coords": [part.mesh.coords(v).tolist() for v in verts],
+                "edge_gids": edge_gids,
+            })
+            _remove_element(part, element)
+            rebuild_links(dm)
+        elif op == "create":
+            if not graveyard:
+                continue
+            delete_ghosts(dm)
+            record = graveyard.pop()
+            target = None
+            for part in dm:
+                if any(
+                    part.by_gid(0, g) is not None for g in record["vgids"]
+                ):
+                    target = part
+                    break
+            if target is None:
+                target = dm.part(sum(record["vgids"]) % dm.nparts)
+            field = dfield.on(target.pid)
+            local = []
+            for g, xyz in zip(record["vgids"], record["coords"]):
+                v = target.by_gid(0, g)
+                if v is None:
+                    v = target.mesh.create_vertex(xyz)
+                    target.set_gid(v, g)
+                    field.set(v, _field_fn(np.asarray(xyz)))
+                local.append(v)
+            element = target.mesh.create(record["etype"], local)
+            target.set_gid(element, record["gid"])
+            # Implicitly created boundary edges need their recorded gids
+            # back, or the gid-keyed ghost registry won't track them.
+            for edge in target.mesh.down(element):
+                if not target.has_gid(edge):
+                    key = tuple(sorted(
+                        target.gid(v) for v in target.mesh.verts_of(edge)
+                    ))
+                    target.set_gid(edge, record["edge_gids"][key])
+            rebuild_links(dm)
+        elif op == "migrate":
+            delete_ghosts(dm)
+            gids = _global_element_gids(dm)
+            part, element = _holder_of(dm, gids[pick % len(gids)])
+            dest = dest_draw % dm.nparts
+            if dest != part.pid:
+                migrate(dm, {part.pid: {element: dest}})
+                _fill_missing_values(dm, dfield)
+        elif op == "ghost":
+            if not any(part.ghosts for part in dm):
+                ghost_layer(dm)
+                _fill_missing_values(dm, dfield)
+        elif op == "sync":
+            sync_field(dfield)
+            assert dfield.max_copy_disagreement() == 0.0
+        dm.verify()
+
+    owned = {}
+    for dim in (0, dm.element_dim()):
+        owned[dim] = set()
+        for part in dm:
+            for ent in part.mesh.entities(dim):
+                if part.owns(ent):
+                    gid = part.gid(ent)
+                    assert gid not in owned[dim], (
+                        f"gid {gid} owned twice (dim {dim})"
+                    )
+                    owned[dim].add(gid)
+    checksum = 0.0
+    for part in dm:
+        field = dfield.on(part.pid)
+        for v in part.mesh.entities(0):
+            if part.owns(v) and field.has(v):
+                checksum += float(field.get_scalar(v)) * (
+                    1 + part.gid(v) % 5
+                )
+    return owned, checksum
+
+
+_SERIAL_REPLAYS = {}
+
+
+def _serial_replay(seed):
+    if seed not in _SERIAL_REPLAYS:
+        _SERIAL_REPLAYS[seed] = _apply_ops(1, seed)
+    return _SERIAL_REPLAYS[seed]
+
+
+@pytest.mark.parametrize("nparts", [1, 2, 4])
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_op_sequence_matches_serial_replay(nparts, seed):
+    owned, checksum = _apply_ops(nparts, seed)
+    serial_owned, serial_checksum = _serial_replay(seed)
+    assert owned == serial_owned
+    assert checksum == pytest.approx(serial_checksum, rel=1e-12)

@@ -89,8 +89,12 @@ def test_detects_dead_ghost(dm):
     ghost_layer(dm)
     part0 = dm.part(0)
     ghost = next(g for g in part0.ghosts if g.dim == 2)
-    # Destroy the ghost element but leave the registry entry behind.
+    home = part0.ghost_home[ghost]
+    # Destroying the ghost scrubs the registries via the destroy listener;
+    # corrupt them back to simulate a stale entry.
     part0.mesh.destroy(ghost)
+    part0.ghosts.add(ghost)
+    part0.ghost_home[ghost] = home
     with pytest.raises(AssertionError, match="dead ghost"):
         dm.verify()
 
@@ -98,16 +102,16 @@ def test_detects_dead_ghost(dm):
 def test_detects_broken_part_mesh(dm):
     part0 = dm.part(0)
     # Corrupt the serial mesh itself: verify must propagate mesh checks.
-    store1 = part0.mesh._stores[1]
-    first_edge = next(store1.indices())
-    store1._up[first_edge].clear()
+    core = part0.mesh.core
+    first_edge = int(core.live_ids(1)[0])
+    core.nup[1][first_edge] = 0
     with pytest.raises(AssertionError):
         dm.verify()
 
 
 def test_check_meshes_flag_skips_serial_checks(dm):
     part0 = dm.part(0)
-    store1 = part0.mesh._stores[1]
-    first_edge = next(store1.indices())
-    store1._up[first_edge].clear()
+    core = part0.mesh.core
+    first_edge = int(core.live_ids(1)[0])
+    core.nup[1][first_edge] = 0
     dm.verify(check_meshes=False)  # only link invariants checked
