@@ -1,0 +1,169 @@
+"""Coupling-hub benchmark: cross-mesh transfer scaling + channel throughput.
+
+Two measurements back the ``repro.couple`` subsystem:
+
+* **transfer** — :func:`repro.couple.transfer_between` on a tri source /
+  Delaunay target pair at several (src parts x dst parts) combinations,
+  timed against the serial :func:`repro.field.transfer_vertex_field` on
+  the same meshes.  Every distributed run is asserted bit-identical to
+  the serial output before its timing is reported, so the table compares
+  equal work and doubles as a standing parity gate.
+* **channel** — frames/second through an in-memory ``Channel`` for a
+  send/recv ping between two threads, sized like the coupled workload's
+  per-step exchange.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_couple.py [--quick]
+
+Results land in ``benchmarks/results/couple.txt`` plus the
+machine-readable ``BENCH_couple.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import write_result
+
+from repro.couple import Channel, ChannelSpec, FieldFrame, transfer_between
+from repro.field import Field, transfer_vertex_field
+from repro.mesh import rect_tri
+from repro.mesh.generate import delaunay_rect
+from repro.partition import distribute
+from repro.partition.fieldsync import DistributedField
+from repro.partitioners import partition
+
+QUICK = {"src_n": 10, "dst_n": 14, "combos": [(1, 1), (2, 2)],
+         "reps": 2, "frames": 200, "points": 256}
+FULL = {"src_n": 18, "dst_n": 25, "combos": [(1, 1), (2, 1), (2, 2), (4, 2)],
+        "reps": 3, "frames": 1000, "points": 1024}
+
+
+def front(x):
+    x = np.asarray(x, dtype=float)
+    return float(np.sin(3 * x[0]) + np.cos(2 * x[1]) + 0.5 * x[0] * x[1])
+
+
+def time_fn(fn, reps):
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def bench_transfer(params):
+    src = rect_tri(params["src_n"])
+    dst = delaunay_rect(params["dst_n"], seed=3)
+    field = Field(src, "u", 0, 1)
+    field.set_from_coords(front)
+    t_serial, serial = time_fn(
+        lambda: transfer_vertex_field(src, field, dst), params["reps"]
+    )
+
+    lines = [
+        f"transfer: {len(dst.core.live_ids(0))} target verts  "
+        f"serial={t_serial * 1e3:.2f}ms"
+    ]
+    table = {"serial_seconds": t_serial, "combos": {}}
+    for nsrc, ndst in params["combos"]:
+        src_d = distribute(src, partition(src, nsrc, method="rcb"))
+        dst_d = distribute(dst, partition(dst, ndst, method="rcb"))
+        sfield = DistributedField(src_d, "u", 0, 1)
+        sfield.set_from_coords(front)
+
+        t_dist, result = time_fn(
+            lambda: transfer_between(src_d, sfield, dst_d), params["reps"]
+        )
+        dfield, stats = result
+        for part in dst_d:
+            ids = part.mesh.core.live_ids(0)
+            gids = part.gids_of(0, ids)
+            assert np.array_equal(
+                dfield.on(part.pid).get_many(ids), serial.get_many(gids)
+            ), f"parity failure at {nsrc}x{ndst}"
+
+        key = f"{nsrc}x{ndst}"
+        table["combos"][key] = {
+            "seconds": t_dist,
+            "bit_identical": True,
+            **stats.to_dict(),
+        }
+        lines.append(
+            f"transfer {key}: {t_dist * 1e3:.2f}ms  "
+            f"points={stats.points}  wire_bytes={stats.wire_bytes}  "
+            f"parity=bit-identical"
+        )
+    return lines, table
+
+
+def bench_channel(params):
+    nframes, npoints = params["frames"], params["points"]
+    spec = ChannelSpec(name="bench", src="a", dst="b", capacity=8)
+    chan = Channel(spec)
+    values = np.random.default_rng(0).random((npoints, 1))
+
+    def producer():
+        for step in range(nframes):
+            chan.send(
+                "src",
+                FieldFrame(channel="bench", kind="values", seq=step,
+                           values=values),
+                timeout=30.0,
+            )
+
+    t0 = time.perf_counter()
+    thread = threading.Thread(target=producer)
+    thread.start()
+    got = 0
+    for _step in range(nframes):
+        frame = chan.recv("dst", timeout=30.0)
+        got += frame.values.shape[0]
+    thread.join()
+    elapsed = time.perf_counter() - t0
+
+    fps = nframes / elapsed
+    mbps = got * values.shape[1] * 8 / elapsed / 1e6
+    line = (
+        f"channel: {nframes} frames x {npoints} points  "
+        f"{fps:.0f} frames/s  {mbps:.1f} MB/s"
+    )
+    return [line], {
+        "frames": nframes,
+        "points_per_frame": npoints,
+        "seconds": elapsed,
+        "frames_per_second": fps,
+        "mb_per_second": mbps,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    params = QUICK if args.quick else FULL
+
+    t_lines, t_table = bench_transfer(params)
+    c_lines, c_table = bench_channel(params)
+    lines = t_lines + c_lines
+    for line in lines:
+        print(line)
+    write_result(
+        "couple", lines, extra={"transfer": t_table, "channel": c_table}
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

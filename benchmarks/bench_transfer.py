@@ -1,0 +1,111 @@
+"""A/B microbenchmark: vectorized vs per-vertex solution transfer.
+
+Times :func:`repro.field.transfer_vertex_field` (batch point location and
+interpolation over the core's SoA coordinate/connectivity arrays) against
+the frozen per-vertex reference :func:`transfer_vertex_field_loop` on the
+same source/target mesh pair, for both 2-D (tri) and 3-D (tet) meshes.
+Results are asserted numerically equivalent (max |diff| <= 1e-12 on a
+unit-scale field) before any timing is reported, so the speedup compares
+equal work.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_transfer.py [--quick]
+
+Results land in ``benchmarks/results/transfer.txt`` plus the
+machine-readable ``BENCH_transfer.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import write_result
+
+from repro.field import Field, transfer_vertex_field, transfer_vertex_field_loop
+from repro.mesh import box_tet, rect_tri
+
+QUICK = {"tri": (12, 17), "tet": (5, 7), "reps": 2}
+FULL = {"tri": (28, 41), "tet": (9, 13), "reps": 3}
+
+
+def solution(x):
+    return np.sin(3.0 * x[0]) + np.cos(2.0 * x[1]) + 0.5 * x[2]
+
+
+def build_pair(kind, src_n, dst_n):
+    if kind == "tri":
+        return rect_tri(src_n), rect_tri(dst_n)
+    return box_tet(src_n, src_n, src_n), box_tet(dst_n, dst_n, dst_n)
+
+
+def time_fn(fn, reps):
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def run(params):
+    lines = []
+    table = {}
+    for kind in ("tri", "tet"):
+        src_n, dst_n = params[kind]
+        src, dst = build_pair(kind, src_n, dst_n)
+        field = Field(src, "u", 0, 1)
+        field.set_from_coords(solution)
+        nverts = len(dst.core.live_ids(0))
+
+        t_loop, f_loop = time_fn(
+            lambda: transfer_vertex_field_loop(src, field, dst), params["reps"]
+        )
+        t_batch, f_batch = time_fn(
+            lambda: transfer_vertex_field(src, field, dst), params["reps"]
+        )
+
+        ids = dst.core.live_ids(0)
+        diff = float(
+            np.abs(f_loop.get_many(ids) - f_batch.get_many(ids)).max()
+        )
+        assert diff <= 1e-12, f"{kind}: A/B mismatch {diff}"
+
+        speedup = t_loop / t_batch if t_batch > 0 else float("inf")
+        table[kind] = {
+            "target_vertices": nverts,
+            "loop_seconds": t_loop,
+            "batch_seconds": t_batch,
+            "speedup": speedup,
+            "max_abs_diff": diff,
+        }
+        lines.append(
+            f"{kind}: {nverts} target verts  "
+            f"loop={t_loop * 1e3:.2f}ms  batch={t_batch * 1e3:.2f}ms  "
+            f"speedup={speedup:.1f}x  maxdiff={diff:.2e}"
+        )
+    return lines, table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    params = QUICK if args.quick else FULL
+    lines, table = run(params)
+    for line in lines:
+        print(line)
+    write_result("transfer", lines, extra={"transfer": table})
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

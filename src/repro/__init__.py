@@ -65,6 +65,14 @@ Subpackages
     rounds of concurrently executing world-isolated SPMD jobs with
     deadlines and fault-classified retries, and the byte-deterministic
     ``repro.svc/1`` service report behind ``python -m repro serve``.
+``repro.couple``
+    The co-simulation coupling hub: typed inter-job channels carrying
+    binary ``repro.couple/1`` field frames with transformer stages,
+    service job graphs (dependencies + co-scheduled channel peers) run
+    by ``MeshJobService.serve_graph``, the distributed cross-mesh
+    transfer ``transfer_between`` (bit-identical to the serial path),
+    and the solver-in-the-loop adaptive driver ``run_adapt_loop``
+    behind ``python -m repro couple``.
 
 The one-true entry points are re-exported at the top level, so a driver
 script needs only ``import repro``:
@@ -83,6 +91,7 @@ plus the typed statistics each distributed service returns
 from . import (
     adapt,
     core,
+    couple,
     field,
     gmodel,
     mesh,
@@ -96,6 +105,13 @@ from . import (
     workloads,
 )
 from .core import ParMA
+from .couple import (
+    ChannelSpec,
+    CoupleError,
+    JobGraph,
+    run_adapt_loop,
+    transfer_between,
+)
 from .obs import (
     AccumulateStats,
     GhostDeleteStats,
@@ -151,6 +167,7 @@ __version__ = "1.0.0"
 __all__ = [
     "adapt",
     "core",
+    "couple",
     "field",
     "gmodel",
     "mesh",
@@ -164,9 +181,11 @@ __all__ = [
     "workloads",
     "AccumulateStats",
     "AdmissionError",
+    "ChannelSpec",
     "CheckpointManager",
     "CodecError",
     "CorruptCheckpointError",
+    "CoupleError",
     "DistributedField",
     "DistributedMesh",
     "FaultInjector",
@@ -175,6 +194,7 @@ __all__ = [
     "GhostStats",
     "InjectedRankFailure",
     "JobFailure",
+    "JobGraph",
     "JobResult",
     "JobSpec",
     "MeshJobService",
@@ -198,7 +218,9 @@ __all__ = [
     "ghost_layer",
     "migrate",
     "resilient_spmd",
+    "run_adapt_loop",
     "spmd",
     "synchronize",
+    "transfer_between",
     "__version__",
 ]

@@ -49,6 +49,12 @@ release ships for quick experiments without writing a driver script:
 ``submit``
     One-shot convenience over the same service: submit a single job
     described by flags to a fresh service, run it, print the outcome.
+``couple``
+    Run a coupled job graph (:mod:`repro.couple`) through the service:
+    jobs plus dependency edges plus cross-job coupling channels.  Channel
+    endpoints are co-scheduled into one round and exchange
+    ``repro.couple/1`` field frames; dependents wait for (and are
+    cancelled by) their upstreams.  Same outputs as ``serve``.
 
 ``balance`` accepts ``--sanitize`` to run the distributed pipeline with the
 runtime sanitizers on (alias freeze proxies on the part network).
@@ -450,6 +456,50 @@ def cmd_serve(args) -> int:
     return 0 if completed == report.totals.get("submitted", 0) else 1
 
 
+def cmd_couple(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.couple import GraphError, JobGraph
+    from repro.parallel import TopologyError
+    from repro.svc import JobSpecError
+
+    graph_path = Path(args.graph)
+    if not graph_path.exists():
+        print(
+            f"repro couple: no such graph file: {graph_path}", file=sys.stderr
+        )
+        return 2
+    try:
+        graph = JobGraph.from_dict(json.loads(graph_path.read_text()))
+    except (json.JSONDecodeError, GraphError, ValueError) as exc:
+        print(f"repro couple: bad graph file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        service = _build_service(args)
+    except TopologyError as exc:
+        print(f"repro couple: bad machine: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = service.serve_graph(graph)
+    except JobSpecError as exc:
+        print(f"repro couple: {exc}", file=sys.stderr)
+        return 2
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    report_path = outdir / "service_report.json"
+    report.write(report_path)
+    metrics_path = outdir / "service_metrics.json"
+    service.write_metrics(metrics_path)
+    print(report.summary())
+    print(service.latency_stats().summary())
+    print(f"service report: {report_path}")
+    print(f"metrics json:   {metrics_path}")
+    completed = report.totals.get("completed", 0)
+    return 0 if completed == report.totals.get("submitted", 0) else 1
+
+
 def cmd_submit(args) -> int:
     import json
     from pathlib import Path
@@ -721,6 +771,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="serve-out", help="output directory (created)"
     )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_couple = sub.add_parser(
+        "couple",
+        help="run a coupled job graph (jobs + deps + channels) through "
+        "the mesh-job service",
+    )
+    p_couple.add_argument(
+        "--graph", required=True, help="job graph JSON file"
+    )
+    add_service_args(p_couple)
+    p_couple.add_argument(
+        "--out", default="couple-out", help="output directory (created)"
+    )
+    p_couple.set_defaults(fn=cmd_couple)
 
     p_submit = sub.add_parser(
         "submit", help="run one job through a fresh mesh-job service"

@@ -1,0 +1,59 @@
+"""repro.couple: co-simulation coupling hub.
+
+Cross-mesh field exchange between concurrently running svc jobs:
+
+* :mod:`~repro.couple.channel` — typed channels carrying binary-codec
+  field frames (``repro.couple/1``) between job endpoints;
+* :mod:`~repro.couple.xfer` — distributed cross-mesh solution transfer
+  over a cross-world star forest, bit-identical to serial
+  :func:`~repro.field.transfer.transfer_vertex_field`;
+* :mod:`~repro.couple.graph` — validated job graphs (deps DAG + channel
+  couplings) consumed by :meth:`repro.svc.MeshJobService.serve_graph`;
+* :mod:`~repro.couple.loop` — the solver-in-the-loop adaptive workload
+  (solve -> estimate -> adapt -> transfer -> rebalance).
+"""
+
+from .channel import (
+    FRAME_SCHEMA,
+    Channel,
+    ChannelClosedError,
+    ChannelHub,
+    ChannelSpec,
+    CoupleError,
+    Endpoint,
+    FieldFrame,
+    TransformSpec,
+)
+from .graph import GraphError, JobGraph
+from .loop import run_adapt_loop
+from .xfer import (
+    Interpolate,
+    Scale,
+    TimeWindow,
+    XferStats,
+    apply_stages,
+    build_stages,
+    transfer_between,
+)
+
+__all__ = [
+    "FRAME_SCHEMA",
+    "Channel",
+    "ChannelClosedError",
+    "ChannelHub",
+    "ChannelSpec",
+    "CoupleError",
+    "Endpoint",
+    "FieldFrame",
+    "GraphError",
+    "Interpolate",
+    "JobGraph",
+    "Scale",
+    "TimeWindow",
+    "TransformSpec",
+    "XferStats",
+    "apply_stages",
+    "build_stages",
+    "run_adapt_loop",
+    "transfer_between",
+]

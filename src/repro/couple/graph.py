@@ -1,0 +1,227 @@
+"""Job graphs: jobs + dependencies + channels, validated and serializable.
+
+A :class:`JobGraph` is the unit the coupled service consumes
+(:meth:`repro.svc.MeshJobService.serve_graph`): a set of
+:class:`~repro.svc.JobSpec` entries whose ``deps`` edges form a DAG, plus
+the :class:`~repro.couple.channel.ChannelSpec` couplings between jobs that
+must run *concurrently*.  Validation enforces exactly the invariants the
+scheduler's determinism relies on:
+
+* job names unique; every ``deps`` and channel endpoint names a job in the
+  graph; no job depends on itself;
+* the dependency relation is acyclic (Kahn's algorithm with name-sorted
+  tie-breaks, so :meth:`topo_order` is deterministic);
+* channel endpoints are distinct jobs with equal ``steps`` (one frame per
+  step is the coupling cadence) and consistent ``channels`` bindings;
+* no dependency path connects two channel-coupled jobs — coupled peers are
+  co-scheduled into one round, which a dependency between them would make
+  unsatisfiable.
+
+The JSON document form mirrors the jobs file the ``serve`` CLI verb
+accepts, with a ``channels`` section added::
+
+    {"jobs": [...], "channels": [{"name": ..., "src": ..., "dst": ...}]}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from ..svc.job import JobSpec, JobSpecError, load_specs
+from .channel import ChannelSpec, CoupleError
+
+__all__ = ["GraphError", "JobGraph"]
+
+
+class GraphError(ValueError):
+    """A job graph failed validation."""
+
+
+@dataclass(frozen=True)
+class JobGraph:
+    """A validated DAG of jobs with channel couplings."""
+
+    jobs: Tuple[JobSpec, ...]
+    channels: Tuple[ChannelSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        object.__setattr__(self, "channels", tuple(self.channels))
+        self.validate()
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        names = [spec.name for spec in self.jobs]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise GraphError(f"duplicate job name(s): {dupes}")
+        known = set(names)
+
+        for spec in self.jobs:
+            for dep in spec.deps:
+                if dep == spec.name:
+                    raise GraphError(f"job {spec.name!r} depends on itself")
+                if dep not in known:
+                    raise GraphError(
+                        f"job {spec.name!r} depends on unknown job {dep!r}"
+                    )
+
+        channel_names = [c.name for c in self.channels]
+        cdupes = sorted(
+            {n for n in channel_names if channel_names.count(n) > 1}
+        )
+        if cdupes:
+            raise GraphError(f"duplicate channel name(s): {cdupes}")
+        by_name = {spec.name: spec for spec in self.jobs}
+        for chan in self.channels:
+            for end in chan.jobs():
+                if end not in known:
+                    raise GraphError(
+                        f"channel {chan.name!r} binds unknown job {end!r}"
+                    )
+            if by_name[chan.src].steps != by_name[chan.dst].steps:
+                raise GraphError(
+                    f"channel {chan.name!r} couples jobs with different "
+                    f"steps ({by_name[chan.src].steps} vs "
+                    f"{by_name[chan.dst].steps}); coupled jobs exchange one "
+                    f"frame per step"
+                )
+            for end in chan.jobs():
+                if chan.name not in by_name[end].channels:
+                    raise GraphError(
+                        f"job {end!r} is an endpoint of channel "
+                        f"{chan.name!r} but does not list it in 'channels'"
+                    )
+        for spec in self.jobs:
+            for cname in spec.channels:
+                chan = next(
+                    (c for c in self.channels if c.name == cname), None
+                )
+                if chan is None:
+                    raise GraphError(
+                        f"job {spec.name!r} binds unknown channel {cname!r}"
+                    )
+                if spec.name not in chan.jobs():
+                    raise GraphError(
+                        f"job {spec.name!r} binds channel {cname!r} but is "
+                        f"not one of its endpoints"
+                    )
+
+        self.topo_order()  # raises on cycles
+
+        reach = self._reachability()
+        for chan in self.channels:
+            if chan.dst in reach[chan.src] or chan.src in reach[chan.dst]:
+                raise GraphError(
+                    f"channel {chan.name!r} couples jobs connected by a "
+                    f"dependency path; coupled jobs must be co-schedulable"
+                )
+
+    def _reachability(self) -> Dict[str, Set[str]]:
+        """``{job: set of jobs reachable through deps edges}``."""
+        deps = {spec.name: set(spec.deps) for spec in self.jobs}
+        reach: Dict[str, Set[str]] = {}
+
+        def visit(name: str) -> Set[str]:
+            if name in reach:
+                return reach[name]
+            reach[name] = set()  # placeholder; cycles caught by topo_order
+            acc: Set[str] = set()
+            for dep in deps[name]:
+                acc.add(dep)
+                acc |= visit(dep)
+            reach[name] = acc
+            return acc
+
+        for name in deps:
+            visit(name)
+        return reach
+
+    def topo_order(self) -> List[str]:
+        """Kahn topological order with name-sorted ties (deterministic)."""
+        indeg = {spec.name: len(spec.deps) for spec in self.jobs}
+        dependents: Dict[str, List[str]] = {n: [] for n in indeg}
+        for spec in self.jobs:
+            for dep in spec.deps:
+                dependents[dep].append(spec.name)
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            fresh = []
+            for child in dependents[name]:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    fresh.append(child)
+            ready = sorted(ready + fresh)
+        if len(order) != len(indeg):
+            stuck = sorted(n for n, d in indeg.items() if d > 0)
+            raise GraphError(f"dependency cycle through job(s): {stuck}")
+        return order
+
+    # -- lookups ------------------------------------------------------------
+
+    def job(self, name: str) -> JobSpec:
+        for spec in self.jobs:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no job {name!r} in graph")
+
+    def peer_groups(self) -> List[List[str]]:
+        """Connected components under channel coupling, each name-sorted.
+
+        Jobs in one group must be gang-scheduled into the same round.
+        """
+        parent: Dict[str, str] = {spec.name: spec.name for spec in self.jobs}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for chan in self.channels:
+            ra, rb = find(chan.src), find(chan.dst)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+        groups: Dict[str, List[str]] = {}
+        for name in parent:
+            groups.setdefault(find(name), []).append(name)
+        return sorted(sorted(members) for members in groups.values())
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"jobs": [spec.to_dict() for spec in self.jobs]}
+        if self.channels:
+            doc["channels"] = [chan.to_dict() for chan in self.channels]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JobGraph":
+        if not isinstance(doc, dict):
+            raise GraphError(
+                f"a job graph document must be a mapping, "
+                f"got {type(doc).__name__}"
+            )
+        unknown = set(doc) - {"jobs", "channels"}
+        if unknown:
+            raise GraphError(f"unknown graph field(s): {sorted(unknown)}")
+        try:
+            jobs = load_specs({"jobs": doc.get("jobs", [])})
+        except JobSpecError as exc:
+            raise GraphError(str(exc)) from None
+        channels_doc = doc.get("channels", [])
+        if not isinstance(channels_doc, list):
+            raise GraphError("graph 'channels' must be a list")
+        try:
+            channels = tuple(
+                c if isinstance(c, ChannelSpec) else ChannelSpec.from_dict(c)
+                for c in channels_doc
+            )
+        except CoupleError as exc:
+            raise GraphError(str(exc)) from None
+        return cls(jobs=tuple(jobs), channels=channels)

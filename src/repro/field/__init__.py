@@ -17,6 +17,7 @@ from .metric import (
     mean_metric_edge_length,
 )
 from .shape import (
+    BatchLocator,
     ElementLocator,
     barycentric,
     barycentric_tet,
@@ -34,11 +35,16 @@ from .sizefield import (
     current_vertex_sizes,
     edge_size_ratio,
 )
-from .transfer import transfer_error, transfer_vertex_field
+from .transfer import (
+    transfer_error,
+    transfer_vertex_field,
+    transfer_vertex_field_loop,
+)
 
 __all__ = [
     "AnalyticMetric",
     "AnalyticSize",
+    "BatchLocator",
     "DofNumbering",
     "ElementLocator",
     "Field",
@@ -66,4 +72,5 @@ __all__ = [
     "solution_error",
     "transfer_error",
     "transfer_vertex_field",
+    "transfer_vertex_field_loop",
 ]

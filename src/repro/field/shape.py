@@ -8,7 +8,7 @@ tetrahedron (for locating points in a mesh).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,6 +76,241 @@ def interpolate(mesh: Mesh, field, element: Ent, x: Sequence[float]) -> np.ndarr
     bary = barycentric(mesh, element, x)
     verts = mesh.verts_of(element)
     return sum(w * field.get(v) for w, v in zip(bary, verts))
+
+
+def _bary_tri_batch(pts: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Barycentric coordinates for a batch of (triangle, point) pairs.
+
+    ``pts`` is ``(n, 3, 3)`` vertex coordinates, ``x`` is ``(n, 3)``.
+    Closed-form Cramer solve with purely elementwise operations, so each
+    row's floats depend only on that row — a pair computed in any batch
+    (or serially via :func:`barycentric_tri`) produces identical bits.
+    """
+    a = pts[:, 0, :2]
+    e1 = pts[:, 1, :2] - a
+    e2 = pts[:, 2, :2] - a
+    r = x[:, :2] - a
+    det = e1[:, 0] * e2[:, 1] - e2[:, 0] * e1[:, 1]
+    safe = np.where(np.abs(det) < 1e-300, 1.0, det)
+    u = (r[:, 0] * e2[:, 1] - e2[:, 0] * r[:, 1]) / safe
+    v = (e1[:, 0] * r[:, 1] - r[:, 0] * e1[:, 1]) / safe
+    bary = np.stack([1.0 - u - v, u, v], axis=1)
+    bary[np.abs(det) < 1e-300] = -np.inf  # degenerate: contains nothing
+    return bary
+
+
+def _bary_tet_batch(pts: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Barycentric coordinates for a batch of (tetrahedron, point) pairs.
+
+    ``pts`` is ``(n, 4, 3)``, ``x`` is ``(n, 3)``.  Cramer's rule on the
+    3x3 edge matrix, elementwise per row (see :func:`_bary_tri_batch`).
+    """
+    a = pts[:, 0]
+    e1 = pts[:, 1] - a
+    e2 = pts[:, 2] - a
+    e3 = pts[:, 3] - a
+    r = x - a
+
+    def det3(c0, c1, c2):
+        return (
+            c0[:, 0] * (c1[:, 1] * c2[:, 2] - c2[:, 1] * c1[:, 2])
+            - c1[:, 0] * (c0[:, 1] * c2[:, 2] - c2[:, 1] * c0[:, 2])
+            + c2[:, 0] * (c0[:, 1] * c1[:, 2] - c1[:, 1] * c0[:, 2])
+        )
+
+    det = det3(e1, e2, e3)
+    safe = np.where(np.abs(det) < 1e-300, 1.0, det)
+    u = det3(r, e2, e3) / safe
+    v = det3(e1, r, e3) / safe
+    w = det3(e1, e2, r) / safe
+    bary = np.stack([1.0 - u - v - w, u, v, w], axis=1)
+    bary[np.abs(det) < 1e-300] = -np.inf
+    return bary
+
+
+class BatchLocator:
+    """Vectorized point location with a partition-invariant winner rule.
+
+    The batch engine behind :func:`repro.field.transfer_vertex_field` and
+    the cross-mesh transfer of :mod:`repro.couple.xfer`.  For each query
+    point the *winner* element minimizes the lexicographic key
+    ``(not contained, centroid distance^2, order key)`` over the mesh's
+    elements, where the order key defaults to the element id.  The key is a
+    pure function of geometry plus the caller-supplied order array, so a
+    mesh split across parts (with global ids as order keys) elects exactly
+    the same winner — and therefore bit-identical interpolated values — as
+    the serial mesh.  Simplex (tri/tet) meshes only.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        candidates: int = 12,
+        order: Optional[np.ndarray] = None,
+    ) -> None:
+        from scipy.spatial import cKDTree
+
+        self.mesh = mesh
+        dim = mesh.dim()
+        self.dim = dim
+        core = mesh.core
+        ids = core.live_ids(dim)
+        if len(ids) == 0:
+            raise ValueError("cannot locate points in an empty mesh")
+        etypes = {mesh.etype(Ent(dim, int(i))) for i in ids[:1]} | {
+            mesh.etype(Ent(dim, int(ids[-1])))
+        }
+        if not etypes <= {TRI, TET}:
+            raise ValueError("batch location supports tri/tet meshes")
+        self.ids = ids
+        #: ``(nelem, nverts)`` vertex ids per element (uniform type).
+        self.verts = core.verts_matrix(dim, ids)
+        if self.verts.shape[1] not in (3, 4):
+            raise ValueError("batch location supports tri/tet meshes")
+        coords = mesh.coords_view()
+        #: ``(nelem, nverts, 3)`` element vertex coordinates.
+        self.pts = coords[self.verts]
+        self.centroids = self.pts.mean(axis=1)
+        self.order = (
+            ids.astype(np.int64)
+            if order is None
+            else np.asarray(order, dtype=np.int64)
+        )
+        if self.order.shape != (len(ids),):
+            raise ValueError("order must have one key per element")
+        self._tree = cKDTree(self.centroids)
+        self._candidates = min(candidates, len(ids))
+
+    def _bary(self, rows: np.ndarray, x: np.ndarray) -> np.ndarray:
+        pts = self.pts[rows]
+        if pts.shape[1] == 3:
+            return _bary_tri_batch(pts, x)
+        return _bary_tet_batch(pts, x)
+
+    def _d2(self, rows: np.ndarray, x: np.ndarray) -> np.ndarray:
+        diff = self.centroids[rows] - x
+        return (diff * diff).sum(axis=-1)
+
+    def _brute(
+        self, x: np.ndarray, tol: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exhaustive winner election for a (small) batch of points."""
+        n = len(x)
+        nelem = len(self.ids)
+        rows = np.broadcast_to(
+            np.arange(nelem), (n, nelem)
+        ).reshape(-1)
+        reps = np.repeat(x, nelem, axis=0)
+        bary = self._bary(rows, reps).reshape(n, nelem, -1)
+        d2 = self._d2(rows, reps).reshape(n, nelem)
+        nc = ~(bary >= -tol).all(axis=2)
+        return self._pick(
+            np.broadcast_to(np.arange(nelem), (n, nelem)), nc, d2
+        )
+
+    def locate(
+        self, points: np.ndarray, tol: float = 1e-10
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Winner election for ``points`` (``(n, 3)`` or ``(n, dim)``).
+
+        Returns ``(rows, bary, contained, d2)``: the winner element row
+        (index into :attr:`ids`), its barycentric coordinates (raw —
+        callers clip for out-of-mesh points), the containment flags, and
+        the winner's squared centroid distance (the second component of
+        the winner key; :mod:`repro.couple.xfer` reduces it across parts).
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError("points must be a 2-D array")
+        x = np.zeros((len(points), 3))
+        x[:, : points.shape[1]] = points
+        n = len(x)
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, self.pts.shape[1])),
+                np.empty(0, dtype=bool),
+                np.empty(0),
+            )
+        k = self._candidates
+        _dists, cols = self._tree.query(x, k=k)
+        cols = np.asarray(cols).reshape(n, k)  # k == 1 squeezes; normalize
+        flat = cols.reshape(-1)
+        reps = np.repeat(x, k, axis=0)
+        bary = self._bary(flat, reps).reshape(n, k, -1)
+        d2 = self._d2(flat, reps).reshape(n, k)
+        nc = ~(bary >= -tol).all(axis=2)
+
+        rows, win_nc, win_d2 = self._pick(cols, nc, d2)
+        # Widen to an exhaustive scan when the top-k window cannot prove
+        # the global winner: no containing candidate found, or the best
+        # key ties the window boundary (an equal-distance element outside
+        # the window could win the order tie-break).
+        if k < len(self.ids):
+            boundary = d2.max(axis=1)
+            widen = win_nc | (win_d2 >= boundary)
+            if widen.any():
+                idx = np.nonzero(widen)[0]
+                b_rows, b_nc, b_d2 = self._brute(x[idx], tol)
+                rows[idx] = b_rows
+                win_nc[idx] = b_nc
+                win_d2[idx] = b_d2
+        win_bary = self._bary(rows, x)
+        contained = ~win_nc
+        return rows, win_bary, contained, win_d2
+
+    def _pick(
+        self, cols: np.ndarray, nc: np.ndarray, d2: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-wise lexicographic argmin of ``(nc, d2, order[col])``."""
+        order = self.order[cols]
+        m1 = nc == nc.min(axis=1, keepdims=True)
+        d2m = np.where(m1, d2, np.inf)
+        m2 = d2m == d2m.min(axis=1, keepdims=True)
+        ordm = np.where(m1 & m2, order, np.iinfo(np.int64).max)
+        win = ordm.argmin(axis=1)
+        take = np.arange(len(cols))
+        return (
+            cols[take, win].astype(np.int64),
+            nc[take, win],
+            d2[take, win],
+        )
+
+    def sample(
+        self, points: np.ndarray, field, tol: float = 1e-10
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Interpolate a vertex ``field`` at ``points``; vectorized.
+
+        Inside points use the winner's raw barycentric weights; outside
+        points clamp to the nearest element's interpolant (weights clipped
+        to ``>= 0`` and renormalized) — the same fallback as the scalar
+        path.  Returns ``(values, contained)`` with ``values`` of shape
+        ``(n, ncomp)``.
+        """
+        values, _rows, contained, _d2 = self.sample_full(points, field, tol)
+        return values, contained
+
+    def sample_full(
+        self, points: np.ndarray, field, tol: float = 1e-10
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`sample` plus the winner rows and key distances.
+
+        Returns ``(values, rows, contained, d2)``; the extra arrays let the
+        distributed transfer build its cross-part winner-reduce keys
+        ``(not contained, d2, order[row])`` without re-running location.
+        """
+        if field.entity_dim != 0:
+            raise ValueError("interpolation requires a vertex field")
+        rows, bary, contained, d2 = self.locate(points, tol=tol)
+        clipped = np.clip(bary, 0.0, None)
+        clipped = clipped / clipped.sum(axis=1, keepdims=True)
+        weights = np.where(contained[:, None], bary, clipped)
+        verts = self.verts[rows]
+        vals = field.get_many(verts.reshape(-1)).reshape(
+            len(rows), verts.shape[1], -1
+        )
+        values = (weights[:, :, None] * vals).sum(axis=1)
+        return values, rows, contained, d2
 
 
 class ElementLocator:

@@ -7,6 +7,15 @@ vertex by point location plus linear interpolation — the standard transfer
 for linear Lagrange fields.  Points that fall (numerically) outside the
 source mesh take the value of the nearest source element's interpolant,
 clamped to that element.
+
+The hot path is vectorized: :class:`~repro.field.shape.BatchLocator` locates
+every target vertex in one batch over the core's SoA coordinate/connectivity
+arrays and interpolates with fixed-axis reductions, so the result is
+byte-deterministic and — because the locator's winner rule depends only on
+geometry and element order keys — identical to what the distributed transfer
+in :mod:`repro.couple.xfer` produces.  The original per-vertex loop is kept
+as :func:`transfer_vertex_field_loop` as the A/B reference for
+``benchmarks/bench_transfer.py``.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from typing import Optional
 
 from ..mesh.mesh import Mesh
 from .field import Field
-from .shape import ElementLocator, barycentric, interpolate
+from .shape import BatchLocator, ElementLocator, barycentric, interpolate
 
 import numpy as np
 
@@ -27,6 +36,27 @@ def transfer_vertex_field(
     target_name: Optional[str] = None,
 ) -> Field:
     """Interpolate ``source_field`` onto the vertices of ``target_mesh``."""
+    if source_field.entity_dim != 0:
+        raise ValueError("transfer supports vertex fields")
+    locator = BatchLocator(source_mesh)
+    name = target_name if target_name is not None else source_field.name
+    out = Field(target_mesh, name, 0, source_field.shape)
+    ids = target_mesh.core.live_ids(0)
+    if len(ids) == 0:
+        return out
+    points = target_mesh.coords_view()[ids]
+    values, _contained = locator.sample(points, source_field)
+    out.set_many(ids, values)
+    return out
+
+
+def transfer_vertex_field_loop(
+    source_mesh: Mesh,
+    source_field: Field,
+    target_mesh: Mesh,
+    target_name: Optional[str] = None,
+) -> Field:
+    """Per-vertex reference implementation (frozen for A/B benchmarking)."""
     if source_field.entity_dim != 0:
         raise ValueError("transfer supports vertex fields")
     locator = ElementLocator(source_mesh)

@@ -247,18 +247,18 @@ class MeshCore:
 
     def gather_verts(self, dim: int, ids: np.ndarray) -> np.ndarray:
         """Concatenated canonical vertex ids of ``ids``, row-major order."""
-        return self._gather(self.verts[dim], self.nverts[dim], ids)
+        return self._concat_ragged(self.verts[dim], self.nverts[dim], ids)
 
     def gather_down(self, dim: int, ids: np.ndarray) -> np.ndarray:
         """Concatenated one-level downward ids of ``ids``, row-major order."""
-        return self._gather(self.down[dim], self.ndown[dim], ids)
+        return self._concat_ragged(self.down[dim], self.ndown[dim], ids)
 
     def gather_up(self, dim: int, ids: np.ndarray) -> np.ndarray:
         """Concatenated one-level upward ids of ``ids``, row-major order."""
-        return self._gather(self.up[dim], self.nup[dim], ids)
+        return self._concat_ragged(self.up[dim], self.nup[dim], ids)
 
     @staticmethod
-    def _gather(rows: np.ndarray, counts: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    def _concat_ragged(rows: np.ndarray, counts: np.ndarray, ids: np.ndarray) -> np.ndarray:
         ids = np.asarray(ids, dtype=_ID)
         if len(ids) == 0:
             return np.empty(0, dtype=_ID)

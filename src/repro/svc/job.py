@@ -102,6 +102,12 @@ class JobSpec:
     deadline: Optional[float] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fault_plan: Optional[FaultPlan] = None
+    #: Names of jobs that must complete successfully before this one runs.
+    deps: Tuple[str, ...] = ()
+    #: Names of coupling channels this job is an endpoint of; the service
+    #: co-schedules all endpoints of a channel into one round and passes
+    #: the job's ports as a third workload argument.
+    channels: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -125,6 +131,26 @@ class JobSpec:
             raise JobSpecError(
                 f"deadline must be positive seconds, got {self.deadline}"
             )
+        object.__setattr__(self, "deps", tuple(self.deps))
+        object.__setattr__(self, "channels", tuple(self.channels))
+        for dep in self.deps:
+            if not dep or not isinstance(dep, str):
+                raise JobSpecError(
+                    f"deps must be non-empty job names, got {dep!r}"
+                )
+            if dep == self.name:
+                raise JobSpecError(
+                    f"job {self.name!r} cannot depend on itself"
+                )
+        if len(set(self.deps)) != len(self.deps):
+            raise JobSpecError(f"job {self.name!r} lists duplicate deps")
+        for chan in self.channels:
+            if not chan or not isinstance(chan, str):
+                raise JobSpecError(
+                    f"channels must be non-empty channel names, got {chan!r}"
+                )
+        if len(set(self.channels)) != len(self.channels):
+            raise JobSpecError(f"job {self.name!r} lists duplicate channels")
 
     @property
     def workload_name(self) -> str:
@@ -147,13 +173,18 @@ class JobSpec:
         }
         if self.fault_plan is not None:
             doc["fault_plan"] = self.fault_plan.to_dict()
+        if self.deps:
+            doc["deps"] = list(self.deps)
+        if self.channels:
+            doc["channels"] = list(self.channels)
         return doc
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "JobSpec":
         known = {
             "name", "workload", "parts", "mesh_n", "steps", "tenant",
-            "priority", "deadline", "retry", "fault_plan",
+            "priority", "deadline", "retry", "fault_plan", "deps",
+            "channels",
         }
         unknown = set(doc) - known
         if unknown:
@@ -182,6 +213,8 @@ class JobSpec:
                 if isinstance(fault_plan, dict)
                 else fault_plan
             ),
+            deps=tuple(str(d) for d in doc.get("deps", ())),
+            channels=tuple(str(c) for c in doc.get("channels", ())),
         )
 
 

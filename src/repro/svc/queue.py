@@ -158,6 +158,23 @@ class AdmissionQueue:
             )
             return entry
 
+    def pop_named(self, name: str) -> Optional[QueuedJob]:
+        """Remove and return a specific pending job by name.
+
+        Used by the coupled scheduler to co-pop a popped job's channel
+        peers into the same wave; counts against the tenant's fair share
+        exactly like :meth:`pop_schedulable`.
+        """
+        with self._lock:
+            for index, entry in enumerate(self._pending):
+                if entry.spec.name == name:
+                    self._pending.pop(index)
+                    self._served[entry.spec.tenant] = (
+                        self._served.get(entry.spec.tenant, 0) + 1
+                    )
+                    return entry
+            return None
+
     # -- introspection -----------------------------------------------------
 
     @property

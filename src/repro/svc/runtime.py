@@ -145,6 +145,8 @@ class MeshJobService:
         self._order: List[str] = []  # submission order, for the report
         self._outcomes: Dict[str, Union[JobResult, JobFailure]] = {}
         self._rounds: List[RoundRecord] = []
+        # Channel hub for coupled job graphs; installed by serve_graph().
+        self._hub: Optional[Any] = None
 
     # -- admission ---------------------------------------------------------
 
@@ -207,6 +209,62 @@ class MeshJobService:
         )
         return True
 
+    # -- dependency / coupling helpers --------------------------------------
+
+    def _deps_ready(self, spec: JobSpec) -> bool:
+        """True when every dependency has settled successfully."""
+        return all(
+            dep in self._outcomes and self._outcomes[dep].ok
+            for dep in spec.deps
+        )
+
+    def _doomed_dep(self, spec: JobSpec) -> Optional[str]:
+        """First dependency that can no longer succeed, or None.
+
+        A dependency is doomed when it settled unsuccessfully (failed,
+        cancelled, deadline) or was never submitted to this service.
+        """
+        for dep in spec.deps:
+            outcome = self._outcomes.get(dep)
+            if outcome is not None and not outcome.ok:
+                return dep
+            if outcome is None and dep not in self._entries:
+                return dep
+        return None
+
+    def _peer_names(self, name: str) -> Tuple[str, ...]:
+        """Transitive channel-coupled peers of ``name`` (sorted), sans self."""
+        if self._hub is None:
+            return ()
+        seen = {name}
+        frontier = [name]
+        while frontier:
+            fresh: List[str] = []
+            for job in frontier:
+                for peer in self._hub.peer_jobs(job):
+                    if peer not in seen:
+                        seen.add(peer)
+                        fresh.append(peer)
+            frontier = fresh
+        seen.discard(name)
+        return tuple(sorted(seen))
+
+    def _cancel_pending(self, name: str, message: str) -> None:
+        """Drop a pending job with a deterministic cancellation outcome."""
+        if not self.queue.cancel(name):  # pragma: no cover - caller checks
+            return
+        self.counters.add("svc.jobs.cancelled")
+        self._outcomes[name] = JobFailure(
+            name=name,
+            status=CANCELLED,
+            attempts=0,
+            placements=tuple(self._placements.get(name, ())),
+            message=message,
+        )
+        spec = self._entries[name].spec
+        if self._hub is not None and spec.channels:
+            self._hub.job_done(name)
+
     # -- the service loop --------------------------------------------------
 
     def run_round(self) -> Optional[RoundRecord]:
@@ -215,24 +273,82 @@ class MeshJobService:
             return None
         self.queue.tick()
 
+        # Dependency sweep: cancel pending jobs whose deps can no longer
+        # succeed (iterated to a fixpoint so cancellation cascades through
+        # dependency chains deterministically).
+        changed = True
+        while changed:
+            changed = False
+            for name in self.queue.pending_names():
+                doomed = self._doomed_dep(self._entries[name].spec)
+                if doomed is not None:
+                    self._cancel_pending(
+                        name, f"dependency {doomed!r} did not complete"
+                    )
+                    changed = True
+
         # Build the wave: pop + place until the machine is full.  Placement
         # grants happen in pop order, which is the deterministic fair-share
-        # order — this *is* the placement trace.
+        # order — this *is* the placement trace.  A coupled job is popped
+        # only when its whole peer group is simultaneously schedulable, and
+        # the peers are co-popped into the same wave (gang-of-gangs).
         wave: List[Tuple[QueuedJob, Placement]] = []
+        placed_names: set = set()
         while True:
-            entry = self.queue.pop_schedulable(self.scheduler.fits)
+            # Snapshots for the predicate: the queue lock is not reentrant,
+            # so the predicate must not call queue methods itself.
+            pending = set(self.queue.pending_names())
+            used, total = self.scheduler.utilization()
+            free = total - used
+
+            def schedulable(spec: JobSpec) -> bool:
+                if not self._deps_ready(spec):
+                    return False
+                need = spec.parts
+                for peer in self._peer_names(spec.name):
+                    if peer in placed_names or peer in self._outcomes:
+                        continue
+                    if peer not in pending:
+                        return False
+                    peer_spec = self._entries[peer].spec
+                    if not self._deps_ready(peer_spec):
+                        return False
+                    need += peer_spec.parts
+                return need <= free
+
+            entry = self.queue.pop_schedulable(schedulable)
             if entry is None:
                 break
-            placement = self.scheduler.place(entry.spec)
-            assert placement is not None  # fits() held under the round lock
-            self._placements[entry.spec.name].append(
-                PlacementRecord(
-                    round=len(self._rounds),
-                    slots=placement.slots,
-                    node_local=placement.node_local,
+            group = [entry]
+            for peer in self._peer_names(entry.spec.name):
+                if peer in placed_names or peer in self._outcomes:
+                    continue
+                peer_entry = self.queue.pop_named(peer)
+                if peer_entry is not None:
+                    group.append(peer_entry)
+            for member in group:
+                placement = self.scheduler.place(member.spec)
+                assert placement is not None  # schedulable() reserved room
+                self._placements[member.spec.name].append(
+                    PlacementRecord(
+                        round=len(self._rounds),
+                        slots=placement.slots,
+                        node_local=placement.node_local,
+                    )
                 )
-            )
-            wave.append((entry, placement))
+                wave.append((member, placement))
+                placed_names.add(member.spec.name)
+
+        # Unschedulable remainder: an empty wave with jobs still pending
+        # means no pending job can ever run (missing peer, impossible
+        # coupling) — cancel deterministically instead of spinning.
+        if not wave:
+            for name in self.queue.pending_names():
+                self._cancel_pending(
+                    name,
+                    "unschedulable: dependency or coupled peer cannot be "
+                    "satisfied",
+                )
 
         used, total = self.scheduler.utilization()
         record = RoundRecord(
@@ -278,6 +394,14 @@ class MeshJobService:
         for entry, placement in wave:
             self.scheduler.release(placement)
             self._settle(entry, outcomes[entry.spec.name])
+            # A coupled job that settled terminally (not a retry-requeue)
+            # releases its channel endpoints so peers never block on it.
+            if (
+                self._hub is not None
+                and entry.spec.channels
+                and entry.spec.name in self._outcomes
+            ):
+                self._hub.job_done(entry.spec.name)
         return record
 
     def run_until_idle(self, max_rounds: int = 10_000) -> int:
@@ -312,6 +436,43 @@ class MeshJobService:
         self.run_until_idle()
         return self.report()
 
+    def serve_graph(self, graph) -> ServiceReport:
+        """Run a :class:`~repro.couple.JobGraph` (deps DAG + channels) to idle.
+
+        Installs a :class:`~repro.couple.channel.ChannelHub` over the
+        graph's channels, submits every job up front (dependency gating and
+        peer co-scheduling need the full graph pending, so the graph must
+        fit the admission queue), and runs rounds until the queue drains.
+        The hub is torn down afterwards even on error.
+        """
+        from ..couple.channel import ChannelHub
+
+        graph.validate()
+        total = self.machine.total_cores
+        for group in graph.peer_groups():
+            if len(group) < 2:
+                continue
+            need = sum(graph.job(name).parts for name in group)
+            if need > total:
+                raise JobSpecError(
+                    f"coupled jobs {group} need {need} cores together but "
+                    f"the machine only has {total}"
+                )
+        if len(graph.jobs) > self.queue.capacity:
+            raise JobSpecError(
+                f"graph has {len(graph.jobs)} jobs but the admission queue "
+                f"holds {self.queue.capacity}; a job graph must be admitted "
+                f"whole"
+            )
+        self._hub = ChannelHub(graph.channels, counters=self.counters)
+        try:
+            for spec in graph.jobs:
+                self.submit(spec)
+            self.run_until_idle()
+        finally:
+            self._hub.close_all()
+        return self.report()
+
     # -- one attempt -------------------------------------------------------
 
     def _run_attempt(
@@ -336,14 +497,18 @@ class MeshJobService:
             timer.start()
         started = time.perf_counter()
         try:
+            args: List[Any] = [spec.mesh_n, spec.steps]
+            if spec.channels and self._hub is not None:
+                # Coupled jobs receive their channel endpoints as a third
+                # workload argument: {channel name: Endpoint}.
+                args.append(self._hub.ports_for(spec.name))
             with self.tracer.span(
                 "svc.job", job=spec.name, attempt=entry.attempt
             ):
                 results = spmd(
                     spec.parts,
                     fn,
-                    spec.mesh_n,
-                    spec.steps,
+                    *args,
                     topology=placement.topology(self.machine),
                     counters=job_counters,
                     timeout=self.timeout,

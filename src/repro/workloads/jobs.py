@@ -33,6 +33,17 @@ Registered workloads
     Every rank blocks on a receive that never arrives.  Exists for
     deadline/cancellation testing: only cooperative cancellation (or the
     world's receive timeout) ends it.
+``adapt-loop``
+    The solver-in-the-loop adaptive cycle (:mod:`repro.couple.loop`):
+    solve -> error-estimate -> adapt -> transfer -> ParMA rebalance, run
+    ``steps`` cycles on rank 0 with the gang size as the part count; the
+    per-cycle summary is scattered and checksum-joined across the gang.
+``coupled``
+    One endpoint of a two-mesh coupling (requires a channel binding and a
+    peer job — run it through :meth:`repro.svc.MeshJobService.serve_graph`).
+    The ``dst`` role ships its query points, then receives one transformed
+    field frame per step; the ``src`` role samples a moving front over its
+    own mesh at the peer's points and ships the frames.
 """
 
 from __future__ import annotations
@@ -198,6 +209,125 @@ def block_job(comm, mesh_n: int, steps: int) -> Dict[str, Any]:
     return {"workload": "block"}  # pragma: no cover - unreachable
 
 
+def adapt_loop_job(comm, mesh_n: int, steps: int) -> Dict[str, Any]:
+    """Solver-in-the-loop adaptivity: rank 0 drives, the gang checksums.
+
+    ``mesh_n`` sizes the initial mesh, ``steps`` is the cycle count, and
+    the gang size is the part count the loop rebalances at.
+    """
+    rank, size = comm.rank, comm.size
+    if rank == 0:
+        from ..couple.loop import run_adapt_loop
+        from ..parallel.perf import PerfCounters
+
+        report = run_adapt_loop(  # noqa: SPMD101 — the loop distributes over its own nested BSP worlds, not the gang communicator; the scatter below rejoins every rank
+            n=max(mesh_n, 4),
+            cycles=max(steps, 1),
+            parts=size,
+            counters=PerfCounters(),
+        )
+        summary = {
+            "workload": "adapt-loop",
+            "cycles": report["cycles"],
+            "parts": report["parts"],
+            "final_elements": report["final_elements"],
+            "final_vertices": report["final_vertices"],
+            "monotone_error": report["monotone_error"],
+            "est_max": [
+                round(rec["est_max"], 12) for rec in report["records"]
+            ],
+            "transfer_checksums": [
+                rec["transfer_checksum"] for rec in report["records"]
+            ],
+        }
+        if "distributed_transfer_matches" in report:
+            summary["distributed_transfer_matches"] = report[
+                "distributed_transfer_matches"
+            ]
+        payload: Any = [dict(summary) for _ in range(size)]
+    else:
+        payload = None
+    mine = dict(comm.scatter(payload, root=0))
+    agreed = comm.allreduce(int(mine["final_elements"]), op=max)
+    mine["final_elements"] = agreed
+    return mine
+
+
+def coupled_job(comm, mesh_n: int, steps: int, ports=None) -> Dict[str, Any]:
+    """One endpoint of a two-mesh coupling over a svc channel.
+
+    Requires exactly one bound channel (``ports`` is injected by the
+    service for jobs submitted through ``serve_graph``).  The coarse
+    ``src`` job answers the fine ``dst`` job's query points with one
+    sampled field frame per step; the digests of the shipped/received
+    frames are the byte-determinism witness in the job output.
+    """
+    rank, size = comm.rank, comm.size
+    if ports is None or len(ports) != 1:
+        raise ValueError(
+            "the 'coupled' workload needs exactly one bound channel; "
+            "submit it through MeshJobService.serve_graph"
+        )
+    if rank == 0:
+        import zlib
+
+        import numpy as np
+
+        from ..field.field import Field
+        from ..field.shape import BatchLocator
+        from ..mesh import rect_tri
+
+        (endpoint,) = ports.values()
+        nsteps = max(steps, 1)
+        crc = 0
+        if endpoint.role == "src":
+            mesh = rect_tri(max(mesh_n, 2))
+            handshake = endpoint.recv(timeout=60.0)
+            points = handshake.values
+            locator = BatchLocator(mesh)
+            ids = mesh.core.live_ids(0)
+            coords = mesh.coords_view()[ids]
+            field = Field(mesh, endpoint.spec.field, 0, endpoint.spec.ncomp)
+            for step in range(nsteps):
+                phase = 0.25 * step
+                vals = np.tanh(
+                    6.0 * (coords[:, 0] + coords[:, 1] - 1.0 - phase)
+                )
+                field.set_many(ids, np.repeat(
+                    vals[:, None], endpoint.spec.ncomp, axis=1
+                ))
+                sampled, _contained = locator.sample(points, field)
+                shipped = endpoint.send_values(step, sampled, timeout=60.0)
+                crc = zlib.crc32(shipped.values.tobytes(), crc)
+        else:
+            mesh = rect_tri(2 * max(mesh_n, 2))
+            ids = mesh.core.live_ids(0)
+            points = np.array(mesh.coords_view()[ids])
+            endpoint.send_points(points, timeout=60.0)
+            field = Field(mesh, endpoint.spec.field, 0, endpoint.spec.ncomp)
+            for _step in range(nsteps):
+                frame = endpoint.recv(timeout=60.0)
+                field.set_many(ids, frame.values)
+                crc = zlib.crc32(frame.values.tobytes(), crc)
+        payload: Any = [
+            {
+                "workload": "coupled",
+                "role": endpoint.role,
+                "channel": endpoint.spec.name,
+                "vertices": int(len(ids)),
+                "frames": nsteps,
+                "checksum": crc,
+            }
+            for _ in range(size)
+        ]
+    else:
+        payload = None
+    mine = dict(comm.scatter(payload, root=0))
+    agreed = comm.allreduce(int(mine["checksum"]), op=max)
+    mine["checksum"] = agreed
+    return mine
+
+
 #: Name -> rank program registry consumed by :mod:`repro.svc`.
 JOB_WORKLOADS: Dict[str, JobWorkload] = {
     "stencil": stencil_job,
@@ -206,6 +336,8 @@ JOB_WORKLOADS: Dict[str, JobWorkload] = {
     "mesh-warm": mesh_warm_job,
     "noop": noop_job,
     "block": block_job,
+    "adapt-loop": adapt_loop_job,
+    "coupled": coupled_job,
 }
 
 

@@ -1,0 +1,183 @@
+"""Tests for repro.couple.graph: validation, topo order, peer groups."""
+
+import pytest
+
+from repro.couple import ChannelSpec, GraphError, JobGraph
+from repro.svc import JobSpec
+
+
+def jobs(*specs):
+    return tuple(specs)
+
+
+def test_valid_graph_and_topo_order():
+    graph = JobGraph(
+        jobs=jobs(
+            JobSpec(name="c", workload="noop", deps=("a", "b")),
+            JobSpec(name="b", workload="noop", deps=("a",)),
+            JobSpec(name="a", workload="noop"),
+        )
+    )
+    assert graph.topo_order() == ["a", "b", "c"]
+
+
+def test_topo_order_sorted_ties():
+    graph = JobGraph(
+        jobs=jobs(
+            JobSpec(name="z", workload="noop"),
+            JobSpec(name="a", workload="noop"),
+            JobSpec(name="m", workload="noop"),
+        )
+    )
+    assert graph.topo_order() == ["a", "m", "z"]
+
+
+def test_cycle_detected():
+    with pytest.raises(GraphError, match="cycle"):
+        JobGraph(
+            jobs=jobs(
+                JobSpec(name="a", workload="noop", deps=("b",)),
+                JobSpec(name="b", workload="noop", deps=("a",)),
+            )
+        )
+
+
+def test_unknown_dep_rejected():
+    with pytest.raises(GraphError, match="unknown job"):
+        JobGraph(jobs=jobs(JobSpec(name="a", workload="noop", deps=("x",))))
+
+
+def test_duplicate_job_names_rejected():
+    with pytest.raises(GraphError, match="duplicate job name"):
+        JobGraph(
+            jobs=jobs(
+                JobSpec(name="a", workload="noop"),
+                JobSpec(name="a", workload="noop"),
+            )
+        )
+
+
+def coupled_pair(steps_b=2, bind_both=True):
+    return jobs(
+        JobSpec(
+            name="a", workload="noop", steps=2, channels=("link",)
+        ),
+        JobSpec(
+            name="b",
+            workload="noop",
+            steps=steps_b,
+            channels=("link",) if bind_both else (),
+        ),
+    )
+
+
+def test_channel_endpoints_validated():
+    chan = ChannelSpec(name="link", src="a", dst="b")
+    graph = JobGraph(jobs=coupled_pair(), channels=(chan,))
+    assert graph.peer_groups() == [["a", "b"]]
+
+    with pytest.raises(GraphError, match="unknown job"):
+        JobGraph(
+            jobs=jobs(JobSpec(name="a", workload="noop", channels=("link",))),
+            channels=(chan,),
+        )
+
+
+def test_channel_steps_must_match():
+    chan = ChannelSpec(name="link", src="a", dst="b")
+    with pytest.raises(GraphError, match="different"):
+        JobGraph(jobs=coupled_pair(steps_b=5), channels=(chan,))
+
+
+def test_channel_binding_must_be_bidirectional():
+    chan = ChannelSpec(name="link", src="a", dst="b")
+    with pytest.raises(GraphError, match="does not list it"):
+        JobGraph(jobs=coupled_pair(bind_both=False), channels=(chan,))
+    # A job naming a channel it is not an endpoint of is also rejected.
+    with pytest.raises(GraphError, match="unknown channel"):
+        JobGraph(
+            jobs=jobs(JobSpec(name="a", workload="noop", channels=("ghost",)))
+        )
+
+
+def test_coupled_jobs_cannot_be_dependent():
+    chan = ChannelSpec(name="link", src="a", dst="b")
+    with pytest.raises(GraphError, match="dependency path"):
+        JobGraph(
+            jobs=jobs(
+                JobSpec(name="a", workload="noop", steps=2, channels=("link",)),
+                JobSpec(
+                    name="b",
+                    workload="noop",
+                    steps=2,
+                    deps=("a",),
+                    channels=("link",),
+                ),
+            ),
+            channels=(chan,),
+        )
+
+
+def test_coupled_jobs_cannot_be_transitively_dependent():
+    chan = ChannelSpec(name="link", src="a", dst="c")
+    with pytest.raises(GraphError, match="dependency path"):
+        JobGraph(
+            jobs=jobs(
+                JobSpec(name="a", workload="noop", channels=("link",)),
+                JobSpec(name="b", workload="noop", deps=("a",)),
+                JobSpec(
+                    name="c", workload="noop", deps=("b",), channels=("link",)
+                ),
+            ),
+            channels=(chan,),
+        )
+
+
+def test_peer_groups_union():
+    graph = JobGraph(
+        jobs=jobs(
+            JobSpec(name="a", workload="noop", channels=("ab",)),
+            JobSpec(name="b", workload="noop", channels=("ab", "bc")),
+            JobSpec(name="c", workload="noop", channels=("bc",)),
+            JobSpec(name="solo", workload="noop"),
+        ),
+        channels=(
+            ChannelSpec(name="ab", src="a", dst="b"),
+            ChannelSpec(name="bc", src="b", dst="c"),
+        ),
+    )
+    assert graph.peer_groups() == [["a", "b", "c"], ["solo"]]
+
+
+def test_dict_roundtrip():
+    graph = JobGraph(
+        jobs=jobs(
+            JobSpec(name="a", workload="coupled", steps=3, channels=("link",)),
+            JobSpec(name="b", workload="coupled", steps=3, channels=("link",)),
+            JobSpec(name="post", workload="noop", deps=("a", "b")),
+        ),
+        channels=(ChannelSpec(name="link", src="a", dst="b"),),
+    )
+    again = JobGraph.from_dict(graph.to_dict())
+    assert again.to_dict() == graph.to_dict()
+
+
+def test_from_dict_rejects_unknown_fields_and_bad_jobs():
+    with pytest.raises(GraphError):
+        JobGraph.from_dict({"jobs": [], "bogus": 1})
+    with pytest.raises(GraphError):
+        JobGraph.from_dict({"jobs": [{"name": "a"}]})  # missing workload
+    with pytest.raises(GraphError):
+        JobGraph.from_dict(
+            {
+                "jobs": [{"name": "a", "workload": "noop"}],
+                "channels": [{"name": "x"}],
+            }
+        )
+
+
+def test_job_lookup():
+    graph = JobGraph(jobs=jobs(JobSpec(name="a", workload="noop")))
+    assert graph.job("a").name == "a"
+    with pytest.raises(KeyError):
+        graph.job("zzz")

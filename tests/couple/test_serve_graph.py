@@ -1,0 +1,171 @@
+"""Tests for the coupled service runtime: DAG rounds, co-scheduling,
+dependency cancellation, and byte-identical coupled reports."""
+
+import json
+
+import pytest
+
+from repro.couple import ChannelSpec, JobGraph
+from repro.svc import JobSpec, JobSpecError, MeshJobService
+
+
+def coupled_graph(steps=3, parts=2, mesh_n=6):
+    return JobGraph(
+        jobs=(
+            JobSpec(
+                name="coarse", workload="coupled", parts=parts,
+                mesh_n=mesh_n, steps=steps, channels=("u-link",),
+            ),
+            JobSpec(
+                name="fine", workload="coupled", parts=parts,
+                mesh_n=mesh_n, steps=steps, channels=("u-link",),
+            ),
+        ),
+        channels=(
+            ChannelSpec(name="u-link", src="coarse", dst="fine", field="u"),
+        ),
+    )
+
+
+def test_dependency_chain_runs_in_topo_rounds():
+    service = MeshJobService()
+    graph = JobGraph(
+        jobs=(
+            JobSpec(name="a", workload="noop"),
+            JobSpec(name="b", workload="noop", deps=("a",)),
+            JobSpec(name="c", workload="noop", deps=("b",)),
+        )
+    )
+    report = json.loads(service.serve_graph(graph).to_json())
+    assert [r["placed"] for r in report["rounds"]] == [["a"], ["b"], ["c"]]
+    assert all(j["status"] == "completed" for j in report["jobs"])
+
+
+def test_independent_jobs_share_a_round():
+    service = MeshJobService()
+    graph = JobGraph(
+        jobs=(
+            JobSpec(name="a", workload="noop"),
+            JobSpec(name="b", workload="noop"),
+            JobSpec(name="c", workload="noop", deps=("a", "b")),
+        )
+    )
+    report = json.loads(service.serve_graph(graph).to_json())
+    assert [r["placed"] for r in report["rounds"]] == [["a", "b"], ["c"]]
+
+
+def test_dep_failure_cascades_to_cancellation():
+    def boom(comm, mesh_n, steps):
+        raise RuntimeError("boom")
+
+    service = MeshJobService()
+    graph = JobGraph(
+        jobs=(
+            JobSpec(name="a", workload=boom),
+            JobSpec(name="b", workload="noop", deps=("a",)),
+            JobSpec(name="c", workload="noop", deps=("b",)),
+        )
+    )
+    report = json.loads(service.serve_graph(graph).to_json())
+    statuses = {j["name"]: j["status"] for j in report["jobs"]}
+    assert statuses == {"a": "failed", "b": "cancelled", "c": "cancelled"}
+    messages = {j["name"]: j["message"] for j in report["jobs"]}
+    assert "dependency 'a'" in messages["b"]
+    assert "dependency 'b'" in messages["c"]
+
+
+def test_coupled_pair_is_co_scheduled():
+    service = MeshJobService()
+    report = json.loads(service.serve_graph(coupled_graph()).to_json())
+    assert [r["placed"] for r in report["rounds"]] == [["coarse", "fine"]]
+    outputs = {j["name"]: j["output"] for j in report["jobs"]}
+    assert outputs["coarse"]["role"] == "src"
+    assert outputs["fine"]["role"] == "dst"
+    # Both endpoints checksummed the same shipped frames.
+    assert outputs["coarse"]["checksum"] == outputs["fine"]["checksum"]
+    assert outputs["fine"]["frames"] == 3
+
+
+def test_coupled_reports_byte_identical():
+    def run():
+        service = MeshJobService()
+        return service.serve_graph(coupled_graph()).to_json()
+
+    assert run() == run()
+
+
+def test_coupled_pair_waits_for_shared_dep():
+    service = MeshJobService()
+    graph = JobGraph(
+        jobs=(
+            JobSpec(name="prep", workload="noop"),
+            JobSpec(
+                name="coarse", workload="coupled", parts=2, mesh_n=5,
+                steps=2, deps=("prep",), channels=("u-link",),
+            ),
+            JobSpec(
+                name="fine", workload="coupled", parts=2, mesh_n=5,
+                steps=2, deps=("prep",), channels=("u-link",),
+            ),
+        ),
+        channels=(
+            ChannelSpec(name="u-link", src="coarse", dst="fine"),
+        ),
+    )
+    report = json.loads(service.serve_graph(graph).to_json())
+    assert [r["placed"] for r in report["rounds"]] == [
+        ["prep"], ["coarse", "fine"],
+    ]
+
+
+def test_coupled_group_larger_than_machine_rejected():
+    graph = JobGraph(
+        jobs=(
+            JobSpec(
+                name="coarse", workload="coupled", parts=5, steps=2,
+                channels=("u-link",),
+            ),
+            JobSpec(
+                name="fine", workload="coupled", parts=5, steps=2,
+                channels=("u-link",),
+            ),
+        ),
+        channels=(ChannelSpec(name="u-link", src="coarse", dst="fine"),),
+    )
+    service = MeshJobService()  # 8 cores < 10 needed together
+    with pytest.raises(JobSpecError, match="cores together"):
+        service.serve_graph(graph)
+
+
+def test_graph_must_fit_admission_queue():
+    graph = JobGraph(
+        jobs=(
+            JobSpec(name="a", workload="noop"),
+            JobSpec(name="b", workload="noop"),
+        )
+    )
+    service = MeshJobService(capacity=1)
+    with pytest.raises(JobSpecError, match="admitted"):
+        service.serve_graph(graph)
+
+
+def test_coupled_workload_requires_ports():
+    service = MeshJobService()
+    report = service.serve([JobSpec(name="solo", workload="coupled")])
+    doc = json.loads(report.to_json())
+    assert doc["jobs"][0]["status"] == "failed"
+    assert "serve_graph" in doc["jobs"][0]["message"]
+
+
+def test_plain_serve_unaffected_by_graph_machinery():
+    service = MeshJobService()
+    report = json.loads(
+        service.serve(
+            [
+                JobSpec(name="s1", workload="stencil", parts=2, steps=2),
+                JobSpec(name="s2", workload="allreduce", parts=2, steps=2),
+            ]
+        ).to_json()
+    )
+    assert all(j["status"] == "completed" for j in report["jobs"])
+    assert [r["placed"] for r in report["rounds"]] == [["s1", "s2"]]

@@ -1,0 +1,75 @@
+"""Every registered job workload must run under the svc smoke harness.
+
+The registry (:mod:`repro.workloads.jobs`) is the service's public workload
+surface: anything listed there is addressable from a JSON jobs file, so
+anything listed there must actually execute under the service.  This test
+sweeps the registry so a newly registered workload cannot ship without a
+harness configuration:
+
+* plain workloads run as a single two-rank job and must complete;
+* ``block`` runs under a deadline and must settle as ``deadline``;
+* ``coupled`` needs a channel peer, so it runs as a two-job graph through
+  ``serve_graph`` and both endpoints must complete.
+"""
+
+import json
+
+from repro.couple import ChannelSpec, JobGraph
+from repro.svc import JobSpec, MeshJobService
+from repro.workloads.jobs import job_workload_names
+
+#: Workloads needing a non-default harness, and how this test runs them.
+SPECIAL = {"block", "coupled"}
+
+
+def run_plain(name):
+    service = MeshJobService()
+    report = service.serve(
+        [JobSpec(name=f"smoke-{name}", workload=name, parts=2,
+                 mesh_n=4, steps=2)]
+    )
+    return json.loads(report.to_json())["jobs"][0]
+
+
+def test_registry_covers_all_names():
+    names = set(job_workload_names())
+    assert SPECIAL <= names
+    # Anchors: core workloads must stay registered.
+    assert {"stencil", "allreduce", "mesh-stats", "noop",
+            "adapt-loop"} <= names
+
+
+def test_every_plain_workload_completes_under_the_service():
+    for name in job_workload_names():
+        if name in SPECIAL:
+            continue
+        job = run_plain(name)
+        assert job["status"] == "completed", (name, job)
+        assert job["output"]["workload"] == name
+
+
+def test_block_settles_under_deadline():
+    service = MeshJobService()
+    report = service.serve(
+        [JobSpec(name="smoke-block", workload="block", parts=1,
+                 deadline=0.3)]
+    )
+    job = json.loads(report.to_json())["jobs"][0]
+    assert job["status"] == "deadline"
+
+
+def test_coupled_completes_under_serve_graph():
+    graph = JobGraph(
+        jobs=(
+            JobSpec(name="smoke-src", workload="coupled", parts=1,
+                    mesh_n=4, steps=2, channels=("smoke-link",)),
+            JobSpec(name="smoke-dst", workload="coupled", parts=1,
+                    mesh_n=4, steps=2, channels=("smoke-link",)),
+        ),
+        channels=(
+            ChannelSpec(name="smoke-link", src="smoke-src", dst="smoke-dst"),
+        ),
+    )
+    service = MeshJobService()
+    report = json.loads(service.serve_graph(graph).to_json())
+    assert all(j["status"] == "completed" for j in report["jobs"])

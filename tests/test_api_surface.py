@@ -451,6 +451,49 @@ def test_svc_subpackage_all():
     assert svc.SCHEMA == "repro.svc/1"
 
 
+def test_top_level_couple_surface():
+    """The coupling hub is part of the pinned public API."""
+    import repro
+    from repro import couple
+
+    for name in (
+        "ChannelSpec",
+        "CoupleError",
+        "JobGraph",
+        "run_adapt_loop",
+        "transfer_between",
+    ):
+        assert getattr(repro, name) is getattr(couple, name)
+        assert name in repro.__all__, name
+    assert "couple" in repro.__all__
+
+
+def test_couple_subpackage_all():
+    """Everything couple.__all__ names resolves, and the core names are in."""
+    from repro import couple
+
+    for name in couple.__all__:
+        assert hasattr(couple, name), name
+    for name in (
+        "FRAME_SCHEMA",
+        "Channel",
+        "ChannelClosedError",
+        "ChannelHub",
+        "ChannelSpec",
+        "CoupleError",
+        "Endpoint",
+        "FieldFrame",
+        "GraphError",
+        "JobGraph",
+        "TransformSpec",
+        "XferStats",
+        "run_adapt_loop",
+        "transfer_between",
+    ):
+        assert name in couple.__all__, name
+    assert couple.FRAME_SCHEMA == "repro.couple/1"
+
+
 def test_parallel_placement_surface():
     """The core-reservation API is exported from repro.parallel."""
     from repro import parallel
